@@ -1,0 +1,19 @@
+"""Shared benchmark reporting.
+
+Each harness prints the paper-table/figure it regenerates and also writes it
+to ``benchmarks/results/<name>.txt`` so the output survives pytest's capture
+(run with ``-s`` to see it live).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a harness result and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

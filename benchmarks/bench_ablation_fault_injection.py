@@ -1,0 +1,73 @@
+"""Ablation XTRA2 — BNN accuracy under residual weight bit errors.
+
+The paper's design avoids ECC because BNN inference tolerates the residual
+2T2R error rates (§II-B; quantified in its refs. [15], [16], which report
+BNNs tolerating BERs orders of magnitude above the 2T2R residual).
+
+Harness: train a binarized-classifier ECG model once, fold it, then inject
+weight bit errors at rates spanning the 2T2R regime (1e-6..1e-4), the 1T1R
+regime (1e-3..1e-2), and beyond; measure accuracy (averaged over several
+corruption draws).  Shape checks: accuracy is flat through the 2T2R regime
+and degrades only at BERs orders of magnitude higher.
+"""
+
+import numpy as np
+
+from repro.data import ECGConfig, make_ecg_dataset
+from repro.experiments import TrainConfig, render_series, train_model
+from repro.models import BinarizationMode, ECGNet
+from repro.rram import classifier_input_bits, corrupt_folded, fold_classifier
+
+from _util import report
+
+BERS = (0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5)
+DRAWS = 5
+
+
+def _run():
+    dataset = make_ecg_dataset(ECGConfig(n_trials=300, n_samples=300,
+                                         noise_amplitude=0.05, seed=13))
+    n_train = 240
+    model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=300,
+                   base_filters=8, rng=np.random.default_rng(3))
+    model.fit_input_norm(dataset.inputs[:n_train])
+    train_model(model, dataset.inputs[:n_train], dataset.labels[:n_train],
+                TrainConfig(epochs=40, batch_size=16, lr=2e-3, seed=4))
+    model.eval()
+    hidden, output = fold_classifier(model)
+    bits = classifier_input_bits(model, dataset.inputs[n_train:])
+    labels = dataset.labels[n_train:]
+
+    rng = np.random.default_rng(17)
+    accuracies = []
+    for ber in BERS:
+        draws = []
+        for _ in range(DRAWS):
+            h = corrupt_folded(hidden[0], ber, rng)
+            o = corrupt_folded(output, ber, rng)
+            pred = o.predict(h.forward_bits(bits))
+            draws.append(float((pred == labels).mean()))
+        accuracies.append(float(np.mean(draws)))
+    return accuracies
+
+
+def bench_ablation_fault_injection(benchmark):
+    accuracies = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_series(
+        "XTRA2 — deployed ECG classifier accuracy vs weight bit error rate",
+        "BER", [f"{b:.0e}" if b else "0" for b in BERS],
+        {"accuracy": accuracies}, fmt="{:.3f}")
+    text += ("\n\n2T2R residual BER sits at 1e-6..4e-4 over the chip's "
+             "life (Fig. 4): accuracy there is\nindistinguishable from the "
+             "error-free deployment, which is why the design needs no "
+             "ECC.")
+    report("ablation_fault_injection", text)
+
+    clean = accuracies[0]
+    ber_index = {b: i for i, b in enumerate(BERS)}
+    # Flat through the whole 2T2R regime.
+    for ber in (1e-6, 1e-5, 1e-4):
+        assert accuracies[ber_index[ber]] >= clean - 0.03, ber
+    # Full weight randomization (BER 0.5) destroys the classifier: the
+    # stored/read bit correlation 1 - 2*BER reaches zero.
+    assert accuracies[ber_index[0.5]] < clean - 0.15

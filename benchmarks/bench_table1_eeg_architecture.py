@@ -1,0 +1,49 @@
+"""Table I — EEG classification network architecture.
+
+Regenerates the layer table (kernels, padding, output shapes) from the
+implemented model at the paper's full input geometry (64 electrodes x 960
+samples) and asserts every output shape matches the published row.  The
+benchmark times one full forward pass at paper scale.
+"""
+
+import numpy as np
+
+from repro.experiments import render_table
+from repro.models import EEGNet
+from repro.tensor import Tensor, no_grad
+
+from _util import report
+
+PAPER_SHAPES = [
+    (961, 64, 40),
+    (961, 1, 40),
+    (63, 1, 40),
+    (2520,),
+    (80,),
+    (2,),
+]
+
+
+def bench_table1_eeg_architecture(benchmark):
+    model = EEGNet(rng=np.random.default_rng(0)).eval()
+    x = np.random.default_rng(1).standard_normal((1, 64, 960))
+
+    def forward():
+        with no_grad():
+            return model(Tensor(x)).data
+
+    out = benchmark(forward)
+    assert out.shape == (1, 2)
+
+    rows = [summary.row() for summary in model.layer_summaries()]
+    text = render_table(
+        "Table I — EEG classification network architecture",
+        ["Layer", "Kernels", "Padding", "Output shape", "Params"], rows)
+    total = sum(s.params for s in model.layer_summaries())
+    text += (f"\n\nTotal parameters: {total:,} (paper Table IV: 0.31M); "
+             f"classifier fraction "
+             f"{model.classifier_parameters() / total:.0%}")
+    report("table1_eeg_architecture", text)
+
+    for summary, expected in zip(model.layer_summaries(), PAPER_SHAPES):
+        assert summary.output_shape == expected, summary.name

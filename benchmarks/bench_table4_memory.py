@@ -1,0 +1,78 @@
+"""Table IV — model memory usage and savings from classifier binarization.
+
+This table is analytic (parameter counting on the full-size architectures),
+so the harness reproduces it exactly rather than at reduced scale:
+
+* EEG / ECG: Table I / Table II geometries;
+* MobileNet-224: full MobileNet V1 with the paper's two-layer 5.7M-bit
+  binarized replacement classifier;
+* savings versus 32-bit and versus an 8-bit quantized reference.
+
+Paper row targets: EEG 0.31M / 1.17MB / 64% / 57.8%;
+ECG 0.31M / 1.17MB / 84% / 75.8% (but see the Table II discrepancy note);
+MobileNet 4.2M / 16.2MB / 20% / 7.3%.
+"""
+
+import numpy as np
+
+from repro.analysis import model_memory
+from repro.experiments import render_table
+from repro.models import (BinarizationMode, ECGNet, EEGNet, MobileNetConfig,
+                          MobileNetV1)
+
+from _util import report
+
+
+def _build_breakdowns():
+    rng = np.random.default_rng(0)
+    eeg = model_memory("EEG", EEGNet(rng=rng))
+    ecg = model_memory("ECG", ECGNet(rng=rng))
+    mobilenet_real = MobileNetV1(MobileNetConfig.paper(),
+                                 mode=BinarizationMode.REAL, rng=rng)
+    mobilenet_bin = MobileNetV1(MobileNetConfig.paper(),
+                                mode=BinarizationMode.BINARY_CLASSIFIER,
+                                rng=rng)
+    mobilenet = model_memory(
+        "ImageNet", mobilenet_real,
+        binary_classifier_params=mobilenet_bin.classifier_parameters())
+    return [eeg, ecg, mobilenet]
+
+
+def bench_table4_memory(benchmark):
+    breakdowns = benchmark.pedantic(_build_breakdowns, rounds=1,
+                                    iterations=1)
+
+    rows = [b.table_row() for b in breakdowns]
+    text = render_table(
+        "Table IV — model memory usage and classifier-binarization savings",
+        ["Model", "Total params", "Classifier params",
+         "Model size 32-bit / 8-bit", "Bin classif. saving 32-bit / 8-bit"],
+        rows)
+    text += ("\n\nPaper row:  EEG 0.31M / 0.2M / 1.17MB / 305KB / 64% / "
+             "57.8%"
+             "\nPaper row:  ECG 0.31M / 0.27M / 1.17MB / 305KB / 84% / "
+             "75.8%"
+             "\nPaper row:  ImageNet 4.2M / 1M / 16.2MB / 4.1MB / 20% / "
+             "7.3%"
+             "\n\nNote: the ECG architecture of Table II implies a 386K-"
+             "parameter classifier, not the"
+             "\n0.27M the paper's Table IV lists; our exact counts give a "
+             "*larger* saving (88%/79%)"
+             "\nthan the paper's 84%/75.8%.  The EEG and MobileNet rows "
+             "match to rounding.")
+    report("table4_memory", text)
+
+    eeg, ecg, mobilenet = breakdowns
+    # EEG row matches the paper to rounding.
+    assert abs(eeg.size_bytes(32) / 2 ** 20 - 1.17) < 0.02
+    assert abs(eeg.classifier_binarization_saving(32) - 0.64) < 0.01
+    assert abs(eeg.classifier_binarization_saving(8) - 0.578) < 0.01
+    # The paper's "305KB" is decimal kilobytes (305,522 params at 1 byte).
+    assert abs(eeg.size_bytes(8) / 1000 - 305) < 2
+    # ECG row: architecture-exact counts; saving exceeds the paper's 84%.
+    assert ecg.classifier_binarization_saving(32) > 0.84
+    assert ecg.classifier_binarization_saving(8) > 0.758
+    # MobileNet row.
+    assert abs(mobilenet.size_bytes(32) / 2 ** 20 - 16.2) < 1.0
+    assert abs(mobilenet.classifier_binarization_saving(32) - 0.20) < 0.03
+    assert abs(mobilenet.classifier_binarization_saving(8) - 0.073) < 0.05

@@ -1,0 +1,101 @@
+"""Analog crossbar vs digital 2T2R: the §II-A architecture choice, measured.
+
+The paper chooses *binary* in-memory computing over *analog* weight coding
+(ISAAC/PRIME style) because analog coding needs DACs and ADCs "with their
+associated high area overhead".  This example deploys the same trained ECG
+classifier both ways and compares:
+
+* accuracy — the analog path degrades as ADC resolution drops, the binary
+  2T2R path is bit-exact on fresh devices;
+* converter energy/area — the analog periphery against the 1-bit PCSA.
+
+Run:  python examples/analog_vs_digital_inmemory.py
+"""
+
+import numpy as np
+
+from repro.data import ECGConfig, make_ecg_dataset
+from repro.experiments import (TrainConfig, evaluate_accuracy, render_table,
+                               train_model)
+from repro.models import BinarizationMode, ECGNet
+from repro.rram import (AcceleratorConfig, AnalogConfig, AnalogLinear,
+                        EnergyModel, PeripheryModel, classifier_input_bits,
+                        deploy_classifier)
+from repro.tensor import Tensor
+
+
+def main() -> None:
+    print("Preparing data and training two ECG models ...")
+    dataset = make_ecg_dataset(ECGConfig(n_trials=300, n_samples=300,
+                                         noise_amplitude=0.05, seed=5))
+    n_train = 240
+    train_x, train_y = dataset.inputs[:n_train], dataset.labels[:n_train]
+    test_x, test_y = dataset.inputs[n_train:], dataset.labels[n_train:]
+    cfg = TrainConfig(epochs=40, batch_size=16, lr=2e-3, seed=6)
+
+    # Real-weight model -> analog crossbar deployment of its classifier.
+    real = ECGNet(mode=BinarizationMode.REAL, n_samples=300, base_filters=8,
+                  rng=np.random.default_rng(7))
+    real.fit_input_norm(train_x)
+    train_model(real, train_x, train_y, cfg)
+    real.eval()
+    real_acc = evaluate_accuracy(real, test_x, test_y)
+
+    # Binary-classifier model -> 2T2R XNOR fabric deployment.
+    binary = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=300,
+                    base_filters=8, rng=np.random.default_rng(8))
+    binary.fit_input_norm(train_x)
+    train_model(binary, train_x, train_y, cfg)
+    binary.eval()
+    binary_sw_acc = evaluate_accuracy(binary, test_x, test_y)
+
+    print("Deploying the binary classifier on the 2T2R accelerator ...")
+    hardware = deploy_classifier(binary, AcceleratorConfig())
+    bits = classifier_input_bits(binary, test_x)
+    digital_acc = float((hardware.predict(bits) == test_y).mean())
+
+    print("Deploying the real classifier on analog crossbars ...\n")
+    feats = real.features(Tensor(test_x)).data.reshape(len(test_x), -1)
+    rows = []
+    for adc_bits in (4, 6, 8, 10):
+        acfg = AnalogConfig(adc_bits=adc_bits, dac_bits=8,
+                            programming_sigma=0.05, read_noise_sigma=0.01)
+        seed_rng = np.random.default_rng(100 + adc_bits)
+        layer1 = AnalogLinear(real.fc1, acfg, seed_rng)
+        layer2 = AnalogLinear(real.fc2, acfg, seed_rng)
+        # Analog layer 1 -> digital batch-norm + hardtanh -> analog layer 2.
+        h = layer1.forward(feats)
+        h = real.bn_fc1(Tensor(h)).data
+        h = np.clip(h, -1.0, 1.0)
+        scores = layer2.forward(h)
+        acc = float((scores.argmax(axis=1) == test_y).mean())
+        rows.append((f"analog crossbar, {adc_bits}-bit ADC", f"{acc:.1%}"))
+
+    rows.append(("digital 2T2R XNOR fabric (1-bit PCSA)",
+                 f"{digital_acc:.1%}"))
+    rows.append(("software real-weight reference", f"{real_acc:.1%}"))
+    rows.append(("software binary-classifier reference",
+                 f"{binary_sw_acc:.1%}"))
+    print(render_table("ECG classifier accuracy by deployment path",
+                       ["Deployment", "Accuracy"], rows))
+
+    # Periphery accounting for the first classifier layer (the wide one).
+    in_f, out_f = real.fc1.in_features, real.fc1.out_features
+    periphery = PeripheryModel()
+    energy_model = EnergyModel()
+    analog_pj = periphery.matvec_energy_pj(in_f, out_f, 8, 8)
+    analog_area = periphery.matvec_area_um2(in_f, out_f, 8, 8,
+                                            adcs_shared=8)
+    pcsa_pj = in_f * out_f * energy_model.xnor_pcsa_sense_fj / 1000.0
+    pcsa_area = out_f * energy_model.pcsa_area_um2
+    print(f"\nConverter periphery for the {in_f}x{out_f} layer:")
+    print(f"  analog (8-bit DAC/ADC): {analog_pj:9.0f} pJ/matvec, "
+          f"{analog_area:9.0f} um^2")
+    print(f"  binary (XNOR-PCSA):     {pcsa_pj:9.1f} pJ/matvec, "
+          f"{pcsa_area:9.0f} um^2")
+    print(f"  -> analog pays {analog_pj / pcsa_pj:.0f}x energy and "
+          f"{analog_area / pcsa_area:.0f}x sensing area (paper §II-A).")
+
+
+if __name__ == "__main__":
+    main()

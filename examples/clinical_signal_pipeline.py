@@ -1,0 +1,99 @@
+"""A clinical acquisition pipeline: raw signal -> filters -> BNN -> report.
+
+The paper's target is "smart autonomous healthcare devices" (§I).  A real
+device does not see clean training data: it sees powerline interference and
+respiratory baseline wander, and its front end is AC-coupled — so the model
+must be trained *in the filtered domain*, and its output is judged by
+sensitivity/specificity, not accuracy alone.  This example runs that
+pipeline:
+
+1. define the device front end: a 50 Hz notch plus baseline-wander removal
+   (repro.data.filters);
+2. train the binarized-classifier ECG electrode-inversion model on
+   front-end-filtered recordings (train/test never mix);
+3. contaminate the test recordings with powerline pickup and baseline
+   wander, as the electrodes would deliver them;
+4. classify with and without the front end;
+5. report the full diagnostic picture (confusion matrix, sensitivity,
+   specificity, ROC AUC) for each condition.
+
+Run:  python examples/clinical_signal_pipeline.py
+"""
+
+import numpy as np
+
+from repro.data import (ECGConfig, make_ecg_dataset, notch_filter,
+                        remove_baseline_wander)
+from repro.experiments import TrainConfig, evaluate_report, train_model
+from repro.models import BinarizationMode, ECGNet
+
+SAMPLE_RATE_HZ = 250.0
+POWERLINE_HZ = 50.0
+
+
+def front_end(signals: np.ndarray) -> np.ndarray:
+    """The device's analog-front-end equivalent: notch + AC coupling."""
+    filtered = notch_filter(signals, POWERLINE_HZ, SAMPLE_RATE_HZ)
+    return remove_baseline_wander(filtered, SAMPLE_RATE_HZ)
+
+
+def contaminate(signals: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Add powerline pickup and respiratory baseline wander per trial."""
+    n_trials, n_leads, n_samples = signals.shape
+    t = np.arange(n_samples) / SAMPLE_RATE_HZ
+    powerline_amp = rng.uniform(0.3, 0.8, size=(n_trials, 1, 1))
+    powerline_phase = rng.uniform(0, 2 * np.pi, size=(n_trials, n_leads, 1))
+    powerline = powerline_amp * np.sin(
+        2 * np.pi * POWERLINE_HZ * t[None, None, :] + powerline_phase)
+    wander_freq = rng.uniform(0.15, 0.35, size=(n_trials, 1, 1))
+    wander_amp = rng.uniform(0.3, 0.8, size=(n_trials, 1, 1))
+    wander = wander_amp * np.sin(2 * np.pi * wander_freq * t[None, None, :])
+    return signals + powerline + wander
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    print("1) Generating recordings and training in the filtered domain ...")
+    dataset = make_ecg_dataset(ECGConfig(n_trials=400, n_samples=300,
+                                         noise_amplitude=0.05, seed=2))
+    n_train = 300
+    train_x = front_end(dataset.inputs[:n_train])
+    train_y = dataset.labels[:n_train]
+    test_x, test_y = dataset.inputs[n_train:], dataset.labels[n_train:]
+    model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=300,
+                   base_filters=8, rng=np.random.default_rng(3))
+    model.fit_input_norm(train_x)
+    train_model(model, train_x, train_y,
+                TrainConfig(epochs=40, batch_size=16, lr=2e-3, seed=4))
+    model.eval()
+
+    clean_report = evaluate_report(model, front_end(test_x), test_y)
+    print(clean_report.render("\nClean recordings through the front end"))
+
+    print("\n2) Contaminating the test recordings "
+          "(50 Hz pickup + baseline wander) ...")
+    dirty_x = contaminate(test_x, rng)
+    dirty_report = evaluate_report(model, dirty_x, test_y)
+    print(dirty_report.render("\nContaminated, front end bypassed"))
+
+    print("\n3) Contaminated recordings through the front end ...")
+    filtered_report = evaluate_report(model, front_end(dirty_x), test_y)
+    print(filtered_report.render("\nContaminated, front end active"))
+
+    print("\nSummary:")
+    for label, report in (("clean + front end", clean_report),
+                          ("dirty, bypassed", dirty_report),
+                          ("dirty + front end", filtered_report)):
+        print(f"  {label:18s} accuracy {report.accuracy:6.1%}   "
+              f"sensitivity {report.sensitivity:6.1%}   "
+              f"specificity {report.specificity:6.1%}   "
+              f"AUC {report.auc:.3f}")
+    recovered = filtered_report.accuracy - dirty_report.accuracy
+    print(f"\nThe front end recovers {recovered:+.1%} accuracy under "
+          "realistic interference; a deployed\nscreener needs the filters, "
+          "the hardware, and the diagnostic metrics together.")
+
+
+if __name__ == "__main__":
+    main()

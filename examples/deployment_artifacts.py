@@ -1,0 +1,98 @@
+"""The two-phase deployment flow: train once, program chips from a file.
+
+§II-B of the paper: weights are "obtained by off-chip training" and
+"programming occurs before the use of the inference circuit and is managed
+by a memory controller".  In production that hand-off is a file, not a
+Python object.  This example runs the full flow:
+
+1. train the binarized-classifier ECG model (the *lab* phase);
+2. write two artefacts: a training checkpoint (`.npz` state dict) and the
+   hardware programming artefact (folded weight bits + integer
+   thresholds — exactly what the memory controller consumes);
+3. discard the training stack, reload only the programming artefact, and
+   program a simulated chip from it (the *factory* phase);
+4. verify the programmed chip is bit-identical to one deployed directly
+   from the live model, and plan its macro floorplan.
+
+Run:  python examples/deployment_artifacts.py
+"""
+
+import tempfile
+import pathlib
+
+import numpy as np
+
+from repro.data import ECGConfig, make_ecg_dataset
+from repro.experiments import TrainConfig, evaluate_accuracy, train_model
+from repro.io import (load_folded_classifier, load_model,
+                      save_folded_classifier, save_model)
+from repro.models import BinarizationMode, ECGNet
+from repro.rram import (AcceleratorConfig, MacroGeometry,
+                        classifier_input_bits, deploy_classifier,
+                        fold_classifier, plan_classifier)
+from repro.rram.accelerator import (InMemoryClassifier, InMemoryDenseLayer,
+                                    InMemoryOutputLayer)
+
+
+def main() -> None:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro_deploy_"))
+    checkpoint = workdir / "ecg_checkpoint.npz"
+    program = workdir / "ecg_program.npz"
+
+    print("LAB PHASE")
+    print("1) Training the binarized-classifier ECG model ...")
+    dataset = make_ecg_dataset(ECGConfig(n_trials=300, n_samples=300,
+                                         noise_amplitude=0.05, seed=9))
+    n_train = 240
+    model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=300,
+                   base_filters=8, rng=np.random.default_rng(10))
+    model.fit_input_norm(dataset.inputs[:n_train])
+    train_model(model, dataset.inputs[:n_train], dataset.labels[:n_train],
+                TrainConfig(epochs=40, batch_size=16, lr=2e-3, seed=11))
+    model.eval()
+    acc = evaluate_accuracy(model, dataset.inputs[n_train:],
+                            dataset.labels[n_train:])
+    print(f"   software accuracy: {acc:.1%}")
+
+    print("2) Writing artefacts ...")
+    save_model(model, checkpoint)
+    hidden, output = fold_classifier(model)
+    save_folded_classifier(hidden, output, program)
+    print(f"   checkpoint: {checkpoint.name} "
+          f"({checkpoint.stat().st_size / 1024:.0f} KB, full float state)")
+    print(f"   programming artefact: {program.name} "
+          f"({program.stat().st_size / 1024:.0f} KB, bits + thresholds)")
+
+    print("\nFACTORY PHASE (no training stack needed)")
+    print("3) Loading the programming artefact and programming a chip ...")
+    loaded_hidden, loaded_output = load_folded_classifier(program)
+    config = AcceleratorConfig(ideal=True)
+    chip = InMemoryClassifier(
+        [InMemoryDenseLayer(l, config) for l in loaded_hidden],
+        InMemoryOutputLayer(loaded_output, config))
+
+    print("4) Verifying against a chip deployed from the live model ...")
+    reference_chip = deploy_classifier(model, config)
+    bits = classifier_input_bits(model, dataset.inputs[n_train:])
+    identical = bool(np.array_equal(chip.predict(bits),
+                                    reference_chip.predict(bits)))
+    print(f"   predictions bit-identical: {identical}")
+
+    print("5) Floorplan of the programmed classifier:")
+    shapes = [(l.out_features, l.in_features) for l in loaded_hidden]
+    shapes.append(loaded_output.weight_bits.shape)
+    print(plan_classifier(shapes, MacroGeometry(32, 32)).report())
+
+    print("\n6) Round-tripping the checkpoint restores the lab model:")
+    fresh = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=300,
+                   base_filters=8, rng=np.random.default_rng(99))
+    load_model(fresh, checkpoint)
+    fresh.eval()
+    restored_acc = evaluate_accuracy(fresh, dataset.inputs[n_train:],
+                                     dataset.labels[n_train:])
+    print(f"   restored accuracy: {restored_acc:.1%} "
+          f"(identical: {restored_acc == acc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""ECG electrode-inversion detection: the paper's §III-B scenario.
+
+A bedside monitor wants to warn the nurse when ECG electrodes were cabled
+incorrectly, using a model small enough to live in on-chip non-volatile
+memory.  This example compares the three configurations of Table III on the
+synthetic 12-lead dataset:
+
+* real 32-bit weights (the accuracy ceiling);
+* fully binarized network (smallest, loses accuracy at 1x filters);
+* binarized classifier only (the paper's proposal: matches the ceiling
+  while saving most of the memory, because the classifier holds ~90 % of
+  the weights).
+
+Run:  python examples/ecg_electrode_check.py        (~4 minutes)
+"""
+
+import numpy as np
+
+from repro.analysis import model_memory
+from repro.data import ECGConfig, make_ecg_dataset
+from repro.experiments import (TrainConfig, evaluate_accuracy, render_table,
+                               train_model)
+from repro.models import BinarizationMode, ECGNet
+
+
+def main() -> None:
+    dataset = make_ecg_dataset(ECGConfig(n_trials=600, n_samples=300,
+                                         noise_amplitude=0.10, seed=3))
+    n_train = 480
+    train_x, train_y = dataset.inputs[:n_train], dataset.labels[:n_train]
+    test_x, test_y = dataset.inputs[n_train:], dataset.labels[n_train:]
+
+    rows = []
+    for mode, label in [
+        (BinarizationMode.REAL, "Real weights (32-bit)"),
+        (BinarizationMode.FULL_BINARY, "All-binarized (1-bit)"),
+        (BinarizationMode.BINARY_CLASSIFIER, "Binarized classifier"),
+    ]:
+        model = ECGNet(mode=mode, n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(1))
+        model.fit_input_norm(train_x)
+        print(f"training: {label} ...")
+        train_model(model, train_x, train_y,
+                    TrainConfig(epochs=40, batch_size=16, lr=2e-3, seed=2))
+        accuracy = evaluate_accuracy(model, test_x, test_y)
+        breakdown = model_memory(label, model)
+        if mode is BinarizationMode.FULL_BINARY:
+            size_kb = breakdown.total_params / 8 / 1024
+        elif mode is BinarizationMode.BINARY_CLASSIFIER:
+            size_kb = breakdown.binarized_classifier_bytes(32) / 1024
+        else:
+            size_kb = breakdown.size_bytes(32) / 1024
+        rows.append([label, f"{accuracy:.1%}", f"{size_kb:.1f} KB"])
+
+    print()
+    print(render_table(
+        "ECG electrode-inversion detection (bench scale, cf. Table III)",
+        ["configuration", "test accuracy", "weight memory"], rows))
+    print("\nPaper (full scale): real 96.3%, all-binarized 92.1%, "
+          "binarized classifier 95.9%.")
+
+
+if __name__ == "__main__":
+    main()

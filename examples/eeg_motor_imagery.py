@@ -1,0 +1,67 @@
+"""EEG motor-imagery brain-computer interface: the paper's §III-A scenario.
+
+A wearable BCI must decide, from multi-electrode EEG, whether the user
+imagined moving their left or right fist — on a battery, with all weights in
+on-chip RRAM.  This example trains the Table I end-to-end architecture on
+the synthetic motor-imagery dataset with a binarized classifier, deploys the
+classifier to simulated 2T2R arrays, and then stresses the hardware with
+device wear to show when accuracy starts to suffer.
+
+Run:  python examples/eeg_motor_imagery.py        (~3 minutes)
+"""
+
+import numpy as np
+
+from repro.data import EEGConfig, make_eeg_dataset
+from repro.experiments import (TrainConfig, evaluate_accuracy, render_table,
+                               train_model)
+from repro.models import BinarizationMode, EEGNet
+from repro.rram import (AcceleratorConfig, DeviceParameters,
+                        classifier_input_bits, deploy_classifier)
+from repro.tensor import Tensor, no_grad
+
+
+def main() -> None:
+    channels, samples = 32, 160
+    dataset = make_eeg_dataset(EEGConfig(
+        n_trials=300, n_channels=channels, n_samples=samples,
+        noise_amplitude=1.2, seed=5))
+    n_train = 240
+    train_x, train_y = dataset.inputs[:n_train], dataset.labels[:n_train]
+    test_x, test_y = dataset.inputs[n_train:], dataset.labels[n_train:]
+
+    print("training EEGNet (binarized classifier) ...")
+    model = EEGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                   n_channels=channels, n_samples=samples, base_filters=4,
+                   rng=np.random.default_rng(2))
+    train_model(model, train_x, train_y,
+                TrainConfig(epochs=30, batch_size=16, lr=2e-3,
+                            augment_sigma=0.1, seed=4))
+    model.eval()
+    software = evaluate_accuracy(model, test_x, test_y)
+    print(f"software accuracy: {software:.1%} "
+          "(paper, full scale: 87% for the binarized classifier)")
+
+    print("\ndeploying classifier to 2T2R RRAM and ageing the devices ...")
+    bits = classifier_input_bits(model, test_x)
+    rows = []
+    for label, wear_cycles in [("fresh", 0), ("1e8 cycles", int(1e8)),
+                               ("7e8 cycles", int(7e8)),
+                               ("1e10 cycles", int(1e10))]:
+        hardware = deploy_classifier(
+            model, AcceleratorConfig(device=DeviceParameters()),
+            rng=np.random.default_rng(9))
+        if wear_cycles:
+            hardware.wear(wear_cycles)
+            for controller in hardware.controllers:
+                controller.reprogram()
+        accuracy = (hardware.predict(bits) == test_y).mean()
+        rows.append([label, f"{accuracy:.1%}"])
+    print(render_table("In-memory accuracy vs device wear",
+                       ["device state", "accuracy"], rows))
+    print("\nThe 2T2R BNN tolerates realistic endurance-induced bit errors; "
+          "\naccuracy only moves once error rates leave the Fig. 4 regime.")
+
+
+if __name__ == "__main__":
+    main()

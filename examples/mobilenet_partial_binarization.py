@@ -1,0 +1,68 @@
+"""MobileNet V1 partial binarization on a vision task (paper §IV, Fig. 8).
+
+The paper replaces MobileNet's fully connected classifier with a two-layer
+binarized classifier and shows ImageNet accuracy is preserved.  ImageNet
+training is far outside an offline numpy budget, so this example trains a
+width-reduced MobileNet V1 (same topology, same code path) on the SynthNet
+image dataset and compares:
+
+* the original architecture (real single-layer classifier);
+* the paper's binarized two-layer classifier;
+* a fully binarized network (expected to lag, as in Table III).
+
+Run:  python examples/mobilenet_partial_binarization.py   (~5 minutes)
+"""
+
+import numpy as np
+
+from repro.data import ImageConfig, make_image_dataset
+from repro.experiments import (TrainConfig, render_series, train_model)
+from repro.models import BinarizationMode, MobileNetConfig, MobileNetV1
+
+
+def main() -> None:
+    dataset = make_image_dataset(ImageConfig(
+        n_classes=8, n_per_class=30, image_size=24, seed=6))
+    n = len(dataset.inputs)
+    n_train = int(0.8 * n)
+    order = np.random.default_rng(0).permutation(n)
+    tr, te = order[:n_train], order[n_train:]
+
+    config = MobileNetConfig.reduced(n_classes=8, image_size=24,
+                                     width_multiplier=0.25, n_blocks=5)
+    epochs = 12
+    histories = {}
+    for mode, label in [
+        (BinarizationMode.REAL, "MobileNet (real)"),
+        (BinarizationMode.BINARY_CLASSIFIER, "bin classifier (ours)"),
+        (BinarizationMode.FULL_BINARY, "all-binarized"),
+    ]:
+        print(f"training {label} ...")
+        model = MobileNetV1(config, mode=mode, rng=np.random.default_rng(3))
+        result = train_model(
+            model, dataset.inputs[tr], dataset.labels[tr],
+            TrainConfig(epochs=epochs, batch_size=16, lr=2e-3, seed=5,
+                        track_history=True, eval_topk=(1, 5)),
+            dataset.inputs[te], dataset.labels[te])
+        histories[label] = result
+
+    xs = list(range(1, epochs + 1))
+    print()
+    print(render_series(
+        "Top-1 validation accuracy per epoch (cf. paper Fig. 8)",
+        "epoch", xs,
+        {label: [h["top1"] for h in res.history]
+         for label, res in histories.items()}, fmt="{:.3f}"))
+    print()
+    print(render_series(
+        "Top-5 validation accuracy per epoch",
+        "epoch", xs,
+        {label: [h["top5"] for h in res.history]
+         for label, res in histories.items()}, fmt="{:.3f}"))
+    print("\nPaper (ImageNet, full scale): bin classifier matches the "
+          "original\n(70.0% vs 70.6% top-1) while fully binarized MobileNet "
+          "drops to 54.4%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""RRAM chip characterization: reproduce the paper's device-level story.
+
+Replays the measurement campaign of §II-B on the simulated test chip:
+
+* endurance experiment — bit error rate of 1T1R (BL and BLb sensed
+  single-endedly) versus the differential 2T2R read, over hundreds of
+  millions of program cycles (paper Fig. 4);
+* the 2T2R-versus-ECC comparison: the paper states 2T2R matches "formal
+  single error correction of equivalent redundancy" — checked against a
+  rate-1/2 extended Hamming code and SECDED(72,64);
+* energy accounting: in-memory BNN inference versus a digital datapath
+  that fetches ECC-protected weights from SRAM.
+
+Run:  python examples/rram_chip_characterization.py
+"""
+
+import numpy as np
+
+from repro.experiments import render_series, render_table
+from repro.rram import (EnduranceExperiment, EnergyModel, HammingCode,
+                        analytic_ber_1t1r, analytic_ber_2t2r,
+                        simulate_protected_storage)
+
+
+def endurance_study() -> None:
+    print("== Endurance / bit-error-rate study (paper Fig. 4) ==\n")
+    exp = EnduranceExperiment(trials=400_000, seed=0)
+    result = exp.run()
+    analytic_2t2r = analytic_ber_2t2r(exp.device, result.cycles,
+                                      exp.sense.offset_sigma)
+    print(render_series(
+        "Mean BER vs programming cycles",
+        "cycles", [f"{c:.0e}" for c in result.cycles],
+        {
+            "1T1R BL": result.ber_1t1r_bl,
+            "1T1R BLb": result.ber_1t1r_blb,
+            "2T2R": result.ber_2t2r,
+            "2T2R analytic": analytic_2t2r,
+        }, fmt="{:.2e}"))
+    gap = result.ber_1t1r_bl / np.maximum(result.ber_2t2r, 1e-9)
+    print(f"\n1T1R/2T2R error ratio: {gap.min():.0f}x - {gap.max():.0f}x "
+          "(paper: ~two orders of magnitude)\n")
+
+
+def ecc_comparison() -> None:
+    print("== 2T2R vs formal single-error correction (§II-B claim) ==\n")
+    rng = np.random.default_rng(1)
+    device = EnduranceExperiment().device
+    rows = []
+    for cycles in (1e8, 4e8, 7e8):
+        raw = float(analytic_ber_1t1r(device, cycles))
+        differential = float(analytic_ber_2t2r(device, cycles))
+        data = rng.integers(0, 2, (40_000, 4)).astype(np.uint8)
+        _, sec_half = simulate_protected_storage(
+            data, HammingCode.rate_half(), raw, rng)
+        data64 = rng.integers(0, 2, (8_000, 64)).astype(np.uint8)
+        _, secded = simulate_protected_storage(
+            data64, HammingCode.secded_72_64(), raw, rng)
+        rows.append([f"{cycles:.0e}", f"{raw:.2e}", f"{differential:.2e}",
+                     f"{sec_half:.2e}", f"{secded:.2e}"])
+    print(render_table(
+        "Residual BER after protection (raw channel = 1T1R)",
+        ["cycles", "raw 1T1R", "2T2R (2x devices)",
+         "Hamming(8,4) (2x bits)", "SECDED(72,64) (1.125x)"], rows))
+    print("\n2T2R sits in the same regime as single-error correction of\n"
+          "equivalent (2x) redundancy, without any decoder logic.\n")
+
+
+def energy_study() -> None:
+    print("== Energy per classifier inference (ECG, paper Table II) ==\n")
+    model = EnergyModel()
+    layers = [(75, 5152), (2, 75)]
+    rows = []
+    for name, cost in [
+        ("2T2R in-memory (Fig. 5)", model.in_memory_inference(layers)),
+        ("digital, SRAM + SECDED", model.digital_inference(layers, "sram")),
+        ("digital, SRAM, no ECC",
+         model.digital_inference(layers, "sram", use_ecc=False)),
+        ("digital, DRAM + SECDED", model.digital_inference(layers, "dram")),
+    ]:
+        rows.append([name, *cost.row()])
+    print(render_table(
+        "Energy breakdown (pJ) and storage area (mm^2)",
+        ["implementation", "sense", "popcount", "movement", "ECC", "total",
+         "area"], rows))
+    print("\nWeight movement dominates the digital variants; the in-memory\n"
+          "design spends energy only on sensing and popcount, which is the\n"
+          "paper's architectural argument.\n")
+
+
+if __name__ == "__main__":
+    endurance_study()
+    ecc_comparison()
+    energy_study()

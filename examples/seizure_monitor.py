@@ -1,0 +1,90 @@
+"""A continuous seizure monitor on in-memory hardware.
+
+The paper's introduction motivates exactly this device: "epileptic seizure
+prediction … available at the edge", battery-powered, with the network
+resident in on-chip RRAM (§I).  This example assembles the monitor from the
+repository's parts:
+
+1. train the binarized-classifier EEG model on the synthetic
+   spike-and-wave seizure task;
+2. fold and program it onto simulated 2T2R arrays;
+3. stream a long multichannel recording through sliding windows, running
+   every window on the in-memory classifier;
+4. aggregate window decisions and report the clinically binding metrics
+   (sensitivity first — a missed seizure costs more than a false alarm),
+   plus the hardware budget (devices, macros, per-window sense energy).
+
+Run:  python examples/seizure_monitor.py
+"""
+
+import numpy as np
+
+from repro.data import (SeizureConfig, make_seizure_dataset,
+                        sliding_windows)
+from repro.experiments import TrainConfig, train_model
+from repro.metrics import classification_report
+from repro.models import BinarizationMode, EEGNet
+from repro.rram import (AcceleratorConfig, EnergyModel,
+                        classifier_input_bits, deploy_classifier,
+                        plan_model)
+
+WINDOW = 256
+HOP = 128
+
+
+def main() -> None:
+    print("1) Training the seizure detector ...")
+    cfg = SeizureConfig(n_trials=300, n_channels=16, n_samples=WINDOW,
+                        discharge_amplitude=1.5, focus_fraction=0.4,
+                        seed=1)
+    dataset = make_seizure_dataset(cfg)
+    n_train = 240
+    model = EEGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_channels=16,
+                   n_samples=WINDOW, base_filters=4,
+                   rng=np.random.default_rng(2))
+    train_model(model, dataset.inputs[:n_train], dataset.labels[:n_train],
+                TrainConfig(epochs=30, batch_size=16, lr=2e-3, seed=3))
+    model.eval()
+
+    print("2) Programming the classifier into 2T2R arrays ...")
+    hardware = deploy_classifier(model, AcceleratorConfig())
+    plan = plan_model(model)
+    print(f"   {hardware.n_devices:,} RRAM devices across "
+          f"{plan.n_macros} macros "
+          f"({plan.utilization:.0%} utilization)")
+
+    print("3) Streaming held-out recordings through sliding windows ...")
+    test_x = dataset.inputs[n_train:]
+    test_y = dataset.labels[n_train:]
+    # Each held-out trial becomes a short continuous stream; windows
+    # overlap by 50% as a monitor's ring buffer would.
+    predictions = []
+    n_windows_total = 0
+    for recording in test_x:
+        stream = np.concatenate([recording, recording], axis=-1)
+        windows = sliding_windows(stream, window=WINDOW, hop=HOP)
+        n_windows_total += len(windows)
+        bits = classifier_input_bits(model, windows)
+        window_preds = hardware.predict(bits)
+        # Alarm policy: any-window detection (sensitivity-first).
+        predictions.append(int(window_preds.max()))
+    predictions = np.array(predictions)
+
+    report = classification_report(test_y, predictions)
+    print(report.render("\nMonitor performance (recording level)"))
+
+    energy = EnergyModel()
+    shapes = [(l.folded.out_features, l.folded.in_features)
+              for l in hardware.hidden]
+    shapes.append((hardware.output.folded.weight_bits.shape))
+    cost = energy.in_memory_inference(
+        [tuple(s) for s in shapes])
+    print(f"\nPer-window inference energy: {cost.total_pj / 1000:.1f} nJ "
+          f"({n_windows_total} windows streamed); weights never moved "
+          "off-chip.")
+    print("Sensitivity-first alarm policy: any ictal window raises the "
+          "alarm for the recording.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — In-Memory Resistive RAM Implementation of Binarized Neural
+Networks for Medical Applications (Penkovsky et al., DATE 2020).
+
+A complete offline reproduction of the paper's system:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — a
+  from-scratch deep-learning stack (reverse-mode autodiff over numpy) with
+  real and binarized layers, the straight-through estimator, and the
+  XNOR-popcount arithmetic of Eq. (3);
+* :mod:`repro.data` — synthetic EEG motor-imagery, 12-lead ECG
+  electrode-inversion, and image datasets standing in for the paper's
+  corpora (see DESIGN.md for the substitution arguments);
+* :mod:`repro.models` — the paper's three architectures (Tables I, II;
+  MobileNet V1) with REAL / FULL_BINARY / BINARY_CLASSIFIER modes;
+* :mod:`repro.rram` — the hardware substrate: HfO2 device statistics,
+  1T1R/2T2R cells, precharge sense amplifiers with the in-SA XNOR, kilobit
+  arrays, the Fig. 5 in-memory BNN accelerator, endurance/BER experiments,
+  Hamming ECC, and energy/area accounting;
+* :mod:`repro.analysis` — memory-footprint accounting (Table IV) and the
+  8-bit quantization reference;
+* :mod:`repro.experiments` — cross-validated training harness and
+  benchmark scales.
+
+Quick start::
+
+    from repro.models import ECGNet, BinarizationMode
+    from repro.data import make_ecg_dataset
+    from repro.rram import deploy_classifier, classifier_input_bits
+
+See ``examples/quickstart.py`` for an end-to-end train-and-deploy run.
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, data, experiments, models, nn, optim, rram, tensor
+from repro import io, metrics, viz
+
+__all__ = ["analysis", "data", "experiments", "io", "metrics", "models",
+           "nn", "optim", "rram", "tensor", "viz", "__version__"]

@@ -1,0 +1,120 @@
+"""Accuracy-versus-memory trade-off analysis.
+
+The paper's core algorithmic result is a trade-off statement: full
+binarization saves the most memory but costs accuracy even after filter
+augmentation, while classifier-only binarization sits on the knee —
+real-weight accuracy at a fraction of the memory (Fig. 7, Table IV, and the
+§III-C "equivalent amount of memory" comparisons).  This module turns sets
+of (memory, accuracy) measurements into that analysis:
+
+* :func:`pareto_frontier` — the non-dominated configurations;
+* :func:`accuracy_at_budget` — best achievable accuracy under a byte
+  budget (the §III-C "equal memory" question);
+* :class:`TradeoffStudy` — collect points, render the frontier, and plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TradeoffPoint", "pareto_frontier", "accuracy_at_budget",
+           "TradeoffStudy"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One measured configuration."""
+
+    label: str
+    memory_bytes: float
+    accuracy: float
+
+    def __post_init__(self):
+        if self.memory_bytes <= 0:
+            raise ValueError(
+                f"{self.label!r}: memory must be positive, got "
+                f"{self.memory_bytes}")
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(
+                f"{self.label!r}: accuracy must be in [0, 1], got "
+                f"{self.accuracy}")
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """No worse on both axes, strictly better on at least one."""
+        no_worse = (self.memory_bytes <= other.memory_bytes
+                    and self.accuracy >= other.accuracy)
+        better = (self.memory_bytes < other.memory_bytes
+                  or self.accuracy > other.accuracy)
+        return no_worse and better
+
+
+def pareto_frontier(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Non-dominated points, sorted by increasing memory.
+
+    A configuration is on the frontier when no other configuration is both
+    smaller and at least as accurate (or equal-sized and strictly better).
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    frontier = [p for p in points
+                if not any(q.dominates(p) for q in points)]
+    return sorted(frontier, key=lambda p: (p.memory_bytes, -p.accuracy))
+
+
+def accuracy_at_budget(points: list[TradeoffPoint],
+                       budget_bytes: float) -> TradeoffPoint | None:
+    """Best measured configuration fitting in ``budget_bytes``.
+
+    Returns ``None`` when nothing fits — the honest answer, not an
+    extrapolation.
+    """
+    if budget_bytes <= 0:
+        raise ValueError(f"budget must be positive, got {budget_bytes}")
+    feasible = [p for p in points if p.memory_bytes <= budget_bytes]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: (p.accuracy, -p.memory_bytes))
+
+
+class TradeoffStudy:
+    """Accumulate configurations and report the trade-off."""
+
+    def __init__(self, title: str = "Accuracy vs memory"):
+        self.title = title
+        self.points: list[TradeoffPoint] = []
+
+    def add(self, label: str, memory_bytes: float, accuracy: float
+            ) -> "TradeoffStudy":
+        self.points.append(TradeoffPoint(label, memory_bytes, accuracy))
+        return self
+
+    def frontier(self) -> list[TradeoffPoint]:
+        return pareto_frontier(self.points)
+
+    def render(self) -> str:
+        from repro.analysis.memory import format_bytes
+        from repro.experiments.tables import render_table
+
+        frontier = set(id(p) for p in self.frontier())
+        ordered = sorted(self.points, key=lambda p: p.memory_bytes)
+        rows = [(p.label, format_bytes(p.memory_bytes),
+                 f"{p.accuracy:.1%}",
+                 "*" if id(p) in frontier else "")
+                for p in ordered]
+        return render_table(self.title,
+                            ["Configuration", "Memory", "Accuracy",
+                             "Pareto"], rows)
+
+    def plot(self, width: int = 60, height: int = 14) -> str:
+        from repro.viz import line_plot
+
+        ordered = sorted(self.points, key=lambda p: p.memory_bytes)
+        series = {"all": ([p.memory_bytes for p in ordered],
+                          [p.accuracy for p in ordered])}
+        frontier = self.frontier()
+        if len(frontier) > 1:
+            series["frontier"] = ([p.memory_bytes for p in frontier],
+                                  [p.accuracy for p in frontier])
+        return line_plot(series, title=self.title, width=width,
+                         height=height, x_log=True,
+                         x_label="memory (bytes)", y_label="accuracy")

@@ -1,0 +1,22 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the analytic experiments (the ones that run in seconds) directly
+from the shell, and a registry describing every table/figure harness so a
+user can discover what the repository reproduces without reading the
+source:
+
+* ``python -m repro list`` — every experiment with its paper artefact;
+* ``python -m repro info FIG4`` — protocol, modules and bench target;
+* ``python -m repro run FIG4`` — run an analytic experiment now;
+* ``python -m repro memory`` — the Table IV memory report;
+* ``python -m repro energy`` — in-memory vs digital energy accounting.
+
+Training-based experiments (Table III, Fig. 7, Fig. 8) take minutes and run
+through pytest: ``run`` prints the exact command instead of silently
+launching a long job.
+"""
+
+from repro.cli.main import main
+from repro.cli.registry import EXPERIMENTS, ExperimentInfo
+
+__all__ = ["main", "EXPERIMENTS", "ExperimentInfo"]

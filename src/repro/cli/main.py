@@ -1,0 +1,154 @@
+"""Argument parsing and dispatch for ``python -m repro``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.cli import analytic
+from repro.cli.registry import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'In-Memory Resistive RAM "
+                     "Implementation of Binarized Neural Networks for "
+                     "Medical Applications' (DATE 2020)."))
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="catalogue of reproduced tables and figures")
+
+    info = sub.add_parser("info", help="details of one experiment")
+    info.add_argument("id", help="experiment id, e.g. FIG4 (see 'list')")
+
+    run = sub.add_parser("run", help="run an analytic experiment now")
+    run.add_argument("id", help="experiment id, e.g. FIG4 (see 'list')")
+
+    sub.add_parser("memory", help="Table IV memory report (alias: run TAB4)")
+    sub.add_parser("energy",
+                   help="in-memory vs digital energy (alias: run XTRA4)")
+    floorplan = sub.add_parser(
+        "floorplan",
+        help="map a paper model's classifier onto RRAM macros")
+    floorplan.add_argument("model", choices=["eeg", "ecg", "mobilenet"],
+                           help="which architecture's classifier to plan")
+    floorplan.add_argument("--macro", default="32x32",
+                           help="macro geometry ROWSxCOLS (default 32x32)")
+    return parser
+
+
+def _canonical_id(raw: str) -> str:
+    candidate = raw.strip().upper().replace(".", "").replace(" ", "")
+    aliases = {
+        "FIGURE4": "FIG4", "TABLE1": "TAB1", "TABLE2": "TAB2",
+        "TABLE3": "TAB3", "TABLE4": "TAB4", "FIGURE7": "FIG7",
+        "FIGURE8": "FIG8",
+    }
+    return aliases.get(candidate, candidate)
+
+
+def _sort_key(exp_id: str) -> tuple[int, int]:
+    """Paper artefacts in paper order, then ablations numerically."""
+    import re
+    match = re.fullmatch(r"([A-Z]+)(\d+)", exp_id)
+    prefix, number = match.group(1), int(match.group(2))
+    prefix_rank = {"FIG": 0, "TAB": 0, "XTRA": 1}.get(prefix, 2)
+    return (prefix_rank, number)
+
+
+def _cmd_list() -> str:
+    width = max(len(i) for i in EXPERIMENTS)
+    lines = ["Reproduced artefacts ('run <id>' for analytic ones, the "
+             "listed bench for training ones):", ""]
+    for exp_id in sorted(EXPERIMENTS, key=_sort_key):
+        info = EXPERIMENTS[exp_id]
+        tag = "run now " if info.kind == "analytic" else "pytest  "
+        lines.append(f"  {info.id.ljust(width)}  [{tag}]  {info.artefact}")
+    return "\n".join(lines)
+
+
+def _cmd_info(exp_id: str) -> str:
+    info = EXPERIMENTS.get(_canonical_id(exp_id))
+    if info is None:
+        raise SystemExit(
+            f"unknown experiment {exp_id!r}; see 'python -m repro list'")
+    lines = [info.artefact, "=" * len(info.artefact), info.description, ""]
+    lines.append(f"modules : {', '.join(info.modules)}")
+    lines.append(f"bench   : pytest {info.bench} --benchmark-only -s")
+    if info.kind == "analytic":
+        lines.append(f"run now : python -m repro run {info.id}")
+    return "\n".join(lines)
+
+
+def _cmd_run(exp_id: str) -> str:
+    info = EXPERIMENTS.get(_canonical_id(exp_id))
+    if info is None:
+        raise SystemExit(
+            f"unknown experiment {exp_id!r}; see 'python -m repro list'")
+    if info.kind != "analytic":
+        raise SystemExit(
+            f"{info.id} is a training experiment; run it with:\n"
+            f"  pytest {info.bench} --benchmark-only -s")
+    runner = getattr(analytic, info.runner)
+    return runner()
+
+
+def _cmd_floorplan(model_name: str, macro_spec: str) -> str:
+    from repro.rram import MacroGeometry, plan_classifier
+
+    try:
+        rows, cols = (int(part) for part in macro_spec.lower().split("x"))
+    except ValueError:
+        raise SystemExit(
+            f"--macro must look like 32x32, got {macro_spec!r}")
+    # Classifier geometries of the three full-size paper models.
+    shapes = {
+        "eeg": [(80, 2520), (2, 80)],
+        "ecg": [(75, 5152), (2, 75)],
+        "mobilenet": [(1024, 1024), (1000, 1024)],
+    }[model_name]
+    plan = plan_classifier(shapes, MacroGeometry(rows, cols))
+    return plan.report()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Parse ``argv`` (default ``sys.argv[1:]``) and run one command.
+
+    Returns the process exit code: 0 on success, 1 when no command was
+    given (help is printed).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    try:
+        if args.command == "list":
+            print(_cmd_list())
+        elif args.command == "info":
+            print(_cmd_info(args.id))
+        elif args.command == "run":
+            print(_cmd_run(args.id))
+        elif args.command == "memory":
+            print(analytic.run_table4())
+        elif args.command == "energy":
+            print(analytic.run_energy())
+        elif args.command == "floorplan":
+            print(_cmd_floorplan(args.model, args.macro))
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; exit
+        # quietly like any well-behaved CLI.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

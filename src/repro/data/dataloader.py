@@ -1,0 +1,55 @@
+"""Mini-batch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, Dataset, Subset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches of ``(inputs, labels)`` arrays.
+
+    Shuffling uses an injected generator so experiments are reproducible.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32,
+                 shuffle: bool = False, drop_last: bool = False,
+                 rng: np.random.Generator | None = None):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def _materialized(self) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(self.dataset, ArrayDataset):
+            return self.dataset.inputs, self.dataset.labels
+        if isinstance(self.dataset, Subset):
+            return self.dataset.arrays()
+        pairs = [self.dataset[i] for i in range(len(self.dataset))]
+        return (np.stack([p[0] for p in pairs]),
+                np.asarray([p[1] for p in pairs]))
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        inputs, labels = self._materialized()
+        order = np.arange(len(inputs))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield inputs[idx], labels[idx]

@@ -1,0 +1,65 @@
+"""Dataset containers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "Subset"]
+
+
+class Dataset:
+    """Minimal dataset protocol: ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset of ``(inputs, labels)`` numpy arrays."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray):
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and labels ({len(labels)}) disagree")
+        self.inputs = inputs
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index):
+        return self.inputs[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+
+class Subset(Dataset):
+    """A view over selected indices of another dataset."""
+
+    def __init__(self, base: Dataset, indices: Sequence[int]):
+        self.base = base
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index):
+        return self.base[self.indices[index]]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the subset as ``(inputs, labels)`` arrays."""
+        if isinstance(self.base, ArrayDataset):
+            return (self.base.inputs[self.indices],
+                    self.base.labels[self.indices])
+        pairs = [self.base[i] for i in self.indices]
+        return (np.stack([p[0] for p in pairs]),
+                np.asarray([p[1] for p in pairs]))

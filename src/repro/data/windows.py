@@ -1,0 +1,93 @@
+"""Windowing of continuous recordings into fixed-length model inputs.
+
+The paper's models consume fixed-length trials (six seconds of EEG, three
+seconds of ECG), but a deployed monitor sees one *continuous* multichannel
+stream.  The standard bridge is sliding-window epoching: cut the stream
+into overlapping windows, classify each, and aggregate window decisions
+back to an event/recording level.  This module provides both directions:
+
+* :func:`sliding_windows` — strided views over ``(channels, time)`` or
+  batched recordings, with hop control (overlap);
+* :func:`window_count` — how many windows a recording yields;
+* :func:`aggregate_votes` / :func:`aggregate_scores` — recording-level
+  decisions from per-window outputs (majority vote, or mean-score argmax —
+  the standard test-time augmentation used by EEG pipelines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["window_count", "sliding_windows", "aggregate_votes",
+           "aggregate_scores"]
+
+
+def window_count(n_samples: int, window: int, hop: int) -> int:
+    """Number of complete windows in ``n_samples`` (0 when too short)."""
+    if window <= 0 or hop <= 0:
+        raise ValueError(f"window and hop must be positive, got "
+                         f"{window}, {hop}")
+    if n_samples < window:
+        return 0
+    return (n_samples - window) // hop + 1
+
+
+def sliding_windows(recording: np.ndarray, window: int,
+                    hop: int | None = None) -> np.ndarray:
+    """Cut a recording into complete fixed-length windows.
+
+    ``recording`` is ``(channels, time)`` → returns ``(n_windows,
+    channels, window)``; a trailing partial window is dropped (a deployed
+    classifier waits for a full buffer).  ``hop`` defaults to ``window``
+    (no overlap).  The result is a copy, safe to mutate.
+    """
+    recording = np.asarray(recording)
+    if recording.ndim != 2:
+        raise ValueError(
+            f"expected (channels, time), got shape {recording.shape}")
+    hop = window if hop is None else hop
+    count = window_count(recording.shape[-1], window, hop)
+    if count == 0:
+        raise ValueError(
+            f"recording of {recording.shape[-1]} samples is shorter than "
+            f"one {window}-sample window")
+    channels = recording.shape[0]
+    sc, st = recording.strides
+    views = np.lib.stride_tricks.as_strided(
+        recording, shape=(count, channels, window),
+        strides=(st * hop, sc, st), writeable=False)
+    return views.copy()
+
+
+def aggregate_votes(window_predictions: np.ndarray,
+                    num_classes: int | None = None) -> int:
+    """Majority vote over per-window class predictions.
+
+    Ties break toward the lower class index (deterministic).  This is the
+    robust aggregation when only hard decisions are available (e.g. from
+    the in-memory classifier's argmax output).
+    """
+    preds = np.asarray(window_predictions, dtype=np.int64).ravel()
+    if preds.size == 0:
+        raise ValueError("no window predictions to aggregate")
+    if preds.min() < 0:
+        raise ValueError("predictions must be non-negative class indices")
+    if num_classes is None:
+        num_classes = int(preds.max()) + 1
+    counts = np.bincount(preds, minlength=num_classes)
+    return int(counts.argmax())
+
+
+def aggregate_scores(window_scores: np.ndarray) -> tuple[int, np.ndarray]:
+    """Mean-score aggregation: average per-window class scores, argmax.
+
+    Returns ``(predicted_class, mean_scores)``.  Preferred over voting
+    when real-valued scores are available — near-ties between windows then
+    contribute proportionally instead of flipping whole votes.
+    """
+    scores = np.asarray(window_scores, dtype=float)
+    if scores.ndim != 2 or scores.shape[0] == 0:
+        raise ValueError(
+            f"expected (n_windows, n_classes) scores, got {scores.shape}")
+    mean = scores.mean(axis=0)
+    return int(mean.argmax()), mean

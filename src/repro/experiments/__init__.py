@@ -1,0 +1,21 @@
+"""Experiment harness: training runner, cross-validation, bench scales."""
+
+from repro.experiments.runner import (TrainConfig, TrainResult,
+                                      CrossValResult, train_model,
+                                      evaluate_accuracy, evaluate_topk,
+                                      predict_scores, evaluate_report,
+                                      cross_validate)
+from repro.experiments.configs import (BenchScale, current_scale, EcgTask,
+                                       EegTask, image_dataset, PAPER_RESULTS)
+from repro.experiments.tables import render_table, render_series
+from repro.experiments.sweep import Sweep, grid
+
+__all__ = [
+    "TrainConfig", "TrainResult", "CrossValResult", "train_model",
+    "evaluate_accuracy", "evaluate_topk", "predict_scores",
+    "evaluate_report", "cross_validate",
+    "BenchScale", "current_scale", "EcgTask", "EegTask", "image_dataset",
+    "PAPER_RESULTS",
+    "render_table", "render_series",
+    "Sweep", "grid",
+]

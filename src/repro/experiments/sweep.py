@@ -1,0 +1,135 @@
+"""Parameter sweeps with persisted, resumable results.
+
+The paper's evaluation is built from sweeps — filter augmentation (Fig. 7),
+programming cycles (Fig. 4), training epochs (Fig. 8) — and each point can
+cost minutes of training.  :class:`Sweep` runs a function over a parameter
+grid, persists every completed point to a JSON file as it lands, and skips
+already-computed points on re-run, so an interrupted study resumes instead
+of restarting.
+
+Results are plain JSON (parameters + float metrics), so they can be
+post-processed without this library.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from itertools import product
+from typing import Callable, Iterator, Mapping
+
+__all__ = ["Sweep", "grid"]
+
+
+def grid(**axes) -> list[dict]:
+    """Cartesian product of named axes as a list of parameter dicts.
+
+    ``grid(mult=(1, 2, 4), mode=("real", "bnn"))`` yields six points in
+    row-major order (last axis fastest).
+    """
+    if not axes:
+        raise ValueError("grid needs at least one axis")
+    names = list(axes)
+    for name, values in axes.items():
+        values = list(values)
+        if not values:
+            raise ValueError(f"axis {name!r} is empty")
+        axes[name] = values
+    return [dict(zip(names, combo))
+            for combo in product(*(axes[n] for n in names))]
+
+
+def _point_key(params: Mapping) -> str:
+    """Stable identity of a parameter point (order-independent)."""
+    return json.dumps(params, sort_keys=True, default=str)
+
+
+class Sweep:
+    """Run ``fn(**params) -> dict[str, float]`` over a list of points.
+
+    Completed points persist to ``path`` immediately; constructing a Sweep
+    over an existing file resumes it.  ``fn`` must be deterministic in its
+    parameters (seed through a ``seed`` parameter, as the harnesses do) for
+    resume to be meaningful.
+    """
+
+    def __init__(self, path, fn: Callable[..., Mapping[str, float]]):
+        self.path = pathlib.Path(path)
+        self.fn = fn
+        self._results: dict[str, dict] = {}
+        if self.path.exists():
+            records = json.loads(self.path.read_text())
+            if not isinstance(records, list):
+                raise ValueError(f"{self.path} is not a sweep result file")
+            for record in records:
+                self._results[_point_key(record["params"])] = record
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def completed(self, params: Mapping) -> bool:
+        return _point_key(params) in self._results
+
+    def result(self, params: Mapping) -> dict[str, float]:
+        """Metrics of a completed point; KeyError if not yet run."""
+        return dict(self._results[_point_key(params)]["metrics"])
+
+    def records(self) -> list[dict]:
+        """All completed records (params + metrics), insertion-ordered."""
+        return [dict(r) for r in self._results.values()]
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(list(self._results.values()),
+                                        indent=1))
+
+    def run(self, points: list[Mapping],
+            progress: Callable[[str], None] | None = None
+            ) -> Iterator[dict]:
+        """Execute missing points, yielding every record (old and new).
+
+        The result file is rewritten after each computed point, so a crash
+        loses at most the point in flight.
+        """
+        for params in points:
+            key = _point_key(params)
+            if key not in self._results:
+                if progress is not None:
+                    progress(f"running {key}")
+                metrics = self.fn(**params)
+                bad = {k: v for k, v in metrics.items()
+                       if not isinstance(v, (int, float))}
+                if bad:
+                    raise TypeError(
+                        f"sweep metrics must be numeric, got {bad}")
+                self._results[key] = {"params": dict(params),
+                                      "metrics": {k: float(v) for k, v
+                                                  in metrics.items()}}
+                self._flush()
+            yield dict(self._results[key])
+
+    def run_all(self, points: list[Mapping],
+                progress: Callable[[str], None] | None = None
+                ) -> list[dict]:
+        """Eager form of :meth:`run`."""
+        return list(self.run(points, progress))
+
+    def series(self, x_axis: str, metric: str,
+               where: Mapping | None = None
+               ) -> tuple[list, list[float]]:
+        """Extract ``(xs, ys)`` for plotting: one metric against one
+        parameter, optionally filtered by fixed values of other params."""
+        where = dict(where or {})
+        xs, ys = [], []
+        for record in self._results.values():
+            params = record["params"]
+            if x_axis not in params or metric not in record["metrics"]:
+                continue
+            if any(params.get(k) != v for k, v in where.items()):
+                continue
+            xs.append(params[x_axis])
+            ys.append(record["metrics"][metric])
+        order = sorted(range(len(xs)), key=lambda i: xs[i])
+        return [xs[i] for i in order], [ys[i] for i in order]

@@ -1,0 +1,42 @@
+"""Plain-text table/series rendering for the benchmark harnesses.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, with the paper's value alongside the measured one, so
+`pytest benchmarks/ --benchmark-only -s` regenerates a readable version of
+the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned ASCII table."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title),
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: dict[str, Sequence[float]],
+                  fmt: str = "{:.4g}") -> str:
+    """Render a figure's data as one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [str(x)] + [fmt.format(values[i]) for values in series.values()]
+        rows.append(row)
+    return render_table(title, headers, rows)

@@ -1,0 +1,142 @@
+"""Model and deployment persistence.
+
+The paper's deployment flow is two-phase: weights are trained off-chip,
+then "programming occurs before the use of the inference circuit and is
+managed by a memory controller" (§II-B).  That hand-off needs an artefact
+format.  This module provides two:
+
+* :func:`save_model` / :func:`load_model` — training checkpoints: the full
+  ``state_dict`` (parameters and buffers) in a compressed ``.npz`` with a
+  metadata record (library version, model class, parameter count) so stale
+  or mismatched checkpoints fail loudly;
+* :func:`save_folded_classifier` / :func:`load_folded_classifier` — the
+  *hardware* artefact: folded weight bits and integer thresholds, i.e.
+  exactly what the memory controller programs.  Loading reconstructs the
+  folded layers without needing the training stack at all.
+
+Everything is plain numpy ``.npz`` — no pickle, so artefacts are safe to
+load from untrusted sources and remain readable by any numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro import __version__
+from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
+from repro.nn.module import Module
+
+__all__ = ["save_model", "load_model", "save_folded_classifier",
+           "load_folded_classifier"]
+
+_META_KEY = "__repro_meta__"
+
+
+def _write_npz(path, arrays: dict[str, np.ndarray], meta: dict) -> None:
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def _read_npz(path) -> tuple[dict[str, np.ndarray], dict]:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        if _META_KEY not in data.files:
+            raise ValueError(
+                f"{path} is not a repro artefact (missing metadata record)")
+        meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+    return arrays, meta
+
+
+def save_model(model: Module, path) -> None:
+    """Write a training checkpoint: every parameter and buffer.
+
+    The state keys are the ``named_parameters`` / ``named_buffers`` paths,
+    so the checkpoint is portable across processes but tied to the model
+    architecture (loading validates class name and shapes).
+    """
+    meta = {
+        "kind": "model",
+        "repro_version": __version__,
+        "model_class": type(model).__name__,
+        "num_parameters": model.num_parameters(),
+    }
+    _write_npz(path, model.state_dict(), meta)
+
+
+def load_model(model: Module, path) -> Module:
+    """Restore a checkpoint into an already-constructed model.
+
+    The model must be the same architecture (class and tensor shapes) the
+    checkpoint was saved from; mismatches raise instead of silently
+    mis-assigning weights.
+    """
+    arrays, meta = _read_npz(path)
+    if meta.get("kind") != "model":
+        raise ValueError(
+            f"{path} holds a {meta.get('kind')!r} artefact, not a model "
+            "checkpoint")
+    if meta["model_class"] != type(model).__name__:
+        raise ValueError(
+            f"checkpoint was saved from {meta['model_class']}, cannot load "
+            f"into {type(model).__name__}")
+    model.load_state_dict(arrays)
+    return model
+
+
+def save_folded_classifier(hidden: list[FoldedBinaryDense],
+                           output: FoldedOutputDense, path) -> None:
+    """Write the hardware programming artefact for a folded classifier.
+
+    Stores each hidden layer's weight bits and thresholds plus the output
+    layer's bits/scale/offset — the complete content a memory controller
+    needs (what :func:`repro.rram.fold_classifier` produces).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for index, layer in enumerate(hidden):
+        prefix = f"hidden{index}."
+        arrays[prefix + "weight_bits"] = layer.weight_bits
+        arrays[prefix + "theta"] = layer.theta
+        arrays[prefix + "gamma_sign"] = layer.gamma_sign
+        arrays[prefix + "beta_sign"] = layer.beta_sign
+    arrays["output.weight_bits"] = output.weight_bits
+    arrays["output.scale"] = output.scale
+    arrays["output.offset"] = output.offset
+    meta = {
+        "kind": "folded_classifier",
+        "repro_version": __version__,
+        "n_hidden": len(hidden),
+        "layer_shapes": [list(l.weight_bits.shape) for l in hidden]
+        + [list(output.weight_bits.shape)],
+    }
+    _write_npz(path, arrays, meta)
+
+
+def load_folded_classifier(path) -> tuple[list[FoldedBinaryDense],
+                                          FoldedOutputDense]:
+    """Reconstruct the folded layers from a programming artefact."""
+    arrays, meta = _read_npz(path)
+    if meta.get("kind") != "folded_classifier":
+        raise ValueError(
+            f"{path} holds a {meta.get('kind')!r} artefact, not a folded "
+            "classifier")
+    hidden = []
+    for index in range(meta["n_hidden"]):
+        prefix = f"hidden{index}."
+        hidden.append(FoldedBinaryDense(
+            weight_bits=arrays[prefix + "weight_bits"],
+            theta=arrays[prefix + "theta"],
+            gamma_sign=arrays[prefix + "gamma_sign"],
+            beta_sign=arrays[prefix + "beta_sign"]))
+    output = FoldedOutputDense(
+        weight_bits=arrays["output.weight_bits"],
+        scale=arrays["output.scale"],
+        offset=arrays["output.offset"])
+    return hidden, output

@@ -1,0 +1,70 @@
+"""One-call diagnostic report combining the individual metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.classification import (accuracy, balanced_accuracy,
+                                          confusion_matrix,
+                                          precision_recall_f1,
+                                          sensitivity_specificity)
+from repro.metrics.ranking import roc_auc
+
+__all__ = ["ClassificationReport", "classification_report"]
+
+
+@dataclass
+class ClassificationReport:
+    """Summary of a binary classifier's performance on one evaluation set."""
+
+    accuracy: float
+    balanced_accuracy: float
+    sensitivity: float
+    specificity: float
+    precision: float
+    f1: float
+    auc: float | None
+    confusion: np.ndarray
+
+    def render(self, title: str = "Classification report") -> str:
+        lines = [title, "-" * len(title)]
+        lines.append(f"accuracy            {self.accuracy:7.2%}")
+        lines.append(f"balanced accuracy   {self.balanced_accuracy:7.2%}")
+        lines.append(f"sensitivity         {self.sensitivity:7.2%}")
+        lines.append(f"specificity         {self.specificity:7.2%}")
+        lines.append(f"precision           {self.precision:7.2%}")
+        lines.append(f"F1                  {self.f1:7.3f}")
+        if self.auc is not None:
+            lines.append(f"ROC AUC             {self.auc:7.3f}")
+        lines.append("confusion matrix (rows = true, cols = predicted):")
+        for row in self.confusion:
+            lines.append("    " + "  ".join(f"{int(c):6d}" for c in row))
+        return "\n".join(lines)
+
+
+def classification_report(y_true, y_pred, scores=None,
+                          positive_class: int = 1) -> ClassificationReport:
+    """Compute the full diagnostic report.
+
+    ``scores`` (optional) are real-valued scores for the positive class; when
+    given, ROC AUC is included.
+    """
+    precision, _, f1 = precision_recall_f1(y_true, y_pred, positive_class)
+    sensitivity, specificity = sensitivity_specificity(
+        y_true, y_pred, positive_class)
+    auc = None
+    if scores is not None:
+        labels = (np.asarray(y_true).ravel() == positive_class).astype(int)
+        auc = roc_auc(labels, scores)
+    return ClassificationReport(
+        accuracy=accuracy(y_true, y_pred),
+        balanced_accuracy=balanced_accuracy(y_true, y_pred),
+        sensitivity=sensitivity,
+        specificity=specificity,
+        precision=precision,
+        f1=f1,
+        auc=auc,
+        confusion=confusion_matrix(y_true, y_pred),
+    )

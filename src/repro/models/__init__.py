@@ -1,0 +1,26 @@
+"""The paper's three network architectures.
+
+* :class:`~repro.models.eeg_net.EEGNet` — Table I / Fig. 6, EEG motor
+  imagery.
+* :class:`~repro.models.ecg_net.ECGNet` — Table II, ECG electrode-inversion
+  detection.
+* :class:`~repro.models.mobilenet.MobileNetV1` — §IV, partial binarization
+  on vision tasks.
+
+Each accepts a :class:`~repro.models.common.BinarizationMode` selecting the
+real-weight baseline, the fully binarized network, or the paper's proposed
+binarized-classifier configuration, plus a ``filter_multiplier`` for the
+augmentation sweeps of Table III / Fig. 7.
+"""
+
+from repro.models.common import BinarizationMode, LayerSummary
+from repro.models.eeg_net import EEGNet, EEG_INPUT_CHANNELS, EEG_INPUT_SAMPLES
+from repro.models.ecg_net import ECGNet, ECG_INPUT_LEADS, ECG_INPUT_SAMPLES
+from repro.models.mobilenet import MobileNetV1, MobileNetConfig
+
+__all__ = [
+    "BinarizationMode", "LayerSummary",
+    "EEGNet", "EEG_INPUT_CHANNELS", "EEG_INPUT_SAMPLES",
+    "ECGNet", "ECG_INPUT_LEADS", "ECG_INPUT_SAMPLES",
+    "MobileNetV1", "MobileNetConfig",
+]

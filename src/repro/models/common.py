@@ -1,0 +1,49 @@
+"""Shared model machinery: binarization modes and layer summaries.
+
+The paper compares three configurations of each network (§III-C):
+
+* ``REAL`` — 32-bit floating-point weights and activations;
+* ``FULL_BINARY`` — every convolution and dense layer binarized, sign
+  activations throughout ("all-binarized");
+* ``BINARY_CLASSIFIER`` — convolutional feature extractor kept real,
+  only the fully connected classifier binarized (the paper's proposed
+  memory/accuracy compromise).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["BinarizationMode", "LayerSummary"]
+
+
+class BinarizationMode(enum.Enum):
+    """Which parts of a network use ±1 weights."""
+
+    REAL = "real"
+    FULL_BINARY = "full_binary"
+    BINARY_CLASSIFIER = "binary_classifier"
+
+    @property
+    def binarize_features(self) -> bool:
+        return self is BinarizationMode.FULL_BINARY
+
+    @property
+    def binarize_classifier(self) -> bool:
+        return self is not BinarizationMode.REAL
+
+
+@dataclass
+class LayerSummary:
+    """One row of an architecture table (Tables I and II of the paper)."""
+
+    name: str
+    kernels: str
+    padding: str
+    output_shape: tuple[int, ...]
+    params: int
+
+    def row(self) -> tuple[str, str, str, str, str]:
+        shape = "x".join(str(s) for s in self.output_shape)
+        return (self.name, self.kernels, self.padding, shape, str(self.params))

@@ -1,0 +1,194 @@
+"""End-to-end EEG motor-imagery classifier (paper Table I, Fig. 6).
+
+The architecture follows Dose et al. (refs. [26], [27] of the paper):
+
+====================  ==================  =========  ===============
+Layer                 Kernels             Padding    Output shape
+====================  ==================  =========  ===============
+Conv (time)           40 of 30x1          15         961 x 64 x 40
+Conv (space)          40 of 1x64x40       no         961 x 1 x 40
+Avg. pool             30x1, stride 15     no         63 x 1 x 40
+Flatten               —                   —          2520
+FC                    80                  —          80
+Softmax               —                   —          2
+====================  ==================  =========  ===============
+
+The first convolution runs 1-D temporal filters independently over every
+electrode (Fig. 1 of the paper); the second correlates all 64 electrodes at
+each time step; the overlapping average pool downsamples in time.
+
+ReLU activations are used in the real-weight configuration and replaced by
+``sign`` when binarized (§III-A).  Batch normalization is inserted after
+every weighted layer: it is mandatory for BNN training (it provides the
+learned threshold ``b`` of Eq. 3) and we keep it in the real variant so the
+three configurations differ only in weight/activation precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.models.common import BinarizationMode, LayerSummary
+from repro.tensor import Tensor
+
+__all__ = ["EEGNet", "EEG_INPUT_CHANNELS", "EEG_INPUT_SAMPLES"]
+
+EEG_INPUT_CHANNELS = 64
+EEG_INPUT_SAMPLES = 960
+
+
+class EEGNet(nn.Module):
+    """EEG classification network with selectable binarization mode.
+
+    Parameters
+    ----------
+    mode:
+        Which parts are binarized (see :class:`BinarizationMode`).
+    filter_multiplier:
+        The paper's "filter augmentation": multiplies the number of
+        convolution kernels (Table III reports 1x and 11x for the BNN).
+    n_channels, n_samples:
+        Input geometry; defaults match the paper (64 electrodes, 6 s at
+        160 Hz).  The synthetic dataset may use shorter windows.
+    """
+
+    def __init__(self, mode: BinarizationMode = BinarizationMode.REAL,
+                 filter_multiplier: int = 1, n_classes: int = 2,
+                 n_channels: int = EEG_INPUT_CHANNELS,
+                 n_samples: int = EEG_INPUT_SAMPLES,
+                 hidden_units: int = 80,
+                 temporal_kernel: int = 30,
+                 pool_kernel: int = 30, pool_stride: int = 15,
+                 base_filters: int = 40,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.mode = mode
+        self.filter_multiplier = filter_multiplier
+        self.n_channels = n_channels
+        self.n_samples = n_samples
+        self.n_classes = n_classes
+        # ``base_filters`` defaults to the paper's 40; benches shrink it to
+        # keep cross-validated sweeps tractable in numpy.
+        filters = base_filters * filter_multiplier
+        self.filters = filters
+        self.temporal_kernel = temporal_kernel
+        self.temporal_padding = temporal_kernel // 2
+        self.pool = nn.AvgPool1d(pool_kernel, pool_stride)
+
+        conv2d = nn.BinaryConv2d if mode.binarize_features else nn.Conv2d
+        act = (lambda: nn.Sign()) if mode.binarize_features \
+            else (lambda: nn.ReLU())
+
+        # Temporal convolution: input is (N, 1, T, E); 30x1 kernels slide in
+        # time only, independently per electrode.
+        self.conv_time = conv2d(1, filters, (temporal_kernel, 1),
+                                padding=(self.temporal_padding, 0), rng=rng)
+        self.bn_time = nn.BatchNorm2d(filters)
+        self.act_time = act()
+        # Spatial convolution: 1xE kernels mix all electrodes per time step.
+        self.conv_space = conv2d(filters, filters, (1, n_channels), rng=rng)
+        self.bn_space = nn.BatchNorm2d(filters)
+        self.act_space = act()
+
+        t_after_conv = n_samples + 2 * self.temporal_padding \
+            - temporal_kernel + 1
+        self.t_pooled = (t_after_conv - pool_kernel) // pool_stride + 1
+        self.flat_features = self.t_pooled * filters
+
+        if mode.binarize_classifier:
+            # Classifier inputs must themselves be binary for the XNOR
+            # hardware pipeline, so a sign precedes the first binary FC.
+            self.pre_classifier = nn.Sequential(
+                nn.BatchNorm1d(self.flat_features), nn.Sign())
+            self.fc1 = nn.BinaryLinear(self.flat_features, hidden_units,
+                                       rng=rng)
+            self.bn_fc1 = nn.BatchNorm1d(hidden_units)
+            self.act_fc1 = nn.Sign()
+            self.fc2 = nn.BinaryLinear(hidden_units, n_classes, rng=rng)
+            self.bn_fc2 = nn.BatchNorm1d(n_classes)
+        else:
+            self.pre_classifier = nn.Identity()
+            self.fc1 = nn.Linear(self.flat_features, hidden_units, rng=rng)
+            self.bn_fc1 = nn.BatchNorm1d(hidden_units)
+            self.act_fc1 = nn.ReLU()
+            self.fc2 = nn.Linear(hidden_units, n_classes, rng=rng)
+            self.bn_fc2 = nn.Identity()
+
+    # ------------------------------------------------------------------
+    def _as_image(self, x: Tensor) -> Tensor:
+        """Reshape dataset trials ``(N, E, T)`` to conv input ``(N,1,T,E)``."""
+        if x.ndim != 3:
+            raise ValueError(f"expected (N, electrodes, time), got {x.shape}")
+        return x.transpose((0, 2, 1)).reshape(x.shape[0], 1, self.n_samples,
+                                              self.n_channels)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Feature extractor up to (and including) flatten."""
+        h = self._as_image(x)
+        h = self.act_time(self.bn_time(self.conv_time(h)))
+        h = self.act_space(self.bn_space(self.conv_space(h)))
+        # (N, F, T', 1) -> (N, F, T') -> pool -> flatten
+        h = h.reshape(h.shape[0], self.filters, h.shape[2])
+        h = self.pool(h)
+        return h.flatten_from(1)
+
+    def classifier(self, feats: Tensor) -> Tensor:
+        h = self.pre_classifier(feats)
+        h = self.act_fc1(self.bn_fc1(self.fc1(h)))
+        return self.bn_fc2(self.fc2(h))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+    # ------------------------------------------------------------------
+    def feature_parameters(self) -> int:
+        """Parameter count of the convolutional feature extractor."""
+        convs = [self.conv_time, self.conv_space]
+        return sum(m.weight.size + (m.bias.size if getattr(m, "bias", None)
+                                    is not None else 0) for m in convs)
+
+    def classifier_parameters(self) -> int:
+        """Parameter count of the dense classifier (weights only, as the
+        paper counts)."""
+        total = self.fc1.weight.size + self.fc2.weight.size
+        for layer in (self.fc1, self.fc2):
+            bias = getattr(layer, "bias", None)
+            if bias is not None:
+                total += bias.size
+        return total
+
+    def layer_summaries(self) -> list[LayerSummary]:
+        """Rows of Table I for the current geometry."""
+        t_conv = self.n_samples + 2 * self.temporal_padding \
+            - self.temporal_kernel + 1
+        f = self.filters
+        conv1_params = self.conv_time.weight.size + (
+            self.conv_time.bias.size if getattr(self.conv_time, "bias", None)
+            is not None else 0)
+        conv2_params = self.conv_space.weight.size + (
+            self.conv_space.bias.size if getattr(self.conv_space, "bias", None)
+            is not None else 0)
+        return [
+            LayerSummary("Conv", f"{f} of {self.temporal_kernel}x1",
+                         str(self.temporal_padding),
+                         (t_conv, self.n_channels, f), conv1_params),
+            LayerSummary("Conv", f"{f} of 1x{self.n_channels}x{f}", "No",
+                         (t_conv, 1, f), conv2_params),
+            LayerSummary("Avg. pool",
+                         f"{self.pool.kernel_size}x1 (stride {self.pool.stride})",
+                         "No", (self.t_pooled, 1, f), 0),
+            LayerSummary("Flatten", "-", "-", (self.flat_features,), 0),
+            LayerSummary("FC", str(self.bn_fc1.num_features), "-",
+                         (self.bn_fc1.num_features,),
+                         self.fc1.weight.size
+                         + (self.fc1.bias.size
+                            if getattr(self.fc1, "bias", None) is not None
+                            else 0)),
+            LayerSummary("Softmax", "-", "-", (self.n_classes,),
+                         self.fc2.weight.size
+                         + (self.fc2.bias.size
+                            if getattr(self.fc2, "bias", None) is not None
+                            else 0)),
+        ]

@@ -1,0 +1,185 @@
+"""MobileNet V1 (Howard et al., ref. [8]) with partial binarization (§IV).
+
+MobileNet V1 replaces most standard convolutions with depthwise-separable
+blocks (a per-channel spatial convolution followed by a 1x1 channel-mixing
+convolution), cutting computation roughly by the kernel area.  The paper
+replaces its single fully connected classifier with a *two-layer binarized
+classifier* and shows ImageNet accuracy is preserved (Fig. 8, Table III),
+while fully binarizing the network costs ~16 points of top-1 (MoBiNet,
+ref. [30]).
+
+This implementation is topology-faithful (width multiplier, 13 separable
+blocks, global average pool) and scale-parameterized: the full-size
+``MobileNetConfig.paper()`` geometry is used for the analytic memory
+accounting of Table IV, while training benches use a reduced width /
+resolution / class count that numpy can handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.models.common import BinarizationMode
+from repro.tensor import Tensor
+
+__all__ = ["MobileNetConfig", "MobileNetV1"]
+
+# (output channels at width 1.0, stride) for the 13 separable blocks.
+_BLOCKS = ((64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+           (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2),
+           (1024, 1))
+
+
+@dataclass
+class MobileNetConfig:
+    """Geometry knobs.
+
+    ``binary_classifier_hidden`` defaults to the value that makes the
+    two-layer binary classifier hold 5.7 M binary weights at full scale, as
+    the paper reports (1024*2816 + 2816*1000 = 5.70 M).
+    """
+
+    width_multiplier: float = 1.0
+    n_classes: int = 1000
+    in_channels: int = 3
+    image_size: int = 224
+    n_blocks: int = 13
+    binary_classifier_hidden: int | None = None
+    blocks: tuple[tuple[int, int], ...] = field(default=_BLOCKS)
+
+    @staticmethod
+    def paper() -> "MobileNetConfig":
+        """The full MobileNet-224 geometry of Table IV (4.2 M params)."""
+        return MobileNetConfig()
+
+    @staticmethod
+    def reduced(n_classes: int = 10, image_size: int = 32,
+                width_multiplier: float = 0.25,
+                n_blocks: int = 13) -> "MobileNetConfig":
+        """A numpy-trainable geometry exercising the same code path."""
+        return MobileNetConfig(width_multiplier=width_multiplier,
+                               n_classes=n_classes, image_size=image_size,
+                               n_blocks=n_blocks)
+
+    def channel(self, base: int) -> int:
+        return max(8, int(round(base * self.width_multiplier)))
+
+    def hidden_units(self) -> int:
+        if self.binary_classifier_hidden is not None:
+            return self.binary_classifier_hidden
+        return max(16, int(round(2816 * self.width_multiplier)))
+
+
+class MobileNetV1(nn.Module):
+    """MobileNet V1 with selectable binarization of classifier/features."""
+
+    def __init__(self, config: MobileNetConfig | None = None,
+                 mode: BinarizationMode = BinarizationMode.BINARY_CLASSIFIER,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config or MobileNetConfig.reduced()
+        self.mode = mode
+        cfg = self.config
+
+        binarize_feat = mode.binarize_features
+        std_conv = nn.BinaryConv2d if binarize_feat else nn.Conv2d
+        dw_conv = nn.BinaryDepthwiseConv2d if binarize_feat \
+            else nn.DepthwiseConv2d
+        act = (lambda: nn.Sign()) if binarize_feat else (lambda: nn.ReLU())
+
+        layers: list[nn.Module] = []
+        first = cfg.channel(32)
+        if binarize_feat:
+            layers += [std_conv(cfg.in_channels, first, 3, stride=2,
+                                padding=1, rng=rng)]
+        else:
+            layers += [std_conv(cfg.in_channels, first, 3, stride=2,
+                                padding=1, bias=False, rng=rng)]
+        layers += [nn.BatchNorm2d(first), act()]
+
+        in_ch = first
+        spatial = cfg.image_size // 2
+        for base_out, stride in cfg.blocks[:cfg.n_blocks]:
+            out_ch = cfg.channel(base_out)
+            # Stop downsampling once feature maps reach 1x1 (reduced-scale
+            # inputs run out of pixels before the paper's 224x224 do).
+            eff_stride = stride if spatial > 1 else 1
+            if binarize_feat:
+                layers += [dw_conv(in_ch, 3, stride=eff_stride, padding=1,
+                                   rng=rng)]
+            else:
+                layers += [dw_conv(in_ch, 3, stride=eff_stride, padding=1,
+                                   bias=False, rng=rng)]
+            layers += [nn.BatchNorm2d(in_ch), act()]
+            if binarize_feat:
+                layers += [nn.BinaryConv2d(in_ch, out_ch, 1, rng=rng)]
+            else:
+                layers += [nn.Conv2d(in_ch, out_ch, 1, bias=False, rng=rng)]
+            layers += [nn.BatchNorm2d(out_ch), act()]
+            in_ch = out_ch
+            spatial = max(1, spatial // eff_stride)
+        self.feature_extractor = nn.Sequential(*layers)
+        self.global_pool = nn.GlobalAvgPool2d()
+        self.feature_channels = in_ch
+
+        if mode.binarize_classifier:
+            hidden = cfg.hidden_units()
+            self.hidden_units = hidden
+            self.pre_classifier = nn.Sequential(
+                nn.BatchNorm1d(in_ch), nn.Sign())
+            self.fc1 = nn.BinaryLinear(in_ch, hidden, rng=rng)
+            self.bn_fc1 = nn.BatchNorm1d(hidden)
+            self.act_fc1 = nn.Sign()
+            self.fc2 = nn.BinaryLinear(hidden, cfg.n_classes, rng=rng)
+            self.bn_fc2 = nn.BatchNorm1d(cfg.n_classes)
+        else:
+            # Original MobileNet: a single real FC classifier.
+            self.hidden_units = 0
+            self.pre_classifier = nn.Identity()
+            self.fc1 = nn.Linear(in_ch, cfg.n_classes, rng=rng)
+            self.bn_fc1 = nn.Identity()
+            self.act_fc1 = nn.Identity()
+            self.fc2 = None
+            self.bn_fc2 = nn.Identity()
+
+    def features(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W), got {x.shape}")
+        h = self.feature_extractor(x)
+        return self.global_pool(h)
+
+    def classifier(self, feats: Tensor) -> Tensor:
+        h = self.pre_classifier(feats)
+        h = self.act_fc1(self.bn_fc1(self.fc1(h)))
+        if self.fc2 is not None:
+            h = self.bn_fc2(self.fc2(h))
+        return h
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+    # ------------------------------------------------------------------
+    def feature_parameters(self) -> int:
+        """Weights (+biases) of the convolutional feature extractor."""
+        total = 0
+        for layer in self.feature_extractor:
+            weight = getattr(layer, "weight", None)
+            if weight is not None and not isinstance(layer, nn.BatchNorm2d):
+                total += weight.size
+                bias = getattr(layer, "bias", None)
+                if bias is not None:
+                    total += bias.size
+        return total
+
+    def classifier_parameters(self) -> int:
+        total = self.fc1.weight.size
+        bias = getattr(self.fc1, "bias", None)
+        if bias is not None:
+            total += bias.size
+        if self.fc2 is not None:
+            total += self.fc2.weight.size
+        return total

@@ -1,0 +1,51 @@
+"""Neural-network layers on top of :mod:`repro.tensor`.
+
+Provides the full stack the paper's three models require: dense and
+convolutional layers (real and binarized), batch normalization, pooling,
+dropout, activations, losses, and containers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv1d, Conv2d, DepthwiseConv2d, PointwiseConv2d
+from repro.nn.pooling import (
+    MaxPool1d, AvgPool1d, MaxPool2d, AvgPool2d, GlobalAvgPool2d)
+from repro.nn.norm import BatchNorm1d, BatchNorm2d, InputNorm
+from repro.nn.activations import ReLU, HardTanh, Sign, Tanh, Identity
+from repro.nn.dropout import Dropout
+from repro.nn.container import Sequential, ModuleList, Flatten
+from repro.nn.loss import CrossEntropyLoss, MSELoss, SquaredHingeLoss
+from repro.nn.stochastic import (stochastic_bits, stream_decode,
+                                 StochasticBinarize)
+from repro.nn.quant import (quant_scale, fake_quantize, QuantLinear,
+                            QuantConv1d, QuantConv2d, ActivationQuantizer,
+                            IntegerDense, deploy_dense_int)
+from repro.nn.bitops import (pack_bits, unpack_bits, packed_xnor_popcount,
+                             PackedBinaryDense)
+from repro.nn.binary import (
+    BinaryLinear, BinaryConv1d, BinaryConv2d, BinaryDepthwiseConv2d,
+    clip_latent_weights,
+    to_bits, from_bits, xnor_popcount, dot_from_popcount,
+    FoldedBinaryDense, FoldedOutputDense,
+    fold_batchnorm_sign, fold_batchnorm_output)
+
+__all__ = [
+    "Module", "Parameter",
+    "Linear",
+    "Conv1d", "Conv2d", "DepthwiseConv2d", "PointwiseConv2d",
+    "MaxPool1d", "AvgPool1d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
+    "BatchNorm1d", "BatchNorm2d", "InputNorm",
+    "ReLU", "HardTanh", "Sign", "Tanh", "Identity",
+    "Dropout",
+    "Sequential", "ModuleList", "Flatten",
+    "CrossEntropyLoss", "MSELoss", "SquaredHingeLoss",
+    "BinaryLinear", "BinaryConv1d", "BinaryConv2d", "BinaryDepthwiseConv2d",
+    "clip_latent_weights",
+    "to_bits", "from_bits", "xnor_popcount", "dot_from_popcount",
+    "FoldedBinaryDense", "FoldedOutputDense",
+    "fold_batchnorm_sign", "fold_batchnorm_output",
+    "stochastic_bits", "stream_decode", "StochasticBinarize",
+    "quant_scale", "fake_quantize", "QuantLinear", "QuantConv1d",
+    "QuantConv2d", "ActivationQuantizer", "IntegerDense", "deploy_dense_int",
+    "pack_bits", "unpack_bits", "packed_xnor_popcount", "PackedBinaryDense",
+]

@@ -1,0 +1,75 @@
+"""Activation modules.
+
+The paper's networks use ReLU (EEG model) or hard-tanh (ECG model) in the
+real-weight configuration, replaced by ``Sign`` in the binarized setting
+(§III-A, §III-B).
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+__all__ = ["ReLU", "HardTanh", "Sign", "Tanh", "Identity"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class HardTanh(Module):
+    """Saturating linear activation ``clip(x, -1, 1)``."""
+
+    def __init__(self, low: float = -1.0, high: float = 1.0):
+        super().__init__()
+        self.low = low
+        self.high = high
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.hardtanh(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"HardTanh({self.low}, {self.high})"
+
+
+class Sign(Module):
+    """Binarizing activation with straight-through gradient (paper Eq. 3).
+
+    ``clip`` sets the STE window: gradients flow only where ``|x| <= clip``.
+    """
+
+    def __init__(self, clip: float = 1.0):
+        super().__init__()
+        self.clip = clip
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sign_ste(clip=self.clip)
+
+    def __repr__(self) -> str:
+        return f"Sign(clip={self.clip})"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Identity(Module):
+    """No-op, useful as a placeholder when layers are optional."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"

@@ -1,0 +1,310 @@
+"""Binarized layers and the XNOR-popcount arithmetic of paper Eq. (3).
+
+Training-time layers (:class:`BinaryLinear`, :class:`BinaryConv1d`,
+:class:`BinaryConv2d`) keep *latent* real-valued weights; the forward pass
+binarizes them to ±1 with the straight-through estimator, so gradient descent
+updates the latent weights while the network only ever computes with binary
+ones (Courbariaux et al., ref. [12] of the paper).
+
+Deployment-time helpers translate a trained binary layer + batch-norm + sign
+stack into the integer pipeline the RRAM hardware executes:
+
+    y = sign(popcount(XNOR(w_j, x_j)) - b)                       (Eq. 3)
+
+with the batch-norm folded into the per-neuron threshold ``b``.  These
+functions are pure math; :mod:`repro.rram.accelerator` wires them to the
+device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.conv import conv1d_op, conv2d_op, depthwise_conv2d_op, _pair
+from repro.nn.module import Module, Parameter
+from repro.nn.norm import _BatchNorm
+from repro.tensor import Tensor
+
+__all__ = [
+    "BinaryLinear",
+    "BinaryConv1d",
+    "BinaryConv2d",
+    "BinaryDepthwiseConv2d",
+    "clip_latent_weights",
+    "to_bits",
+    "from_bits",
+    "xnor_popcount",
+    "dot_from_popcount",
+    "FoldedBinaryDense",
+    "FoldedOutputDense",
+    "fold_batchnorm_sign",
+    "fold_batchnorm_output",
+]
+
+
+# ---------------------------------------------------------------------------
+# Training-time binarized layers
+# ---------------------------------------------------------------------------
+class BinaryLinear(Module):
+    """Fully connected layer with ±1 weights (latent-real training).
+
+    No additive bias is learned: in BNNs the following batch-norm supplies
+    the per-neuron threshold (the ``b`` of Eq. 3).
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform(
+            (out_features, in_features), in_features, out_features, rng))
+
+    def binary_weight(self) -> Tensor:
+        return self.weight.sign_ste()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.binary_weight().T
+
+    def __repr__(self) -> str:
+        return f"BinaryLinear(in={self.in_features}, out={self.out_features})"
+
+
+class BinaryConv1d(Module):
+    """1-D convolution with ±1 weights."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(init.glorot_uniform(
+            (out_channels, in_channels, kernel_size), fan_in, out_channels, rng))
+
+    def binary_weight(self) -> Tensor:
+        return self.weight.sign_ste()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv1d_op(x, self.binary_weight(), None, self.stride,
+                         self.padding)
+
+    def __repr__(self) -> str:
+        return (f"BinaryConv1d({self.in_channels}->{self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
+
+
+class BinaryConv2d(Module):
+    """2-D convolution with ±1 weights."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        kh, kw = self.kernel_size
+        fan_in = in_channels * kh * kw
+        self.weight = Parameter(init.glorot_uniform(
+            (out_channels, in_channels, kh, kw), fan_in, out_channels, rng))
+
+    def binary_weight(self) -> Tensor:
+        return self.weight.sign_ste()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d_op(x, self.binary_weight(), None, self.stride,
+                         self.padding)
+
+    def __repr__(self) -> str:
+        return (f"BinaryConv2d({self.in_channels}->{self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
+
+
+class BinaryDepthwiseConv2d(Module):
+    """Depthwise 2-D convolution with ±1 weights (fully binary MobileNet)."""
+
+    def __init__(self, channels: int, kernel_size, stride=1, padding=0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.channels = channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(init.glorot_uniform(
+            (channels, kh, kw), kh * kw, kh * kw, rng))
+
+    def binary_weight(self) -> Tensor:
+        return self.weight.sign_ste()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return depthwise_conv2d_op(x, self.binary_weight(), None, self.stride,
+                                   self.padding)
+
+    def __repr__(self) -> str:
+        return (f"BinaryDepthwiseConv2d({self.channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
+
+
+def clip_latent_weights(module: Module, limit: float = 1.0) -> None:
+    """Clip latent weights of all binary layers into ``[-limit, limit]``.
+
+    Standard BNN training practice: outside the clip window the STE gradient
+    is zero, so unclipped latent weights would drift without bound and never
+    flip sign again.  Call after each optimizer step.
+    """
+    binary_types = (BinaryLinear, BinaryConv1d, BinaryConv2d,
+                    BinaryDepthwiseConv2d)
+    for sub in module.modules():
+        if isinstance(sub, binary_types):
+            np.clip(sub.weight.data, -limit, limit, out=sub.weight.data)
+
+
+# ---------------------------------------------------------------------------
+# Integer XNOR-popcount arithmetic (Eq. 3)
+# ---------------------------------------------------------------------------
+def to_bits(pm1: np.ndarray) -> np.ndarray:
+    """Map ±1 values to bits: +1 -> 1, -1 -> 0 (zero maps to 1, matching
+    the ``sign(0) = +1`` training convention)."""
+    return (np.asarray(pm1) >= 0).astype(np.uint8)
+
+
+def from_bits(bits: np.ndarray) -> np.ndarray:
+    """Map bits back to ±1 floats."""
+    return np.where(np.asarray(bits) != 0, 1.0, -1.0)
+
+
+def xnor_popcount(x_bits: np.ndarray, w_bits: np.ndarray) -> np.ndarray:
+    """popcount(XNOR(x, w)) for every (row of x, row of w) pair.
+
+    ``x_bits``: ``(N, n)`` activation bits; ``w_bits``: ``(m, n)`` weight
+    bits.  Returns an ``(N, m)`` integer array counting agreeing positions —
+    exactly what the XNOR-augmented sense amplifiers + popcount logic of
+    Fig. 5 produce.
+    """
+    x = np.asarray(x_bits, dtype=np.int64)
+    w = np.asarray(w_bits, dtype=np.int64)
+    if x.shape[-1] != w.shape[-1]:
+        raise ValueError(f"bit-width mismatch: {x.shape} vs {w.shape}")
+    agree_ones = x @ w.T
+    agree_zeros = (1 - x) @ (1 - w).T
+    return agree_ones + agree_zeros
+
+
+def dot_from_popcount(popcount: np.ndarray, width: int) -> np.ndarray:
+    """Convert an XNOR popcount over ``width`` bits to the ±1 dot product.
+
+    ``sum_j w_j x_j = 2 * popcount - width`` because each agreeing position
+    contributes +1 and each disagreeing one -1.
+    """
+    return 2 * np.asarray(popcount, dtype=np.int64) - width
+
+
+# ---------------------------------------------------------------------------
+# Batch-norm folding into hardware thresholds
+# ---------------------------------------------------------------------------
+@dataclass
+class FoldedBinaryDense:
+    """A binary dense layer folded for hardware: compare popcount to a
+    per-neuron threshold.
+
+    ``output_bit[i] = (2*pc - n >= theta[i])`` when ``gamma[i] > 0``,
+    flipped for negative ``gamma``; constant for ``gamma == 0``.
+    """
+
+    weight_bits: np.ndarray          # (out, in) uint8
+    theta: np.ndarray                # (out,) float threshold on the ±1 dot
+    gamma_sign: np.ndarray           # (out,) in {-1, 0, +1}
+    beta_sign: np.ndarray            # (out,) sign of beta, used when gamma==0
+
+    @property
+    def in_features(self) -> int:
+        return self.weight_bits.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight_bits.shape[0]
+
+    def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
+        """Exact integer inference: activation bits in, activation bits out."""
+        pc = xnor_popcount(x_bits, self.weight_bits)
+        dot = dot_from_popcount(pc, self.in_features)
+        pos = dot >= self.theta[None, :]
+        neg = dot <= self.theta[None, :]
+        out = np.where(self.gamma_sign[None, :] > 0, pos,
+                       np.where(self.gamma_sign[None, :] < 0, neg,
+                                self.beta_sign[None, :] >= 0))
+        return out.astype(np.uint8)
+
+
+@dataclass
+class FoldedOutputDense:
+    """The final binary classifier layer folded for hardware.
+
+    No sign follows the last layer (softmax is training-only), so the
+    hardware computes the ±1 dot product and applies the batch-norm affine
+    per class; the predicted class is the argmax.
+    """
+
+    weight_bits: np.ndarray          # (classes, in) uint8
+    scale: np.ndarray                # (classes,) gamma / sqrt(var + eps)
+    offset: np.ndarray               # (classes,) beta - scale * mean
+
+    @property
+    def in_features(self) -> int:
+        return self.weight_bits.shape[1]
+
+    def forward_scores(self, x_bits: np.ndarray) -> np.ndarray:
+        pc = xnor_popcount(x_bits, self.weight_bits)
+        dot = dot_from_popcount(pc, self.in_features)
+        return dot * self.scale[None, :] + self.offset[None, :]
+
+    def predict(self, x_bits: np.ndarray) -> np.ndarray:
+        return self.forward_scores(x_bits).argmax(axis=1)
+
+
+def fold_batchnorm_sign(layer: BinaryLinear,
+                        bn: _BatchNorm) -> FoldedBinaryDense:
+    """Fold ``sign(BN(W_b x))`` into a popcount-threshold dense layer.
+
+    Uses the batch-norm running statistics (the deployment-time statistics).
+    The resulting integer pipeline is bit-exact with the floating-point
+    evaluation stack — verified by property tests.
+    """
+    theta = bn.effective_threshold()
+    gamma_sign = np.sign(bn.gamma.data)
+    beta_sign = np.sign(bn.beta.data)
+    # Convention: sign(0) = +1.
+    beta_sign = np.where(beta_sign == 0, 1.0, beta_sign)
+    return FoldedBinaryDense(
+        weight_bits=to_bits(layer.weight.data),
+        theta=theta,
+        gamma_sign=gamma_sign,
+        beta_sign=beta_sign,
+    )
+
+
+def fold_batchnorm_output(layer: BinaryLinear,
+                          bn: _BatchNorm) -> FoldedOutputDense:
+    """Fold the final ``BN(W_b x)`` (no sign) into scale/offset per class."""
+    std = np.sqrt(bn.running_var + bn.eps)
+    scale = bn.gamma.data / std
+    offset = bn.beta.data - scale * bn.running_mean
+    return FoldedOutputDense(
+        weight_bits=to_bits(layer.weight.data),
+        scale=scale,
+        offset=offset,
+    )

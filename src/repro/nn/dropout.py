@@ -1,0 +1,37 @@
+"""Dropout regularization.
+
+The ECG model uses dropout with keep probability 0.95 inside convolution
+layers and 0.85 inside the classifier (§III-B).  We follow the "inverted
+dropout" convention: activations are scaled by ``1/keep`` at train time so
+evaluation is a plain identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Randomly zero activations with probability ``1 - keep_prob``."""
+
+    def __init__(self, keep_prob: float = 0.5,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 < keep_prob <= 1.0:
+            raise ValueError(f"keep_prob must be in (0, 1], got {keep_prob}")
+        self.keep_prob = float(keep_prob)
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.keep_prob >= 1.0:
+            return x
+        mask = (self.rng.random(x.shape) < self.keep_prob) / self.keep_prob
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(keep={self.keep_prob})"

@@ -1,0 +1,41 @@
+"""Weight initialization schemes.
+
+Binarized networks are sensitive to initialization because the latent real
+weights must straddle zero for the sign function to produce informative
+patterns; Glorot-style scaling keeps pre-activations in the linear region of
+the hard-tanh STE at the start of training.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "uniform", "zeros", "ones"]
+
+
+def glorot_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], fan_in: int,
+              rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, sqrt(2 / fan_in)), suited to ReLU feature extractors."""
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+def uniform(shape: tuple[int, ...], low: float, high: float,
+            rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

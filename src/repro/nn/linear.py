@@ -1,0 +1,45 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over the trailing feature axis.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Feature dimensions.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Generator for reproducible initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform(
+            (out_features, in_features), in_features, out_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Linear(in={self.in_features}, out={self.out_features}, "
+                f"bias={self.bias is not None})")

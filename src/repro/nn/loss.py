@@ -1,0 +1,60 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "SquaredHingeLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class labels.
+
+    Combines log-softmax and negative log-likelihood, matching the "softmax
+    layer necessary only for training" of the paper's models (§III-A).
+    """
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = np.asarray(targets)
+        if targets.ndim != 1:
+            raise ValueError(f"targets must be 1-D class ids, got {targets.shape}")
+        n = logits.shape[0]
+        log_probs = logits.log_softmax(axis=-1)
+        picked = log_probs[np.arange(n), targets]
+        return -picked.mean()
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"
+
+
+class MSELoss(Module):
+    """Mean squared error against a dense target array."""
+
+    def forward(self, pred: Tensor, target: np.ndarray) -> Tensor:
+        diff = pred - Tensor(np.asarray(target))
+        return (diff * diff).mean()
+
+    def __repr__(self) -> str:
+        return "MSELoss()"
+
+
+class SquaredHingeLoss(Module):
+    """Squared hinge loss on ±1 one-hot targets.
+
+    The original BNN paper (ref. [12]) trains with squared hinge; provided
+    for ablations against cross-entropy.
+    """
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = np.asarray(targets)
+        n, k = logits.shape
+        signs = -np.ones((n, k))
+        signs[np.arange(n), targets] = 1.0
+        margin = (1.0 - logits * Tensor(signs)).relu()
+        return (margin * margin).mean()
+
+    def __repr__(self) -> str:
+        return "SquaredHingeLoss()"

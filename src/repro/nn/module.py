@@ -1,0 +1,153 @@
+"""Module/Parameter abstractions for building networks.
+
+Mirrors the familiar framework design: a :class:`Module` owns
+:class:`Parameter` leaves and sub-modules discovered through attribute
+assignment, supports train/eval mode switching (batch-norm, dropout), and can
+serialize its state to plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a trainable leaf of a module."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for network components.
+
+    Sub-classes implement :meth:`forward`; parameters and child modules
+    assigned as attributes are registered automatically.
+    """
+
+    def __init__(self):
+        self._parameters: OrderedDict[str, Parameter] = OrderedDict()
+        self._modules: OrderedDict[str, Module] = OrderedDict()
+        self._buffers: OrderedDict[str, np.ndarray] = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, key, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[key] = value
+        object.__setattr__(self, key, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. batch-norm running stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a previously registered buffer in place of the old array."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield f"{prefix}{name}", buf
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({f"{name}!buffer": b.copy()
+                      for name, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffer_owners: dict[str, tuple[Module, str]] = {}
+        for mod_name, module in self.named_modules():
+            for buf_name in module._buffers:
+                full = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                buffer_owners[full] = (module, buf_name)
+        for key, value in state.items():
+            if key.endswith("!buffer"):
+                name = key[: -len("!buffer")]
+                if name not in buffer_owners:
+                    raise KeyError(f"unexpected buffer {name!r}")
+                module, buf_name = buffer_owners[name]
+                module.set_buffer(buf_name, value.copy())
+            else:
+                if key not in params:
+                    raise KeyError(f"unexpected parameter {key!r}")
+                if params[key].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"{params[key].data.shape} vs {value.shape}")
+                params[key].data = value.copy()
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

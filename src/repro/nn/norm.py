@@ -1,0 +1,135 @@
+"""Batch normalization.
+
+Batch-norm is load-bearing in BNN training (Courbariaux et al., ref. [12] of
+the paper): the sign activation destroys scale information, so the learned
+per-channel affine recenters pre-activations around the binarization
+threshold.  At deployment, batch-norm folds into the integer popcount
+threshold of Eq. (3) — see :mod:`repro.nn.binary`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d", "InputNorm"]
+
+
+class _BatchNorm(Module):
+    """Shared machinery; subclasses define which axes are reduced."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _reduce_axes(self, x: Tensor) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _shape_for_broadcast(self, x: Tensor) -> tuple[int, ...]:
+        shape = [1] * x.ndim
+        shape[1 if x.ndim > 1 else 0] = self.num_features
+        return tuple(shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._reduce_axes(x)
+        bshape = self._shape_for_broadcast(x)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            count = int(np.prod([x.shape[a] for a in axes]))
+            # Running stats use the unbiased variance, as frameworks do.
+            unbiased = var.data * (count / max(count - 1, 1))
+            self.set_buffer("running_mean",
+                            (1 - self.momentum) * self.running_mean
+                            + self.momentum * mean.data.reshape(-1))
+            self.set_buffer("running_var",
+                            (1 - self.momentum) * self.running_var
+                            + self.momentum * unbiased.reshape(-1))
+        else:
+            mean = Tensor(self.running_mean.reshape(bshape))
+            var = Tensor(self.running_var.reshape(bshape))
+        x_hat = (x - mean) / (var + self.eps).sqrt()
+        gamma = self.gamma.reshape(bshape)
+        beta = self.beta.reshape(bshape)
+        return x_hat * gamma + beta
+
+    def effective_threshold(self) -> np.ndarray:
+        """Per-channel input value at which the normalized output crosses 0.
+
+        ``sign(BN(z)) = sign(gamma) * sign(z - theta)`` with
+        ``theta = mean - beta * sqrt(var + eps) / gamma``; used when folding
+        batch-norm into the hardware popcount threshold.  Channels with
+        ``gamma == 0`` have no crossing; they return ``+inf`` (output is
+        ``sign(beta)`` everywhere).
+        """
+        std = np.sqrt(self.running_var + self.eps)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            theta = self.running_mean - self.beta.data * std / self.gamma.data
+        theta = np.where(self.gamma.data == 0, np.inf, theta)
+        return theta
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_features})"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch-norm over ``(N, C)`` or ``(N, C, L)`` inputs."""
+
+    def _reduce_axes(self, x: Tensor) -> tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 3:
+            return (0, 2)
+        raise ValueError(f"BatchNorm1d expects 2-D or 3-D input, got {x.ndim}-D")
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch-norm over ``(N, C, H, W)`` inputs."""
+
+    def _reduce_axes(self, x: Tensor) -> tuple[int, ...]:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got {x.ndim}-D")
+        return (0, 2, 3)
+
+
+class InputNorm(Module):
+    """Frozen per-channel standardization of the *input data*.
+
+    The ECG model performs "batch normalization of the input data" (§III-B);
+    statistics are fitted once on the training split and then fixed, which
+    keeps the transform identical across training and cross-validated
+    evaluation.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.register_buffer("mean", np.zeros(num_features))
+        self.register_buffer("std", np.ones(num_features))
+
+    def fit(self, data: np.ndarray) -> "InputNorm":
+        """Fit statistics from ``(N, C, ...)`` training data."""
+        axes = (0,) + tuple(range(2, data.ndim))
+        self.set_buffer("mean", data.mean(axis=axes))
+        self.set_buffer("std", data.std(axis=axes) + self.eps)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        shape = [1] * x.ndim
+        shape[1] = self.num_features
+        mean = Tensor(self.mean.reshape(shape))
+        std = Tensor(self.std.reshape(shape))
+        return (x - mean) / std
+
+    def __repr__(self) -> str:
+        return f"InputNorm({self.num_features})"

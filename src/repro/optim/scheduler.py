@@ -1,0 +1,49 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * (
+            self.gamma ** (self.epoch // self.step_size))
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the base learning rate to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 eta_min: float = 0.0):
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        cos = 0.5 * (1.0 + math.cos(math.pi * self.epoch / self.total_epochs))
+        self.optimizer.lr = self.eta_min + (self.base_lr - self.eta_min) * cos
+        return self.optimizer.lr

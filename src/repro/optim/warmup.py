@@ -1,0 +1,56 @@
+"""Linear warmup wrapped around any schedule.
+
+Large-batch / from-scratch training (the paper's 255-epoch MobileNet run)
+conventionally ramps the learning rate up over the first epochs before the
+main decay schedule takes over; binarized training in particular benefits
+because early STE gradients are noisy.
+"""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["WarmupLR"]
+
+
+class WarmupLR:
+    """Ramp linearly from ``start_factor * base_lr`` to ``base_lr`` over
+    ``warmup_epochs``, then delegate to an optional inner schedule.
+
+    The inner schedule (e.g. :class:`~repro.optim.CosineAnnealingLR`) must
+    be constructed on the same optimizer; its own epoch counter only
+    advances after the warmup completes.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 after=None, start_factor: float = 0.1):
+        if warmup_epochs <= 0:
+            raise ValueError(
+                f"warmup_epochs must be positive, got {warmup_epochs}")
+        if not 0.0 < start_factor <= 1.0:
+            raise ValueError(
+                f"start_factor must be in (0, 1], got {start_factor}")
+        self.optimizer = optimizer
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+        self.start_factor = start_factor
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+        # Apply the initial warmup factor immediately so epoch 0 trains at
+        # the reduced rate.
+        optimizer.lr = self.base_lr * start_factor
+
+    def step(self) -> float:
+        self.epoch += 1
+        if self.epoch < self.warmup_epochs:
+            fraction = self.epoch / self.warmup_epochs
+            factor = self.start_factor + (1.0 - self.start_factor) * fraction
+            self.optimizer.lr = self.base_lr * factor
+        elif self.epoch == self.warmup_epochs or self.after is None:
+            self.optimizer.lr = self.base_lr
+            if self.after is not None:
+                # Re-anchor the inner schedule at the full rate.
+                self.after.base_lr = self.base_lr
+        if self.epoch > self.warmup_epochs and self.after is not None:
+            return self.after.step()
+        return self.optimizer.lr

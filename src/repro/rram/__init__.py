@@ -1,0 +1,76 @@
+"""RRAM hardware substrate: devices, cells, sensing, arrays, accelerator.
+
+Implements the paper's hardware contribution end to end:
+
+* device statistics with endurance-dependent variability
+  (:mod:`~repro.rram.device`);
+* 1T1R and differential 2T2R synapses (:mod:`~repro.rram.cell`);
+* precharge sense amplifiers, plain and XNOR-augmented
+  (:mod:`~repro.rram.sense`);
+* the kilobit memory macro with decoders (:mod:`~repro.rram.array`);
+* the Fig. 5 in-memory BNN layer architecture and one-call deployment of
+  trained classifiers (:mod:`~repro.rram.accelerator`);
+* endurance/BER measurement and fault injection (:mod:`~repro.rram.errors`);
+* the Hamming-ECC digital alternative (:mod:`~repro.rram.ecc`);
+* energy/area accounting (:mod:`~repro.rram.energy`).
+"""
+
+from repro.rram.device import (DeviceParameters, ResistiveState, RRAMDevice,
+                               analytic_ber_1t1r, analytic_ber_2t2r)
+from repro.rram.sense import (SenseParameters, PrechargeSenseAmplifier,
+                              XnorPCSA)
+from repro.rram.cell import OneT1RCell, TwoT2RCell
+from repro.rram.array import RRAMArray
+from repro.rram.accelerator import (AcceleratorConfig, MemoryController,
+                                    InMemoryDenseLayer, InMemoryOutputLayer,
+                                    InMemoryClassifier, fold_classifier,
+                                    deploy_classifier, classifier_input_bits)
+from repro.rram.errors import (EnduranceExperiment, EnduranceResult,
+                               inject_bit_errors, corrupt_folded)
+from repro.rram.ecc import HammingCode, simulate_protected_storage
+from repro.rram.energy import EnergyModel, InferenceCost
+from repro.rram.conv import (FoldedBinaryConv1d, fold_conv1d_batchnorm_sign,
+                             InMemoryConv1dLayer, max_pool_bits_1d)
+from repro.rram.programming import (ProgramVerifyConfig, VerifyStatistics,
+                                    program_row_verified,
+                                    program_array_verified)
+from repro.rram.reliability import (RetentionModel, retention_ber_1t1r,
+                                    retention_ber_2t2r,
+                                    arrhenius_acceleration, equivalent_hours,
+                                    YieldAnalysis, YieldResult)
+from repro.rram.analog import (AnalogConfig, AnalogCrossbar, AnalogLinear,
+                               PeripheryModel)
+from repro.rram.floorplan import (MacroGeometry, LayerPlacement,
+                                  ChipFloorplan, plan_classifier,
+                                  plan_model)
+from repro.rram.conv2d import (FoldedBinaryConv2d, fold_conv2d_batchnorm_sign,
+                               fold_depthwise2d_batchnorm_sign,
+                               InMemoryConv2dLayer, max_pool_bits_2d)
+
+__all__ = [
+    "DeviceParameters", "ResistiveState", "RRAMDevice",
+    "analytic_ber_1t1r", "analytic_ber_2t2r",
+    "SenseParameters", "PrechargeSenseAmplifier", "XnorPCSA",
+    "OneT1RCell", "TwoT2RCell",
+    "RRAMArray",
+    "AcceleratorConfig", "MemoryController", "InMemoryDenseLayer",
+    "InMemoryOutputLayer", "InMemoryClassifier", "fold_classifier",
+    "deploy_classifier", "classifier_input_bits",
+    "EnduranceExperiment", "EnduranceResult", "inject_bit_errors",
+    "corrupt_folded",
+    "HammingCode", "simulate_protected_storage",
+    "EnergyModel", "InferenceCost",
+    "FoldedBinaryConv1d", "fold_conv1d_batchnorm_sign",
+    "InMemoryConv1dLayer", "max_pool_bits_1d",
+    "ProgramVerifyConfig", "VerifyStatistics", "program_row_verified",
+    "program_array_verified",
+    "RetentionModel", "retention_ber_1t1r", "retention_ber_2t2r",
+    "arrhenius_acceleration", "equivalent_hours",
+    "YieldAnalysis", "YieldResult",
+    "AnalogConfig", "AnalogCrossbar", "AnalogLinear", "PeripheryModel",
+    "MacroGeometry", "LayerPlacement", "ChipFloorplan", "plan_classifier",
+    "plan_model",
+    "FoldedBinaryConv2d", "fold_conv2d_batchnorm_sign",
+    "fold_depthwise2d_batchnorm_sign", "InMemoryConv2dLayer",
+    "max_pool_bits_2d",
+]

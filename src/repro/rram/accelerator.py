@@ -1,0 +1,294 @@
+"""In-memory BNN inference architecture (paper Fig. 5).
+
+The Fig. 5 block implements a fully connected BNN layer with minimal data
+movement: trained weights are programmed once into 2T2R arrays by a memory
+controller; at inference the input data controller broadcasts activation
+bits onto the XNOR inputs of the sense amplifiers, word lines are scanned,
+and shared popcount logic accumulates the per-neuron counts, which threshold
+units compare to the folded batch-norm thresholds (Eq. 3).
+
+This module provides that architecture end to end:
+
+* :class:`MemoryController` — tiles an arbitrary weight-bit matrix over
+  kilobit :class:`~repro.rram.array.RRAMArray` macros and programs them;
+* :class:`InMemoryDenseLayer` / :class:`InMemoryOutputLayer` — hardware
+  execution of hidden (sign) and output (argmax) binary dense layers;
+* :class:`InMemoryClassifier` — a stack of the above;
+* :func:`fold_classifier` / :func:`deploy_classifier` — one-call deployment
+  of any trained model exposing the ``fc1/bn_fc1/fc2/bn_fc2`` classifier
+  convention (all three paper models do);
+* :func:`classifier_input_bits` — the digital front-end that turns real
+  feature vectors into the activation bits fed to the first binary layer.
+
+Because all device and sense non-idealities live in the array model, the
+same classes run "ideal hardware" (zero variability parameters) for
+bit-exactness tests and realistic hardware for fault studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.binary import (FoldedBinaryDense, FoldedOutputDense,
+                             fold_batchnorm_output, fold_batchnorm_sign,
+                             to_bits)
+from repro.rram.array import RRAMArray
+from repro.rram.device import DeviceParameters
+from repro.rram.sense import SenseParameters
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["AcceleratorConfig", "MemoryController", "InMemoryDenseLayer",
+           "InMemoryOutputLayer", "InMemoryClassifier", "fold_classifier",
+           "deploy_classifier", "classifier_input_bits"]
+
+
+@dataclass
+class AcceleratorConfig:
+    """Hardware build parameters.
+
+    ``tile_rows`` x ``tile_cols`` matches the paper's 1K-synapse macro.
+    Setting ``ideal=True`` zeroes all variability (fresh devices, no sense
+    offset), producing bit-exact digital behaviour — used to verify Eq. 3
+    equivalence.
+    """
+
+    tile_rows: int = 32
+    tile_cols: int = 32
+    device: DeviceParameters = field(default_factory=DeviceParameters)
+    sense: SenseParameters = field(default_factory=SenseParameters)
+    seed: int = 0
+    ideal: bool = False
+
+    def resolved(self) -> "AcceleratorConfig":
+        if not self.ideal:
+            return self
+        device = DeviceParameters(
+            median_lrs=self.device.median_lrs,
+            median_hrs=self.device.median_hrs,
+            sigma_lrs0=0.0, sigma_hrs0=0.0, broadening=0.0, hrs_drift=0.0,
+            device_mismatch=1.0)
+        sense = SenseParameters(offset_sigma=0.0,
+                                energy_fj=self.sense.energy_fj)
+        return AcceleratorConfig(self.tile_rows, self.tile_cols, device,
+                                 sense, self.seed, ideal=False)
+
+
+class MemoryController:
+    """Programs a weight-bit matrix across a grid of RRAM tiles.
+
+    The matrix is laid out row = output neuron, column = input; tiles pad
+    the ragged edges, and padded columns are masked out of the popcount so
+    they never contribute.
+    """
+
+    def __init__(self, weight_bits: np.ndarray,
+                 config: AcceleratorConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        config = (config or AcceleratorConfig()).resolved()
+        self.config = config
+        self.rng = rng or np.random.default_rng(config.seed)
+        weight_bits = np.asarray(weight_bits, dtype=np.uint8)
+        if weight_bits.ndim != 2:
+            raise ValueError(f"weight bits must be 2-D, got {weight_bits.shape}")
+        self.out_features, self.in_features = weight_bits.shape
+        tr, tc = config.tile_rows, config.tile_cols
+        self.grid_rows = -(-self.out_features // tr)
+        self.grid_cols = -(-self.in_features // tc)
+        self.tiles: list[list[RRAMArray]] = []
+        padded = np.zeros((self.grid_rows * tr, self.grid_cols * tc),
+                          dtype=np.uint8)
+        padded[:self.out_features, :self.in_features] = weight_bits
+        for i in range(self.grid_rows):
+            row_tiles = []
+            for j in range(self.grid_cols):
+                tile = RRAMArray(tr, tc, params=config.device,
+                                 sense=config.sense, rng=self.rng)
+                tile.program(padded[i * tr:(i + 1) * tr,
+                                    j * tc:(j + 1) * tc])
+                row_tiles.append(tile)
+            self.tiles.append(row_tiles)
+        # Valid-column count per tile column block (for popcount masking).
+        self._valid_cols = [min(tc, self.in_features - j * tc)
+                            for j in range(self.grid_cols)]
+        self.popcount_bit_ops = 0
+
+    @property
+    def n_tiles(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def n_devices(self) -> int:
+        per_cell = 2   # 2T2R
+        return self.n_tiles * self.config.tile_rows * self.config.tile_cols \
+            * per_cell
+
+    @property
+    def sense_ops(self) -> int:
+        return sum(t.sense_ops for row in self.tiles for t in row)
+
+    def wear(self, cycles: int) -> None:
+        """Age every device (endurance studies on deployed weights)."""
+        for row in self.tiles:
+            for tile in row:
+                tile.wear(cycles)
+
+    def reprogram(self) -> None:
+        """Re-program stored weights (refresh); re-draws all resistances."""
+        for row in self.tiles:
+            for tile in row:
+                tile.program(tile.weight_bits)
+
+    def popcounts(self, x_bits: np.ndarray) -> np.ndarray:
+        """XNOR-popcount of a batch against every stored row.
+
+        ``x_bits``: ``(N, in_features)``; returns ``(N, out_features)``
+        integer popcounts, accumulated tile by tile exactly as the shared
+        popcount logic of Fig. 5 would.
+        """
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        if x_bits.ndim != 2 or x_bits.shape[1] != self.in_features:
+            raise ValueError(
+                f"input shape {x_bits.shape} != (N, {self.in_features})")
+        n = x_bits.shape[0]
+        tr, tc = self.config.tile_rows, self.config.tile_cols
+        counts = np.zeros((n, self.grid_rows * tr), dtype=np.int64)
+        for j in range(self.grid_cols):
+            valid = self._valid_cols[j]
+            chunk = np.zeros((n, tc), dtype=np.uint8)
+            chunk[:, :valid] = x_bits[:, j * tc:j * tc + valid]
+            for i in range(self.grid_rows):
+                xnor = self.tiles[i][j].read_all_xnor_batch(chunk)
+                counts[:, i * tr:(i + 1) * tr] += \
+                    xnor[:, :, :valid].sum(axis=2, dtype=np.int64)
+                self.popcount_bit_ops += n * tr * valid
+        return counts[:, :self.out_features]
+
+
+class InMemoryDenseLayer:
+    """A hidden binary dense layer executed on RRAM tiles.
+
+    Thresholding implements ``sign(BN(.))`` folded per Eq. 3; output is the
+    next layer's activation bits.
+    """
+
+    def __init__(self, folded: FoldedBinaryDense,
+                 config: AcceleratorConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.folded = folded
+        self.controller = MemoryController(folded.weight_bits, config, rng)
+
+    def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
+        pc = self.controller.popcounts(x_bits)
+        dot = 2 * pc - self.folded.in_features
+        f = self.folded
+        pos = dot >= f.theta[None, :]
+        neg = dot <= f.theta[None, :]
+        out = np.where(f.gamma_sign[None, :] > 0, pos,
+                       np.where(f.gamma_sign[None, :] < 0, neg,
+                                f.beta_sign[None, :] >= 0))
+        return out.astype(np.uint8)
+
+
+class InMemoryOutputLayer:
+    """The final binary dense layer: popcount in-memory, affine + argmax in
+    the shared digital logic (no sign follows the last layer)."""
+
+    def __init__(self, folded: FoldedOutputDense,
+                 config: AcceleratorConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.folded = folded
+        self.controller = MemoryController(folded.weight_bits, config, rng)
+
+    def forward_scores(self, x_bits: np.ndarray) -> np.ndarray:
+        pc = self.controller.popcounts(x_bits)
+        dot = 2 * pc - self.folded.in_features
+        return dot * self.folded.scale[None, :] + self.folded.offset[None, :]
+
+
+class InMemoryClassifier:
+    """A stack of in-memory binary dense layers ending in a score layer."""
+
+    def __init__(self, hidden: list[InMemoryDenseLayer],
+                 output: InMemoryOutputLayer):
+        self.hidden = hidden
+        self.output = output
+
+    def forward_scores(self, x_bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(x_bits, dtype=np.uint8)
+        for layer in self.hidden:
+            bits = layer.forward_bits(bits)
+        return self.output.forward_scores(bits)
+
+    def predict(self, x_bits: np.ndarray) -> np.ndarray:
+        return self.forward_scores(x_bits).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    @property
+    def controllers(self) -> list[MemoryController]:
+        return [layer.controller for layer in self.hidden] \
+            + [self.output.controller]
+
+    @property
+    def n_devices(self) -> int:
+        return sum(c.n_devices for c in self.controllers)
+
+    @property
+    def sense_ops(self) -> int:
+        return sum(c.sense_ops for c in self.controllers)
+
+    @property
+    def popcount_bit_ops(self) -> int:
+        return sum(c.popcount_bit_ops for c in self.controllers)
+
+    def wear(self, cycles: int) -> None:
+        for controller in self.controllers:
+            controller.wear(cycles)
+
+
+# ---------------------------------------------------------------------------
+# Deployment from trained models
+# ---------------------------------------------------------------------------
+def fold_classifier(model) -> tuple[list[FoldedBinaryDense],
+                                    FoldedOutputDense]:
+    """Fold the two-layer binarized classifier of a trained model.
+
+    Works with any model following the repository convention of exposing
+    ``fc1``/``bn_fc1`` (hidden, sign-activated) and ``fc2``/``bn_fc2``
+    (output) binary layers — :class:`~repro.models.EEGNet`,
+    :class:`~repro.models.ECGNet` and :class:`~repro.models.MobileNetV1` in
+    their binarized modes all do.
+    """
+    if not hasattr(model, "fc1") or model.fc2 is None:
+        raise ValueError("model does not have a two-layer classifier")
+    if not type(model.fc1).__name__.startswith("Binary"):
+        raise ValueError("classifier is not binarized; train with "
+                         "BinarizationMode.FULL_BINARY or BINARY_CLASSIFIER")
+    hidden = [fold_batchnorm_sign(model.fc1, model.bn_fc1)]
+    output = fold_batchnorm_output(model.fc2, model.bn_fc2)
+    return hidden, output
+
+
+def deploy_classifier(model, config: AcceleratorConfig | None = None,
+                      rng: np.random.Generator | None = None
+                      ) -> InMemoryClassifier:
+    """Program a trained model's binary classifier into RRAM tiles."""
+    hidden_folded, output_folded = fold_classifier(model)
+    rng = rng or np.random.default_rng((config or AcceleratorConfig()).seed)
+    hidden = [InMemoryDenseLayer(f, config, rng) for f in hidden_folded]
+    output = InMemoryOutputLayer(output_folded, config, rng)
+    return InMemoryClassifier(hidden, output)
+
+
+def classifier_input_bits(model, inputs: np.ndarray) -> np.ndarray:
+    """Digital front-end: run the feature extractor and binarize.
+
+    Returns the activation bits that the input data controller of Fig. 5
+    streams into the first in-memory layer.  The model must be in eval mode
+    with fitted batch-norm statistics.
+    """
+    with no_grad():
+        feats = model.features(Tensor(np.asarray(inputs)))
+        pre = model.pre_classifier(feats)
+    return to_bits(pre.data)

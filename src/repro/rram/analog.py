@@ -1,0 +1,261 @@
+"""Analog-coded crossbar alternative (the ISAAC / PRIME style of §II-A).
+
+The paper contrasts two ways of using emerging memories for neural
+networks: *analog* coding, where a weight is the conductance difference of
+a device pair and the dot product is a summed current, versus the paper's
+*binary* approach.  Analog coding "requires only two devices per weight…
+but has the disadvantage of requiring complex peripherals such as
+analog-to-digital and digital-to-analog converters with their associated
+high area overhead" (§II-A, citing ISAAC [18] and PRIME [19]).
+
+This module implements that alternative so the claim can be measured
+rather than cited:
+
+* :class:`AnalogConfig` / :class:`AnalogCrossbar` — differential
+  conductance pairs with programming variability, a DAC-quantized input
+  stage, summed read currents with noise, and an ADC-quantized output
+  stage;
+* :class:`AnalogLinear` — one-call deployment of a trained real-weight
+  dense layer onto a crossbar;
+* :class:`PeripheryModel` — DAC/ADC energy and area as a function of
+  resolution, for the overhead comparison against the digital PCSA
+  periphery of :class:`repro.rram.energy.EnergyModel`.
+
+The accuracy limiter is architectural, not a tuning artifact: the ADC must
+span the worst-case column current (which grows with fan-in), so its LSB —
+and therefore the output error — grows with array width unless resolution
+is increased.  ``benchmarks/bench_ablation_analog_adc.py`` sweeps this
+trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.linear import Linear
+
+__all__ = ["AnalogConfig", "AnalogCrossbar", "AnalogLinear",
+           "PeripheryModel"]
+
+
+@dataclass
+class AnalogConfig:
+    """Crossbar electrical and converter parameters.
+
+    Conductances are in microsiemens; the defaults bracket the HfO2 device
+    window of :class:`repro.rram.device.DeviceParameters` (5 kΩ LRS → 200 µS,
+    100 kΩ HRS → 10 µS).
+    """
+
+    g_on_us: float = 200.0         # fully-SET conductance
+    g_off_us: float = 10.0         # fully-RESET conductance
+    programming_sigma: float = 0.05  # lognormal sigma of programmed G
+    read_noise_sigma: float = 0.01   # relative current noise per read
+    dac_bits: int = 8
+    adc_bits: int = 8
+    v_read: float = 0.2            # read voltage (V)
+    adc_headroom: float = 1.0      # fraction of worst-case column current
+    #                                the ADC full-scale is designed for
+
+    def validate(self) -> "AnalogConfig":
+        if not 0 < self.g_off_us < self.g_on_us:
+            raise ValueError(
+                f"need 0 < g_off ({self.g_off_us}) < g_on ({self.g_on_us})")
+        if self.programming_sigma < 0 or self.read_noise_sigma < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        for name in ("dac_bits", "adc_bits"):
+            bits = getattr(self, name)
+            if not 1 <= bits <= 16:
+                raise ValueError(f"{name} must be in [1, 16], got {bits}")
+        if self.v_read <= 0:
+            raise ValueError("v_read must be positive")
+        if not 0 < self.adc_headroom <= 1.0:
+            raise ValueError("adc_headroom must be in (0, 1]")
+        return self
+
+
+class AnalogCrossbar:
+    """A differential-pair crossbar storing one real weight matrix.
+
+    Weight ``w[i, j]`` maps linearly onto the conductance difference
+    ``G+[i, j] - G-[i, j]``: the positive part drives ``G+`` above the OFF
+    floor and the negative part drives ``G-``, so each weight needs exactly
+    two devices (the §II-A accounting).  Programming draws each conductance
+    from a lognormal around its target once, at deployment; reads add
+    relative current noise.
+    """
+
+    def __init__(self, weights: np.ndarray, cfg: AnalogConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.cfg = (cfg or AnalogConfig()).validate()
+        rng = rng or np.random.default_rng()
+        self.rng = rng
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        self.out_features, self.in_features = weights.shape
+
+        peak = np.abs(weights).max()
+        # Weight value represented by the full conductance window.
+        self.w_fullscale = float(peak) if peak > 0 else 1.0
+        g_range = self.cfg.g_on_us - self.cfg.g_off_us
+        normalized = weights / self.w_fullscale
+        target_pos = self.cfg.g_off_us + g_range * np.maximum(normalized, 0.0)
+        target_neg = self.cfg.g_off_us + g_range * np.maximum(-normalized, 0.0)
+        self.g_pos = self._program(target_pos)
+        self.g_neg = self._program(target_neg)
+
+    def _program(self, target_us: np.ndarray) -> np.ndarray:
+        """One-shot programming with lognormal conductance variability."""
+        if self.cfg.programming_sigma == 0:
+            return target_us.copy()
+        noise = self.rng.normal(0.0, self.cfg.programming_sigma,
+                                size=target_us.shape)
+        programmed = target_us * np.exp(noise)
+        return np.clip(programmed, 0.5 * self.cfg.g_off_us,
+                       2.0 * self.cfg.g_on_us)
+
+    # ------------------------------------------------------------------
+    # Converter stages
+    # ------------------------------------------------------------------
+    def _dac(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        """Quantize inputs onto the DAC grid; returns (voltages, x_scale).
+
+        ``x_scale`` is the input value represented by the full read voltage.
+        """
+        levels = 2 ** (self.cfg.dac_bits - 1) - 1 if self.cfg.dac_bits > 1 \
+            else 1
+        peak = np.abs(x).max()
+        x_scale = float(peak) if peak > 0 else 1.0
+        codes = np.clip(np.round(x / x_scale * levels), -levels, levels)
+        return codes / levels * self.cfg.v_read, x_scale
+
+    def _column_fullscale_ua(self) -> float:
+        """Worst-case differential column current the ADC must span (µA)."""
+        g_range = self.cfg.g_on_us - self.cfg.g_off_us
+        worst = self.in_features * g_range * self.cfg.v_read
+        return worst * self.cfg.adc_headroom
+
+    def _adc(self, current_ua: np.ndarray) -> np.ndarray:
+        """Quantize column currents; returns currents on the ADC grid."""
+        levels = 2 ** (self.cfg.adc_bits - 1) - 1 if self.cfg.adc_bits > 1 \
+            else 1
+        fullscale = self._column_fullscale_ua()
+        codes = np.clip(np.round(current_ua / fullscale * levels),
+                        -levels, levels)
+        return codes / levels * fullscale
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Estimate ``W @ x`` rows for a batch: ``(N, in) -> (N, out)``.
+
+        Pipeline: DAC → differential current summation (+ read noise) →
+        ADC → digital rescale back to weight units.
+        """
+        x = np.asarray(x, dtype=float)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"input width {x.shape[-1]} != crossbar width "
+                f"{self.in_features}")
+        voltages, x_scale = self._dac(x)
+        g_diff = self.g_pos - self.g_neg          # µS
+        currents = voltages @ g_diff.T            # µA
+        if self.cfg.read_noise_sigma > 0:
+            rms = np.sqrt(np.mean(currents ** 2)) or 1.0
+            currents = currents + self.rng.normal(
+                0.0, self.cfg.read_noise_sigma * rms, size=currents.shape)
+        quantized = self._adc(currents)
+        # Invert the physical scaling: current = v_read/x_scale *
+        # g_range/w_fullscale * (W @ x).
+        g_range = self.cfg.g_on_us - self.cfg.g_off_us
+        gain = (self.cfg.v_read / x_scale) * (g_range / self.w_fullscale)
+        out = quantized / gain
+        return out[0] if squeeze else out
+
+    def relative_error(self, weights: np.ndarray, x: np.ndarray) -> float:
+        """RMS error of :meth:`matvec` against ``x @ W.T``, relative to the
+        RMS of the true output."""
+        true = np.asarray(x, dtype=float) @ np.asarray(weights, dtype=float).T
+        est = self.matvec(x)
+        denom = np.sqrt(np.mean(true ** 2))
+        if denom == 0:
+            return float(np.sqrt(np.mean(est ** 2)))
+        return float(np.sqrt(np.mean((est - true) ** 2)) / denom)
+
+
+class AnalogLinear:
+    """A trained dense layer deployed on an analog crossbar."""
+
+    def __init__(self, layer: Linear, cfg: AnalogConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.crossbar = AnalogCrossbar(layer.weight.data, cfg, rng)
+        self.bias = (layer.bias.data.copy()
+                     if getattr(layer, "bias", None) is not None else None)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.crossbar.matvec(x)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+@dataclass
+class PeripheryModel:
+    """DAC/ADC energy and area versus resolution.
+
+    Converter cost grows exponentially with resolution: energy per
+    conversion follows the Walden figure of merit ``E = FoM * 2^bits`` and
+    flash/SAR area scales with the comparator/capacitor count, also
+    ``∝ 2^bits``.  Defaults are 130 nm-class (FoM ~1 pJ/step era); they set
+    the scale, while the digital-vs-analog *ratio* the bench reports is
+    driven by the exponent.
+    """
+
+    adc_fom_fj_per_step: float = 1000.0   # fJ per conversion-step
+    adc_area_um2_per_step: float = 60.0   # µm² per level
+    dac_fom_fj_per_step: float = 150.0
+    dac_area_um2_per_step: float = 12.0
+
+    def adc_energy_pj(self, bits: int) -> float:
+        """Energy of one ADC conversion (pJ)."""
+        return self.adc_fom_fj_per_step * (2 ** bits) / 1000.0
+
+    def adc_area_um2(self, bits: int) -> float:
+        return self.adc_area_um2_per_step * (2 ** bits)
+
+    def dac_energy_pj(self, bits: int) -> float:
+        return self.dac_fom_fj_per_step * (2 ** bits) / 1000.0
+
+    def dac_area_um2(self, bits: int) -> float:
+        return self.dac_area_um2_per_step * (2 ** bits)
+
+    def matvec_energy_pj(self, rows: int, cols: int, dac_bits: int,
+                         adc_bits: int, adcs_shared: int = 1) -> float:
+        """Converter energy for one crossbar matrix-vector product.
+
+        One DAC conversion per input row; one ADC conversion per output
+        column (time-multiplexing ``adcs_shared`` columns onto one ADC does
+        not change the energy, only the area).
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        return (rows * self.dac_energy_pj(dac_bits)
+                + cols * self.adc_energy_pj(adc_bits))
+
+    def matvec_area_um2(self, rows: int, cols: int, dac_bits: int,
+                        adc_bits: int, adcs_shared: int = 1) -> float:
+        """Converter area for a crossbar tile.
+
+        ``adcs_shared``: number of columns served by one time-multiplexed
+        ADC (ISAAC-style sharing trades throughput for area).
+        """
+        if adcs_shared < 1:
+            raise ValueError("adcs_shared must be >= 1")
+        n_adc = -(-cols // adcs_shared)  # ceil division
+        return (rows * self.dac_area_um2(dac_bits)
+                + n_adc * self.adc_area_um2(adc_bits))

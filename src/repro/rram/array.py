@@ -1,0 +1,207 @@
+"""Kilobit RRAM memory array (paper Fig. 2a).
+
+The fabricated macro organizes 2T2R synapses in 32 word lines x 32 bit-line
+pairs (1K synapses / 2K devices), with a row decoder selecting the word
+line, column decoders selecting bit-line pairs, and one precharge sense
+amplifier per column.  This module models that structure with vectorized
+device sampling: programming draws fresh resistances from the
+wear-dependent distribution of every addressed device, and every read
+passes through the (noisy) sense amplifiers.
+
+A ``mode='1T1R'`` array models the single-ended baseline used for
+comparison in Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rram.device import DeviceParameters
+from repro.rram.sense import SenseParameters, XnorPCSA
+
+__all__ = ["RRAMArray"]
+
+
+class RRAMArray:
+    """A rows x cols array of binary synapses with on-chip sensing.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Array geometry; defaults match the paper's 1K-synapse macro.
+    mode:
+        ``'2T2R'`` (differential, the paper's design) or ``'1T1R'``
+        (single-ended baseline).
+    """
+
+    def __init__(self, n_rows: int = 32, n_cols: int = 32,
+                 params: DeviceParameters | None = None,
+                 sense: SenseParameters | None = None,
+                 rng: np.random.Generator | None = None,
+                 mode: str = "2T2R"):
+        if mode not in ("2T2R", "1T1R"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.mode = mode
+        self.params = params or DeviceParameters()
+        self.rng = rng or np.random.default_rng()
+        self.amplifiers = XnorPCSA(sense, self.rng)
+
+        shape = (self.n_rows, self.n_cols)
+        self.weight_bits = np.zeros(shape, dtype=np.uint8)
+        self.cycles = np.zeros(shape, dtype=np.int64)
+        self.r_bl = np.full(shape, np.nan)
+        self.r_blb = np.full(shape, np.nan)   # unused in 1T1R mode
+        self.program_ops = 0
+        self._programmed = np.zeros(shape, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Decoders
+    # ------------------------------------------------------------------
+    def _decode_row(self, row: int) -> int:
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"word line {row} outside [0, {self.n_rows})")
+        return int(row)
+
+    def _decode_cols(self, cols) -> np.ndarray:
+        cols = np.arange(self.n_cols) if cols is None \
+            else np.atleast_1d(np.asarray(cols, dtype=np.int64))
+        if cols.size and (cols.min() < 0 or cols.max() >= self.n_cols):
+            raise IndexError(f"bit line index outside [0, {self.n_cols})")
+        return cols
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def program(self, bits: np.ndarray) -> None:
+        """Program the whole array with a bit matrix (memory controller
+        write path).  Each write cycles every device once."""
+        bits = np.asarray(bits)
+        if bits.shape != (self.n_rows, self.n_cols):
+            raise ValueError(
+                f"bits shape {bits.shape} != array {self.n_rows}x{self.n_cols}")
+        for row in range(self.n_rows):
+            self.program_row(row, bits[row])
+
+    def program_row(self, row: int, bits: np.ndarray, cols=None) -> None:
+        """Program one word line (optionally a subset of columns)."""
+        row = self._decode_row(row)
+        cols = self._decode_cols(cols)
+        bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+        if bits.size != cols.size:
+            raise ValueError(f"{bits.size} bits for {cols.size} columns")
+        self.cycles[row, cols] += 1
+        self.weight_bits[row, cols] = bits
+        self._programmed[row, cols] = True
+        self.program_ops += bits.size
+        cyc = self.cycles[row, cols]
+        if self.mode == "2T2R":
+            # +1 -> (LRS, HRS); -1/0 -> (HRS, LRS).
+            self.r_bl[row, cols] = self.params.sample_resistance(
+                bits == 1, cyc, self.rng)
+            self.r_blb[row, cols] = self.params.sample_resistance(
+                bits == 0, cyc, self.rng,
+                mismatch=self.params.device_mismatch)
+        else:
+            self.r_bl[row, cols] = self.params.sample_resistance(
+                bits == 1, cyc, self.rng)
+
+    def wear(self, cycles: int) -> None:
+        """Age every device by ``cycles`` additional program cycles."""
+        self.cycles += int(cycles)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read_row(self, row: int, cols=None) -> np.ndarray:
+        """Plain weight read of one word line through the sense amplifiers."""
+        row = self._decode_row(row)
+        cols = self._decode_cols(cols)
+        self._check_programmed(row, cols)
+        if self.mode == "2T2R":
+            return self.amplifiers.sense(self.r_bl[row, cols],
+                                         self.r_blb[row, cols])
+        return self.amplifiers.sense_single_ended(
+            self.r_bl[row, cols], self.params.reference_resistance)
+
+    def read_row_xnor(self, row: int, input_bits: np.ndarray,
+                      cols=None) -> np.ndarray:
+        """XNOR-augmented read (Fig. 3b): returns XNOR(weight, input)."""
+        if self.mode != "2T2R":
+            raise RuntimeError("XNOR sensing requires the 2T2R array")
+        row = self._decode_row(row)
+        cols = self._decode_cols(cols)
+        self._check_programmed(row, cols)
+        return self.amplifiers.sense_xnor(
+            self.r_bl[row, cols], self.r_blb[row, cols],
+            np.asarray(input_bits, dtype=np.uint8).reshape(-1))
+
+    def read_all(self) -> np.ndarray:
+        """Read every word line; returns the sensed bit matrix."""
+        return np.stack([self.read_row(r) for r in range(self.n_rows)])
+
+    def read_all_xnor(self, input_bits: np.ndarray) -> np.ndarray:
+        """XNOR every stored row with ``input_bits`` (one read per row).
+
+        This is the inner loop of the Fig. 5 architecture: the input vector
+        is broadcast on the sense-amplifier XNOR inputs while word lines are
+        scanned.
+        """
+        input_bits = np.asarray(input_bits, dtype=np.uint8)
+        if input_bits.shape != (self.n_cols,):
+            raise ValueError(
+                f"input bits shape {input_bits.shape} != ({self.n_cols},)")
+        if self.mode != "2T2R":
+            raise RuntimeError("XNOR sensing requires the 2T2R array")
+        self._check_programmed(None, None)
+        offsets = self.amplifiers.params.offset(
+            self.rng, (self.n_rows, self.n_cols))
+        self.amplifiers.sense_count += self.n_rows * self.n_cols
+        weight_read = (np.log(self.r_blb) - np.log(self.r_bl) + offsets) > 0
+        return np.logical_not(
+            np.logical_xor(weight_read, input_bits[None, :].astype(bool))
+        ).astype(np.uint8)
+
+    def read_all_xnor_batch(self, input_bits: np.ndarray) -> np.ndarray:
+        """Vectorized XNOR reads for a batch of input vectors.
+
+        ``input_bits``: ``(N, n_cols)``.  Returns ``(N, n_rows, n_cols)``
+        XNOR outputs.  Physically each of the ``N`` inferences is a separate
+        word-line scan with fresh sense-amplifier noise, which is exactly
+        what the independent offset draws model.
+        """
+        input_bits = np.asarray(input_bits, dtype=np.uint8)
+        if input_bits.ndim != 2 or input_bits.shape[1] != self.n_cols:
+            raise ValueError(
+                f"input bits shape {input_bits.shape} != (N, {self.n_cols})")
+        if self.mode != "2T2R":
+            raise RuntimeError("XNOR sensing requires the 2T2R array")
+        self._check_programmed(None, None)
+        n = input_bits.shape[0]
+        offsets = self.amplifiers.params.offset(
+            self.rng, (n, self.n_rows, self.n_cols))
+        self.amplifiers.sense_count += n * self.n_rows * self.n_cols
+        margin = (np.log(self.r_blb) - np.log(self.r_bl))[None, :, :]
+        weight_read = (margin + offsets) > 0
+        return np.logical_not(
+            np.logical_xor(weight_read,
+                           input_bits[:, None, :].astype(bool))
+        ).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    def _check_programmed(self, row, cols) -> None:
+        if row is None:
+            ok = self._programmed.all()
+        else:
+            ok = self._programmed[row, cols].all()
+        if not ok:
+            raise RuntimeError("reading unprogrammed cells")
+
+    @property
+    def sense_ops(self) -> int:
+        return self.amplifiers.sense_count
+
+    def __repr__(self) -> str:
+        return (f"RRAMArray({self.n_rows}x{self.n_cols}, mode={self.mode}, "
+                f"programmed={int(self._programmed.sum())})")

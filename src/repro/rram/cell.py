@@ -1,0 +1,85 @@
+"""Synaptic memory cells: 1T1R baseline and the paper's 2T2R synapse.
+
+A 2T2R synapse (§II-B) stores one binary weight in a *pair* of devices
+programmed to complementary states:
+
+* ``(BL=LRS, BLb=HRS)``  ->  weight +1
+* ``(BL=HRS, BLb=LRS)``  ->  weight -1
+
+Reading compares the two devices differentially, so slow drift or broadening
+that affects both states symmetrically cancels; an error needs the two
+distributions to actually cross.  The 1T1R cell stores the bit in a single
+device read against a fixed reference, and serves as the baseline of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rram.device import DeviceParameters, ResistiveState, RRAMDevice
+from repro.rram.sense import PrechargeSenseAmplifier, SenseParameters
+
+__all__ = ["OneT1RCell", "TwoT2RCell"]
+
+
+class OneT1RCell:
+    """Single-device cell; bit 1 = LRS."""
+
+    def __init__(self, params: DeviceParameters | None = None,
+                 sense: SenseParameters | None = None,
+                 rng: np.random.Generator | None = None,
+                 mismatch: float = 1.0):
+        rng = rng or np.random.default_rng()
+        self.params = params or DeviceParameters()
+        self.device = RRAMDevice(self.params, rng, mismatch=mismatch)
+        self.amplifier = PrechargeSenseAmplifier(sense, rng)
+
+    def program(self, bit: int) -> None:
+        self.device.program(
+            ResistiveState.LRS if bit else ResistiveState.HRS)
+
+    def read(self) -> int:
+        return int(self.amplifier.sense_single_ended(
+            self.device.read(), self.params.reference_resistance))
+
+    @property
+    def cycles(self) -> int:
+        return self.device.cycles
+
+
+class TwoT2RCell:
+    """Differential two-device synapse (paper Fig. 2a, §II-B)."""
+
+    def __init__(self, params: DeviceParameters | None = None,
+                 sense: SenseParameters | None = None,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng()
+        self.params = params or DeviceParameters()
+        self.bl = RRAMDevice(self.params, rng)
+        self.blb = RRAMDevice(self.params, rng,
+                              mismatch=self.params.device_mismatch)
+        self.amplifier = PrechargeSenseAmplifier(sense, rng)
+
+    def program(self, bit: int) -> None:
+        """Program the complementary pair (two device cycles per write)."""
+        if bit:
+            self.bl.program(ResistiveState.LRS)
+            self.blb.program(ResistiveState.HRS)
+        else:
+            self.bl.program(ResistiveState.HRS)
+            self.blb.program(ResistiveState.LRS)
+
+    def read(self) -> int:
+        return int(self.amplifier.sense(self.bl.read(), self.blb.read()))
+
+    def read_devices_single_ended(self) -> tuple[int, int]:
+        """Read each device of the pair as if it were 1T1R (the BL / BLb
+        curves of Fig. 4 come from exactly this measurement)."""
+        ref = self.params.reference_resistance
+        bl_bit = int(self.amplifier.sense_single_ended(self.bl.read(), ref))
+        blb_bit = int(self.amplifier.sense_single_ended(self.blb.read(), ref))
+        return bl_bit, blb_bit
+
+    @property
+    def cycles(self) -> int:
+        return self.bl.cycles

@@ -1,0 +1,245 @@
+"""In-memory execution of binarized 2-D convolutions.
+
+Extends the weight-stationary mapping of :mod:`repro.rram.conv` to two
+spatial dimensions, which is what a *fully binarized MobileNet* (the
+Table III ImageNet BNN row) needs from the fabric: each output channel's
+flattened ``C_in x K_h x K_w`` kernel occupies one word-line group, the
+input data controller streams im2col receptive-field bit vectors, and the
+per-channel folded batch-norm threshold is shared across all spatial
+positions.
+
+Depthwise convolutions — MobileNet's signature layer — get a dedicated
+folding: each channel is its own single-row array (fan-in ``K_h * K_w``),
+matching how a depthwise layer would actually be laid out (tiny arrays, one
+per channel, no cross-channel accumulation).
+
+The same hardware restrictions apply as in 1-D: inputs must already be
+binary and padding must be zero (a padded position has no ±1 encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.binary import to_bits, xnor_popcount
+from repro.nn.conv import Conv2d
+from repro.nn.norm import _BatchNorm
+from repro.rram.accelerator import AcceleratorConfig, MemoryController
+from repro.tensor.im2col import conv_output_length
+
+__all__ = ["FoldedBinaryConv2d", "fold_conv2d_batchnorm_sign",
+           "fold_depthwise2d_batchnorm_sign", "InMemoryConv2dLayer",
+           "max_pool_bits_2d"]
+
+
+def _threshold_channels(dot: np.ndarray, theta: np.ndarray,
+                        gamma_sign: np.ndarray, beta_sign: np.ndarray
+                        ) -> np.ndarray:
+    """Per-channel popcount threshold with batch-norm sign handling."""
+    pos = dot >= theta
+    neg = dot <= theta
+    out = np.where(gamma_sign > 0, pos,
+                   np.where(gamma_sign < 0, neg, beta_sign >= 0))
+    return out.astype(np.uint8)
+
+
+@dataclass
+class FoldedBinaryConv2d:
+    """A binary 2-D convolution + batch-norm + sign folded for hardware.
+
+    ``weight_bits``: ``(C_out, C_in * K_h * K_w)``.  ``depthwise`` marks
+    the grouped variant, where output channel ``c`` reads only input
+    channel ``c`` (fan-in ``K_h * K_w``).
+    """
+
+    weight_bits: np.ndarray
+    in_channels: int
+    kernel_size: tuple[int, int]
+    stride: tuple[int, int]
+    theta: np.ndarray
+    gamma_sign: np.ndarray
+    beta_sign: np.ndarray
+    depthwise: bool = False
+
+    @property
+    def out_channels(self) -> int:
+        return self.weight_bits.shape[0]
+
+    @property
+    def fan_in(self) -> int:
+        kh, kw = self.kernel_size
+        return (1 if self.depthwise else self.in_channels) * kh * kw
+
+    def output_shape(self, height: int, width: int) -> tuple[int, int]:
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        return (conv_output_length(height, kh, sh),
+                conv_output_length(width, kw, sw))
+
+    def _patches(self, x_bits: np.ndarray) -> np.ndarray:
+        """im2col over bits: ``(N, C, H, W)`` -> ``(N*H_out*W_out, C*Kh*Kw)``
+        (or per-channel patches for depthwise)."""
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        if x_bits.ndim != 4 or x_bits.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (N, {self.in_channels}, H, W) bits, got "
+                f"{x_bits.shape}")
+        n, c, height, width = x_bits.shape
+        h_out, w_out = self.output_shape(height, width)
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        strides = x_bits.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x_bits,
+            shape=(n, c, h_out, w_out, kh, kw),
+            strides=(strides[0], strides[1], strides[2] * sh,
+                     strides[3] * sw, strides[2], strides[3]),
+            writeable=False)
+        if self.depthwise:
+            # (N, C, H_out, W_out, Kh*Kw): channels stay separate.
+            return windows.reshape(n, c, h_out, w_out, kh * kw)
+        return windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+            n * h_out * w_out, c * kh * kw)
+
+    def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
+        """Exact integer inference: ``(N, C_in, H, W)`` bits ->
+        ``(N, C_out, H_out, W_out)`` bits."""
+        n, _, height, width = np.asarray(x_bits).shape
+        h_out, w_out = self.output_shape(height, width)
+        patches = self._patches(x_bits)
+        if self.depthwise:
+            # patches: (N, C, H_out, W_out, K); weight_bits: (C, K).
+            # XNOR popcount channel-wise: count agreeing positions.
+            agree = (patches
+                     == self.weight_bits[None, :, None, None, :]).sum(
+                axis=-1, dtype=np.int64)
+            dot = 2 * agree - self.fan_in                # (N, C, Ho, Wo)
+            return _threshold_channels(
+                dot, self.theta[None, :, None, None],
+                self.gamma_sign[None, :, None, None],
+                self.beta_sign[None, :, None, None])
+        pc = xnor_popcount(patches, self.weight_bits)
+        dot = 2 * pc - self.fan_in
+        out = _threshold_channels(dot, self.theta[None, :],
+                                  self.gamma_sign[None, :],
+                                  self.beta_sign[None, :])
+        return out.reshape(n, h_out, w_out, self.out_channels) \
+            .transpose(0, 3, 1, 2)
+
+
+def _bn_fold_pieces(bn: _BatchNorm) -> tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]:
+    theta = bn.effective_threshold()
+    gamma_sign = np.sign(bn.gamma.data)
+    beta_sign = np.where(np.sign(bn.beta.data) == 0, 1.0,
+                         np.sign(bn.beta.data))
+    return theta, gamma_sign, beta_sign
+
+
+def _check_deployable(conv, kind: str) -> None:
+    if conv.padding != (0, 0) and conv.padding != 0:
+        raise ValueError(
+            f"only padding=0 {kind} convolutions map onto the binary "
+            f"fabric, got padding={conv.padding}")
+    if getattr(conv, "bias", None) is not None:
+        raise ValueError("convolution bias is not representable; use "
+                         "batch-norm for offsets")
+
+
+def fold_conv2d_batchnorm_sign(conv, bn: _BatchNorm) -> FoldedBinaryConv2d:
+    """Fold ``sign(BN(conv2d_b(x)))`` into a popcount-threshold conv.
+
+    ``conv`` may be a :class:`~repro.nn.BinaryConv2d` or a plain
+    :class:`~repro.nn.Conv2d` whose weights are already ±1.
+    """
+    _check_deployable(conv, "2-D")
+    weights = conv.weight.data
+    c_out, c_in, kh, kw = weights.shape
+    theta, gamma_sign, beta_sign = _bn_fold_pieces(bn)
+    return FoldedBinaryConv2d(
+        weight_bits=to_bits(weights).reshape(c_out, c_in * kh * kw),
+        in_channels=c_in,
+        kernel_size=(kh, kw),
+        stride=conv.stride if isinstance(conv.stride, tuple)
+        else (conv.stride, conv.stride),
+        theta=theta,
+        gamma_sign=gamma_sign,
+        beta_sign=beta_sign,
+    )
+
+
+def fold_depthwise2d_batchnorm_sign(conv, bn: _BatchNorm
+                                    ) -> FoldedBinaryConv2d:
+    """Fold a binary *depthwise* conv + batch-norm + sign.
+
+    ``conv`` is a :class:`~repro.nn.BinaryDepthwiseConv2d` (weights
+    ``(C, K_h, K_w)``); each channel becomes its own tiny array.
+    """
+    _check_deployable(conv, "depthwise")
+    weights = conv.weight.data
+    channels, kh, kw = weights.shape
+    theta, gamma_sign, beta_sign = _bn_fold_pieces(bn)
+    return FoldedBinaryConv2d(
+        weight_bits=to_bits(weights).reshape(channels, kh * kw),
+        in_channels=channels,
+        kernel_size=(kh, kw),
+        stride=conv.stride if isinstance(conv.stride, tuple)
+        else (conv.stride, conv.stride),
+        theta=theta,
+        gamma_sign=gamma_sign,
+        beta_sign=beta_sign,
+        depthwise=True,
+    )
+
+
+class InMemoryConv2dLayer:
+    """A folded binary 2-D convolution executed on RRAM tiles.
+
+    Weight-stationary: flattened kernels live in the arrays; receptive
+    fields stream through the XNOR sense amplifiers.  Depthwise layers use
+    the software popcount path per channel (their single-row arrays make
+    tiling trivial and device effects negligible at K_h*K_w fan-in).
+    """
+
+    def __init__(self, folded: FoldedBinaryConv2d,
+                 config: AcceleratorConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.folded = folded
+        self.controller = MemoryController(folded.weight_bits, config, rng)
+
+    def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
+        f = self.folded
+        if f.depthwise:
+            # Channel-local reads; the controller models the device layer
+            # for standard convs, depthwise stays in the folded math.
+            return f.forward_bits(x_bits)
+        n, _, height, width = np.asarray(x_bits).shape
+        h_out, w_out = f.output_shape(height, width)
+        patches = f._patches(x_bits)
+        pc = self.controller.popcounts(patches)
+        dot = 2 * pc - f.fan_in
+        out = _threshold_channels(dot, f.theta[None, :],
+                                  f.gamma_sign[None, :],
+                                  f.beta_sign[None, :])
+        return out.reshape(n, h_out, w_out, f.out_channels) \
+            .transpose(0, 3, 1, 2)
+
+
+def max_pool_bits_2d(bits: np.ndarray, kernel: int,
+                     stride: int | None = None) -> np.ndarray:
+    """2-D max-pooling on activation bits (logical OR in the periphery)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) bits, got {bits.shape}")
+    stride = stride or kernel
+    n, c, height, width = bits.shape
+    h_out = (height - kernel) // stride + 1
+    w_out = (width - kernel) // stride + 1
+    sn, sc, sh, sw = bits.strides
+    windows = np.lib.stride_tricks.as_strided(
+        bits, shape=(n, c, h_out, w_out, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False)
+    return windows.max(axis=(-2, -1))

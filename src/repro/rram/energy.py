@@ -1,0 +1,152 @@
+"""Energy and area accounting for the in-memory BNN versus digital baselines.
+
+The paper's architectural argument (§I, §II-B) is quantitative but its
+numbers live in the companion references [15], [16]; this module provides a
+transparent calculator with representative 130 nm-class constants so the
+*relative* claims can be checked:
+
+1. in-memory 2T2R BNN inference avoids weight movement entirely — its
+   energy is dominated by sense + popcount;
+2. a conventional digital implementation must fetch weights from SRAM (or
+   worse, DRAM) and, if it relies on ECC instead of 2T2R, pay syndrome
+   computation on every read;
+3. ECC decode logic is *more* complex than the BNN arithmetic itself, which
+   is the paper's reason to reject it.
+
+All constants are exposed as dataclass fields so studies can re-run the
+accounting under their own technology assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel", "InferenceCost"]
+
+
+@dataclass
+class InferenceCost:
+    """Energy/area breakdown for one classifier inference."""
+
+    sense_energy_pj: float
+    popcount_energy_pj: float
+    data_movement_pj: float
+    ecc_energy_pj: float
+    total_pj: float
+    area_mm2: float
+
+    def row(self) -> tuple[str, ...]:
+        return (f"{self.sense_energy_pj:.2f}", f"{self.popcount_energy_pj:.2f}",
+                f"{self.data_movement_pj:.2f}", f"{self.ecc_energy_pj:.2f}",
+                f"{self.total_pj:.2f}", f"{self.area_mm2:.4f}")
+
+
+@dataclass
+class EnergyModel:
+    """Representative per-operation costs (130 nm-class technology).
+
+    Energies in femtojoules unless noted; areas in square micrometres.
+    Sources are typical published ranges for HfO2 RRAM macros and low-power
+    digital logic in mature nodes; they set the *scale*, while the
+    comparisons we report depend on op *counts*, which are exact.
+    """
+
+    pcsa_sense_fj: float = 7.0            # differential sense, per bit
+    xnor_pcsa_sense_fj: float = 8.0       # sense with XNOR stage, per bit
+    popcount_fj_per_bit: float = 2.0      # adder-tree energy per popcount bit
+    threshold_fj: float = 20.0            # per-neuron comparator
+    sram_read_fj_per_bit: float = 50.0    # on-chip SRAM weight fetch
+    dram_read_pj_per_bit: float = 20.0    # off-chip weight fetch (pJ!)
+    xnor_gate_fj: float = 0.5             # digital XNOR, per bit
+    ecc_decode_fj_per_bit: float = 30.0   # SECDED syndrome+correct, per data bit
+    rram_program_pj: float = 1.5          # per device write (pJ)
+
+    cell_area_1t1r_um2: float = 0.35      # 1T1R bit cell
+    cell_area_2t2r_um2: float = 0.70      # two devices + two transistors
+    pcsa_area_um2: float = 15.0           # per column sense amplifier
+    popcount_area_um2_per_bit: float = 4.0
+    ecc_decoder_area_um2: float = 3500.0  # SECDED(72,64) decoder block
+
+    # ------------------------------------------------------------------
+    def in_memory_inference(self, layer_shapes: list[tuple[int, int]],
+                            tile_cols: int = 32) -> InferenceCost:
+        """Cost of one inference of a binary classifier on the Fig. 5
+        architecture.
+
+        ``layer_shapes``: (out_features, in_features) per binary dense
+        layer.  Weights never move: every input bit is sensed (with XNOR)
+        once per output neuron, popcounted, and thresholded.
+        """
+        sense = popcount = threshold = 0.0
+        area = 0.0
+        for out_f, in_f in layer_shapes:
+            ops = out_f * in_f
+            sense += ops * self.xnor_pcsa_sense_fj
+            popcount += ops * self.popcount_fj_per_bit
+            threshold += out_f * self.threshold_fj
+            area += ops * self.cell_area_2t2r_um2 \
+                + tile_cols * self.pcsa_area_um2 \
+                + tile_cols * self.popcount_area_um2_per_bit
+        total = sense + popcount + threshold
+        return InferenceCost(
+            sense_energy_pj=sense / 1e3,
+            popcount_energy_pj=(popcount + threshold) / 1e3,
+            data_movement_pj=0.0,
+            ecc_energy_pj=0.0,
+            total_pj=total / 1e3,
+            area_mm2=area / 1e6,
+        )
+
+    def digital_inference(self, layer_shapes: list[tuple[int, int]],
+                          weight_memory: str = "sram",
+                          use_ecc: bool = True,
+                          ecc_overhead: float = 72.0 / 64.0) -> InferenceCost:
+        """Cost of the same classifier on a conventional digital datapath.
+
+        Weights stream from ``weight_memory`` ('sram' or 'dram') on every
+        inference; with ``use_ecc`` each fetched word pays SECDED decode.
+        Compute itself is cheap digital XNOR + popcount.
+        """
+        movement = ecc = compute = 0.0
+        area = self.ecc_decoder_area_um2 if use_ecc else 0.0
+        for out_f, in_f in layer_shapes:
+            bits = out_f * in_f
+            fetched = bits * (ecc_overhead if use_ecc else 1.0)
+            if weight_memory == "sram":
+                movement += fetched * self.sram_read_fj_per_bit
+                area += fetched * self.cell_area_1t1r_um2  # SRAM >= this
+            elif weight_memory == "dram":
+                movement += fetched * self.dram_read_pj_per_bit * 1e3
+            else:
+                raise ValueError(f"unknown memory {weight_memory!r}")
+            if use_ecc:
+                ecc += bits * self.ecc_decode_fj_per_bit
+            compute += bits * (self.xnor_gate_fj + self.popcount_fj_per_bit)
+            compute += out_f * self.threshold_fj
+        total = movement + ecc + compute
+        return InferenceCost(
+            sense_energy_pj=0.0,
+            popcount_energy_pj=compute / 1e3,
+            data_movement_pj=movement / 1e3,
+            ecc_energy_pj=ecc / 1e3,
+            total_pj=total / 1e3,
+            area_mm2=area / 1e6,
+        )
+
+    def programming_energy_pj(self, n_weight_bits: int) -> float:
+        """One-time cost of programming a weight matrix into 2T2R (two
+        devices per bit).  Amortized over the chip's deployment life."""
+        return 2 * n_weight_bits * self.rram_program_pj
+
+    def storage_area_comparison(self, n_weight_bits: int
+                                ) -> dict[str, float]:
+        """Storage-only area (mm^2) of 2T2R vs ECC-protected 1T1R."""
+        ecc_bits = n_weight_bits * 72.0 / 64.0
+        return {
+            "2t2r_mm2": n_weight_bits * self.cell_area_2t2r_um2 / 1e6,
+            "1t1r_secded_mm2": (ecc_bits * self.cell_area_1t1r_um2
+                                + self.ecc_decoder_area_um2) / 1e6,
+            "1t1r_rate_half_mm2": (2 * n_weight_bits
+                                   * self.cell_area_1t1r_um2
+                                   + self.ecc_decoder_area_um2) / 1e6,
+        }

@@ -1,0 +1,119 @@
+"""Bit-error-rate measurement and fault injection.
+
+:class:`EnduranceExperiment` reproduces the protocol behind Fig. 4 of the
+paper: a population of 2T2R pairs is reprogrammed for hundreds of millions
+of cycles, alternating the two complementary weight states; at logarithmic
+checkpoints the stored weight is read back through the on-chip PCSA (2T2R
+curve) and each device of the pair is also sensed single-endedly against the
+reference (the 1T1R BL and BLb curves).
+
+Fault injection utilities corrupt deployed weight bits at a chosen BER so
+the robustness of BNN accuracy to residual errors (§II-B) can be quantified
+without running full device Monte-Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
+from repro.rram.device import DeviceParameters
+from repro.rram.sense import SenseParameters
+
+__all__ = ["EnduranceExperiment", "EnduranceResult", "inject_bit_errors",
+           "corrupt_folded"]
+
+
+@dataclass
+class EnduranceResult:
+    """BER curves versus cycle count (the series plotted in Fig. 4)."""
+
+    cycles: np.ndarray
+    ber_1t1r_bl: np.ndarray
+    ber_1t1r_blb: np.ndarray
+    ber_2t2r: np.ndarray
+    trials: int
+
+    def rows(self) -> list[tuple[float, float, float, float]]:
+        return [(float(c), float(a), float(b), float(d))
+                for c, a, b, d in zip(self.cycles, self.ber_1t1r_bl,
+                                      self.ber_1t1r_blb, self.ber_2t2r)]
+
+
+@dataclass
+class EnduranceExperiment:
+    """Monte-Carlo endurance/BER experiment.
+
+    ``checkpoints`` are absolute cycle counts (the paper sweeps 1e8 to
+    7e8); at each checkpoint ``trials`` program-and-read operations are
+    simulated per measurement path.  The per-trial work is fully
+    vectorized, so millions of trials run in seconds — necessary because
+    2T2R error rates sit at 1e-6.
+    """
+
+    device: DeviceParameters = field(default_factory=DeviceParameters)
+    sense: SenseParameters = field(default_factory=SenseParameters)
+    checkpoints: np.ndarray = field(default_factory=lambda: np.linspace(
+        1e8, 7e8, 7))
+    trials: int = 200_000
+    seed: int = 0
+
+    def run(self) -> EnduranceResult:
+        rng = np.random.default_rng(self.seed)
+        ref = np.log(self.device.reference_resistance)
+        ber_bl = np.empty(len(self.checkpoints))
+        ber_blb = np.empty(len(self.checkpoints))
+        ber_2t2r = np.empty(len(self.checkpoints))
+        # Alternating complementary programming: half of the trials store
+        # weight +1, half weight -1, as in the paper's protocol.
+        stored = np.tile(np.array([1, 0], dtype=np.uint8),
+                         -(-self.trials // 2))[:self.trials]
+        for k, cycles in enumerate(self.checkpoints):
+            # Program: BL holds LRS iff weight == 1, BLb the complement.
+            ln_r_bl = np.log(self.device.sample_resistance(
+                stored == 1, cycles, rng))
+            ln_r_blb = np.log(self.device.sample_resistance(
+                stored == 0, cycles, rng,
+                mismatch=self.device.device_mismatch))
+            # 1T1R single-ended reads of each device against the reference;
+            # the decision noise adds sense offset and reference imprecision
+            # in quadrature.
+            single_sigma = np.sqrt(self.sense.offset_sigma ** 2
+                                   + self.device.reference_spread ** 2)
+            off = rng.normal(0.0, single_sigma, (2, self.trials))
+            bl_bit = (ref - ln_r_bl + off[0]) > 0          # 1 = read LRS
+            blb_bit = (ref - ln_r_blb + off[1]) > 0
+            ber_bl[k] = np.mean(bl_bit != (stored == 1))
+            ber_blb[k] = np.mean(blb_bit != (stored == 0))
+            # 2T2R differential read through the PCSA.
+            off2 = self.sense.offset(rng, self.trials)
+            weight_read = (ln_r_blb - ln_r_bl + off2) > 0  # 1 = weight +1
+            ber_2t2r[k] = np.mean(weight_read != (stored == 1))
+        return EnduranceResult(np.asarray(self.checkpoints, dtype=float),
+                               ber_bl, ber_blb, ber_2t2r, self.trials)
+
+
+def inject_bit_errors(bits: np.ndarray, ber: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Flip each bit independently with probability ``ber``."""
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError(f"ber must be a probability, got {ber}")
+    bits = np.asarray(bits, dtype=np.uint8)
+    flips = rng.random(bits.shape) < ber
+    return (bits ^ flips.astype(np.uint8)).astype(np.uint8)
+
+
+def corrupt_folded(layer: FoldedBinaryDense | FoldedOutputDense, ber: float,
+                   rng: np.random.Generator):
+    """Return a copy of a folded layer with weight bits corrupted at
+    ``ber`` — the software-level equivalent of deploying on devices whose
+    residual error rate is ``ber``."""
+    corrupted = inject_bit_errors(layer.weight_bits, ber, rng)
+    if isinstance(layer, FoldedBinaryDense):
+        return FoldedBinaryDense(corrupted, layer.theta.copy(),
+                                 layer.gamma_sign.copy(),
+                                 layer.beta_sign.copy())
+    return FoldedOutputDense(corrupted, layer.scale.copy(),
+                             layer.offset.copy())

@@ -1,0 +1,227 @@
+"""Chip-level floorplanning of a BNN classifier onto RRAM macros.
+
+The Fig. 5 architecture replicates a fixed-size building block — a 2T2R
+array with its decoders, XNOR sense amplifiers and shared popcount logic —
+under one memory controller.  The paper's test vehicle is a 1K-synapse
+(32x32) macro (Fig. 2); a deployed classifier therefore occupies a *grid*
+of such macros per layer, and the interesting engineering numbers are how
+many, how well they are filled, and what the resulting silicon area and
+one-time programming cost are.
+
+:class:`ChipFloorplan` computes exactly that from the folded layer shapes,
+using the same technology constants as :class:`repro.rram.energy.EnergyModel`
+so area numbers are consistent across the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rram.energy import EnergyModel
+
+__all__ = ["MacroGeometry", "LayerPlacement", "ChipFloorplan",
+           "plan_classifier", "plan_model"]
+
+
+@dataclass(frozen=True)
+class MacroGeometry:
+    """One replicated array macro (the paper's is 32x32 synapses)."""
+
+    rows: int = 32
+    cols: int = 32
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(
+                f"macro must have positive dimensions, got "
+                f"{self.rows}x{self.cols}")
+
+    @property
+    def synapses(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass
+class LayerPlacement:
+    """How one binary dense layer maps onto the macro grid.
+
+    The layer's ``(out_features, in_features)`` weight matrix is cut into
+    row x column tiles of macro size; edge tiles are partially filled.
+    """
+
+    name: str
+    out_features: int
+    in_features: int
+    macro: MacroGeometry
+    tile_grid: tuple[int, int] = field(init=False)
+
+    def __post_init__(self):
+        if self.out_features <= 0 or self.in_features <= 0:
+            raise ValueError(
+                f"layer {self.name!r} has empty dimensions "
+                f"({self.out_features}, {self.in_features})")
+        self.tile_grid = (-(-self.out_features // self.macro.rows),
+                          -(-self.in_features // self.macro.cols))
+
+    @property
+    def n_macros(self) -> int:
+        rows, cols = self.tile_grid
+        return rows * cols
+
+    @property
+    def synapses_used(self) -> int:
+        return self.out_features * self.in_features
+
+    @property
+    def synapses_provisioned(self) -> int:
+        return self.n_macros * self.macro.synapses
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of provisioned synapses that hold real weights."""
+        return self.synapses_used / self.synapses_provisioned
+
+    def row(self) -> tuple[str, ...]:
+        rows, cols = self.tile_grid
+        return (self.name, f"{self.out_features}x{self.in_features}",
+                f"{rows}x{cols}", str(self.n_macros),
+                f"{self.utilization:.1%}")
+
+
+@dataclass
+class ChipFloorplan:
+    """Aggregate plan for a whole classifier."""
+
+    placements: list[LayerPlacement]
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def __post_init__(self):
+        if not self.placements:
+            raise ValueError("a floorplan needs at least one layer")
+
+    @property
+    def n_macros(self) -> int:
+        return sum(p.n_macros for p in self.placements)
+
+    @property
+    def n_devices(self) -> int:
+        """Two RRAM devices per provisioned synapse (2T2R)."""
+        return 2 * sum(p.synapses_provisioned for p in self.placements)
+
+    @property
+    def utilization(self) -> float:
+        used = sum(p.synapses_used for p in self.placements)
+        provisioned = sum(p.synapses_provisioned for p in self.placements)
+        return used / provisioned
+
+    def area_um2(self) -> dict[str, float]:
+        """Area by component, from the shared technology constants.
+
+        Per macro: 2T2R cells, one PCSA per column, and the column share of
+        the popcount tree.  The memory controller is one block per chip.
+        """
+        cells = sense = popcount = 0.0
+        controller = self.energy.ecc_decoder_area_um2  # controller-sized block
+        for p in self.placements:
+            per_macro_cells = p.macro.synapses * self.energy.cell_area_2t2r_um2
+            per_macro_sense = p.macro.cols * self.energy.pcsa_area_um2
+            per_macro_pop = (p.macro.cols
+                             * self.energy.popcount_area_um2_per_bit)
+            cells += p.n_macros * per_macro_cells
+            sense += p.n_macros * per_macro_sense
+            popcount += p.n_macros * per_macro_pop
+        total = cells + sense + popcount + controller
+        return {"cells": cells, "sense": sense, "popcount": popcount,
+                "controller": controller, "total": total}
+
+    def programming_cost(self) -> dict[str, float]:
+        """One-time weight programming: device writes and energy (pJ).
+
+        Only real weights are written; unused devices stay in HRS from
+        forming and cost nothing per deployment.
+        """
+        writes = 2 * sum(p.synapses_used for p in self.placements)
+        return {"device_writes": float(writes),
+                "energy_pj": writes * self.energy.rram_program_pj}
+
+    def report(self) -> str:
+        from repro.experiments.tables import render_table
+        table = render_table(
+            "Classifier floorplan on "
+            f"{self.placements[0].macro.rows}x"
+            f"{self.placements[0].macro.cols} macros",
+            ["Layer", "Weights", "Tile grid", "Macros", "Utilization"],
+            [p.row() for p in self.placements])
+        area = self.area_um2()
+        prog = self.programming_cost()
+        lines = [table, "",
+                 f"Total macros: {self.n_macros}   devices: "
+                 f"{self.n_devices:,}   overall utilization: "
+                 f"{self.utilization:.1%}",
+                 f"Area: {area['total'] / 1e6:.3f} mm^2 "
+                 f"(cells {area['cells'] / 1e6:.3f}, sense "
+                 f"{area['sense'] / 1e6:.3f}, popcount "
+                 f"{area['popcount'] / 1e6:.3f}, controller "
+                 f"{area['controller'] / 1e6:.3f})",
+                 f"Programming: {prog['device_writes']:,.0f} writes, "
+                 f"{prog['energy_pj'] / 1e6:.2f} uJ one-time"]
+        return "\n".join(lines)
+
+
+def plan_classifier(layer_shapes: list[tuple[int, int]],
+                    macro: MacroGeometry | None = None,
+                    names: list[str] | None = None,
+                    energy: EnergyModel | None = None) -> ChipFloorplan:
+    """Plan a classifier given ``(out_features, in_features)`` per layer.
+
+    ``names`` defaults to ``fc1, fc2, ...`` (the repository's classifier
+    convention).
+    """
+    macro = macro or MacroGeometry()
+    if names is None:
+        names = [f"fc{i + 1}" for i in range(len(layer_shapes))]
+    if len(names) != len(layer_shapes):
+        raise ValueError(
+            f"{len(names)} names for {len(layer_shapes)} layers")
+    placements = [LayerPlacement(name, out_f, in_f, macro)
+                  for name, (out_f, in_f) in zip(names, layer_shapes)]
+    return ChipFloorplan(placements, energy or EnergyModel())
+
+
+def plan_model(model, macro: MacroGeometry | None = None,
+               energy: EnergyModel | None = None) -> ChipFloorplan:
+    """Plan every *binary* layer of a model onto the macro grid.
+
+    Walks the module tree and places each binarized layer the way its
+    hardware mapping stores it: dense layers by their weight matrix,
+    convolutions by one flattened kernel per word-line row (the
+    weight-stationary mapping of :mod:`repro.rram.conv` / ``conv2d``),
+    depthwise convolutions as per-channel kernel rows.  Real-weight layers
+    are skipped — they are not resident in the RRAM fabric.
+    """
+    from repro.nn.binary import (BinaryConv1d, BinaryConv2d,
+                                 BinaryDepthwiseConv2d, BinaryLinear)
+
+    shapes: list[tuple[int, int]] = []
+    names: list[str] = []
+    for name, module in model.named_modules():
+        if isinstance(module, BinaryLinear):
+            shape = (module.out_features, module.in_features)
+        elif isinstance(module, BinaryConv1d):
+            shape = (module.out_channels,
+                     module.in_channels * module.kernel_size)
+        elif isinstance(module, BinaryConv2d):
+            kh, kw = module.kernel_size
+            shape = (module.out_channels, module.in_channels * kh * kw)
+        elif isinstance(module, BinaryDepthwiseConv2d):
+            kh, kw = module.kernel_size
+            shape = (module.channels, kh * kw)
+        else:
+            continue
+        shapes.append(shape)
+        names.append(name or type(module).__name__)
+    if not shapes:
+        raise ValueError(
+            f"{type(model).__name__} has no binary layers to place "
+            "(is it in REAL mode?)")
+    return plan_classifier(shapes, macro, names, energy)

@@ -1,0 +1,38 @@
+"""Reverse-mode automatic differentiation engine over numpy arrays.
+
+This package is the computational substrate of the reproduction: the paper
+trained its networks with a standard deep-learning framework, which is not
+available offline, so we provide an equivalent engine.  The public surface
+mirrors the small subset of framework features the paper's experiments need:
+
+* :class:`~repro.tensor.tensor.Tensor` — an n-dimensional array with a
+  ``backward()`` method computing gradients of a scalar loss with respect to
+  every tensor created with ``requires_grad=True``.
+* :mod:`~repro.tensor.im2col` — image/signal-to-column lowering used by the
+  convolution layers.
+* :func:`~repro.tensor.gradcheck.check_gradients` — finite-difference
+  verification utility used heavily by the test-suite.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.im2col import (
+    im2col_1d,
+    col2im_1d,
+    im2col_2d,
+    col2im_2d,
+    conv_output_length,
+)
+from repro.tensor.gradcheck import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "im2col_1d",
+    "col2im_1d",
+    "im2col_2d",
+    "col2im_2d",
+    "conv_output_length",
+    "check_gradients",
+    "numerical_gradient",
+]

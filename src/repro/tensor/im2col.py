@@ -1,0 +1,132 @@
+"""Lowering of convolutions to matrix multiplication (im2col / col2im).
+
+Convolutional layers in :mod:`repro.nn` lower the sliding-window dot products
+of Eq. (2) of the paper to a single large GEMM, which is the only way to get
+acceptable training throughput from numpy.  ``col2im`` is the exact adjoint of
+``im2col`` and is used in the backward pass.
+
+All functions operate on batched channel-first data:
+
+* 1-D signals: ``(N, C, L)`` — ECG leads, single EEG electrodes.
+* 2-D maps: ``(N, C, H, W)`` — EEG time x electrode images, image data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_length",
+    "im2col_1d",
+    "col2im_1d",
+    "im2col_2d",
+    "col2im_2d",
+]
+
+
+def conv_output_length(length: int, kernel: int, stride: int = 1,
+                       padding: int = 0) -> int:
+    """Output length of a convolution/pooling window sweep.
+
+    Matches the framework convention ``floor((L + 2p - k) / s) + 1``.
+    """
+    if kernel > length + 2 * padding:
+        raise ValueError(
+            f"kernel {kernel} larger than padded input {length + 2 * padding}")
+    return (length + 2 * padding - kernel) // stride + 1
+
+
+def _strided_windows_1d(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """View of shape ``(N, C, L_out, K)`` over ``(N, C, L)`` without copying."""
+    n, c, length = x.shape
+    l_out = (length - kernel) // stride + 1
+    sn, sc, sl = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, l_out, kernel), strides=(sn, sc, sl * stride, sl),
+        writeable=False)
+
+
+def im2col_1d(x: np.ndarray, kernel: int, stride: int = 1,
+              padding: int = 0) -> np.ndarray:
+    """Lower ``(N, C, L)`` to columns ``(N, L_out, C * K)``.
+
+    Each output row holds one receptive field, flattened channel-major, so a
+    convolution is ``cols @ weight.reshape(C_out, C*K).T``.
+    """
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+    windows = _strided_windows_1d(x, kernel, stride)      # (N, C, L_out, K)
+    n, c, l_out, k = windows.shape
+    return windows.transpose(0, 2, 1, 3).reshape(n, l_out, c * k)
+
+
+def col2im_1d(cols: np.ndarray, input_shape: tuple[int, int, int], kernel: int,
+              stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Adjoint of :func:`im2col_1d`: scatter-add columns back to a signal."""
+    n, c, length = input_shape
+    padded_len = length + 2 * padding
+    l_out = (padded_len - kernel) // stride + 1
+    if cols.shape != (n, l_out, c * kernel):
+        raise ValueError(f"cols shape {cols.shape} inconsistent with "
+                         f"input {input_shape}, k={kernel}, s={stride}, p={padding}")
+    windows = cols.reshape(n, l_out, c, kernel).transpose(0, 2, 1, 3)
+    out = np.zeros((n, c, padded_len), dtype=cols.dtype)
+    for k in range(kernel):
+        out[:, :, k:k + l_out * stride:stride] += windows[:, :, :, k]
+    if padding:
+        out = out[:, :, padding:padding + length]
+    return out
+
+
+def _strided_windows_2d(x: np.ndarray, kh: int, kw: int,
+                        sh: int, sw: int) -> np.ndarray:
+    """View of shape ``(N, C, H_out, W_out, KH, KW)`` over ``(N, C, H, W)``."""
+    n, c, h, w = x.shape
+    h_out = (h - kh) // sh + 1
+    w_out = (w - kw) // sw + 1
+    s0, s1, s2, s3 = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, h_out, w_out, kh, kw),
+        strides=(s0, s1, s2 * sh, s3 * sw, s2, s3),
+        writeable=False)
+
+
+def im2col_2d(x: np.ndarray, kernel: tuple[int, int],
+              stride: tuple[int, int] = (1, 1),
+              padding: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """Lower ``(N, C, H, W)`` to columns ``(N, H_out * W_out, C * KH * KW)``."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    windows = _strided_windows_2d(x, kh, kw, sh, sw)
+    n, c, h_out, w_out, _, _ = windows.shape
+    return windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n, h_out * w_out, c * kh * kw)
+
+
+def col2im_2d(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+              kernel: tuple[int, int], stride: tuple[int, int] = (1, 1),
+              padding: tuple[int, int] = (0, 0)) -> np.ndarray:
+    """Adjoint of :func:`im2col_2d`."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    hp, wp = h + 2 * ph, w + 2 * pw
+    h_out = (hp - kh) // sh + 1
+    w_out = (wp - kw) // sw + 1
+    if cols.shape != (n, h_out * w_out, c * kh * kw):
+        raise ValueError(f"cols shape {cols.shape} inconsistent with "
+                         f"input {input_shape}, k={kernel}, s={stride}, p={padding}")
+    windows = cols.reshape(n, h_out, w_out, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i:i + h_out * sh:sh, j:j + w_out * sw:sw] += \
+                windows[:, :, :, :, i, j]
+    if ph or pw:
+        out = out[:, :, ph:ph + h, pw:pw + w]
+    return out

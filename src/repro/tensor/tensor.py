@@ -1,0 +1,619 @@
+"""A reverse-mode autodiff :class:`Tensor` built on numpy.
+
+The design follows the classic tape-less "define-by-run" scheme: every
+operation returns a new :class:`Tensor` holding a closure that knows how to
+push gradients back to its parents.  Calling :meth:`Tensor.backward` on a
+scalar performs a depth-first topological sort of the graph and runs the
+closures in reverse order.
+
+Only the operations required by the reproduction are implemented, but each is
+implemented completely (full broadcasting support, correct gradient
+accumulation for shared sub-expressions, etc.) and verified against
+finite-difference gradients in ``tests/tensor``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting may both prepend axes and stretch length-1 axes; the adjoint
+    of broadcasting is summation over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    arr = np.asarray(value, dtype=dtype)
+    if arr.dtype.kind in "iub" and dtype is None:
+        arr = arr.astype(np.float64)
+    return arr
+
+
+class Tensor:
+    """An n-dimensional array supporting reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy array.  Integer input is promoted to
+        float64 because gradients are real-valued.
+    requires_grad:
+        If true, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data: np.ndarray = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: np.random.Generator | None = None,
+              requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+    @classmethod
+    def _make(cls, data: np.ndarray, parents: Iterable["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a graph node from an op result (internal)."""
+        parents = tuple(parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but severed from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar tensors; non-scalar roots require an
+        explicit output gradient.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"output gradient shape {grad.shape} != tensor shape {self.data.shape}")
+
+        # Topological order via iterative DFS (avoids recursion limits on
+        # deep networks).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            node._accumulate_into(grads, node_grad)
+        # The root itself may be a leaf.
+        if self._backward is None and self._parents == ():
+            pass
+
+    def _accumulate_into(self, grads: dict[int, np.ndarray],
+                         node_grad: np.ndarray) -> None:
+        """Run this node's backward closure, accumulating parent grads."""
+        parent_grads = self._backward(node_grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+            if parent._backward is None:
+                # Leaf tensors accumulate immediately so that shared leaves
+                # reached through several paths still sum correctly even when
+                # the topological order visits them once.
+                pass
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        out_data = a.data + b.data
+
+        def backward(grad):
+            return (_unbroadcast(grad, a.data.shape),
+                    _unbroadcast(grad, b.data.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(grad):
+            return (-grad,)
+
+        return Tensor._make(-a.data, (a,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        out_data = a.data * b.data
+
+        def backward(grad):
+            return (_unbroadcast(grad * b.data, a.data.shape),
+                    _unbroadcast(grad * a.data, b.data.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        out_data = a.data / b.data
+
+        def backward(grad):
+            return (_unbroadcast(grad / b.data, a.data.shape),
+                    _unbroadcast(-grad * a.data / (b.data ** 2), b.data.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+        out_data = a.data ** exponent
+
+        def backward(grad):
+            return (grad * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        out_data = a.data @ b.data
+
+        def backward(grad):
+            if a.data.ndim == 1 and b.data.ndim == 1:
+                return (grad * b.data, grad * a.data)
+            if a.data.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                ga = (grad[..., None, :] * b.data).sum(axis=-1)
+                ga = _unbroadcast(ga, a.data.shape)
+                gb = _unbroadcast(a.data[:, None] * grad[..., None, :], b.data.shape)
+                return (ga, gb)
+            if b.data.ndim == 1:
+                ga = _unbroadcast(grad[..., :, None] * b.data, a.data.shape)
+                gb = _unbroadcast((grad[..., :, None] * a.data).sum(axis=-2),
+                                  b.data.shape)
+                return (ga, gb)
+            ga = grad @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ grad
+            return (_unbroadcast(ga, a.data.shape), _unbroadcast(gb, b.data.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+
+        def backward(grad):
+            return (grad * out_data,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(grad):
+            return (grad / a.data,)
+
+        return Tensor._make(np.log(a.data), (a,), backward)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+
+        def backward(grad):
+            return (grad * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+
+        def backward(grad):
+            return (grad * (1.0 - out_data ** 2),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+        def backward(grad):
+            return (grad * out_data * (1.0 - out_data),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def abs(self) -> "Tensor":
+        a = self
+
+        def backward(grad):
+            return (grad * np.sign(a.data),)
+
+        return Tensor._make(np.abs(a.data), (a,), backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(a.data * mask, (a,), backward)
+
+    def hardtanh(self, low: float = -1.0, high: float = 1.0) -> "Tensor":
+        """Piecewise-linear saturation, the BNN pre-binarization activation."""
+        a = self
+        out_data = np.clip(a.data, low, high)
+        mask = (a.data > low) & (a.data < high)
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def sign_ste(self, clip: float = 1.0) -> "Tensor":
+        """Binarize to ±1 with the straight-through estimator.
+
+        Forward is ``sign`` (with ``sign(0) = +1`` so outputs are strictly
+        binary); backward passes the gradient unchanged where ``|x| <= clip``
+        and zero elsewhere — the hard-tanh STE of Courbariaux et al. used by
+        the paper.
+        """
+        a = self
+        out_data = np.where(a.data >= 0, 1.0, -1.0)
+        mask = np.abs(a.data) <= clip
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        a = self
+        out_data = np.clip(a.data, low, high)
+        mask = (a.data >= low) & (a.data <= high)
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def maximum(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        out_data = np.maximum(a.data, b.data)
+        a_wins = a.data >= b.data
+
+        def backward(grad):
+            return (_unbroadcast(grad * a_wins, a.data.shape),
+                    _unbroadcast(grad * ~a_wins, b.data.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % a.data.ndim for ax in axes)
+                for ax in sorted(axes):
+                    g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, a.data.shape).copy(),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.mean(axis=axis, keepdims=keepdims)
+        count = a.data.size / out_data.size
+
+        def backward(grad):
+            g = grad / count
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % a.data.ndim for ax in axes)
+                for ax in sorted(axes):
+                    g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, a.data.shape).copy(),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0), differentiable."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % a.data.ndim for ax in axes)
+                for ax in sorted(axes):
+                    g = np.expand_dims(g, ax)
+                    o = np.expand_dims(o, ax)
+            mask = a.data == o
+            # Split gradient between ties, matching the subgradient convention.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            return (mask * g / counts,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        out_data = a.data.reshape(shape)
+
+        def backward(grad):
+            return (grad.reshape(a.data.shape),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def flatten_from(self, start_axis: int = 1) -> "Tensor":
+        """Flatten all axes from ``start_axis`` onward (batch-preserving)."""
+        lead = self.data.shape[:start_axis]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, axes: Sequence[int] | None = None) -> "Tensor":
+        a = self
+        if axes is None:
+            axes = tuple(reversed(range(a.data.ndim)))
+        axes = tuple(axes)
+        inverse = tuple(np.argsort(axes))
+        out_data = a.data.transpose(axes)
+
+        def backward(grad):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+        out_data = a.data[index]
+
+        def backward(grad):
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero padding; ``pad_width`` follows :func:`numpy.pad` conventions."""
+        a = self
+        pad_width = tuple((int(lo), int(hi)) for lo, hi in pad_width)
+        out_data = np.pad(a.data, pad_width)
+        slices = tuple(slice(lo, lo + n) for (lo, _), n in zip(pad_width, a.data.shape))
+
+        def backward(grad):
+            return (grad[slices],)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            pieces = []
+            for start, stop in zip(offsets[:-1], offsets[1:]):
+                idx = [slice(None)] * grad.ndim
+                idx[axis] = slice(int(start), int(stop))
+                pieces.append(grad[tuple(idx)])
+            return tuple(pieces)
+
+        return Tensor._make(out_data, tensors, backward)
+
+    # ------------------------------------------------------------------
+    # Softmax family (implemented here for numerical stability)
+    # ------------------------------------------------------------------
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        a = self
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_z
+        softmax = np.exp(out_data)
+
+        def backward(grad):
+            return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return self.log_softmax(axis=axis).exp()
+
+    # ------------------------------------------------------------------
+    # Custom ops
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_op(data: np.ndarray, parents: Sequence["Tensor"],
+                backward: Callable[[np.ndarray], tuple]) -> "Tensor":
+        """Public hook for defining custom differentiable operations.
+
+        ``backward(grad_out)`` must return one gradient array (or ``None``)
+        per parent.  Used by the convolution and pooling layers.
+        """
+        return Tensor._make(np.asarray(data), tuple(parents), backward)

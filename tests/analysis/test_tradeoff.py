@@ -1,0 +1,135 @@
+"""Tests for the accuracy-vs-memory trade-off analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (TradeoffPoint, TradeoffStudy, accuracy_at_budget,
+                            pareto_frontier)
+
+
+def point(label, mem, acc):
+    return TradeoffPoint(label, mem, acc)
+
+
+class TestTradeoffPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="memory"):
+            point("bad", 0, 0.5)
+        with pytest.raises(ValueError, match="accuracy"):
+            point("bad", 100, 1.5)
+
+    def test_dominates_strictly_better(self):
+        assert point("a", 100, 0.9).dominates(point("b", 200, 0.8))
+
+    def test_dominates_equal_memory_better_accuracy(self):
+        assert point("a", 100, 0.9).dominates(point("b", 100, 0.8))
+
+    def test_no_self_domination(self):
+        p = point("a", 100, 0.9)
+        assert not p.dominates(point("same", 100, 0.9))
+
+    def test_incomparable_points(self):
+        small_weak = point("a", 100, 0.7)
+        big_strong = point("b", 200, 0.9)
+        assert not small_weak.dominates(big_strong)
+        assert not big_strong.dominates(small_weak)
+
+
+class TestParetoFrontier:
+    def test_paper_shape(self):
+        """Real / BNN / bin-classifier: the bin-classifier knee dominates
+        configurations that are bigger and weaker."""
+        points = [
+            point("real 32-bit", 1_170_000, 0.963),
+            point("BNN 1x", 36_500, 0.921),
+            point("BNN 7x", 256_000, 0.949),
+            point("bin classifier", 187_000, 0.959),
+        ]
+        frontier = pareto_frontier(points)
+        labels = [p.label for p in frontier]
+        assert "BNN 1x" in labels           # smallest
+        assert "bin classifier" in labels   # the knee
+        assert "real 32-bit" in labels      # most accurate
+        assert "BNN 7x" not in labels       # dominated by bin classifier
+
+    def test_sorted_by_memory(self):
+        points = [point(str(i), m, a) for i, (m, a) in
+                  enumerate([(300, 0.5), (100, 0.4), (200, 0.45)])]
+        frontier = pareto_frontier(points)
+        mems = [p.memory_bytes for p in frontier]
+        assert mems == sorted(mems)
+
+    def test_single_point(self):
+        p = point("only", 10, 0.5)
+        assert pareto_frontier([p]) == [p]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            pareto_frontier([])
+
+    def test_duplicate_points_survive(self):
+        points = [point("a", 100, 0.9), point("b", 100, 0.9)]
+        assert len(pareto_frontier(points)) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.floats(1, 1e6), st.floats(0, 1)),
+                    min_size=1, max_size=30))
+    def test_frontier_is_non_dominated_and_monotone(self, raw):
+        points = [point(str(i), m, a) for i, (m, a) in enumerate(raw)]
+        frontier = pareto_frontier(points)
+        assert frontier  # never empty for non-empty input
+        for p in frontier:
+            assert not any(q.dominates(p) for q in points)
+        # Along the frontier, accuracy must not decrease with memory for
+        # distinct-memory neighbours.
+        for a, b in zip(frontier, frontier[1:]):
+            if b.memory_bytes > a.memory_bytes:
+                assert b.accuracy >= a.accuracy
+
+
+class TestAccuracyAtBudget:
+    POINTS = [
+        point("tiny", 10_000, 0.80),
+        point("medium", 100_000, 0.92),
+        point("large", 1_000_000, 0.96),
+    ]
+
+    def test_picks_best_feasible(self):
+        best = accuracy_at_budget(self.POINTS, 150_000)
+        assert best.label == "medium"
+
+    def test_nothing_fits(self):
+        assert accuracy_at_budget(self.POINTS, 5_000) is None
+
+    def test_everything_fits_picks_most_accurate(self):
+        assert accuracy_at_budget(self.POINTS, 1e9).label == "large"
+
+    def test_tie_prefers_smaller(self):
+        points = [point("a", 100, 0.9), point("b", 50, 0.9)]
+        assert accuracy_at_budget(points, 200).label == "b"
+
+    def test_bad_budget_raises(self):
+        with pytest.raises(ValueError, match="budget"):
+            accuracy_at_budget(self.POINTS, 0)
+
+
+class TestTradeoffStudy:
+    def study(self) -> TradeoffStudy:
+        return (TradeoffStudy("ECG study")
+                .add("real", 1_170_000, 0.963)
+                .add("bnn", 36_500, 0.921)
+                .add("bin clf", 187_000, 0.959))
+
+    def test_render_marks_frontier(self):
+        text = self.study().render()
+        assert "ECG study" in text
+        assert "*" in text
+
+    def test_plot_renders(self):
+        text = self.study().plot()
+        assert "frontier" in text
+
+    def test_chaining_returns_self(self):
+        s = TradeoffStudy()
+        assert s.add("x", 1, 0.5) is s

@@ -1,0 +1,166 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.cli import analytic
+from repro.cli.main import _canonical_id, _cmd_info, _cmd_list, _cmd_run
+from repro.cli.registry import ExperimentInfo
+
+
+class TestRegistry:
+    def test_every_paper_artefact_catalogued(self):
+        for exp_id in ("FIG4", "TAB1", "TAB2", "TAB3", "TAB4", "FIG7",
+                       "FIG8"):
+            assert exp_id in EXPERIMENTS
+
+    def test_ids_are_keys(self):
+        for exp_id, info in EXPERIMENTS.items():
+            assert info.id == exp_id
+
+    def test_analytic_entries_have_runners(self):
+        for info in EXPERIMENTS.values():
+            if info.kind == "analytic":
+                assert info.runner is not None
+                assert callable(getattr(analytic, info.runner))
+            else:
+                assert info.runner is None
+
+    def test_bench_paths_exist(self):
+        import pathlib
+        root = pathlib.Path(__file__).parents[2]
+        for info in EXPERIMENTS.values():
+            assert (root / info.bench).exists(), info.bench
+
+    def test_kinds_are_valid(self):
+        assert all(i.kind in ("analytic", "training")
+                   for i in EXPERIMENTS.values())
+
+    def test_info_is_frozen(self):
+        info = next(iter(EXPERIMENTS.values()))
+        with pytest.raises(AttributeError):
+            info.id = "HACK"
+
+    def test_modules_importable(self):
+        import importlib
+        for info in EXPERIMENTS.values():
+            for module in info.modules:
+                importlib.import_module(module)
+
+
+class TestCanonicalId:
+    @pytest.mark.parametrize("raw,expected", [
+        ("fig4", "FIG4"),
+        ("Figure 4", "FIG4"),
+        ("table1", "TAB1"),
+        ("TABLE 4", "TAB4"),
+        ("tab2", "TAB2"),
+        ("xtra7", "XTRA7"),
+    ])
+    def test_aliases(self, raw, expected):
+        assert _canonical_id(raw) == expected
+
+
+class TestCommands:
+    def test_list_mentions_every_id(self):
+        text = _cmd_list()
+        for exp_id in EXPERIMENTS:
+            assert exp_id in text
+
+    def test_info_known_id(self):
+        text = _cmd_info("FIG4")
+        assert "Fig. 4" in text
+        assert "benchmarks/bench_fig4_bit_error_rate.py" in text
+
+    def test_info_unknown_id_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            _cmd_info("NOPE")
+
+    def test_run_training_id_points_to_pytest(self):
+        with pytest.raises(SystemExit, match="pytest"):
+            _cmd_run("TAB3")
+
+    def test_run_unknown_id_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            _cmd_run("FIG99")
+
+
+class TestAnalyticRunners:
+    """Each analytic runner must execute quickly and mention its artefact."""
+
+    @pytest.mark.parametrize("runner,keyword", [
+        ("run_fig4", "Fig. 4"),
+        ("run_table1", "Table I"),
+        ("run_table2", "Table II"),
+        ("run_table4", "Table IV"),
+        ("run_energy", "in-memory"),
+        ("run_retention", "Retention"),
+        ("run_analog", "ADC"),
+    ])
+    def test_runner_output(self, runner, keyword):
+        text = getattr(analytic, runner)()
+        assert keyword in text
+        assert len(text.splitlines()) > 3
+
+    def test_fig4_reports_separation(self):
+        assert "orders of magnitude" in analytic.run_fig4()
+
+    def test_table1_matches_paper_totals(self):
+        text = analytic.run_table1()
+        assert "2520" in text          # flattened feature width
+        assert "305,842" in text       # ~0.31M parameters
+
+    def test_analog_error_decreases_down_the_table(self):
+        lines = [l for l in analytic.run_analog().splitlines()
+                 if l and l[0].isdigit()]
+        errors = [float(l.split("|")[1]) for l in lines]
+        assert errors == sorted(errors, reverse=True)
+
+
+class TestMainEntry:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "FIG4" in capsys.readouterr().out
+
+    def test_info_command(self, capsys):
+        assert main(["info", "TAB4"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "TAB1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_memory_alias(self, capsys):
+        assert main(["memory"]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_energy_alias(self, capsys):
+        assert main(["energy"]) == 0
+        assert "in-memory" in capsys.readouterr().out
+
+    def test_floorplan_command(self, capsys):
+        assert main(["floorplan", "eeg"]) == 0
+        out = capsys.readouterr().out
+        assert "fc1" in out and "mm^2" in out
+
+    def test_floorplan_custom_macro(self, capsys):
+        assert main(["floorplan", "ecg", "--macro", "64x64"]) == 0
+        assert "64x64" in capsys.readouterr().out
+
+    def test_floorplan_bad_macro_exits(self):
+        with pytest.raises(SystemExit, match="32x32"):
+            main(["floorplan", "eeg", "--macro", "banana"])
+
+    def test_floorplan_unknown_model_exits(self):
+        with pytest.raises(SystemExit):
+            main(["floorplan", "resnet"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out

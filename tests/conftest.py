@@ -1,0 +1,10 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; tests must not depend on global state."""
+    return np.random.default_rng(12345)

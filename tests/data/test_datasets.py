@@ -1,0 +1,116 @@
+"""Dataset containers, loaders, cross-validation, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (ArrayDataset, ChannelStandardizer, DataLoader,
+                        GaussianNoiseAugment, Subset, kfold_indices,
+                        stratified_kfold_indices)
+
+
+class TestArrayDataset:
+    def test_len_getitem(self, rng):
+        ds = ArrayDataset(rng.standard_normal((10, 3)), np.arange(10))
+        assert len(ds) == 10
+        x, y = ds[4]
+        assert y == 4
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_num_classes(self):
+        ds = ArrayDataset(np.zeros((6, 1)), np.array([0, 1, 2, 0, 1, 2]))
+        assert ds.num_classes == 3
+
+    def test_subset(self, rng):
+        ds = ArrayDataset(rng.standard_normal((10, 3)), np.arange(10))
+        sub = Subset(ds, [2, 5, 7])
+        assert len(sub) == 3
+        assert sub[1][1] == 5
+        xs, ys = sub.arrays()
+        assert np.array_equal(ys, [2, 5, 7])
+
+
+class TestDataLoader:
+    def test_batch_shapes_and_coverage(self, rng):
+        ds = ArrayDataset(rng.standard_normal((17, 4)), np.arange(17))
+        loader = DataLoader(ds, batch_size=5)
+        batches = list(loader)
+        assert len(batches) == len(loader) == 4
+        assert batches[0][0].shape == (5, 4)
+        assert batches[-1][0].shape == (2, 4)
+        seen = np.concatenate([y for _, y in batches])
+        assert np.array_equal(np.sort(seen), np.arange(17))
+
+    def test_drop_last(self, rng):
+        ds = ArrayDataset(rng.standard_normal((17, 4)), np.arange(17))
+        loader = DataLoader(ds, batch_size=5, drop_last=True)
+        assert len(loader) == 3
+        assert sum(len(y) for _, y in loader) == 15
+
+    def test_shuffle_is_reproducible(self, rng):
+        ds = ArrayDataset(np.zeros((20, 1)), np.arange(20))
+        l1 = DataLoader(ds, 4, shuffle=True, rng=np.random.default_rng(3))
+        l2 = DataLoader(ds, 4, shuffle=True, rng=np.random.default_rng(3))
+        order1 = np.concatenate([y for _, y in l1])
+        order2 = np.concatenate([y for _, y in l2])
+        assert np.array_equal(order1, order2)
+        assert not np.array_equal(order1, np.arange(20))
+
+    def test_invalid_batch_size(self, rng):
+        ds = ArrayDataset(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+
+
+class TestKFold:
+    def test_folds_partition_everything(self, rng):
+        splits = kfold_indices(23, 5, rng)
+        all_val = np.concatenate([val for _, val in splits])
+        assert np.array_equal(np.sort(all_val), np.arange(23))
+        for train, val in splits:
+            assert len(np.intersect1d(train, val)) == 0
+            assert len(train) + len(val) == 23
+
+    def test_stratified_balance(self, rng):
+        labels = np.array([0] * 40 + [1] * 20)
+        splits = stratified_kfold_indices(labels, 5, rng)
+        for _, val in splits:
+            frac = labels[val].mean()
+            assert abs(frac - 1 / 3) < 0.1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kfold_indices(5, 1)
+        with pytest.raises(ValueError):
+            stratified_kfold_indices(np.zeros(3), 5)
+
+
+class TestTransforms:
+    def test_standardizer(self, rng):
+        data = rng.standard_normal((50, 4, 30)) * 3 + 5
+        std = ChannelStandardizer().fit(data)
+        out = std.transform(data)
+        assert np.allclose(out.mean(axis=(0, 2)), 0, atol=1e-8)
+        assert np.allclose(out.std(axis=(0, 2)), 1, atol=1e-6)
+
+    def test_standardizer_requires_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            ChannelStandardizer().transform(np.zeros((2, 3)))
+
+    def test_noise_augment_changes_data(self, rng):
+        aug = GaussianNoiseAugment(0.1, rng)
+        x = np.zeros((8, 4))
+        out = aug(x)
+        assert out.shape == x.shape
+        assert 0.05 < out.std() < 0.2
+
+    def test_zero_sigma_is_identity(self, rng):
+        aug = GaussianNoiseAugment(0.0, rng)
+        x = rng.standard_normal((3, 3))
+        assert np.array_equal(aug(x), x)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseAugment(-1.0)

@@ -1,0 +1,137 @@
+"""Synthetic signal generators: structural and physiological invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data import (ECGConfig, EEGConfig, ImageConfig, derive_leads,
+                        make_ecg_dataset, make_eeg_dataset,
+                        make_image_dataset)
+from repro.data.ecg import _ELECTRODE_VECTORS, ELECTRODE_NAMES, LEAD_NAMES
+from repro.data.eeg import LEFT_MOTOR_CHANNELS, RIGHT_MOTOR_CHANNELS
+
+
+class TestEEGGenerator:
+    def test_shapes_and_labels(self):
+        ds = make_eeg_dataset(EEGConfig(n_trials=12, n_samples=160, seed=1))
+        assert ds.inputs.shape == (12, 64, 160)
+        assert set(np.unique(ds.labels)) <= {0, 1}
+
+    def test_reproducible(self):
+        a = make_eeg_dataset(EEGConfig(n_trials=4, n_samples=80, seed=5))
+        b = make_eeg_dataset(EEGConfig(n_trials=4, n_samples=80, seed=5))
+        assert np.array_equal(a.inputs, b.inputs)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_erd_lateralization(self):
+        """Imagined-right trials must show lower mu power over the LEFT
+        motor channels than imagined-left trials (the discriminative
+        physiology the classifier must find)."""
+        cfg = EEGConfig(n_trials=120, n_samples=480, seed=2,
+                        noise_amplitude=0.3)
+        ds = make_eeg_dataset(cfg)
+
+        def band_power(x, lo=7.0, hi=13.0):
+            spec = np.abs(np.fft.rfft(x, axis=-1)) ** 2
+            freqs = np.fft.rfftfreq(x.shape[-1], 1 / cfg.sample_rate)
+            band = (freqs >= lo) & (freqs <= hi)
+            return spec[..., band].mean(axis=-1)
+
+        left_ch = ds.inputs[:, LEFT_MOTOR_CHANNELS, :]
+        power = band_power(left_ch).mean(axis=1)
+        right_imagery = power[ds.labels == 1].mean()
+        left_imagery = power[ds.labels == 0].mean()
+        assert right_imagery < left_imagery
+
+    def test_motor_channels_disjoint(self):
+        assert not set(LEFT_MOTOR_CHANNELS) & set(RIGHT_MOTOR_CHANNELS)
+
+
+class TestECGGenerator:
+    def test_shapes_and_labels(self):
+        ds = make_ecg_dataset(ECGConfig(n_trials=10, n_samples=500, seed=1))
+        assert ds.inputs.shape == (10, 12, 500)
+        assert set(np.unique(ds.labels)) <= {0, 1}
+
+    def test_reproducible(self):
+        a = make_ecg_dataset(ECGConfig(n_trials=5, seed=9))
+        b = make_ecg_dataset(ECGConfig(n_trials=5, seed=9))
+        assert np.array_equal(a.inputs, b.inputs)
+
+    def test_einthoven_law(self, rng):
+        """Lead I + Lead III = Lead II, by construction of the limb leads —
+        must hold exactly for any electrode potentials."""
+        potentials = rng.standard_normal((9, 100))
+        leads = derive_leads(potentials)
+        i, ii, iii = leads[0], leads[1], leads[2]
+        assert np.allclose(i + iii, ii)
+
+    def test_augmented_leads_sum_to_zero(self, rng):
+        potentials = rng.standard_normal((9, 50))
+        leads = derive_leads(potentials)
+        avr, avl, avf = leads[3], leads[4], leads[5]
+        assert np.allclose(avr + avl + avf, 0, atol=1e-12)
+
+    def test_lead_naming(self):
+        assert len(LEAD_NAMES) == 12
+        assert len(ELECTRODE_NAMES) == 9
+        assert _ELECTRODE_VECTORS.shape == (9, 3)
+
+    def test_inversion_fraction_respected(self):
+        ds = make_ecg_dataset(ECGConfig(n_trials=400, seed=3,
+                                        inversion_fraction=0.25))
+        assert abs(ds.labels.mean() - 0.25) < 0.07
+
+    def test_swap_changes_leads(self):
+        """A swapped trial must differ from what the same dipole would give
+        unswapped — checked statistically: positive and negative classes
+        have different inter-lead correlation structure."""
+        ds = make_ecg_dataset(ECGConfig(n_trials=200, seed=4,
+                                        noise_amplitude=0.01))
+        def mean_abs_corr(trials):
+            cs = []
+            for x in trials:
+                c = np.corrcoef(x)
+                cs.append(c[0, 1])    # correlation of leads I and II
+            return np.mean(cs)
+        pos = mean_abs_corr(ds.inputs[ds.labels == 1])
+        neg = mean_abs_corr(ds.inputs[ds.labels == 0])
+        assert abs(pos - neg) > 0.05
+
+    def test_heartbeats_present(self):
+        """R-peaks should make lead II's max much larger than its std."""
+        ds = make_ecg_dataset(ECGConfig(n_trials=5, seed=6,
+                                        noise_amplitude=0.01))
+        lead_ii = ds.inputs[:, 1, :]
+        assert (lead_ii.max(axis=1) > 3 * lead_ii.std(axis=1)).all()
+
+
+class TestImageGenerator:
+    def test_shapes_and_label_coverage(self):
+        ds = make_image_dataset(ImageConfig(n_classes=4, n_per_class=6,
+                                            image_size=16, seed=1))
+        assert ds.inputs.shape == (24, 3, 16, 16)
+        assert np.array_equal(np.unique(ds.labels), np.arange(4))
+        counts = np.bincount(ds.labels)
+        assert np.all(counts == 6)
+
+    def test_reproducible(self):
+        a = make_image_dataset(ImageConfig(n_classes=2, n_per_class=3,
+                                           image_size=8, seed=2))
+        b = make_image_dataset(ImageConfig(n_classes=2, n_per_class=3,
+                                           image_size=8, seed=2))
+        assert np.array_equal(a.inputs, b.inputs)
+
+    def test_classes_are_distinguishable(self):
+        """Within-class correlation must exceed between-class correlation."""
+        ds = make_image_dataset(ImageConfig(n_classes=3, n_per_class=10,
+                                            image_size=16, seed=3,
+                                            noise_amplitude=0.1))
+        flat = ds.inputs.reshape(len(ds.inputs), -1)
+        flat = flat - flat.mean(axis=1, keepdims=True)
+        flat /= np.linalg.norm(flat, axis=1, keepdims=True)
+        sims = flat @ flat.T
+        same = ds.labels[:, None] == ds.labels[None, :]
+        off_diag = ~np.eye(len(flat), dtype=bool)
+        within = sims[same & off_diag].mean()
+        between = sims[~same].mean()
+        assert within > between + 0.05

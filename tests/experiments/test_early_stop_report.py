@@ -1,0 +1,126 @@
+"""Tests for early stopping and the diagnostic-report evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (TrainConfig, evaluate_accuracy,
+                               evaluate_report, predict_scores, train_model)
+from repro.nn import Linear, Sequential
+from repro.nn.module import Module
+
+
+def toy_problem(n=200, seed=0):
+    """Linearly separable 2-class problem with a little noise."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(np.int64)
+    return x, y
+
+
+def toy_model(seed=0) -> Module:
+    return Sequential(Linear(4, 8, rng=np.random.default_rng(seed)),
+                      Linear(8, 2, rng=np.random.default_rng(seed + 1)))
+
+
+class TestEarlyStopping:
+    def test_requires_validation_set(self):
+        x, y = toy_problem()
+        with pytest.raises(ValueError, match="validation"):
+            train_model(toy_model(), x, y,
+                        TrainConfig(epochs=5, early_stop_patience=2))
+
+    def test_stops_before_epoch_budget(self):
+        x, y = toy_problem(300)
+        result = train_model(
+            toy_model(), x[:200], y[:200],
+            TrainConfig(epochs=200, batch_size=32, lr=5e-2,
+                        early_stop_patience=3, seed=1),
+            val_inputs=x[200:], val_labels=y[200:])
+        assert result.stopped_epoch is not None
+        assert result.stopped_epoch < 200
+
+    def test_no_stop_when_disabled(self):
+        x, y = toy_problem(100)
+        result = train_model(
+            toy_model(), x[:80], y[:80],
+            TrainConfig(epochs=5, batch_size=32, seed=1),
+            val_inputs=x[80:], val_labels=y[80:])
+        assert result.stopped_epoch is None
+
+    def test_restores_best_weights(self):
+        """Final accuracy equals the best validation accuracy seen."""
+        x, y = toy_problem(300, seed=3)
+        result = train_model(
+            toy_model(seed=3), x[:200], y[:200],
+            TrainConfig(epochs=60, batch_size=32, lr=5e-2,
+                        early_stop_patience=4, track_history=True, seed=2),
+            val_inputs=x[200:], val_labels=y[200:])
+        best_seen = max(rec["top1"] for rec in result.history)
+        assert result.final_accuracy == pytest.approx(best_seen, abs=1e-9)
+
+    def test_min_delta_makes_stopping_stricter(self):
+        x, y = toy_problem(300, seed=4)
+
+        def run(min_delta):
+            return train_model(
+                toy_model(seed=4), x[:200], y[:200],
+                TrainConfig(epochs=100, batch_size=32, lr=5e-2,
+                            early_stop_patience=3,
+                            early_stop_min_delta=min_delta, seed=5),
+                val_inputs=x[200:], val_labels=y[200:])
+
+        lenient = run(0.0)
+        strict = run(0.5)  # nothing improves by 50 points -> stops at once
+        assert strict.stopped_epoch is not None
+        if lenient.stopped_epoch is not None:
+            assert strict.stopped_epoch <= lenient.stopped_epoch
+
+
+class TestPredictScores:
+    def test_shape_and_batching_agree(self):
+        x, y = toy_problem(50)
+        model = toy_model()
+        small = predict_scores(model, x, batch_size=7)
+        large = predict_scores(model, x, batch_size=64)
+        assert small.shape == (50, 2)
+        assert np.allclose(small, large)
+
+    def test_respects_eval_mode_restoration(self):
+        x, _ = toy_problem(10)
+        model = toy_model()
+        model.train()
+        predict_scores(model, x)
+        assert model.training
+
+    def test_argmax_consistent_with_accuracy(self):
+        x, y = toy_problem(60)
+        model = toy_model()
+        scores = predict_scores(model, x)
+        manual = float((scores.argmax(axis=1) == y).mean())
+        assert evaluate_accuracy(model, x, y) == pytest.approx(manual)
+
+
+class TestEvaluateReport:
+    def test_report_fields(self):
+        x, y = toy_problem(300, seed=6)
+        model = toy_model(seed=6)
+        train_model(model, x[:200], y[:200],
+                    TrainConfig(epochs=40, batch_size=32, lr=5e-2, seed=7))
+        report = evaluate_report(model, x[200:], y[200:])
+        assert report.accuracy > 0.8
+        assert report.auc is not None and report.auc > 0.85
+        assert report.confusion.sum() == 100
+
+    def test_accuracy_matches_evaluate_accuracy(self):
+        x, y = toy_problem(80, seed=8)
+        model = toy_model(seed=8)
+        report = evaluate_report(model, x, y)
+        assert report.accuracy == pytest.approx(
+            evaluate_accuracy(model, x, y))
+
+    def test_multiclass_rejected(self):
+        rng = np.random.default_rng(9)
+        model = Sequential(Linear(4, 3, rng=rng))
+        with pytest.raises(ValueError, match="binary"):
+            evaluate_report(model, rng.normal(size=(5, 4)),
+                            np.zeros(5, dtype=np.int64))

@@ -1,0 +1,167 @@
+"""Training runner, cross-validation protocol, table rendering, scales."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.dataset import ArrayDataset
+from repro.experiments import (CrossValResult, EcgTask, EegTask, TrainConfig,
+                               cross_validate, current_scale,
+                               evaluate_accuracy, evaluate_topk, render_series,
+                               render_table, train_model, PAPER_RESULTS)
+from repro.models import BinarizationMode
+
+
+def _toy_dataset(rng, n=80, d=6):
+    x = rng.standard_normal((n, d))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(np.int64)
+    return ArrayDataset(x, y)
+
+
+def _mlp_factory(rng_unused=None):
+    def factory(rng):
+        return nn.Sequential(nn.Linear(6, 16, rng=rng), nn.Tanh(),
+                             nn.Linear(16, 2, rng=rng))
+    return factory
+
+
+class TestTrainModel:
+    def test_learns_toy_problem(self, rng):
+        ds = _toy_dataset(rng)
+        model = _mlp_factory()(rng)
+        result = train_model(model, ds.inputs, ds.labels,
+                             TrainConfig(epochs=40, batch_size=16, lr=0.01,
+                                         seed=1))
+        assert result.final_accuracy > 0.9
+
+    def test_history_tracking(self, rng):
+        ds = _toy_dataset(rng)
+        model = _mlp_factory()(rng)
+        result = train_model(model, ds.inputs[:60], ds.labels[:60],
+                             TrainConfig(epochs=5, track_history=True,
+                                         eval_topk=(1,), seed=1),
+                             ds.inputs[60:], ds.labels[60:])
+        assert len(result.history) == 5
+        assert all("top1" in rec for rec in result.history)
+        assert result.history[0]["epoch"] == 1.0
+
+    def test_deterministic_given_seed(self, rng):
+        ds = _toy_dataset(rng)
+        accs = []
+        for _ in range(2):
+            model = _mlp_factory()(np.random.default_rng(0))
+            res = train_model(model, ds.inputs, ds.labels,
+                              TrainConfig(epochs=5, seed=9))
+            accs.append(res.final_accuracy)
+        assert accs[0] == accs[1]
+
+    def test_sgd_option(self, rng):
+        ds = _toy_dataset(rng)
+        model = _mlp_factory()(rng)
+        res = train_model(model, ds.inputs, ds.labels,
+                          TrainConfig(epochs=20, optimizer="sgd", lr=0.05,
+                                      seed=1))
+        assert res.final_accuracy > 0.75
+
+    def test_unknown_optimizer(self, rng):
+        ds = _toy_dataset(rng)
+        with pytest.raises(ValueError):
+            train_model(_mlp_factory()(rng), ds.inputs, ds.labels,
+                        TrainConfig(optimizer="rmsprop", epochs=1))
+
+
+class TestEvaluate:
+    def test_topk_ordering(self, rng):
+        model = _mlp_factory()(rng)
+        ds = _toy_dataset(rng)
+        topk = evaluate_topk(model, ds.inputs, ds.labels, (1, 2))
+        assert topk[2] == 1.0            # 2 classes: top-2 always right
+        assert 0.0 <= topk[1] <= 1.0
+
+    def test_eval_restores_training_mode(self, rng):
+        model = nn.Sequential(nn.Dropout(0.5, rng=rng),
+                              nn.Linear(6, 2, rng=rng))
+        model.train()
+        ds = _toy_dataset(rng)
+        evaluate_accuracy(model, ds.inputs, ds.labels)
+        assert model.training
+
+
+class TestCrossValidate:
+    def test_fold_count(self, rng):
+        ds = _toy_dataset(rng, n=60)
+        res = cross_validate(_mlp_factory(), ds,
+                             TrainConfig(epochs=3, seed=1), k=4)
+        assert len(res.fold_accuracies) == 4
+        assert isinstance(res, CrossValResult)
+        assert 0 <= res.mean <= 1 and res.std >= 0
+
+    def test_repeats_multiply_folds(self, rng):
+        ds = _toy_dataset(rng, n=40)
+        res = cross_validate(_mlp_factory(), ds,
+                             TrainConfig(epochs=2, seed=1), k=2, repeats=2)
+        assert len(res.fold_accuracies) == 4
+
+    def test_fit_hook_receives_training_split_only(self, rng):
+        ds = _toy_dataset(rng, n=40)
+        seen_sizes = []
+
+        def hook(model, train_x):
+            seen_sizes.append(len(train_x))
+
+        cross_validate(_mlp_factory(), ds, TrainConfig(epochs=1, seed=1),
+                       k=4, fit_hook=hook)
+        assert seen_sizes == [30, 30, 30, 30]
+
+
+class TestScalesAndTasks:
+    def test_default_scale_is_bench(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale().name == "bench"
+
+    def test_paper_scale_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        scale = current_scale()
+        assert scale.name == "paper"
+        assert scale.ecg_folds == 5 and scale.ecg_epochs == 1000
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_ecg_task_builds_consistent_pieces(self):
+        task = EcgTask()
+        ds = task.dataset()
+        assert ds.inputs.shape[1] == 12
+        model = task.model_factory(BinarizationMode.REAL)(
+            np.random.default_rng(0))
+        task.fit_hook(model, ds.inputs[:10])
+        from repro.tensor import Tensor
+        assert model(Tensor(ds.inputs[:2])).shape == (2, 2)
+
+    def test_eeg_task_builds_consistent_pieces(self):
+        task = EegTask()
+        ds = task.dataset()
+        model = task.model_factory(BinarizationMode.REAL)(
+            np.random.default_rng(0))
+        from repro.tensor import Tensor
+        assert model(Tensor(ds.inputs[:2])).shape == (2, 2)
+
+    def test_paper_reference_values_present(self):
+        assert PAPER_RESULTS["ecg"]["real"] == 0.963
+        assert PAPER_RESULTS["imagenet_top1"]["bin_classifier"] == 0.70
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table("T", ["a", "bbb"], [["1", "2"], ["33", "4"]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbb" in lines[2]
+        assert len(lines) == 6
+
+    def test_render_series(self):
+        out = render_series("S", "x", [1, 2],
+                            {"y1": [0.1, 0.2], "y2": [0.3, 0.4]})
+        assert "y1" in out and "0.3" in out

@@ -1,0 +1,140 @@
+"""End-to-end integration: train a binarized model, fold its batch-norms,
+deploy the classifier to (ideal and realistic) RRAM hardware, and verify the
+whole chain — the software/hardware equivalence that makes Eq. (3) the
+paper's deployment contract."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ECGConfig, EEGConfig, make_ecg_dataset, make_eeg_dataset
+from repro.experiments import TrainConfig, train_model
+from repro.models import BinarizationMode, ECGNet, EEGNet
+from repro.rram import (AcceleratorConfig, classifier_input_bits,
+                        corrupt_folded, deploy_classifier, fold_classifier,
+                        InMemoryClassifier, InMemoryDenseLayer,
+                        InMemoryOutputLayer)
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def trained_ecg():
+    """One trained binarized-classifier ECG model shared by the tests."""
+    ds = make_ecg_dataset(ECGConfig(n_trials=80, n_samples=200,
+                                    noise_amplitude=0.05, seed=21))
+    model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=200,
+                   base_filters=4, conv_keep_prob=1.0,
+                   classifier_keep_prob=1.0,
+                   rng=np.random.default_rng(5))
+    model.fit_input_norm(ds.inputs)
+    train_model(model, ds.inputs, ds.labels,
+                TrainConfig(epochs=8, batch_size=16, lr=2e-3, seed=3))
+    model.eval()
+    return model, ds
+
+
+class TestFoldedEquivalence:
+    def test_folded_software_matches_model(self, trained_ecg):
+        model, ds = trained_ecg
+        with no_grad():
+            sw = model(Tensor(ds.inputs)).data.argmax(1)
+        hidden, output = fold_classifier(model)
+        bits = classifier_input_bits(model, ds.inputs)
+        h = bits
+        for layer in hidden:
+            h = layer.forward_bits(h)
+        assert np.array_equal(output.predict(h), sw)
+
+    def test_ideal_hardware_is_bit_exact(self, trained_ecg):
+        model, ds = trained_ecg
+        with no_grad():
+            sw = model(Tensor(ds.inputs)).data.argmax(1)
+        hw = deploy_classifier(model, AcceleratorConfig(ideal=True))
+        bits = classifier_input_bits(model, ds.inputs)
+        assert np.array_equal(hw.predict(bits), sw)
+
+    def test_realistic_fresh_hardware_high_agreement(self, trained_ecg):
+        model, ds = trained_ecg
+        with no_grad():
+            sw = model(Tensor(ds.inputs)).data.argmax(1)
+        hw = deploy_classifier(model, AcceleratorConfig())
+        bits = classifier_input_bits(model, ds.inputs)
+        agreement = (hw.predict(bits) == sw).mean()
+        assert agreement > 0.9
+
+    def test_deploy_rejects_real_classifier(self, rng):
+        model = ECGNet(mode=BinarizationMode.REAL, n_samples=200,
+                       base_filters=4, rng=rng)
+        with pytest.raises(ValueError):
+            deploy_classifier(model)
+
+    def test_accelerator_op_accounting(self, trained_ecg):
+        model, ds = trained_ecg
+        hw = deploy_classifier(model, AcceleratorConfig(ideal=True))
+        bits = classifier_input_bits(model, ds.inputs[:4])
+        hw.predict(bits)
+        # fc1: in 4*41=164 -> 6 col tiles of 32; 75 rows -> 3 row tiles.
+        assert hw.sense_ops > 0
+        assert hw.popcount_bit_ops > 0
+        assert hw.n_devices == sum(
+            c.n_devices for c in hw.controllers)
+
+
+class TestFaultInjectionOnDeployedModel:
+    def test_accuracy_degrades_gracefully_then_collapses(self, trained_ecg):
+        model, ds = trained_ecg
+        hidden, output = fold_classifier(model)
+        bits = classifier_input_bits(model, ds.inputs)
+        rng = np.random.default_rng(11)
+
+        def accuracy_at(ber):
+            accs = []
+            for trial in range(3):
+                h = corrupt_folded(hidden[0], ber, rng)
+                o = corrupt_folded(output, ber, rng)
+                pred = o.predict(h.forward_bits(bits))
+                accs.append((pred == ds.labels).mean())
+            return np.mean(accs)
+
+        clean = accuracy_at(0.0)
+        mild = accuracy_at(1e-3)     # post-2T2R residual regime
+        broken = accuracy_at(0.5)    # weights fully randomized
+        assert clean > 0.8
+        assert mild > clean - 0.1    # BNN robustness claim (§II-B)
+        assert broken < clean - 0.2  # sanity: errors do eventually matter
+
+
+class TestEEGDeployment:
+    def test_eeg_binary_classifier_deploys(self, rng):
+        ds = make_eeg_dataset(EEGConfig(n_trials=30, n_samples=120, seed=4))
+        model = EEGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=120, base_filters=4, rng=rng)
+        train_model(model, ds.inputs, ds.labels,
+                    TrainConfig(epochs=3, batch_size=8, seed=2))
+        model.eval()
+        with no_grad():
+            sw = model(Tensor(ds.inputs)).data.argmax(1)
+        hw = deploy_classifier(model, AcceleratorConfig(ideal=True))
+        bits = classifier_input_bits(model, ds.inputs)
+        assert np.array_equal(hw.predict(bits), sw)
+
+
+class TestStatePersistence:
+    def test_save_load_preserves_hardware_deployment(self, trained_ecg,
+                                                     tmp_path):
+        model, ds = trained_ecg
+        state = model.state_dict()
+        path = tmp_path / "ecg.npz"
+        np.savez(path, **state)
+        loaded_state = {k: v for k, v in np.load(path).items()}
+
+        clone = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=200, base_filters=4, conv_keep_prob=1.0,
+                       classifier_keep_prob=1.0,
+                       rng=np.random.default_rng(99))
+        clone.load_state_dict(loaded_state)
+        clone.eval()
+        hw_a = deploy_classifier(model, AcceleratorConfig(ideal=True))
+        hw_b = deploy_classifier(clone, AcceleratorConfig(ideal=True))
+        bits = classifier_input_bits(model, ds.inputs)
+        assert np.array_equal(hw_a.predict(bits), hw_b.predict(bits))

@@ -1,0 +1,106 @@
+"""Tests for ROC/AUC and the combined classification report."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import classification_report, roc_auc, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        fpr, tpr, thr = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert roc_auc(y, scores) == 1.0
+        assert thr[0] == np.inf
+
+    def test_inverted_scores_auc_zero(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(7)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.normal(size=2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_constant_scores_auc_half(self):
+        # A single threshold bucket: ties count half.
+        assert roc_auc([0, 1, 0, 1], [0.5] * 4) == pytest.approx(0.5)
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, 100)
+        y[:2] = [0, 1]  # make both classes present
+        scores = rng.normal(size=100)
+        assert roc_auc(y, scores) == pytest.approx(
+            roc_auc(y, np.exp(scores)))
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            roc_curve([1, 1], [0.2, 0.4])
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError, match="binary"):
+            roc_curve([0, 2], [0.5, 0.6])
+
+    def test_curve_is_monotone(self):
+        rng = np.random.default_rng(11)
+        y = rng.integers(0, 2, 64)
+        y[:2] = [0, 1]
+        scores = rng.normal(size=64)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1),
+                              st.floats(-5, 5, allow_nan=False)),
+                    min_size=4, max_size=60))
+    def test_auc_is_pairwise_win_probability(self, pairs):
+        """AUC == P(positive outscores negative), ties counted half."""
+        y = np.array([p[0] for p in pairs])
+        scores = np.array([p[1] for p in pairs])
+        if y.min() == y.max():
+            return  # needs both classes
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert roc_auc(y, scores) == pytest.approx(expected, abs=1e-9)
+
+
+class TestClassificationReport:
+    def test_fields_consistent(self):
+        rng = np.random.default_rng(5)
+        y_true = rng.integers(0, 2, 300)
+        scores = rng.normal(size=300) + y_true  # informative scores
+        y_pred = (scores > 0.5).astype(int)
+        report = classification_report(y_true, y_pred, scores)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.auc is not None and report.auc > 0.6
+        assert report.confusion.sum() == 300
+
+    def test_without_scores_auc_is_none(self):
+        report = classification_report([0, 1], [0, 1])
+        assert report.auc is None
+
+    def test_render_contains_all_metrics(self):
+        report = classification_report([0, 1, 1, 0], [0, 1, 0, 0],
+                                       scores=[0.1, 0.9, 0.4, 0.2])
+        text = report.render("ECG electrode check")
+        for keyword in ("accuracy", "sensitivity", "specificity",
+                        "ROC AUC", "confusion"):
+            assert keyword in text
+
+    def test_perfect_classifier(self):
+        report = classification_report([0, 1], [0, 1], scores=[0.0, 1.0])
+        assert report.accuracy == 1.0
+        assert report.sensitivity == 1.0
+        assert report.specificity == 1.0
+        assert report.f1 == 1.0
+        assert report.auc == 1.0

@@ -1,0 +1,195 @@
+"""The three paper architectures: geometry against Tables I/II/IV, mode
+behaviour, and trainability."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (BinarizationMode, ECGNet, EEGNet, MobileNetConfig,
+                          MobileNetV1)
+from repro.tensor import Tensor
+
+
+class TestEEGNetGeometry:
+    def test_table1_shapes_at_paper_scale(self, rng):
+        model = EEGNet(rng=rng)
+        rows = model.layer_summaries()
+        shapes = [r.output_shape for r in rows]
+        assert shapes[0] == (961, 64, 40)     # Conv time
+        assert shapes[1] == (961, 1, 40)      # Conv space
+        assert shapes[2] == (63, 1, 40)       # Avg pool
+        assert shapes[3] == (2520,)           # Flatten
+        assert shapes[4] == (80,)             # FC
+        assert shapes[5] == (2,)              # Softmax
+
+    def test_table4_parameter_counts(self, rng):
+        model = EEGNet(rng=rng)
+        feat = model.feature_parameters()
+        cls = model.classifier_parameters()
+        # Paper: 0.31M total, 0.2M classifier, 0.11M conv.
+        assert abs(feat - 0.104e6) < 0.01e6
+        assert abs(cls - 0.202e6) < 0.01e6
+        assert abs((feat + cls) - 0.31e6) < 0.01e6
+
+    def test_forward_shape_paper_scale(self, rng):
+        model = EEGNet(n_samples=960, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 64, 960))))
+        assert out.shape == (1, 2)
+
+    def test_filter_multiplier_scales_convs(self, rng):
+        m1 = EEGNet(rng=rng)
+        m2 = EEGNet(filter_multiplier=2, rng=rng)
+        assert m2.filters == 2 * m1.filters
+        assert m2.flat_features == 2 * m1.flat_features
+
+    def test_rejects_2d_input(self, rng):
+        model = EEGNet(n_samples=80, rng=rng)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((4, 80))))
+
+
+class TestEEGNetModes:
+    @pytest.mark.parametrize("mode", list(BinarizationMode))
+    def test_forward_runs_in_all_modes(self, rng, mode):
+        model = EEGNet(mode=mode, n_samples=120, base_filters=4, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 64, 120))))
+        assert out.shape == (2, 2)
+
+    def test_full_binary_uses_binary_convs(self, rng):
+        model = EEGNet(mode=BinarizationMode.FULL_BINARY, n_samples=120,
+                       base_filters=4, rng=rng)
+        assert isinstance(model.conv_time, nn.BinaryConv2d)
+        assert isinstance(model.fc1, nn.BinaryLinear)
+
+    def test_binary_classifier_keeps_real_convs(self, rng):
+        model = EEGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=120, base_filters=4, rng=rng)
+        assert isinstance(model.conv_time, nn.Conv2d)
+        assert isinstance(model.fc1, nn.BinaryLinear)
+
+    def test_real_mode_all_real(self, rng):
+        model = EEGNet(mode=BinarizationMode.REAL, n_samples=120,
+                       base_filters=4, rng=rng)
+        assert isinstance(model.fc1, nn.Linear)
+
+
+class TestECGNetGeometry:
+    def test_table2_shapes_at_paper_scale(self, rng):
+        model = ECGNet(rng=rng)
+        rows = model.layer_summaries()
+        shapes = [r.output_shape for r in rows]
+        assert shapes[0] == (738, 1, 32)
+        assert shapes[1] == (369, 1, 32)
+        assert shapes[2] == (359, 1, 32)
+        assert shapes[3] == (179, 1, 32)
+        assert shapes[4] == (171, 1, 32)
+        assert shapes[5] == (165, 1, 32)
+        assert shapes[6] == (161, 1, 32)
+        assert shapes[7] == (5152,)
+        assert shapes[8] == (75,)
+        assert shapes[9] == (2,)
+
+    def test_forward_shape_paper_scale(self, rng):
+        model = ECGNet(rng=rng)
+        model.fit_input_norm(rng.standard_normal((4, 12, 750)))
+        out = model(Tensor(rng.standard_normal((2, 12, 750))))
+        assert out.shape == (2, 2)
+
+    def test_flat_features_match_table(self, rng):
+        assert ECGNet(rng=rng).flat_features == 5152
+
+    def test_conv_parameter_count(self, rng):
+        # 5024 + 11296 + 9248 + 7200 + 5152 = 37920 conv parameters.
+        assert ECGNet(rng=rng).feature_parameters() == 37920
+
+    @pytest.mark.parametrize("mode", list(BinarizationMode))
+    def test_forward_runs_in_all_modes(self, rng, mode):
+        model = ECGNet(mode=mode, n_samples=200, base_filters=4, rng=rng)
+        model.fit_input_norm(rng.standard_normal((6, 12, 200)))
+        out = model(Tensor(rng.standard_normal((3, 12, 200))))
+        assert out.shape == (3, 2)
+
+    def test_rejects_2d_input(self, rng):
+        model = ECGNet(n_samples=200, rng=rng)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((4, 200))))
+
+
+class TestMobileNet:
+    def test_paper_scale_parameter_counts(self, rng):
+        model = MobileNetV1(MobileNetConfig.paper(),
+                            mode=BinarizationMode.REAL, rng=rng)
+        feat = model.feature_parameters()
+        cls = model.classifier_parameters()
+        # Paper: 4.2M total, 3.2M conv, 1M classifier.
+        assert abs(feat - 3.2e6) < 0.15e6
+        assert abs(cls - 1.0e6) < 0.05e6
+        assert abs((feat + cls) - 4.2e6) < 0.15e6
+
+    def test_binary_classifier_is_5_7m_bits(self, rng):
+        model = MobileNetV1(MobileNetConfig.paper(),
+                            mode=BinarizationMode.BINARY_CLASSIFIER, rng=rng)
+        # Paper: two binarized layers totalling 5.7M binary parameters.
+        assert abs(model.classifier_parameters() - 5.7e6) < 0.05e6
+
+    def test_reduced_forward(self, rng):
+        cfg = MobileNetConfig.reduced(n_classes=5, image_size=16,
+                                      width_multiplier=0.25, n_blocks=3)
+        model = MobileNetV1(cfg, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 5)
+
+    @pytest.mark.parametrize("mode", list(BinarizationMode))
+    def test_all_modes_forward(self, rng, mode):
+        cfg = MobileNetConfig.reduced(n_classes=4, image_size=16,
+                                      width_multiplier=0.25, n_blocks=2)
+        model = MobileNetV1(cfg, mode=mode, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 4)
+
+    def test_real_mode_single_fc(self, rng):
+        cfg = MobileNetConfig.reduced(n_classes=4, image_size=16, n_blocks=2)
+        model = MobileNetV1(cfg, mode=BinarizationMode.REAL, rng=rng)
+        assert model.fc2 is None
+        assert isinstance(model.fc1, nn.Linear)
+
+    def test_rejects_3d_input(self, rng):
+        cfg = MobileNetConfig.reduced(n_classes=4, image_size=16, n_blocks=2)
+        model = MobileNetV1(cfg, rng=rng)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((2, 16, 16))))
+
+    def test_width_multiplier_channels(self):
+        cfg = MobileNetConfig(width_multiplier=0.5)
+        assert cfg.channel(64) == 32
+        assert cfg.channel(10) == 8   # floor of 8 channels
+
+
+class TestTrainability:
+    """Each model must actually learn a separable toy problem."""
+
+    def test_ecg_net_learns(self, rng):
+        from repro.data import ECGConfig, make_ecg_dataset
+        from repro.experiments import TrainConfig, train_model
+        ds = make_ecg_dataset(ECGConfig(n_trials=60, n_samples=200,
+                                        noise_amplitude=0.05, seed=11))
+        model = ECGNet(mode=BinarizationMode.REAL, n_samples=200,
+                       base_filters=4, conv_keep_prob=1.0,
+                       classifier_keep_prob=1.0, rng=rng)
+        model.fit_input_norm(ds.inputs)
+        result = train_model(model, ds.inputs, ds.labels,
+                             TrainConfig(epochs=10, batch_size=16, lr=2e-3,
+                                         seed=1))
+        assert result.final_accuracy > 0.8   # train accuracy
+
+    def test_eeg_net_learns(self, rng):
+        from repro.data import EEGConfig, make_eeg_dataset
+        from repro.experiments import TrainConfig, train_model
+        ds = make_eeg_dataset(EEGConfig(n_trials=40, n_samples=160,
+                                        noise_amplitude=0.4, seed=11))
+        model = EEGNet(mode=BinarizationMode.REAL, n_samples=160,
+                       base_filters=4, rng=rng)
+        result = train_model(model, ds.inputs, ds.labels,
+                             TrainConfig(epochs=10, batch_size=8, lr=2e-3,
+                                         seed=1))
+        assert result.final_accuracy > 0.8

@@ -1,0 +1,126 @@
+"""Binarized layers, XNOR-popcount arithmetic (Eq. 3), and BN folding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.binary import (dot_from_popcount, fold_batchnorm_output,
+                             fold_batchnorm_sign, from_bits, to_bits,
+                             xnor_popcount)
+from repro.tensor import Tensor
+
+
+class TestBitConversions:
+    def test_roundtrip(self, rng):
+        pm1 = np.where(rng.random(100) < 0.5, 1.0, -1.0)
+        assert np.array_equal(from_bits(to_bits(pm1)), pm1)
+
+    def test_zero_maps_to_plus_one(self):
+        assert to_bits(np.array([0.0])) == 1
+        assert from_bits(to_bits(np.array([0.0])))[0] == 1.0
+
+
+class TestXnorPopcount:
+    def test_equals_pm1_dot_product(self, rng):
+        x = np.where(rng.random((8, 33)) < 0.5, 1.0, -1.0)
+        w = np.where(rng.random((5, 33)) < 0.5, 1.0, -1.0)
+        pc = xnor_popcount(to_bits(x), to_bits(w))
+        dot = dot_from_popcount(pc, 33)
+        assert np.array_equal(dot, (x @ w.T).astype(np.int64))
+
+    def test_identical_rows_give_full_count(self):
+        bits = np.array([[1, 0, 1, 1, 0]], dtype=np.uint8)
+        assert xnor_popcount(bits, bits)[0, 0] == 5
+
+    def test_complement_gives_zero(self):
+        bits = np.array([[1, 0, 1]], dtype=np.uint8)
+        assert xnor_popcount(bits, 1 - bits)[0, 0] == 0
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xnor_popcount(np.zeros((2, 4), np.uint8),
+                          np.zeros((3, 5), np.uint8))
+
+
+class TestBinaryLayers:
+    def test_binary_linear_uses_sign_of_weights(self, rng):
+        layer = nn.BinaryLinear(6, 4, rng=rng)
+        x = rng.standard_normal((3, 6))
+        out = layer(Tensor(x))
+        expected = x @ np.where(layer.weight.data >= 0, 1.0, -1.0).T
+        assert np.allclose(out.data, expected)
+
+    def test_binary_linear_gradient_updates_latent(self, rng):
+        layer = nn.BinaryLinear(4, 2, rng=rng)
+        x = Tensor(rng.standard_normal((5, 4)))
+        (layer(x) ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == layer.weight.data.shape
+
+    def test_binary_conv1d_weights_are_binary(self, rng):
+        layer = nn.BinaryConv1d(3, 4, 5, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 12))))
+        ref = nn.Conv1d(3, 4, 5, bias=False, rng=rng)
+        ref.weight.data = np.where(layer.weight.data >= 0, 1.0, -1.0)
+        assert np.allclose(out.data, ref(Tensor(np.zeros((2, 3, 12)))).data
+                           * 0 + out.data)  # shape sanity
+        assert out.shape == (2, 4, 8)
+
+    def test_binary_conv2d_matches_signed_real_conv(self, rng):
+        blayer = nn.BinaryConv2d(2, 3, 3, padding=1, rng=rng)
+        rlayer = nn.Conv2d(2, 3, 3, padding=1, bias=False, rng=rng)
+        rlayer.weight.data = np.where(blayer.weight.data >= 0, 1.0, -1.0)
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)))
+        assert np.allclose(blayer(x).data, rlayer(x).data)
+
+    def test_binary_depthwise_weights_binary(self, rng):
+        layer = nn.BinaryDepthwiseConv2d(3, 3, padding=1, rng=rng)
+        dl = nn.DepthwiseConv2d(3, 3, padding=1, bias=False, rng=rng)
+        dl.weight.data = np.where(layer.weight.data >= 0, 1.0, -1.0)
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)))
+        assert np.allclose(layer(x).data, dl(x).data)
+
+    def test_clip_latent_weights(self, rng):
+        model = nn.Sequential(nn.BinaryLinear(4, 4, rng=rng),
+                              nn.Linear(4, 2, rng=rng))
+        model[0].weight.data *= 100
+        model[1].weight.data[:] = 50.0
+        nn.clip_latent_weights(model)
+        assert np.abs(model[0].weight.data).max() <= 1.0
+        # real layers untouched
+        assert np.abs(model[1].weight.data).max() == 50.0
+
+
+class TestFolding:
+    """sign(BN(W_b x)) must equal the integer popcount-threshold pipeline."""
+
+    def _trained_like_bn(self, rng, features):
+        bn = nn.BatchNorm1d(features)
+        bn.gamma.data = rng.uniform(-1.5, 1.5, features)
+        bn.gamma.data[0] = 0.0    # exercise the zero-gamma branch
+        bn.beta.data = rng.standard_normal(features)
+        bn.set_buffer("running_mean", rng.standard_normal(features) * 3)
+        bn.set_buffer("running_var", rng.uniform(0.5, 4.0, features))
+        bn.eval()
+        return bn
+
+    def test_hidden_layer_fold_is_exact(self, rng):
+        layer = nn.BinaryLinear(37, 11, rng=rng)
+        bn = self._trained_like_bn(rng, 11)
+        folded = fold_batchnorm_sign(layer, bn)
+
+        x_pm1 = np.where(rng.random((40, 37)) < 0.5, 1.0, -1.0)
+        ref = bn(layer(Tensor(x_pm1))).sign_ste().data
+        out = from_bits(folded.forward_bits(to_bits(x_pm1)))
+        assert np.array_equal(out, ref)
+
+    def test_output_layer_fold_is_exact(self, rng):
+        layer = nn.BinaryLinear(29, 5, rng=rng)
+        bn = self._trained_like_bn(rng, 5)
+        folded = fold_batchnorm_output(layer, bn)
+        x_pm1 = np.where(rng.random((20, 29)) < 0.5, 1.0, -1.0)
+        ref = bn(layer(Tensor(x_pm1))).data
+        scores = folded.forward_scores(to_bits(x_pm1))
+        assert np.allclose(scores, ref, atol=1e-9)
+        assert np.array_equal(folded.predict(to_bits(x_pm1)),
+                              ref.argmax(axis=1))

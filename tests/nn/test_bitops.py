@@ -1,0 +1,145 @@
+"""Tests for the packed-word XNOR-popcount kernel (repro.nn.bitops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (PackedBinaryDense, pack_bits, packed_xnor_popcount,
+                      unpack_bits, xnor_popcount)
+from repro.nn.binary import FoldedBinaryDense
+
+
+class TestPackUnpack:
+    def test_round_trip_exact_multiple(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(5, 128)).astype(np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 128), bits)
+
+    def test_round_trip_ragged_width(self):
+        rng = np.random.default_rng(1)
+        for width in (1, 7, 63, 64, 65, 100, 129):
+            bits = rng.integers(0, 2, size=(3, width)).astype(np.uint8)
+            assert np.array_equal(unpack_bits(pack_bits(bits), width), bits)
+
+    def test_word_count(self):
+        assert pack_bits(np.zeros((2, 64), dtype=np.uint8)).shape == (2, 1)
+        assert pack_bits(np.zeros((2, 65), dtype=np.uint8)).shape == (2, 2)
+        assert pack_bits(np.zeros((2, 1), dtype=np.uint8)).shape == (2, 1)
+
+    def test_little_endian_layout(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[0] = 1
+        assert pack_bits(bits).tolist() == [1]
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[63] = 1
+        assert pack_bits(bits).tolist() == [2 ** 63]
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            pack_bits(np.array([0, 2]))
+
+    def test_unpack_width_overflow_rejected(self):
+        words = pack_bits(np.zeros(64, dtype=np.uint8))
+        with pytest.raises(ValueError, match="at most"):
+            unpack_bits(words, 65)
+
+    def test_batch_axes_preserved(self):
+        bits = np.zeros((2, 3, 70), dtype=np.uint8)
+        assert pack_bits(bits).shape == (2, 3, 2)
+        assert unpack_bits(pack_bits(bits), 70).shape == (2, 3, 70)
+
+
+class TestPackedXnorPopcount:
+    def test_matches_reference_kernel(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 2, size=(10, 200)).astype(np.uint8)
+        w = rng.integers(0, 2, size=(7, 200)).astype(np.uint8)
+        packed = packed_xnor_popcount(pack_bits(x), pack_bits(w), 200)
+        assert np.array_equal(packed, xnor_popcount(x, w))
+
+    def test_pad_bits_not_counted(self):
+        # width 1: a single agreeing bit must give popcount exactly 1.
+        x = np.array([[1]], dtype=np.uint8)
+        w = np.array([[1]], dtype=np.uint8)
+        out = packed_xnor_popcount(pack_bits(x), pack_bits(w), 1)
+        assert out.tolist() == [[1]]
+
+    def test_all_agree_and_all_disagree(self):
+        ones = np.ones((1, 100), dtype=np.uint8)
+        zeros = np.zeros((1, 100), dtype=np.uint8)
+        assert packed_xnor_popcount(pack_bits(ones), pack_bits(ones),
+                                    100).item() == 100
+        assert packed_xnor_popcount(pack_bits(ones), pack_bits(zeros),
+                                    100).item() == 0
+
+    def test_word_mismatch_raises(self):
+        a = pack_bits(np.zeros((1, 64), dtype=np.uint8))
+        b = pack_bits(np.zeros((1, 128), dtype=np.uint8))
+        with pytest.raises(ValueError, match="mismatch"):
+            packed_xnor_popcount(a, b, 64)
+
+    def test_impossible_width_raises(self):
+        a = pack_bits(np.zeros((1, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="impossible"):
+            packed_xnor_popcount(a, a, 65)
+
+    def test_non_2d_raises(self):
+        a = pack_bits(np.zeros(64, dtype=np.uint8))
+        with pytest.raises(ValueError, match="2-D"):
+            packed_xnor_popcount(a, a, 64)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 300), st.integers(0, 2 ** 31))
+    def test_equivalence_property(self, width, seed):
+        """Packed kernel == matmul kernel for any width and bit pattern."""
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, size=(4, width)).astype(np.uint8)
+        w = rng.integers(0, 2, size=(3, width)).astype(np.uint8)
+        assert np.array_equal(
+            packed_xnor_popcount(pack_bits(x), pack_bits(w), width),
+            xnor_popcount(x, w))
+
+
+class TestPackedBinaryDense:
+    def _folded(self, in_f=150, out_f=20, seed=3) -> FoldedBinaryDense:
+        rng = np.random.default_rng(seed)
+        return FoldedBinaryDense(
+            weight_bits=rng.integers(0, 2, (out_f, in_f)).astype(np.uint8),
+            theta=rng.normal(scale=5.0, size=out_f),
+            gamma_sign=rng.choice([-1.0, 0.0, 1.0], size=out_f),
+            beta_sign=rng.choice([-1.0, 1.0], size=out_f),
+        )
+
+    def test_bit_exact_with_unpacked_layer(self):
+        folded = self._folded()
+        packed = PackedBinaryDense(folded)
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 2, size=(32, folded.in_features)).astype(np.uint8)
+        assert np.array_equal(packed.forward_bits(x), folded.forward_bits(x))
+
+    def test_word_to_word_chaining(self):
+        """Two packed layers chained stay bit-exact with unpacked chain."""
+        first = self._folded(in_f=150, out_f=64, seed=5)
+        second = self._folded(in_f=64, out_f=10, seed=6)
+        p1, p2 = PackedBinaryDense(first), PackedBinaryDense(second)
+        rng = np.random.default_rng(7)
+        x = rng.integers(0, 2, size=(16, 150)).astype(np.uint8)
+        packed_out = p2.forward_bits_from_words(p1.forward_words(pack_bits(x)))
+        unpacked_out = second.forward_bits(first.forward_bits(x))
+        assert np.array_equal(packed_out, unpacked_out)
+
+    def test_shapes_exposed(self):
+        packed = PackedBinaryDense(self._folded(in_f=100, out_f=8))
+        assert packed.in_features == 100
+        assert packed.out_features == 8
+        assert packed.weight_words.shape == (8, 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_exactness_property(self, seed):
+        folded = self._folded(in_f=97, out_f=11, seed=seed)
+        packed = PackedBinaryDense(folded)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.integers(0, 2, size=(8, 97)).astype(np.uint8)
+        assert np.array_equal(packed.forward_bits(x), folded.forward_bits(x))

@@ -1,0 +1,64 @@
+"""Tests for weight initialization schemes (repro.nn.init)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestGlorotUniform:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        fan_in, fan_out = 50, 30
+        w = init.glorot_uniform((fan_out, fan_in), fan_in, fan_out, rng)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(w) <= limit)
+
+    def test_variance_scaling(self):
+        """Var ~ limit^2/3 = 2/(fan_in+fan_out)."""
+        rng = np.random.default_rng(1)
+        fan_in, fan_out = 200, 100
+        w = init.glorot_uniform((fan_out, fan_in), fan_in, fan_out, rng)
+        expected = 2.0 / (fan_in + fan_out)
+        assert w.var() == pytest.approx(expected, rel=0.1)
+
+    def test_zero_mean(self):
+        rng = np.random.default_rng(2)
+        w = init.glorot_uniform((100, 100), 100, 100, rng)
+        assert abs(w.mean()) < 0.01
+
+    def test_straddles_zero_for_binarization(self):
+        """Roughly half the latent weights must start positive, or the sign
+        patterns are uninformative (the docstring's rationale)."""
+        rng = np.random.default_rng(3)
+        w = init.glorot_uniform((64, 64), 64, 64, rng)
+        assert 0.4 < np.mean(w > 0) < 0.6
+
+    def test_deterministic_given_rng(self):
+        a = init.glorot_uniform((4, 4), 4, 4, np.random.default_rng(7))
+        b = init.glorot_uniform((4, 4), 4, 4, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestHeNormal:
+    def test_variance(self):
+        rng = np.random.default_rng(4)
+        fan_in = 128
+        w = init.he_normal((1000, fan_in), fan_in, rng)
+        assert w.var() == pytest.approx(2.0 / fan_in, rel=0.1)
+
+    def test_shape(self):
+        rng = np.random.default_rng(5)
+        assert init.he_normal((3, 5, 7), 35, rng).shape == (3, 5, 7)
+
+
+class TestTrivialInits:
+    def test_uniform_range(self):
+        rng = np.random.default_rng(6)
+        w = init.uniform((100,), -0.5, 1.5, rng)
+        assert w.min() >= -0.5 and w.max() <= 1.5
+
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((2, 3)) == 0)
+        assert np.all(init.ones((2, 3)) == 1)
+        assert init.zeros((2, 3)).shape == (2, 3)

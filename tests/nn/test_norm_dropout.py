@@ -1,0 +1,120 @@
+"""Batch normalization, input normalization, and dropout."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+class TestBatchNorm1d:
+    def test_train_mode_normalizes_batch(self, rng):
+        bn = nn.BatchNorm1d(4)
+        x = rng.standard_normal((64, 4)) * 5 + 3
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=0), 0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        bn = nn.BatchNorm1d(3)
+        for _ in range(200):
+            bn(Tensor(rng.standard_normal((32, 3)) * 2 + 1))
+        assert np.allclose(bn.running_mean, 1, atol=0.2)
+        assert np.allclose(bn.running_var, 4, atol=0.8)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(3)
+        for _ in range(50):
+            bn(Tensor(rng.standard_normal((32, 3)) + 2))
+        bn.eval()
+        x = rng.standard_normal((8, 3)) + 2
+        out = bn(Tensor(x)).data
+        expected = (x - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_3d_input_per_channel(self, rng):
+        bn = nn.BatchNorm1d(4)
+        out = bn(Tensor(rng.standard_normal((8, 4, 10)) * 3)).data
+        assert np.allclose(out.mean(axis=(0, 2)), 0, atol=1e-7)
+
+    def test_rejects_wrong_ndim(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(2)(Tensor(rng.standard_normal((2, 2, 3, 3))))
+
+    def test_gradcheck(self, rng):
+        bn = nn.BatchNorm1d(3)
+        bn.gamma.data = rng.uniform(0.5, 1.5, 3)
+        bn.beta.data = rng.standard_normal(3)
+        x = Tensor(rng.standard_normal((6, 3)), requires_grad=True)
+        check_gradients(lambda x, g, b: (bn(x) ** 2).sum(),
+                        [x, bn.gamma, bn.beta], rtol=1e-3)
+
+    def test_effective_threshold(self):
+        bn = nn.BatchNorm1d(2)
+        bn.set_buffer("running_mean", np.array([1.0, -1.0]))
+        bn.set_buffer("running_var", np.array([4.0, 4.0]))
+        bn.gamma.data = np.array([2.0, 2.0])
+        bn.beta.data = np.array([1.0, 0.0])
+        theta = bn.effective_threshold()
+        std = np.sqrt(4.0 + bn.eps)
+        assert np.allclose(theta, [1.0 - std / 2.0, -1.0])
+
+    def test_effective_threshold_zero_gamma(self):
+        bn = nn.BatchNorm1d(1)
+        bn.gamma.data = np.array([0.0])
+        assert np.isinf(bn.effective_threshold()[0])
+
+
+class TestBatchNorm2d:
+    def test_normalizes_over_spatial(self, rng):
+        bn = nn.BatchNorm2d(3)
+        out = bn(Tensor(rng.standard_normal((4, 3, 5, 5)) * 2 + 7)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-7)
+
+    def test_rejects_wrong_ndim(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(rng.standard_normal((4, 3))))
+
+
+class TestInputNorm:
+    def test_fit_transform(self, rng):
+        norm = nn.InputNorm(3)
+        data = rng.standard_normal((100, 3, 20)) * 4 + 2
+        norm.fit(data)
+        out = norm(Tensor(data)).data
+        assert np.allclose(out.mean(axis=(0, 2)), 0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2)), 1, atol=1e-2)
+
+    def test_statistics_are_frozen(self, rng):
+        norm = nn.InputNorm(2)
+        norm.fit(rng.standard_normal((50, 2, 5)))
+        before = norm.mean.copy()
+        norm(Tensor(rng.standard_normal((10, 2, 5)) + 100))
+        assert np.array_equal(norm.mean, before)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.standard_normal((10, 10))
+        assert np.array_equal(drop(Tensor(x)).data, x)
+
+    def test_train_zeroes_and_rescales(self, rng):
+        drop = nn.Dropout(0.8, rng=rng)
+        x = np.ones((200, 200))
+        out = drop(Tensor(x)).data
+        kept = out != 0
+        assert abs(kept.mean() - 0.8) < 0.02
+        assert np.allclose(out[kept], 1.0 / 0.8)
+
+    def test_keep_prob_one_is_identity(self, rng):
+        drop = nn.Dropout(1.0, rng=rng)
+        x = rng.standard_normal((5, 5))
+        assert np.array_equal(drop(Tensor(x)).data, x)
+
+    def test_invalid_keep_prob(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(0.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)

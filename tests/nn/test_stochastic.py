@@ -1,0 +1,70 @@
+"""Stochastic input binarization (paper ref. [14])."""
+
+import numpy as np
+import pytest
+
+from repro.nn import StochasticBinarize, stochastic_bits, stream_decode
+from repro.tensor import Tensor
+
+
+class TestStochasticBits:
+    def test_mean_converges_to_value(self, rng):
+        values = np.array([-0.8, -0.3, 0.0, 0.4, 0.9])
+        planes = stochastic_bits(values, 20_000, rng)
+        decoded = stream_decode(planes)
+        assert np.allclose(decoded, values, atol=0.02)
+
+    def test_extremes_are_deterministic(self, rng):
+        planes = stochastic_bits(np.array([-1.0, 1.0]), 100, rng)
+        assert np.all(planes[:, 0] == 0)
+        assert np.all(planes[:, 1] == 1)
+
+    def test_out_of_range_values_clip(self, rng):
+        planes = stochastic_bits(np.array([-5.0, 5.0]), 50, rng)
+        assert np.all(planes[:, 0] == 0)
+        assert np.all(planes[:, 1] == 1)
+
+    def test_shape(self, rng):
+        planes = stochastic_bits(np.zeros((3, 4)), 7, rng)
+        assert planes.shape == (7, 3, 4)
+
+    def test_requires_positive_samples(self, rng):
+        with pytest.raises(ValueError):
+            stochastic_bits(np.zeros(3), 0, rng)
+
+    def test_precision_improves_with_samples(self, rng):
+        value = np.full(2000, 0.3)
+        err_few = np.abs(stream_decode(
+            stochastic_bits(value, 8, rng)) - 0.3).mean()
+        err_many = np.abs(stream_decode(
+            stochastic_bits(value, 512, rng)) - 0.3).mean()
+        assert err_many < err_few
+
+
+class TestStochasticBinarizeLayer:
+    def test_train_outputs_are_binary(self, rng):
+        layer = StochasticBinarize(rng=rng)
+        out = layer(Tensor(rng.uniform(-1, 1, 200))).data
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_train_forward_is_unbiased(self, rng):
+        layer = StochasticBinarize(rng=rng)
+        x = Tensor(np.full(50_000, 0.4))
+        out = layer(x).data
+        assert abs(out.mean() - 0.4) < 0.02
+
+    def test_eval_is_deterministic_sign(self, rng):
+        layer = StochasticBinarize(rng=rng)
+        layer.eval()
+        x = Tensor(np.array([-0.2, 0.3]))
+        a = layer(x).data
+        b = layer(x).data
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, [-1.0, 1.0])
+
+    def test_ste_gradient_window(self, rng):
+        layer = StochasticBinarize(rng=rng)
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad[0] == 0.0 and x.grad[2] == 0.0
+        assert x.grad[1] == 1.0

@@ -1,0 +1,59 @@
+"""Tests for the warmup learning-rate schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, CosineAnnealingLR, WarmupLR
+
+
+def make_optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestWarmupLR:
+    def test_starts_reduced(self):
+        opt = make_optimizer(lr=1.0)
+        WarmupLR(opt, warmup_epochs=5, start_factor=0.2)
+        assert opt.lr == pytest.approx(0.2)
+
+    def test_linear_ramp(self):
+        opt = make_optimizer(lr=1.0)
+        sched = WarmupLR(opt, warmup_epochs=4, start_factor=0.0 + 0.2)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == sorted(lrs)
+        assert lrs[-1] == pytest.approx(1.0)
+
+    def test_holds_base_lr_after_warmup_without_inner(self):
+        opt = make_optimizer(lr=0.5)
+        sched = WarmupLR(opt, warmup_epochs=2)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.5)
+
+    def test_delegates_to_inner_after_warmup(self):
+        opt = make_optimizer(lr=1.0)
+        cosine = CosineAnnealingLR(opt, total_epochs=10)
+        sched = WarmupLR(opt, warmup_epochs=3, after=cosine)
+        for _ in range(3):
+            sched.step()
+        assert opt.lr == pytest.approx(1.0)   # full rate at warmup end
+        lr_after = sched.step()
+        assert lr_after < 1.0                 # cosine decay has begun
+
+    def test_inner_epochs_only_advance_after_warmup(self):
+        opt = make_optimizer(lr=1.0)
+        cosine = CosineAnnealingLR(opt, total_epochs=10)
+        sched = WarmupLR(opt, warmup_epochs=5, after=cosine)
+        for _ in range(5):
+            sched.step()
+        assert cosine.epoch == 0
+
+    def test_invalid_args_raise(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError, match="warmup_epochs"):
+            WarmupLR(opt, warmup_epochs=0)
+        with pytest.raises(ValueError, match="start_factor"):
+            WarmupLR(opt, warmup_epochs=2, start_factor=0.0)
+        with pytest.raises(ValueError, match="start_factor"):
+            WarmupLR(opt, warmup_epochs=2, start_factor=1.5)

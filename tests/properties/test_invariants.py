@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the algebraic contracts everything else leans on: XNOR-popcount
+equals the ±1 dot product (paper Eq. 3), batch-norm folding is exact for any
+parameters, im2col/col2im are adjoint, Hamming codes correct any single
+error, broadcasting gradients are unbroadcast correctly, and the 2T2R
+advantage holds across the device parameter space.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import nn
+from repro.nn.binary import (dot_from_popcount, fold_batchnorm_output,
+                             fold_batchnorm_sign, from_bits, to_bits,
+                             xnor_popcount)
+from repro.rram import (DeviceParameters, HammingCode, analytic_ber_1t1r,
+                        analytic_ber_2t2r)
+from repro.tensor import Tensor, col2im_1d, im2col_1d
+from repro.tensor.tensor import _unbroadcast
+
+bits_matrix = lambda rows, cols: arrays(np.uint8, (rows, cols),
+                                        elements=st.integers(0, 1))
+
+
+class TestEq3Property:
+    @given(x=bits_matrix(3, 17), w=bits_matrix(5, 17))
+    @settings(max_examples=50, deadline=None)
+    def test_xnor_popcount_equals_dot(self, x, w):
+        pc = xnor_popcount(x, w)
+        dot = dot_from_popcount(pc, 17)
+        assert np.array_equal(dot, (from_bits(x) @ from_bits(w).T))
+
+    @given(x=bits_matrix(2, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_popcount_bounds(self, x):
+        pc = xnor_popcount(x, x)
+        assert np.all(np.diag(pc) == 9)            # self-agreement is full
+        assert np.all((pc >= 0) & (pc <= 9))
+
+    @given(bits=bits_matrix(4, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_roundtrip(self, bits):
+        assert np.array_equal(to_bits(from_bits(bits)), bits)
+
+
+class TestFoldingProperty:
+    @given(
+        weights=arrays(np.float64, (6, 15),
+                       elements=st.floats(-2, 2, allow_nan=False)),
+        gamma=arrays(np.float64, (6,),
+                     elements=st.floats(-3, 3, allow_nan=False)),
+        beta=arrays(np.float64, (6,),
+                    elements=st.floats(-3, 3, allow_nan=False)),
+        mean=arrays(np.float64, (6,),
+                    elements=st.floats(-10, 10, allow_nan=False)),
+        var=arrays(np.float64, (6,),
+                   elements=st.floats(0.01, 10, allow_nan=False)),
+        x=bits_matrix(8, 15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sign_fold_exact_for_any_bn_params(self, weights, gamma, beta,
+                                               mean, var, x):
+        layer = nn.BinaryLinear(15, 6, rng=np.random.default_rng(0))
+        layer.weight.data = weights
+        bn = nn.BatchNorm1d(6)
+        bn.gamma.data = gamma
+        bn.beta.data = beta
+        bn.set_buffer("running_mean", mean)
+        bn.set_buffer("running_var", var)
+        bn.eval()
+        folded = fold_batchnorm_sign(layer, bn)
+        x_pm1 = from_bits(x)
+        bn_out = bn(layer(Tensor(x_pm1))).data
+        ref = np.where(bn_out >= 0, 1.0, -1.0)
+        hw = from_bits(folded.forward_bits(x))
+        # The fold is exact away from the decision boundary.  Within float
+        # rounding distance of zero (e.g. a denormal beta absorbed by
+        # `mean - beta*std/gamma`), the two computations may round the tie
+        # differently — the software analogue of comparator metastability —
+        # so marginal positions are excluded.
+        scale = np.maximum(np.abs(bn_out).max(axis=0, keepdims=True), 1.0)
+        decisive = np.abs(bn_out) > 1e-9 * scale
+        assert np.array_equal(hw[decisive], ref[decisive])
+
+    @given(
+        gamma=arrays(np.float64, (4,),
+                     elements=st.floats(-2, 2, allow_nan=False)),
+        beta=arrays(np.float64, (4,),
+                    elements=st.floats(-2, 2, allow_nan=False)),
+        x=bits_matrix(5, 11),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_fold_scores_match(self, gamma, beta, x):
+        layer = nn.BinaryLinear(11, 4, rng=np.random.default_rng(1))
+        bn = nn.BatchNorm1d(4)
+        bn.gamma.data = gamma
+        bn.beta.data = beta
+        bn.set_buffer("running_mean", np.arange(4.0))
+        bn.set_buffer("running_var", np.full(4, 2.0))
+        bn.eval()
+        folded = fold_batchnorm_output(layer, bn)
+        ref = bn(layer(Tensor(from_bits(x)))).data
+        assert np.allclose(folded.forward_scores(x), ref, atol=1e-9)
+
+
+class TestIm2colProperty:
+    @given(
+        x=arrays(np.float64, (2, 2, 14),
+                 elements=st.floats(-5, 5, allow_nan=False)),
+        kernel=st.integers(1, 5),
+        stride=st.integers(1, 3),
+        padding=st.integers(0, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjoint_identity(self, x, kernel, stride, padding):
+        cols = im2col_1d(x, kernel, stride, padding)
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im_1d(y, x.shape, kernel, stride,
+                                         padding)))
+        assert np.isclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+class TestHammingProperty:
+    @given(data=arrays(np.uint8, (3, 11), elements=st.integers(0, 1)),
+           position=st.integers(0, 14))
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_error_corrected(self, data, position):
+        code = HammingCode(4)   # (15, 11)
+        words = code.encode(data)
+        words[1, position] ^= 1
+        decoded, double = code.decode(words)
+        assert np.array_equal(decoded, data)
+        assert not double.any()
+
+    @given(data=arrays(np.uint8, (2, 4), elements=st.integers(0, 1)))
+    @settings(max_examples=30, deadline=None)
+    def test_encode_is_systematic_roundtrip(self, data):
+        code = HammingCode.rate_half()
+        decoded, _ = code.decode(code.encode(data))
+        assert np.array_equal(decoded, data)
+
+
+class TestUnbroadcastProperty:
+    @given(
+        rows=st.integers(1, 4), cols=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_of_broadcast_add_sums_correctly(self, rows, cols,
+                                                      data):
+        grad = data.draw(arrays(np.float64, (rows, cols),
+                                elements=st.floats(-3, 3, allow_nan=False)))
+        reduced = _unbroadcast(grad, (1, cols))
+        assert reduced.shape == (1, cols)
+        assert np.allclose(reduced, grad.sum(axis=0, keepdims=True))
+        scalarish = _unbroadcast(grad, (cols,))
+        assert np.allclose(scalarish, grad.sum(axis=0))
+
+
+class TestDeviceModelProperty:
+    @given(
+        sigma=st.floats(0.1, 0.8),
+        broadening=st.floats(0.0, 1.0),
+        cycles=st.floats(1e8, 1e9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_2t2r_never_worse_than_1t1r(self, sigma, broadening, cycles):
+        """Differential sensing must beat single-ended for any physical
+        parameter combination — the structural reason the paper's design
+        works."""
+        p = DeviceParameters(sigma_lrs0=sigma, sigma_hrs0=sigma,
+                             broadening=broadening)
+        assert analytic_ber_2t2r(p, cycles) <= analytic_ber_1t1r(p, cycles)
+
+    @given(sigma=st.floats(0.15, 0.6))
+    @settings(max_examples=30, deadline=None)
+    def test_ber_monotone_in_sigma(self, sigma):
+        lo = DeviceParameters(sigma_lrs0=sigma, sigma_hrs0=sigma)
+        hi = DeviceParameters(sigma_lrs0=sigma * 1.2, sigma_hrs0=sigma * 1.2)
+        assert analytic_ber_1t1r(lo, 2e8) <= analytic_ber_1t1r(hi, 2e8)
+
+
+class TestTrainingInvariants:
+    @given(seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_latent_clip_keeps_weights_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = nn.BinaryLinear(8, 4, rng=rng)
+        layer.weight.data += rng.standard_normal((4, 8)) * 5
+        nn.clip_latent_weights(layer)
+        assert np.abs(layer.weight.data).max() <= 1.0
+
+    @given(seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_binary_forward_invariant_to_latent_magnitude(self, seed):
+        """Scaling latent weights by any positive factor must not change
+        the binarized forward pass."""
+        rng = np.random.default_rng(seed)
+        layer = nn.BinaryLinear(10, 3, rng=rng)
+        x = Tensor(rng.standard_normal((4, 10)))
+        before = layer(x).data.copy()
+        layer.weight.data *= 7.3
+        assert np.array_equal(layer(x).data, before)

@@ -1,0 +1,111 @@
+"""Property-based invariants for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import quantize_array
+from repro.metrics import (accuracy, balanced_accuracy, confusion_matrix,
+                           roc_auc)
+from repro.nn import pack_bits, quant_scale, unpack_bits
+from repro.rram import PeripheryModel, arrhenius_acceleration
+
+labels = st.lists(st.integers(0, 3), min_size=1, max_size=50)
+
+
+class TestMetricsInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(labels, st.integers(0, 2 ** 31))
+    def test_confusion_matrix_accounting(self, y_true, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = rng.integers(0, 4, len(y_true))
+        matrix = confusion_matrix(y_true, y_pred, num_classes=4)
+        # Total count preserved, row sums = class supports,
+        # accuracy = normalized trace.
+        assert matrix.sum() == len(y_true)
+        supports = np.bincount(np.asarray(y_true), minlength=4)
+        assert np.array_equal(matrix.sum(axis=1), supports)
+        assert accuracy(y_true, y_pred) == pytest.approx(
+            np.trace(matrix) / len(y_true))
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels, st.integers(0, 2 ** 31))
+    def test_balanced_accuracy_bounds(self, y_true, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = rng.integers(0, 4, len(y_true))
+        value = balanced_accuracy(y_true, y_pred, num_classes=4)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(0, 2 ** 31))
+    def test_auc_bounds_and_complement(self, n_pos, n_neg, seed):
+        """AUC in [0,1], and negating scores gives 1 - AUC."""
+        rng = np.random.default_rng(seed)
+        y = np.concatenate([np.ones(n_pos, dtype=int),
+                            np.zeros(n_neg, dtype=int)])
+        scores = rng.normal(size=n_pos + n_neg)
+        auc = roc_auc(y, scores)
+        assert 0.0 <= auc <= 1.0
+        assert roc_auc(y, -scores) == pytest.approx(1.0 - auc, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels)
+    def test_perfect_prediction_is_perfect(self, y_true):
+        assert accuracy(y_true, y_true) == 1.0
+        assert balanced_accuracy(y_true, y_true) == 1.0
+
+
+class TestPackingInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 400), st.integers(1, 6), st.integers(0, 2 ** 31))
+    def test_round_trip_any_geometry(self, width, batch, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(batch, width)).astype(np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(bits), width), bits)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 400), st.integers(0, 2 ** 31))
+    def test_popcount_preserved_by_packing(self, width, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(1, width)).astype(np.uint8)
+        words = pack_bits(bits)
+        assert int(np.bitwise_count(words).sum()) == int(bits.sum())
+
+
+class TestQuantizationInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 12), st.integers(0, 2 ** 31))
+    def test_error_bounded_by_half_lsb(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(scale=3.0, size=64)
+        quantized = quantize_array(values, bits)
+        lsb = quant_scale(values, bits)
+        assert np.abs(quantized - values).max() <= lsb / 2 + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 12), st.integers(0, 2 ** 31))
+    def test_idempotent_and_sign_preserving(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=32)
+        once = quantize_array(values, bits)
+        assert np.allclose(quantize_array(once, bits), once, atol=1e-12)
+        # Quantization never flips a sign (symmetric grid around zero).
+        assert np.all(once * values >= -1e-12)
+
+
+class TestHardwareModelInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 14))
+    def test_periphery_energy_strictly_increasing_in_bits(self, bits):
+        model = PeripheryModel()
+        assert model.adc_energy_pj(bits + 1) > model.adc_energy_pj(bits)
+        assert model.adc_area_um2(bits + 1) > model.adc_area_um2(bits)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(-40, 200), st.floats(0.3, 1.5))
+    def test_arrhenius_positive_and_reciprocal(self, temp_c, ea):
+        forward = arrhenius_acceleration(temp_c, 125.0, ea)
+        backward = arrhenius_acceleration(125.0, temp_c, ea)
+        assert forward > 0
+        assert forward * backward == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,218 @@
+"""Tests for the analog-coded crossbar alternative (repro.rram.analog)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.linear import Linear
+from repro.rram import (AnalogConfig, AnalogCrossbar, AnalogLinear,
+                        PeripheryModel)
+
+
+def ideal_config(**overrides) -> AnalogConfig:
+    """No noise, 16-bit converters — the near-ideal electrical corner."""
+    base = dict(programming_sigma=0.0, read_noise_sigma=0.0,
+                dac_bits=16, adc_bits=16)
+    base.update(overrides)
+    return AnalogConfig(**base)
+
+
+class TestAnalogConfig:
+    def test_default_validates(self):
+        AnalogConfig().validate()
+
+    def test_inverted_window_raises(self):
+        with pytest.raises(ValueError, match="g_off"):
+            AnalogConfig(g_on_us=10.0, g_off_us=200.0).validate()
+
+    def test_negative_noise_raises(self):
+        with pytest.raises(ValueError, match="sigma"):
+            AnalogConfig(programming_sigma=-0.1).validate()
+
+    def test_bad_bits_raise(self):
+        with pytest.raises(ValueError, match="adc_bits"):
+            AnalogConfig(adc_bits=0).validate()
+        with pytest.raises(ValueError, match="dac_bits"):
+            AnalogConfig(dac_bits=20).validate()
+
+    def test_bad_headroom_raises(self):
+        with pytest.raises(ValueError, match="headroom"):
+            AnalogConfig(adc_headroom=0.0).validate()
+
+
+class TestAnalogCrossbar:
+    def test_near_ideal_corner_is_accurate(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(8, 16))
+        xbar = AnalogCrossbar(w, ideal_config(), rng)
+        x = rng.normal(size=(10, 16))
+        assert xbar.relative_error(w, x) < 1e-3
+
+    def test_differential_pairs_cover_signed_weights(self):
+        w = np.array([[1.0, -1.0, 0.0]])
+        xbar = AnalogCrossbar(w, ideal_config())
+        # positive weight lives on g_pos, negative on g_neg.
+        assert xbar.g_pos[0, 0] > xbar.g_neg[0, 0]
+        assert xbar.g_pos[0, 1] < xbar.g_neg[0, 1]
+        assert xbar.g_pos[0, 2] == pytest.approx(xbar.g_neg[0, 2])
+
+    def test_two_devices_per_weight(self):
+        w = np.zeros((4, 6))
+        xbar = AnalogCrossbar(w, ideal_config())
+        assert xbar.g_pos.shape == w.shape and xbar.g_neg.shape == w.shape
+
+    def test_error_decreases_with_adc_bits(self):
+        rng_w = np.random.default_rng(1)
+        w = rng_w.normal(size=(16, 64))
+        x = rng_w.normal(size=(32, 64))
+        errors = []
+        for bits in (3, 5, 8, 12):
+            xbar = AnalogCrossbar(
+                w, ideal_config(adc_bits=bits), np.random.default_rng(2))
+            errors.append(xbar.relative_error(w, x))
+        assert errors == sorted(errors, reverse=True)
+
+    def test_error_grows_with_fanin_at_fixed_adc(self):
+        """The §II-A architectural point: wider columns need more ADC
+        resolution, because full-scale tracks worst-case current."""
+        rng = np.random.default_rng(3)
+        errs = []
+        for n_in in (16, 256):
+            w = rng.normal(size=(8, n_in))
+            x = rng.normal(size=(32, n_in))
+            xbar = AnalogCrossbar(w, ideal_config(adc_bits=6),
+                                  np.random.default_rng(4))
+            errs.append(xbar.relative_error(w, x))
+        assert errs[1] > errs[0]
+
+    def test_programming_noise_adds_error(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(8, 32))
+        x = rng.normal(size=(16, 32))
+        clean = AnalogCrossbar(w, ideal_config(),
+                               np.random.default_rng(6)).relative_error(w, x)
+        noisy = AnalogCrossbar(w, ideal_config(programming_sigma=0.2),
+                               np.random.default_rng(6)).relative_error(w, x)
+        assert noisy > clean
+
+    def test_read_noise_varies_between_reads(self):
+        rng = np.random.default_rng(7)
+        w = rng.normal(size=(4, 8))
+        xbar = AnalogCrossbar(w, ideal_config(read_noise_sigma=0.05),
+                              np.random.default_rng(8))
+        x = rng.normal(size=8)
+        first = xbar.matvec(x)
+        second = xbar.matvec(x)
+        assert not np.array_equal(first, second)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(9)
+        w = rng.normal(size=(4, 8))
+        x = rng.normal(size=(3, 8))
+        cfg = AnalogConfig(programming_sigma=0.1, read_noise_sigma=0.02)
+        a = AnalogCrossbar(w, cfg, np.random.default_rng(1)).matvec(x)
+        b = AnalogCrossbar(w, cfg, np.random.default_rng(1)).matvec(x)
+        assert np.array_equal(a, b)
+
+    def test_1d_input_round_trip(self):
+        w = np.eye(4)
+        xbar = AnalogCrossbar(w, ideal_config())
+        x = np.array([1.0, -0.5, 0.25, 0.0])
+        out = xbar.matvec(x)
+        assert out.shape == (4,)
+        assert np.allclose(out, x, atol=1e-3)
+
+    def test_width_mismatch_raises(self):
+        xbar = AnalogCrossbar(np.ones((2, 3)), ideal_config())
+        with pytest.raises(ValueError, match="width"):
+            xbar.matvec(np.ones((1, 4)))
+
+    def test_non_2d_weights_raise(self):
+        with pytest.raises(ValueError, match="2-D"):
+            AnalogCrossbar(np.ones(5), ideal_config())
+
+    def test_all_zero_weights_safe(self):
+        xbar = AnalogCrossbar(np.zeros((3, 4)), ideal_config())
+        out = xbar.matvec(np.ones((2, 4)))
+        assert np.allclose(out, 0.0, atol=1e-6)
+
+    def test_all_zero_input_safe(self):
+        rng = np.random.default_rng(10)
+        xbar = AnalogCrossbar(rng.normal(size=(3, 4)), ideal_config())
+        assert np.allclose(xbar.matvec(np.zeros((2, 4))), 0.0, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_near_ideal_error_bound_property(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(4, 12))
+        x = rng.normal(size=(6, 12))
+        xbar = AnalogCrossbar(w, ideal_config(), np.random.default_rng(seed))
+        assert xbar.relative_error(w, x) < 5e-3
+
+
+class TestAnalogLinear:
+    def test_matches_layer_with_bias(self):
+        rng = np.random.default_rng(11)
+        layer = Linear(10, 4, rng=rng)
+        layer.bias.data = rng.normal(size=4)
+        deployed = AnalogLinear(layer, ideal_config(),
+                                np.random.default_rng(12))
+        x = rng.normal(size=(5, 10))
+        from repro.tensor import Tensor
+        ref = layer(Tensor(x)).data
+        assert np.allclose(deployed.forward(x), ref, atol=5e-3)
+
+    def test_bias_free_layer(self):
+        rng = np.random.default_rng(13)
+        layer = Linear(6, 2, bias=False, rng=rng)
+        deployed = AnalogLinear(layer, ideal_config(),
+                                np.random.default_rng(14))
+        assert deployed.bias is None
+
+
+class TestPeripheryModel:
+    def test_energy_doubles_per_bit(self):
+        model = PeripheryModel()
+        assert model.adc_energy_pj(9) == pytest.approx(
+            2 * model.adc_energy_pj(8))
+        assert model.dac_energy_pj(7) == pytest.approx(
+            2 * model.dac_energy_pj(6))
+
+    def test_area_doubles_per_bit(self):
+        model = PeripheryModel()
+        assert model.adc_area_um2(9) == pytest.approx(
+            2 * model.adc_area_um2(8))
+
+    def test_matvec_energy_counts_conversions(self):
+        model = PeripheryModel()
+        energy = model.matvec_energy_pj(rows=128, cols=64, dac_bits=4,
+                                        adc_bits=8)
+        expected = 128 * model.dac_energy_pj(4) + 64 * model.adc_energy_pj(8)
+        assert energy == pytest.approx(expected)
+
+    def test_adc_sharing_reduces_area_not_energy(self):
+        model = PeripheryModel()
+        dense = model.matvec_area_um2(128, 64, 4, 8, adcs_shared=1)
+        shared = model.matvec_area_um2(128, 64, 4, 8, adcs_shared=8)
+        assert shared < dense
+        e_dense = model.matvec_energy_pj(128, 64, 4, 8, adcs_shared=1)
+        e_shared = model.matvec_energy_pj(128, 64, 4, 8, adcs_shared=8)
+        assert e_dense == pytest.approx(e_shared)
+
+    def test_adc_overhead_dwarfs_pcsa_at_8_bits(self):
+        """The paper's quantitative point: an 8-bit ADC periphery costs
+        orders of magnitude more than a 1-bit PCSA read."""
+        from repro.rram import EnergyModel
+        periphery = PeripheryModel()
+        pcsa_fj = EnergyModel().pcsa_sense_fj
+        adc_fj = periphery.adc_energy_pj(8) * 1000.0
+        assert adc_fj > 30 * pcsa_fj
+
+    def test_invalid_dims_raise(self):
+        model = PeripheryModel()
+        with pytest.raises(ValueError, match="positive"):
+            model.matvec_energy_pj(0, 4, 4, 8)
+        with pytest.raises(ValueError, match="adcs_shared"):
+            model.matvec_area_um2(4, 4, 4, 8, adcs_shared=0)

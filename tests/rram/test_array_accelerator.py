@@ -1,0 +1,184 @@
+"""Memory array, controller tiling, and the in-memory classifier."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.binary import (fold_batchnorm_output, fold_batchnorm_sign,
+                             to_bits, xnor_popcount)
+from repro.rram import (AcceleratorConfig, DeviceParameters,
+                        InMemoryDenseLayer, InMemoryOutputLayer,
+                        MemoryController, RRAMArray, SenseParameters)
+
+IDEAL = AcceleratorConfig(ideal=True)
+
+
+def ideal_array(rng, rows=8, cols=8, mode="2T2R"):
+    cfg = IDEAL.resolved()
+    return RRAMArray(rows, cols, params=cfg.device, sense=cfg.sense,
+                     rng=rng, mode=mode)
+
+
+class TestRRAMArray:
+    def test_program_read_roundtrip_ideal(self, rng):
+        arr = ideal_array(rng)
+        bits = rng.integers(0, 2, (8, 8)).astype(np.uint8)
+        arr.program(bits)
+        assert np.array_equal(arr.read_all(), bits)
+
+    def test_1t1r_mode_roundtrip_ideal(self, rng):
+        arr = ideal_array(rng, mode="1T1R")
+        bits = rng.integers(0, 2, (8, 8)).astype(np.uint8)
+        arr.program(bits)
+        assert np.array_equal(arr.read_all(), bits)
+
+    def test_realistic_array_roundtrip_fresh(self, rng):
+        arr = RRAMArray(16, 16, rng=rng)
+        bits = rng.integers(0, 2, (16, 16)).astype(np.uint8)
+        arr.program(bits)
+        # Fresh devices: BER ~1e-6, 256 bits should read back clean.
+        assert np.array_equal(arr.read_all(), bits)
+
+    def test_xnor_read_matches_logic(self, rng):
+        arr = ideal_array(rng)
+        bits = rng.integers(0, 2, (8, 8)).astype(np.uint8)
+        arr.program(bits)
+        inp = rng.integers(0, 2, 8).astype(np.uint8)
+        out = arr.read_all_xnor(inp)
+        expected = np.logical_not(np.logical_xor(bits, inp[None, :]))
+        assert np.array_equal(out, expected.astype(np.uint8))
+
+    def test_xnor_batch_matches_single(self, rng):
+        arr = ideal_array(rng)
+        bits = rng.integers(0, 2, (8, 8)).astype(np.uint8)
+        arr.program(bits)
+        inputs = rng.integers(0, 2, (5, 8)).astype(np.uint8)
+        batch = arr.read_all_xnor_batch(inputs)
+        for i in range(5):
+            assert np.array_equal(batch[i], arr.read_all_xnor(inputs[i]))
+
+    def test_decoder_bounds(self, rng):
+        arr = ideal_array(rng)
+        arr.program(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(IndexError):
+            arr.read_row(8)
+        with pytest.raises(IndexError):
+            arr.read_row(0, cols=[9])
+
+    def test_reading_unprogrammed_raises(self, rng):
+        arr = ideal_array(rng)
+        with pytest.raises(RuntimeError):
+            arr.read_row(0)
+
+    def test_program_counts_cycles(self, rng):
+        arr = ideal_array(rng)
+        bits = np.zeros((8, 8), dtype=np.uint8)
+        arr.program(bits)
+        arr.program(bits)
+        assert np.all(arr.cycles == 2)
+
+    def test_xnor_requires_2t2r(self, rng):
+        arr = ideal_array(rng, mode="1T1R")
+        arr.program(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(RuntimeError):
+            arr.read_all_xnor(np.zeros(8, dtype=np.uint8))
+
+    def test_shape_validation(self, rng):
+        arr = ideal_array(rng)
+        with pytest.raises(ValueError):
+            arr.program(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            RRAMArray(4, 4, mode="3T3R")
+
+
+class TestMemoryController:
+    def test_tiling_covers_ragged_matrix(self, rng):
+        bits = rng.integers(0, 2, (40, 70)).astype(np.uint8)
+        ctrl = MemoryController(bits, AcceleratorConfig(
+            tile_rows=32, tile_cols=32, ideal=True), rng)
+        assert ctrl.grid_rows == 2 and ctrl.grid_cols == 3
+        assert ctrl.n_tiles == 6
+
+    def test_popcounts_match_software(self, rng):
+        bits = rng.integers(0, 2, (10, 50)).astype(np.uint8)
+        ctrl = MemoryController(bits, AcceleratorConfig(
+            tile_rows=8, tile_cols=16, ideal=True), rng)
+        x = rng.integers(0, 2, (6, 50)).astype(np.uint8)
+        assert np.array_equal(ctrl.popcounts(x), xnor_popcount(x, bits))
+
+    def test_padding_columns_do_not_contribute(self, rng):
+        # 5 inputs on 16-wide tiles: 11 padded columns must be masked.
+        bits = rng.integers(0, 2, (4, 5)).astype(np.uint8)
+        ctrl = MemoryController(bits, AcceleratorConfig(
+            tile_rows=4, tile_cols=16, ideal=True), rng)
+        x = rng.integers(0, 2, (3, 5)).astype(np.uint8)
+        assert np.array_equal(ctrl.popcounts(x), xnor_popcount(x, bits))
+        assert ctrl.popcounts(x).max() <= 5
+
+    def test_input_shape_validation(self, rng):
+        ctrl = MemoryController(np.zeros((4, 5), np.uint8),
+                                AcceleratorConfig(ideal=True), rng)
+        with pytest.raises(ValueError):
+            ctrl.popcounts(np.zeros((2, 6), np.uint8))
+
+    def test_device_count_includes_differential_pairs(self, rng):
+        ctrl = MemoryController(np.zeros((4, 5), np.uint8),
+                                AcceleratorConfig(tile_rows=4, tile_cols=8,
+                                                  ideal=True), rng)
+        assert ctrl.n_devices == 1 * 4 * 8 * 2
+
+
+def _trained_like_bn(rng, features):
+    bn = nn.BatchNorm1d(features)
+    bn.gamma.data = rng.uniform(0.5, 1.5, features)
+    bn.beta.data = rng.standard_normal(features)
+    bn.set_buffer("running_mean", rng.standard_normal(features))
+    bn.set_buffer("running_var", rng.uniform(0.5, 2.0, features))
+    bn.eval()
+    return bn
+
+
+class TestInMemoryLayers:
+    def test_dense_layer_matches_folded_software(self, rng):
+        layer = nn.BinaryLinear(24, 7, rng=rng)
+        bn = _trained_like_bn(rng, 7)
+        folded = fold_batchnorm_sign(layer, bn)
+        hw = InMemoryDenseLayer(folded, AcceleratorConfig(
+            tile_rows=8, tile_cols=8, ideal=True), rng)
+        x = rng.integers(0, 2, (9, 24)).astype(np.uint8)
+        assert np.array_equal(hw.forward_bits(x), folded.forward_bits(x))
+
+    def test_output_layer_matches_folded_software(self, rng):
+        layer = nn.BinaryLinear(16, 3, rng=rng)
+        bn = _trained_like_bn(rng, 3)
+        folded = fold_batchnorm_output(layer, bn)
+        hw = InMemoryOutputLayer(folded, AcceleratorConfig(
+            tile_rows=8, tile_cols=8, ideal=True), rng)
+        x = rng.integers(0, 2, (5, 16)).astype(np.uint8)
+        assert np.allclose(hw.forward_scores(x), folded.forward_scores(x))
+
+    def test_noisy_hardware_mostly_agrees_when_fresh(self, rng):
+        layer = nn.BinaryLinear(64, 8, rng=rng)
+        bn = _trained_like_bn(rng, 8)
+        folded = fold_batchnorm_sign(layer, bn)
+        hw = InMemoryDenseLayer(folded, AcceleratorConfig(), rng)
+        x = rng.integers(0, 2, (20, 64)).astype(np.uint8)
+        agreement = (hw.forward_bits(x) == folded.forward_bits(x)).mean()
+        assert agreement > 0.95
+
+    def test_wear_increases_disagreement(self, rng):
+        layer = nn.BinaryLinear(64, 8, rng=rng)
+        bn = _trained_like_bn(rng, 8)
+        folded = fold_batchnorm_sign(layer, bn)
+        params = DeviceParameters(sigma_lrs0=0.6, sigma_hrs0=0.6)
+        hw = InMemoryDenseLayer(folded, AcceleratorConfig(device=params),
+                                rng)
+        hw.controller.wear(int(1e10))
+        hw.controller.reprogram()
+        x = rng.integers(0, 2, (50, 64)).astype(np.uint8)
+        worn = (hw.forward_bits(x) == folded.forward_bits(x)).mean()
+
+        hw_fresh = InMemoryDenseLayer(folded, AcceleratorConfig(
+            device=params), np.random.default_rng(0))
+        fresh = (hw_fresh.forward_bits(x) == folded.forward_bits(x)).mean()
+        assert worn <= fresh

@@ -1,0 +1,144 @@
+"""Device statistics, sense amplifiers, and cells."""
+
+import numpy as np
+import pytest
+
+from repro.rram import (DeviceParameters, OneT1RCell, PrechargeSenseAmplifier,
+                        ResistiveState, RRAMDevice, SenseParameters,
+                        TwoT2RCell, XnorPCSA, analytic_ber_1t1r,
+                        analytic_ber_2t2r)
+
+
+class TestDeviceParameters:
+    def test_sigma_grows_with_cycling(self):
+        p = DeviceParameters()
+        assert p.sigma_hrs(7e8) > p.sigma_hrs(1e8)
+        assert np.isclose(p.sigma_hrs(1e8), p.sigma_hrs0)
+
+    def test_sigma_flat_below_reference_cycles(self):
+        p = DeviceParameters()
+        assert np.isclose(p.sigma_hrs(1), p.sigma_hrs0)
+
+    def test_reference_resistance_is_geometric_mean(self):
+        p = DeviceParameters(median_lrs=1e3, median_hrs=1e5)
+        assert np.isclose(p.reference_resistance, 1e4)
+
+    def test_sample_respects_state_medians(self, rng):
+        p = DeviceParameters()
+        lrs = p.sample_resistance(np.ones(20000, dtype=bool), 1e8, rng)
+        hrs = p.sample_resistance(np.zeros(20000, dtype=bool), 1e8, rng)
+        assert abs(np.median(lrs) - p.median_lrs) / p.median_lrs < 0.05
+        assert abs(np.median(hrs) - p.median_hrs) / p.median_hrs < 0.05
+
+    def test_hrs_drift_lowers_median(self, rng):
+        p = DeviceParameters(hrs_drift=0.5)
+        fresh = p.mu_hrs(1e8)
+        worn = p.mu_hrs(1e9)
+        assert worn < fresh
+
+
+class TestAnalyticBER:
+    def test_monotonic_in_cycles(self):
+        p = DeviceParameters()
+        cycles = np.linspace(1e8, 7e8, 7)
+        for curve in (analytic_ber_1t1r(p, cycles),
+                      analytic_ber_2t2r(p, cycles)):
+            assert np.all(np.diff(curve) > 0)
+
+    def test_2t2r_beats_1t1r_by_orders_of_magnitude(self):
+        """The paper's headline claim: ~two orders of magnitude (Fig. 4)."""
+        p = DeviceParameters()
+        cycles = np.linspace(1e8, 7e8, 7)
+        ratio = analytic_ber_1t1r(p, cycles) / analytic_ber_2t2r(p, cycles)
+        assert np.all(ratio > 10)
+        geo_mean = np.exp(np.mean(np.log(ratio)))
+        assert geo_mean > 50   # averaged over the sweep: ~2 decades
+
+    def test_blb_mismatch_raises_ber(self):
+        p = DeviceParameters()
+        bl = analytic_ber_1t1r(p, 3e8)
+        blb = analytic_ber_1t1r(p, 3e8, mismatch=p.device_mismatch)
+        assert blb > bl
+
+
+class TestRRAMDevice:
+    def test_program_read_cycle_counting(self, rng):
+        dev = RRAMDevice(rng=rng)
+        dev.program(ResistiveState.LRS)
+        dev.program(ResistiveState.HRS)
+        assert dev.cycles == 2
+        assert dev.read() > dev.params.median_lrs   # HRS read
+
+    def test_read_before_program_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            RRAMDevice(rng=rng).read()
+
+    def test_wear_advances_without_state_change(self, rng):
+        dev = RRAMDevice(rng=rng)
+        dev.program(ResistiveState.LRS)
+        dev.wear(1000)
+        assert dev.cycles == 1001
+        assert dev.state is ResistiveState.LRS
+
+    def test_form_leaves_lrs(self, rng):
+        dev = RRAMDevice(rng=rng)
+        dev.form()
+        assert dev.state is ResistiveState.LRS
+
+
+class TestSenseAmplifiers:
+    def test_ideal_sense_is_deterministic(self, rng):
+        amp = PrechargeSenseAmplifier(SenseParameters(offset_sigma=0.0), rng)
+        assert amp.sense(1e3, 1e5) == 1      # BL less resistive -> +1
+        assert amp.sense(1e5, 1e3) == 0
+
+    def test_single_ended_ideal(self, rng):
+        amp = PrechargeSenseAmplifier(SenseParameters(offset_sigma=0.0), rng)
+        assert amp.sense_single_ended(1e3, 2.2e4) == 1   # LRS
+        assert amp.sense_single_ended(1e5, 2.2e4) == 0   # HRS
+
+    def test_offset_flips_marginal_reads(self, rng):
+        amp = PrechargeSenseAmplifier(SenseParameters(offset_sigma=0.5), rng)
+        reads = np.array([int(amp.sense(1e4, 1.1e4)) for _ in range(300)])
+        assert 0 < reads.mean() < 1   # noisy decision near the margin
+
+    def test_sense_count_accumulates(self, rng):
+        amp = PrechargeSenseAmplifier(rng=rng)
+        amp.sense(np.full(10, 1e3), np.full(10, 1e5))
+        assert amp.sense_count == 10
+
+    def test_xnor_truth_table(self, rng):
+        amp = XnorPCSA(SenseParameters(offset_sigma=0.0), rng)
+        r_plus = (1e3, 1e5)    # stored weight bit 1
+        r_minus = (1e5, 1e3)   # stored weight bit 0
+        assert amp.sense_xnor(*r_plus, np.array(1)) == 1
+        assert amp.sense_xnor(*r_plus, np.array(0)) == 0
+        assert amp.sense_xnor(*r_minus, np.array(1)) == 0
+        assert amp.sense_xnor(*r_minus, np.array(0)) == 1
+
+
+class TestCells:
+    def test_2t2r_roundtrip_fresh_devices(self, rng):
+        cell = TwoT2RCell(rng=rng)
+        for bit in (0, 1, 1, 0):
+            cell.program(bit)
+            assert cell.read() == bit
+
+    def test_1t1r_roundtrip_fresh_devices(self, rng):
+        cell = OneT1RCell(rng=rng)
+        for bit in (1, 0, 1):
+            cell.program(bit)
+            assert cell.read() == bit
+
+    def test_2t2r_single_ended_reads_are_complementary(self, rng):
+        cell = TwoT2RCell(rng=rng)
+        cell.program(1)
+        bl, blb = cell.read_devices_single_ended()
+        assert (bl, blb) == (1, 0)
+
+    def test_2t2r_programs_both_devices(self, rng):
+        cell = TwoT2RCell(rng=rng)
+        cell.program(1)
+        assert cell.bl.state is ResistiveState.LRS
+        assert cell.blb.state is ResistiveState.HRS
+        assert cell.cycles == 1

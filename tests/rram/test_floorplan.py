@@ -1,0 +1,174 @@
+"""Tests for the chip floorplanner (repro.rram.floorplan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rram import (ChipFloorplan, LayerPlacement, MacroGeometry,
+                        plan_classifier)
+
+
+class TestMacroGeometry:
+    def test_paper_macro_is_1k_synapses(self):
+        assert MacroGeometry().synapses == 1024
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError, match="positive"):
+            MacroGeometry(rows=0, cols=32)
+
+    def test_frozen(self):
+        macro = MacroGeometry()
+        with pytest.raises(AttributeError):
+            macro.rows = 64
+
+
+class TestLayerPlacement:
+    def test_exact_fit(self):
+        p = LayerPlacement("fc", 32, 64, MacroGeometry(32, 32))
+        assert p.tile_grid == (1, 2)
+        assert p.n_macros == 2
+        assert p.utilization == 1.0
+
+    def test_partial_fit_rounds_up(self):
+        p = LayerPlacement("fc", 33, 33, MacroGeometry(32, 32))
+        assert p.tile_grid == (2, 2)
+        assert p.n_macros == 4
+        assert p.utilization == pytest.approx(33 * 33 / (4 * 1024))
+
+    def test_tiny_layer_uses_one_macro(self):
+        p = LayerPlacement("out", 2, 30, MacroGeometry(32, 32))
+        assert p.n_macros == 1
+        assert p.utilization == pytest.approx(60 / 1024)
+
+    def test_empty_layer_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            LayerPlacement("bad", 0, 10, MacroGeometry())
+
+    def test_row_render(self):
+        row = LayerPlacement("fc1", 80, 2520, MacroGeometry()).row()
+        assert row[0] == "fc1"
+        assert row[1] == "80x2520"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 500), st.integers(1, 5000),
+           st.integers(1, 128), st.integers(1, 128))
+    def test_invariants(self, out_f, in_f, rows, cols):
+        p = LayerPlacement("x", out_f, in_f, MacroGeometry(rows, cols))
+        # Enough synapses are always provisioned, never a full extra grid
+        # row/column beyond need.
+        assert p.synapses_provisioned >= p.synapses_used
+        assert 0 < p.utilization <= 1.0
+        grid_r, grid_c = p.tile_grid
+        assert (grid_r - 1) * rows < out_f <= grid_r * rows
+        assert (grid_c - 1) * cols < in_f <= grid_c * cols
+
+
+class TestChipFloorplan:
+    def plan(self) -> ChipFloorplan:
+        return plan_classifier([(80, 2520), (2, 80)])
+
+    def test_paper_eeg_classifier_macro_count(self):
+        plan = self.plan()
+        assert plan.placements[0].n_macros == 3 * 79
+        assert plan.placements[1].n_macros == 3
+        assert plan.n_macros == 240
+
+    def test_devices_are_double_the_synapses(self):
+        plan = self.plan()
+        assert plan.n_devices == 2 * sum(p.synapses_provisioned
+                                         for p in plan.placements)
+
+    def test_area_components_sum(self):
+        area = self.plan().area_um2()
+        assert area["total"] == pytest.approx(
+            area["cells"] + area["sense"] + area["popcount"]
+            + area["controller"])
+
+    def test_programming_counts_only_used_weights(self):
+        plan = self.plan()
+        expected_writes = 2 * (80 * 2520 + 2 * 80)
+        assert plan.programming_cost()["device_writes"] == expected_writes
+
+    def test_bigger_macro_fewer_macros_lower_utilization(self):
+        small = plan_classifier([(80, 2520)], MacroGeometry(32, 32))
+        large = plan_classifier([(80, 2520)], MacroGeometry(128, 128))
+        assert large.n_macros < small.n_macros
+        assert large.utilization < small.utilization
+
+    def test_report_renders(self):
+        text = self.plan().report()
+        assert "floorplan" in text
+        assert "mm^2" in text
+        assert "fc1" in text and "fc2" in text
+
+    def test_empty_plan_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ChipFloorplan([])
+
+    def test_name_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="names"):
+            plan_classifier([(2, 2)], names=["a", "b"])
+
+    def test_plan_model_full_binary_places_convs_and_dense(self):
+        from repro.models import BinarizationMode, ECGNet
+        from repro.rram import plan_model
+
+        model = ECGNet(mode=BinarizationMode.FULL_BINARY, n_samples=300,
+                       base_filters=8, rng=np.random.default_rng(1))
+        plan = plan_model(model)
+        names = [p.name for p in plan.placements]
+        assert "fc1" in names and "fc2" in names
+        assert sum("conv" in n for n in names) == 5  # Table II inner convs
+
+    def test_plan_model_binary_classifier_places_only_dense(self):
+        from repro.models import BinarizationMode, ECGNet
+        from repro.rram import plan_model
+
+        model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(2))
+        plan = plan_model(model)
+        assert all("fc" in p.name for p in plan.placements)
+
+    def test_plan_model_real_mode_raises(self):
+        from repro.models import BinarizationMode, ECGNet
+        from repro.rram import plan_model
+
+        model = ECGNet(mode=BinarizationMode.REAL, n_samples=300,
+                       base_filters=8, rng=np.random.default_rng(3))
+        with pytest.raises(ValueError, match="no binary layers"):
+            plan_model(model)
+
+    def test_plan_model_conv_rows_match_kernel_volume(self):
+        """Conv placements use (out_channels, fan_in) — one flattened
+        kernel per word line, the weight-stationary mapping."""
+        from repro.models import BinarizationMode, ECGNet
+        from repro.rram import plan_model
+
+        model = ECGNet(mode=BinarizationMode.FULL_BINARY, n_samples=300,
+                       base_filters=8, rng=np.random.default_rng(4))
+        plan = plan_model(model)
+        by_name = {p.name: p for p in plan.placements}
+        conv0 = model.conv_blocks[0]
+        placement = by_name["conv_blocks.0"]
+        assert placement.out_features == conv0.out_channels
+        assert placement.in_features == (conv0.in_channels
+                                         * conv0.kernel_size)
+
+    def test_matches_deployed_accelerator_tiles(self):
+        """The planner's macro count equals what the accelerator actually
+        instantiates when deploying a model of the same geometry."""
+        from repro.models import BinarizationMode, ECGNet
+        from repro.rram import AcceleratorConfig, deploy_classifier
+
+        model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(0))
+        model.eval()
+        hardware = deploy_classifier(model, AcceleratorConfig(ideal=True))
+        shapes = [(model.fc1.out_features, model.fc1.in_features),
+                  (model.fc2.out_features, model.fc2.in_features)]
+        plan = plan_classifier(shapes)
+        deployed_tiles = sum(c.n_tiles for c in hardware.controllers)
+        assert plan.n_macros == deployed_tiles

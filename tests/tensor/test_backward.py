@@ -1,0 +1,186 @@
+"""Gradient correctness of every Tensor operation (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients
+
+
+def _t(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestBasicOpGradients:
+    def test_add_broadcast(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        check_gradients(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_sub_rsub(self, rng):
+        a = _t(rng, 5)
+        check_gradients(lambda a: (3.0 - a).sum(), [a])
+
+    def test_mul_broadcast(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 1, 3)
+        check_gradients(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = _t(rng, 4)
+        b = Tensor(np.abs(rng.standard_normal(4)) + 1.0, requires_grad=True)
+        check_gradients(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.standard_normal(5)) + 0.5, requires_grad=True)
+        check_gradients(lambda a: (a ** 3).sum(), [a])
+
+    def test_neg(self, rng):
+        a = _t(rng, 3)
+        check_gradients(lambda a: (-a).sum(), [a])
+
+    def test_matmul(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 2)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector(self, rng):
+        a, b = _t(rng, 4), _t(rng, 4)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_matmul_batched(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 2, 4, 5)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+
+class TestElementwiseGradients:
+    def test_exp_log_sqrt(self, rng):
+        a = Tensor(np.abs(rng.standard_normal(6)) + 0.5, requires_grad=True)
+        check_gradients(lambda a: a.exp().sum(), [a])
+        check_gradients(lambda a: a.log().sum(), [a])
+        check_gradients(lambda a: a.sqrt().sum(), [a])
+
+    def test_tanh_sigmoid(self, rng):
+        a = _t(rng, 6)
+        check_gradients(lambda a: a.tanh().sum(), [a])
+        check_gradients(lambda a: a.sigmoid().sum(), [a])
+
+    def test_relu_away_from_kink(self, rng):
+        data = rng.standard_normal(20)
+        data[np.abs(data) < 0.1] += 0.2
+        a = Tensor(data, requires_grad=True)
+        check_gradients(lambda a: a.relu().sum(), [a])
+
+    def test_hardtanh_away_from_kinks(self, rng):
+        data = rng.uniform(-0.8, 0.8, 10)
+        a = Tensor(data, requires_grad=True)
+        check_gradients(lambda a: a.hardtanh().sum(), [a])
+
+    def test_abs_away_from_zero(self, rng):
+        data = rng.standard_normal(10)
+        data[np.abs(data) < 0.1] = 0.5
+        a = Tensor(data, requires_grad=True)
+        check_gradients(lambda a: a.abs().sum(), [a])
+
+    def test_maximum(self, rng):
+        a, b = _t(rng, 8), _t(rng, 8)
+        # keep operands apart so the subgradient is unambiguous
+        b.data += np.where(np.abs(a.data - b.data) < 0.1, 0.5, 0.0)
+        check_gradients(lambda a, b: a.maximum(b).sum(), [a, b])
+
+
+class TestReductionGradients:
+    def test_sum_axes(self, rng):
+        a = _t(rng, 3, 4, 2)
+        check_gradients(lambda a: a.sum(axis=1).sum(), [a])
+        check_gradients(lambda a: a.sum(axis=(0, 2)).sum(), [a])
+
+    def test_mean(self, rng):
+        a = _t(rng, 3, 5)
+        check_gradients(lambda a: a.mean(axis=0).sum(), [a])
+        check_gradients(lambda a: a.mean(), [a])
+
+    def test_var(self, rng):
+        a = _t(rng, 4, 5)
+        check_gradients(lambda a: a.var(axis=0).sum(), [a], rtol=1e-3)
+
+    def test_max_unique(self, rng):
+        a = Tensor(rng.permutation(20).astype(float).reshape(4, 5),
+                   requires_grad=True)
+        check_gradients(lambda a: a.max(axis=1).sum(), [a])
+
+
+class TestShapeGradients:
+    def test_reshape_transpose(self, rng):
+        a = _t(rng, 2, 6)
+        check_gradients(lambda a: (a.reshape(3, 4) ** 2).sum(), [a])
+        check_gradients(lambda a: (a.transpose() ** 2).sum(), [a])
+
+    def test_getitem(self, rng):
+        a = _t(rng, 4, 5)
+        check_gradients(lambda a: (a[1:3, ::2] ** 2).sum(), [a])
+
+    def test_pad(self, rng):
+        a = _t(rng, 2, 3)
+        check_gradients(lambda a: (a.pad(((1, 0), (2, 1))) ** 2).sum(), [a])
+
+    def test_concatenate(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 4, 3)
+        check_gradients(
+            lambda a, b: (Tensor.concatenate([a, b], axis=0) ** 2).sum(),
+            [a, b])
+
+    def test_log_softmax(self, rng):
+        a = _t(rng, 3, 6)
+        check_gradients(lambda a: (a.log_softmax(axis=1) ** 2).sum(), [a],
+                        rtol=1e-3)
+
+
+class TestGraphSemantics:
+    def test_shared_subexpression_accumulates(self, rng):
+        a = _t(rng, 4)
+        b = a * 2
+        out = (b + b * b).sum()
+        out.backward()
+        expected = 2.0 + 8.0 * a.data   # d/da (2a + 4a^2)
+        assert np.allclose(a.grad, expected)
+
+    def test_grad_accumulates_across_backward_calls(self, rng):
+        a = _t(rng, 3)
+        (a * 2).sum().backward()
+        first = a.grad.copy()
+        (a * 2).sum().backward()
+        assert np.allclose(a.grad, 2 * first)
+
+    def test_zero_grad(self, rng):
+        a = _t(rng, 3)
+        (a * a).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_backward_requires_scalar_or_explicit_grad(self, rng):
+        a = _t(rng, 3)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+        (a * 2).backward(np.ones(3))
+        assert np.allclose(a.grad, 2.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).sum().backward()
+
+    def test_deep_chain_no_recursion_error(self, rng):
+        a = _t(rng, 2)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_diamond_graph(self, rng):
+        a = _t(rng, 3)
+        left = a * 3
+        right = a * 5
+        (left + right).sum().backward()
+        assert np.allclose(a.grad, 8.0)
+
+    def test_sign_ste_gradient_window(self):
+        a = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        a.sign_ste(clip=1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 1.0, 0.0])

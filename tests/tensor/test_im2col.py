@@ -1,0 +1,116 @@
+"""im2col/col2im correctness: values against naive convolution, and the
+adjoint (scatter-add) property col2im must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (col2im_1d, col2im_2d, conv_output_length, im2col_1d,
+                          im2col_2d)
+
+
+def naive_conv1d(x, w, stride=1, padding=0):
+    n, c_in, length = x.shape
+    c_out, _, k = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+    l_out = (x.shape[2] - k) // stride + 1
+    out = np.zeros((n, c_out, l_out))
+    for i in range(l_out):
+        window = x[:, :, i * stride:i * stride + k]
+        out[:, :, i] = np.einsum("nck,ock->no", window, w)
+    return out
+
+
+def naive_conv2d(x, w, stride=(1, 1), padding=(0, 0)):
+    n, c_in, h, wd = x.shape
+    c_out, _, kh, kw = w.shape
+    ph, pw = padding
+    sh, sw = stride
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    h_out = (x.shape[2] - kh) // sh + 1
+    w_out = (x.shape[3] - kw) // sw + 1
+    out = np.zeros((n, c_out, h_out, w_out))
+    for i in range(h_out):
+        for j in range(w_out):
+            window = x[:, :, i * sh:i * sh + kh, j * sw:j * sw + kw]
+            out[:, :, i, j] = np.einsum("nchw,ochw->no", window, w)
+    return out
+
+
+class TestOutputLength:
+    def test_basic(self):
+        assert conv_output_length(10, 3) == 8
+        assert conv_output_length(10, 3, stride=2) == 4
+        assert conv_output_length(10, 3, padding=1) == 10
+
+    def test_paper_geometries(self):
+        # Table I: 960 + 2*15 - 30 + 1 = 961; pool (961-30)//15+1 = 63.
+        assert conv_output_length(960, 30, 1, 15) == 961
+        assert conv_output_length(961, 30, 15) == 63
+        # Table II chain: 750 -> 738 -> 369 -> 359 -> 179 -> 171 -> 165 -> 161
+        assert conv_output_length(750, 13) == 738
+        assert conv_output_length(369, 11) == 359
+        assert conv_output_length(179, 9) == 171
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_length(5, 7)
+
+
+class TestIm2Col1d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 0), (1, 3), (3, 2)])
+    def test_matches_naive_conv(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 20))
+        w = rng.standard_normal((4, 3, 5))
+        cols = im2col_1d(x, 5, stride, padding)
+        out = (cols @ w.reshape(4, -1).T).transpose(0, 2, 1)
+        assert np.allclose(out, naive_conv1d(x, w, stride, padding))
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (3, 0)])
+    def test_col2im_is_adjoint(self, rng, stride, padding):
+        # <im2col(x), y> == <x, col2im(y)> for all x, y defines the adjoint.
+        shape = (2, 3, 17)
+        x = rng.standard_normal(shape)
+        cols = im2col_1d(x, 4, stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im_1d(y, shape, 4, stride, padding))
+        assert np.isclose(lhs, rhs)
+
+    def test_col2im_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            col2im_1d(rng.standard_normal((2, 5, 9)), (2, 3, 17), 4)
+
+
+class TestIm2Col2d:
+    @pytest.mark.parametrize("stride,padding",
+                             [((1, 1), (0, 0)), ((2, 1), (1, 0)),
+                              ((2, 2), (1, 1))])
+    def test_matches_naive_conv(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 9, 8))
+        w = rng.standard_normal((4, 3, 3, 2))
+        cols = im2col_2d(x, (3, 2), stride, padding)
+        h_out = conv_output_length(9, 3, stride[0], padding[0])
+        w_out = conv_output_length(8, 2, stride[1], padding[1])
+        out = (cols @ w.reshape(4, -1).T).transpose(0, 2, 1).reshape(
+            2, 4, h_out, w_out)
+        assert np.allclose(out, naive_conv2d(x, w, stride, padding))
+
+    @pytest.mark.parametrize("stride,padding",
+                             [((1, 1), (0, 0)), ((2, 2), (1, 1))])
+    def test_col2im_is_adjoint(self, rng, stride, padding):
+        shape = (2, 3, 8, 7)
+        x = rng.standard_normal(shape)
+        cols = im2col_2d(x, (3, 3), stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im_2d(y, shape, (3, 3), stride, padding))
+        assert np.isclose(lhs, rhs)
+
+    def test_eeg_spatial_conv_geometry(self, rng):
+        # The EEG model's second conv is 1x64 over (N, F, T, 64): collapses
+        # the electrode axis entirely.
+        x = rng.standard_normal((1, 2, 10, 64))
+        cols = im2col_2d(x, (1, 64))
+        assert cols.shape == (1, 10, 2 * 64)

@@ -1,0 +1,196 @@
+"""Forward-value semantics of Tensor operations."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+
+
+class TestConstruction:
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype.kind == "f"
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_zeros_ones_randn(self, rng):
+        assert np.all(Tensor.zeros(2, 3).data == 0)
+        assert np.all(Tensor.ones(4).data == 1)
+        assert Tensor.randn(5, 6, rng=rng).shape == (5, 6)
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        b = Tensor([1.0, 2.0])
+        assert np.allclose((a + b).data, [3, 6])
+        assert np.allclose((a - b).data, [1, 2])
+        assert np.allclose((a * b).data, [2, 8])
+        assert np.allclose((a / b).data, [2, 2])
+
+    def test_scalar_operands(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose((a + 1).data, [2, 3])
+        assert np.allclose((1 + a).data, [2, 3])
+        assert np.allclose((2 - a).data, [1, 0])
+        assert np.allclose((a * 3).data, [3, 6])
+        assert np.allclose((6 / a).data, [6, 3])
+
+    def test_broadcasting_add(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3, dtype=float))
+        assert (a + b).shape == (2, 3)
+
+    def test_pow(self):
+        a = Tensor([2.0, 3.0])
+        assert np.allclose((a ** 2).data, [4, 9])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_vector_cases(self, rng):
+        a = rng.standard_normal(4)
+        m = rng.standard_normal((4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(m)).data, a @ m)
+        assert np.allclose((Tensor(m.T) @ Tensor(a)).data, m.T @ a)
+        b = rng.standard_normal(4)
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestElementwise:
+    def test_exp_log_sqrt_tanh(self, rng):
+        x = np.abs(rng.standard_normal(10)) + 0.1
+        t = Tensor(x)
+        assert np.allclose(t.exp().data, np.exp(x))
+        assert np.allclose(t.log().data, np.log(x))
+        assert np.allclose(t.sqrt().data, np.sqrt(x))
+        assert np.allclose(t.tanh().data, np.tanh(x))
+
+    def test_relu(self):
+        t = Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(t.relu().data, [0, 0, 2])
+
+    def test_hardtanh(self):
+        t = Tensor([-3.0, -0.5, 0.5, 3.0])
+        assert np.allclose(t.hardtanh().data, [-1, -0.5, 0.5, 1])
+
+    def test_sigmoid_range(self, rng):
+        t = Tensor(rng.standard_normal(100) * 10)
+        s = t.sigmoid().data
+        assert np.all((s > 0) & (s < 1))
+
+    def test_abs(self):
+        assert np.allclose(Tensor([-2.0, 3.0]).abs().data, [2, 3])
+
+    def test_clip(self):
+        t = Tensor([-5.0, 0.5, 5.0])
+        assert np.allclose(t.clip(-1, 1).data, [-1, 0.5, 1])
+
+    def test_maximum(self):
+        a = Tensor([1.0, 5.0])
+        b = Tensor([3.0, 2.0])
+        assert np.allclose(a.maximum(b).data, [3, 5])
+
+    def test_sign_ste_is_strictly_binary(self, rng):
+        x = rng.standard_normal(1000)
+        x[0] = 0.0
+        out = Tensor(x).sign_ste().data
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+        assert out[0] == 1.0  # sign(0) = +1 convention
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self, rng):
+        x = rng.standard_normal((3, 4, 5))
+        t = Tensor(x)
+        assert np.allclose(t.sum().data, x.sum())
+        assert np.allclose(t.sum(axis=1).data, x.sum(axis=1))
+        assert np.allclose(t.sum(axis=(0, 2), keepdims=True).data,
+                           x.sum(axis=(0, 2), keepdims=True))
+
+    def test_mean_var(self, rng):
+        x = rng.standard_normal((4, 6))
+        t = Tensor(x)
+        assert np.allclose(t.mean(axis=0).data, x.mean(axis=0))
+        assert np.allclose(t.var(axis=0).data, x.var(axis=0))
+
+    def test_max(self, rng):
+        x = rng.standard_normal((3, 5))
+        assert np.allclose(Tensor(x).max(axis=1).data, x.max(axis=1))
+
+    def test_reshape_transpose(self, rng):
+        x = rng.standard_normal((2, 3, 4))
+        t = Tensor(x)
+        assert t.reshape(6, 4).shape == (6, 4)
+        assert t.reshape((4, 6)).shape == (4, 6)
+        assert np.allclose(t.transpose((2, 0, 1)).data, x.transpose(2, 0, 1))
+        assert np.allclose(Tensor(x[0]).T.data, x[0].T)
+
+    def test_flatten_from(self, rng):
+        t = Tensor(rng.standard_normal((2, 3, 4)))
+        assert t.flatten_from(1).shape == (2, 12)
+
+    def test_getitem(self, rng):
+        x = rng.standard_normal((4, 5))
+        t = Tensor(x)
+        assert np.allclose(t[1].data, x[1])
+        assert np.allclose(t[:, 2].data, x[:, 2])
+
+    def test_pad(self):
+        t = Tensor(np.ones((2, 2)))
+        p = t.pad(((1, 1), (0, 2)))
+        assert p.shape == (4, 4)
+        assert p.data[0, 0] == 0 and p.data[1, 0] == 1
+
+    def test_concatenate(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((4, 3))
+        out = Tensor.concatenate([Tensor(a), Tensor(b)], axis=0)
+        assert np.allclose(out.data, np.concatenate([a, b]))
+
+
+class TestSoftmax:
+    def test_log_softmax_normalizes(self, rng):
+        t = Tensor(rng.standard_normal((4, 7)))
+        probs = np.exp(t.log_softmax(axis=1).data)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        t = Tensor([[1000.0, 1001.0]])
+        s = t.softmax(axis=1).data
+        assert np.isfinite(s).all()
+        assert np.allclose(s.sum(), 1.0)
+
+
+class TestGradMode:
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            t = Tensor([1.0], requires_grad=True)
+            out = t * 2
+            assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b * b).requires_grad

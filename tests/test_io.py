@@ -1,0 +1,135 @@
+"""Tests for checkpoint and programming-artefact persistence (repro.io)."""
+
+import numpy as np
+import pytest
+
+from repro.io import (load_folded_classifier, load_model,
+                      save_folded_classifier, save_model)
+from repro.models import BinarizationMode, ECGNet
+from repro.nn import Linear, Sequential
+from repro.rram import fold_classifier
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def small_model():
+    return Sequential(Linear(6, 4, rng=np.random.default_rng(0)),
+                      Linear(4, 2, rng=np.random.default_rng(1)))
+
+
+class TestModelCheckpoint:
+    def test_round_trip_preserves_outputs(self, small_model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_model(small_model, path)
+        fresh = Sequential(Linear(6, 4, rng=np.random.default_rng(9)),
+                           Linear(4, 2, rng=np.random.default_rng(10)))
+        load_model(fresh, path)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 6)))
+        assert np.allclose(small_model(x).data, fresh(x).data)
+
+    def test_buffers_round_trip(self, tmp_path):
+        model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(3))
+        model.fit_input_norm(np.random.default_rng(4).normal(
+            size=(20, 12, 300)))
+        path = tmp_path / "ecg.npz"
+        save_model(model, path)
+        fresh = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(5))
+        load_model(fresh, path)
+        assert np.allclose(model.input_norm.mean, fresh.input_norm.mean)
+        assert np.allclose(model.bn_fc1.running_var,
+                           fresh.bn_fc1.running_var)
+
+    def test_wrong_class_rejected(self, small_model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_model(small_model, path)
+        other = ECGNet(n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(6))
+        with pytest.raises(ValueError, match="cannot load"):
+            load_model(other, path)
+
+    def test_missing_file_raises(self, small_model, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(small_model, tmp_path / "nope.npz")
+
+    def test_non_artefact_rejected(self, small_model, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="metadata"):
+            load_model(small_model, path)
+
+    def test_wrong_kind_rejected(self, small_model, tmp_path):
+        model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(7))
+        model.eval()
+        hidden, output = fold_classifier(model)
+        path = tmp_path / "folded.npz"
+        save_folded_classifier(hidden, output, path)
+        with pytest.raises(ValueError, match="not a model"):
+            load_model(small_model, path)
+
+
+class TestFoldedArtefact:
+    @pytest.fixture
+    def folded(self):
+        model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(8))
+        model.eval()
+        return fold_classifier(model)
+
+    def test_round_trip_is_bit_exact(self, folded, tmp_path):
+        hidden, output = folded
+        path = tmp_path / "program.npz"
+        save_folded_classifier(hidden, output, path)
+        loaded_hidden, loaded_output = load_folded_classifier(path)
+
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2,
+                            size=(8, hidden[0].in_features)).astype(np.uint8)
+        original = output.forward_scores(hidden[0].forward_bits(bits))
+        restored = loaded_output.forward_scores(
+            loaded_hidden[0].forward_bits(bits))
+        assert np.array_equal(original, restored)
+
+    def test_loaded_artefact_deploys_on_hardware(self, folded, tmp_path):
+        """The restored artefact can program an accelerator directly."""
+        from repro.rram import AcceleratorConfig
+        from repro.rram.accelerator import (InMemoryClassifier,
+                                            InMemoryDenseLayer,
+                                            InMemoryOutputLayer)
+
+        hidden, output = folded
+        path = tmp_path / "program.npz"
+        save_folded_classifier(hidden, output, path)
+        loaded_hidden, loaded_output = load_folded_classifier(path)
+
+        config = AcceleratorConfig(ideal=True)
+        hardware = InMemoryClassifier(
+            [InMemoryDenseLayer(l, config) for l in loaded_hidden],
+            InMemoryOutputLayer(loaded_output, config))
+        rng = np.random.default_rng(10)
+        bits = rng.integers(
+            0, 2, size=(4, hidden[0].in_features)).astype(np.uint8)
+        expected = output.predict(hidden[0].forward_bits(bits))
+        assert np.array_equal(hardware.predict(bits), expected)
+
+    def test_wrong_kind_rejected(self, small_model, folded, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(small_model, path)
+        with pytest.raises(ValueError, match="not a folded"):
+            load_folded_classifier(path)
+
+    def test_metadata_records_shapes(self, folded, tmp_path):
+        import json
+        hidden, output = folded
+        path = tmp_path / "program.npz"
+        save_folded_classifier(hidden, output, path)
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["__repro_meta__"]).decode())
+        assert meta["n_hidden"] == len(hidden)
+        assert meta["layer_shapes"][0] == list(hidden[0].weight_bits.shape)
