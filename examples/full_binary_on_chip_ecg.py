@@ -3,15 +3,18 @@
 The paper's Fig. 5 architecture targets fully connected layers and notes
 that convolutional layers can be mapped with a weight-stationary
 adaptation (§II-B).  This example does exactly that for a compact
-all-binarized ECG detector:
+all-binarized ECG detector, using the unified runtime: one
+``compile(model, backend=rram, lower_features=True)`` call folds every
+batch-norm, programs every conv stage and the classifier onto simulated
+2T2R tiles, and returns the executable plan.
 
-* the first convolution sees analog signals, so its inputs are encoded as
-  stochastic bit streams (paper ref. [14]) and its analog accumulation is
-  replaced by averaging XNOR-popcount results over the stream;
+* the first convolution sees analog signals, so a *custom front-end* is
+  plugged into the plan: inputs are encoded as stochastic bit streams
+  (paper ref. [14]) and the analog accumulation is replaced by averaging
+  XNOR-popcount results over the stream;
 * every subsequent convolution and the classifier run as XNOR-popcount
-  layers on simulated 2T2R tiles (``InMemoryConv1dLayer`` /
-  ``InMemoryDenseLayer``);
-* max-pooling on ±1 activations is a logical OR in the digital periphery.
+  layers on the tiles; max-pooling on ±1 activations is a logical OR in
+  the digital periphery.
 
 The point: *zero* floating-point arithmetic after the input encoder — the
 entire network is sense amplifiers, popcounts and thresholds.
@@ -21,15 +24,13 @@ Run:  python examples/full_binary_on_chip_ecg.py     (~3 minutes)
 
 import numpy as np
 
-from repro import nn
 from repro.data import ECGConfig, make_ecg_dataset
 from repro.experiments import TrainConfig, render_table, train_model
 from repro.models import BinarizationMode, ECGNet
-from repro.nn import (fold_batchnorm_output, fold_batchnorm_sign,
-                      stochastic_bits, to_bits)
-from repro.rram import (AcceleratorConfig, InMemoryConv1dLayer,
-                        InMemoryDenseLayer, InMemoryOutputLayer,
-                        fold_conv1d_batchnorm_sign, max_pool_bits_1d)
+from repro.nn import stochastic_bits, to_bits
+from repro.nn.conv import conv1d_op
+from repro.rram import AcceleratorConfig, max_pool_bits_1d
+from repro.runtime import RRAMBackend, compile
 from repro.tensor import Tensor, no_grad
 
 # Use a compact variant so the on-chip walk stays legible: conv stages of
@@ -55,63 +56,36 @@ def train_reference_model():
     return model, dataset
 
 
-def deploy_conv_stack(model, config, rng):
-    """Fold every conv stage after the first onto RRAM tiles."""
-    blocks = list(model.conv_blocks)
-    stages = []          # (hardware conv, pooled?)
-    # conv_blocks is [conv, bn, act, (pool)?] * 5; stage 0 stays digital.
-    index = 0
-    stage = 0
-    while index < len(blocks):
-        conv = blocks[index]
-        bn = blocks[index + 1]
-        index += 3                       # conv, bn, act
-        pooled = index < len(blocks) and isinstance(blocks[index],
-                                                    nn.MaxPool1d)
-        if pooled:
-            index += 1
-        if stage > 0:
-            folded = fold_conv1d_batchnorm_sign(conv, bn)
-            stages.append((InMemoryConv1dLayer(folded, config, rng), pooled))
-        else:
-            stages.append(((conv, bn), pooled))   # digital front stage
-        stage += 1
-    return stages
+def stochastic_front_end(model, rng):
+    """Stage-0 replacement: stochastic stream encoding of the analog input.
 
+    The front convolution's ±1 weights multiply each bit plane; averaging
+    the planes recovers the analog pre-activation.  Encoding x/RANGE keeps
+    the map linear for |x| <= RANGE (standardized ECG rarely exceeds
+    that), and the conv's linearity lets us rescale after.  Returns the
+    activation bits the first on-fabric conv stage consumes.
+    """
+    (front_conv, front_bn, front_pool) = model.conv_stages()[0]
 
-def run_on_chip(model, stages, classifier_hw, inputs, rng):
-    """Execute: stochastic front-end -> binary conv stack -> classifier."""
-    (front_conv, front_bn), front_pooled = stages[0]
-    with no_grad():
-        x = model.input_norm(Tensor(inputs)).data
-        # Stochastic stream encoding of the (normalized) analog input: the
-        # front convolution's ±1 weights multiply each bit plane; averaging
-        # the planes recovers the analog pre-activation.  Encoding x/RANGE
-        # keeps the map linear for |x| <= RANGE (standardized ECG rarely
-        # exceeds that), and the conv's linearity lets us rescale after.
-        encode_range = 2.0
-        planes = stochastic_bits(np.clip(x / encode_range, -1, 1),
-                                 STREAM_LENGTH, rng)   # (S, N, C, L)
-        plane_outputs = []
-        w = front_conv.binary_weight()
-        for plane in planes:
-            pm1 = Tensor(np.where(plane == 1, 1.0, -1.0))
-            from repro.nn.conv import conv1d_op
-            plane_outputs.append(conv1d_op(pm1, w, None, front_conv.stride,
-                                           front_conv.padding).data)
-        pre = encode_range * np.mean(plane_outputs, axis=0)
-        bits = to_bits(front_bn(Tensor(pre)).data)
-        if front_pooled:
-            bits = max_pool_bits_1d(bits, 2)
+    def front(inputs: np.ndarray) -> np.ndarray:
+        with no_grad():
+            x = model.input_norm(Tensor(np.asarray(inputs))).data
+            encode_range = 2.0
+            planes = stochastic_bits(np.clip(x / encode_range, -1, 1),
+                                     STREAM_LENGTH, rng)   # (S, N, C, L)
+            w = front_conv.binary_weight()
+            plane_outputs = [
+                conv1d_op(Tensor(np.where(plane == 1, 1.0, -1.0)), w, None,
+                          front_conv.stride, front_conv.padding).data
+                for plane in planes]
+            pre = encode_range * np.mean(plane_outputs, axis=0)
+            bits = to_bits(front_bn(Tensor(pre)).data)
+        if front_pool is not None:
+            bits = max_pool_bits_1d(bits, front_pool.kernel_size,
+                                    front_pool.stride)
+        return bits
 
-    for hw, pooled in stages[1:]:
-        bits = hw.forward_bits(bits)
-        if pooled:
-            bits = max_pool_bits_1d(bits, 2)
-
-    flat = bits.reshape(bits.shape[0], -1)
-    hidden_bits = classifier_hw[0].forward_bits(flat)
-    return classifier_hw[1].forward_scores(hidden_bits).argmax(axis=1)
+    return front
 
 
 def main() -> None:
@@ -123,21 +97,15 @@ def main() -> None:
     print(f"software (float eval) accuracy: {sw_acc:.1%}")
 
     rng = np.random.default_rng(12)
-    config = AcceleratorConfig()
-    stages = deploy_conv_stack(model, config, rng)
-    classifier_hw = (
-        InMemoryDenseLayer(fold_batchnorm_sign(model.fc1, model.bn_fc1),
-                           config, rng),
-        InMemoryOutputLayer(fold_batchnorm_output(model.fc2, model.bn_fc2),
-                            config, rng),
-    )
-    n_devices = sum(hw.controller.n_devices
-                    for hw, _ in stages[1:]) \
-        + sum(layer.controller.n_devices for layer in classifier_hw)
+    backend = RRAMBackend(AcceleratorConfig(), rng)
+    plan = compile(model, backend=backend, lower_features=True,
+                   front_end=stochastic_front_end(model, rng))
+    n_devices = sum(op.executor.controller.n_devices
+                    for op in plan.layer_ops)
+    print(f"programmed {n_devices:,} RRAM devices in one compile step:")
+    print(plan.summary())
 
-    print(f"programming {n_devices:,} RRAM devices "
-          f"({len(stages) - 1} conv stages + 2 dense layers) ...")
-    on_chip = run_on_chip(model, stages, classifier_hw, test_x, rng)
+    on_chip = plan.predict(test_x)
     hw_acc = (on_chip == test_y).mean()
     agreement = (on_chip == software).mean()
 

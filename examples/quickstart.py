@@ -6,10 +6,14 @@ This walks the full pipeline of the paper in ~a minute:
 1. generate a synthetic 12-lead ECG electrode-inversion dataset;
 2. train the Table II network with a *binarized classifier* (the paper's
    recommended configuration);
-3. fold the trained batch-norms into integer popcount thresholds (Eq. 3);
-4. program the weights into simulated 2T2R RRAM arrays and run inference
-   through XNOR sense amplifiers + popcount logic;
-5. compare software and in-memory accuracy, and report memory savings.
+3. compile the trained model **once** through the unified runtime — the
+   batch-norms fold into integer popcount thresholds (Eq. 3) and the
+   weight bits are packed — then run it on the packed-word XNOR kernel;
+4. re-target the same model to the RRAM backend: the weights are
+   programmed into simulated 2T2R arrays and inference runs through XNOR
+   sense amplifiers + popcount logic;
+5. compare software / packed / in-memory accuracy, and report memory
+   savings.
 
 Run:  python examples/quickstart.py
 """
@@ -18,10 +22,12 @@ import numpy as np
 
 from repro.analysis import model_memory
 from repro.data import ECGConfig, make_ecg_dataset
-from repro.experiments import TrainConfig, evaluate_accuracy, train_model
+from repro.experiments import (TrainConfig, evaluate_accuracy,
+                               evaluate_compiled, predict_scores,
+                               train_model)
 from repro.models import BinarizationMode, ECGNet
-from repro.rram import (AcceleratorConfig, classifier_input_bits,
-                        deploy_classifier)
+from repro.rram import AcceleratorConfig
+from repro.runtime import RRAMBackend
 
 
 def main() -> None:
@@ -44,11 +50,19 @@ def main() -> None:
     sw_acc = evaluate_accuracy(model, test_x, test_y)
     print(f"   software accuracy: {sw_acc:.1%}")
 
-    print("3-4) Folding batch-norms and programming 2T2R RRAM arrays ...")
-    hardware = deploy_classifier(model, AcceleratorConfig())
-    bits = classifier_input_bits(model, test_x)
-    hw_pred = hardware.predict(bits)
-    hw_acc = (hw_pred == test_y).mean()
+    print("3) Compiling once for the packed-word XNOR-popcount kernel ...")
+    packed_plan = model.compile(backend="packed")
+    packed_pred = packed_plan.predict(test_x)
+    software_pred = predict_scores(model, test_x).argmax(axis=1)
+    packed_acc = (packed_pred == test_y).mean()
+    print(f"   packed-kernel accuracy: {packed_acc:.1%} "
+          f"(bit-exact with software: "
+          f"{bool((packed_pred == software_pred).all())})")
+
+    print("4) Re-targeting the same model to 2T2R RRAM arrays ...")
+    hw_plan = model.compile(backend=RRAMBackend(AcceleratorConfig()))
+    hw_acc = evaluate_compiled(hw_plan, test_x, test_y)
+    hardware = hw_plan.as_inmemory_classifier()
     print(f"   in-memory accuracy (fresh devices): {hw_acc:.1%}")
     print(f"   RRAM devices used: {hardware.n_devices:,} "
           f"({hardware.n_devices // 2:,} 2T2R synapses)")

@@ -19,7 +19,10 @@ A complete offline reproduction of the paper's system:
 * :mod:`repro.analysis` — memory-footprint accounting (Table IV) and the
   8-bit quantization reference;
 * :mod:`repro.experiments` — cross-validated training harness and
-  benchmark scales.
+  benchmark scales;
+* :mod:`repro.runtime` — the compile-once inference runtime: one
+  ``compile(model, backend=...)`` step targeting interchangeable
+  reference / packed-CPU / RRAM substrates.
 
 Quick start::
 
@@ -33,7 +36,7 @@ See ``examples/quickstart.py`` for an end-to-end train-and-deploy run.
 __version__ = "1.0.0"
 
 from repro import analysis, data, experiments, models, nn, optim, rram, tensor
-from repro import io, metrics, viz
+from repro import io, metrics, runtime, viz
 
 __all__ = ["analysis", "data", "experiments", "io", "metrics", "models",
-           "nn", "optim", "rram", "tensor", "viz", "__version__"]
+           "nn", "optim", "rram", "runtime", "tensor", "viz", "__version__"]

@@ -34,6 +34,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("memory", help="Table IV memory report (alias: run TAB4)")
     sub.add_parser("energy",
                    help="in-memory vs digital energy (alias: run XTRA4)")
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="compile a paper model through the unified runtime and "
+             "cross-check every backend")
+    compile_cmd.add_argument("model", choices=["eeg", "ecg", "mobilenet"],
+                             help="which architecture to compile "
+                                  "(reduced geometry, random weights)")
+    compile_cmd.add_argument("--backend", default="all",
+                             help="backend name, or 'all' (default) for "
+                                  "reference/packed/ideal-rram")
+    compile_cmd.add_argument("--mode", default="binary_classifier",
+                             choices=["binary_classifier", "full_binary"],
+                             help="binarization mode (full_binary lowers "
+                                  "the EEG/ECG conv stack onto the "
+                                  "backend)")
     floorplan = sub.add_parser(
         "floorplan",
         help="map a paper model's classifier onto RRAM macros")
@@ -100,6 +115,78 @@ def _cmd_run(exp_id: str) -> str:
     return runner()
 
 
+def _cmd_compile(model_name: str, backend_spec: str, mode_name: str) -> str:
+    """Build a reduced paper model, compile it for each requested backend,
+    and report plan structure, prediction agreement, and latency."""
+    import time
+
+    import numpy as np
+
+    from repro.models import (BinarizationMode, ECGNet, EEGNet,
+                              MobileNetConfig, MobileNetV1)
+    from repro.rram import AcceleratorConfig
+    from repro.runtime import RRAMBackend, available_backends, compile
+    from repro.tensor import Tensor, no_grad
+
+    mode = BinarizationMode(mode_name)
+    rng = np.random.default_rng(0)
+    if model_name == "eeg":
+        model = EEGNet(mode=mode, n_channels=16, n_samples=240,
+                       base_filters=8, hidden_units=32, rng=rng)
+        inputs = rng.standard_normal((32, 16, 240))
+    elif model_name == "ecg":
+        model = ECGNet(mode=mode, n_samples=300, base_filters=8,
+                       conv_keep_prob=1.0, classifier_keep_prob=1.0, rng=rng)
+        inputs = rng.standard_normal((32, 12, 300))
+        model.fit_input_norm(inputs)
+    else:
+        if mode is BinarizationMode.FULL_BINARY:
+            raise SystemExit("mobilenet feature lowering is not supported "
+                             "(padded convolutions); use binary_classifier")
+        config = MobileNetConfig.reduced(n_classes=4, image_size=16,
+                                         width_multiplier=0.25, n_blocks=3)
+        model = MobileNetV1(config, mode=mode, rng=rng)
+        inputs = rng.standard_normal((32, 3, 16, 16))
+
+    # Calibrate batch-norm running statistics (untrained weights are fine
+    # for a runtime demonstration; folding needs realistic stats).
+    model.train()
+    with no_grad():
+        for start in range(0, len(inputs), 8):
+            model(Tensor(inputs[start:start + 8]))
+    model.eval()
+
+    if backend_spec == "all":
+        backends = ["reference", "packed",
+                    RRAMBackend(AcceleratorConfig(ideal=True))]
+    elif backend_spec in available_backends():
+        backends = [backend_spec]
+    else:
+        raise SystemExit(
+            f"unknown backend {backend_spec!r}; registered: "
+            f"{', '.join(available_backends())} (or 'all')")
+
+    # Compile each backend exactly once; agreement and timing both come
+    # from the same plan (and the same programmed devices, for rram).
+    plans = [compile(model, backend=backend) for backend in backends]
+    lines = [plans[0].summary(), ""]
+    lines.append(f"{'backend':<12} {'agreement':>10} {'ms/batch':>10}")
+    baseline = None
+    for plan in plans:
+        t0 = time.perf_counter()
+        predicted = plan.predict(inputs)
+        elapsed = (time.perf_counter() - t0) * 1e3
+        baseline = predicted if baseline is None else baseline
+        agreement = float((predicted == baseline).mean())
+        lines.append(f"{plan.backend.name:<12} "
+                     f"{agreement:>9.1%} "
+                     f"{elapsed:>10.2f}")
+    lines.append("")
+    lines.append("agreement is relative to the first backend; the Eq. 3 "
+                 "contract is 100% for\nreference/packed and ideal RRAM.")
+    return "\n".join(lines)
+
+
 def _cmd_floorplan(model_name: str, macro_spec: str) -> str:
     from repro.rram import MacroGeometry, plan_classifier
 
@@ -140,6 +227,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(analytic.run_table4())
         elif args.command == "energy":
             print(analytic.run_energy())
+        elif args.command == "compile":
+            print(_cmd_compile(args.model, args.backend, args.mode))
         elif args.command == "floorplan":
             print(_cmd_floorplan(args.model, args.macro))
     except BrokenPipeError:

@@ -202,11 +202,13 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
             id="XTRA10",
             artefact="§II-A argument — XNOR replaces multipliers",
             description=(
-                "Packed 64-bit-word XNOR-popcount kernel vs the integer "
-                "matmul formulation on the EEG classifier layer: bit-exact "
-                "agreement and the measured speedup."),
+                "Packed 64-bit-word XNOR-popcount kernels vs the integer "
+                "matmul / float im2col formulations: the EEG classifier "
+                "dense layer and a binary separable conv block (bit-sliced "
+                "depthwise + packed pointwise), bit-exact agreement and "
+                "the measured speedups (BENCH_packed_conv.json)."),
             kind="training",
-            modules=("repro.nn.bitops",),
+            modules=("repro.nn.bitops", "repro.runtime"),
             bench="benchmarks/bench_ablation_packed_kernel.py"),
         ExperimentInfo(
             id="XTRA8",

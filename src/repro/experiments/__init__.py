@@ -4,7 +4,8 @@ from repro.experiments.runner import (TrainConfig, TrainResult,
                                       CrossValResult, train_model,
                                       evaluate_accuracy, evaluate_topk,
                                       predict_scores, evaluate_report,
-                                      cross_validate)
+                                      cross_validate, evaluate_compiled,
+                                      backend_agreement)
 from repro.experiments.configs import (BenchScale, current_scale, EcgTask,
                                        EegTask, image_dataset, PAPER_RESULTS)
 from repro.experiments.tables import render_table, render_series
@@ -13,7 +14,8 @@ from repro.experiments.sweep import Sweep, grid
 __all__ = [
     "TrainConfig", "TrainResult", "CrossValResult", "train_model",
     "evaluate_accuracy", "evaluate_topk", "predict_scores",
-    "evaluate_report", "cross_validate",
+    "evaluate_report", "cross_validate", "evaluate_compiled",
+    "backend_agreement",
     "BenchScale", "current_scale", "EcgTask", "EegTask", "image_dataset",
     "PAPER_RESULTS",
     "render_table", "render_series",

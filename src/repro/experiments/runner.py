@@ -24,7 +24,8 @@ from repro.tensor import Tensor, no_grad
 
 __all__ = ["TrainConfig", "TrainResult", "CrossValResult", "train_model",
            "evaluate_accuracy", "evaluate_topk", "predict_scores",
-           "evaluate_report", "cross_validate"]
+           "evaluate_report", "cross_validate", "evaluate_compiled",
+           "backend_agreement"]
 
 
 @dataclass
@@ -211,6 +212,48 @@ def train_model(model: Module, train_inputs: np.ndarray,
         final = evaluate_accuracy(model, train_inputs, train_labels)
     return TrainResult(final_accuracy=final, history=history,
                        stopped_epoch=stopped_epoch)
+
+
+def evaluate_compiled(plan, inputs: np.ndarray, labels: np.ndarray,
+                      batch_size: int = 64) -> float:
+    """Top-1 accuracy of a compiled runtime plan (any backend).
+
+    The deployment-side mirror of :func:`evaluate_accuracy`: the same
+    batched protocol, but running the folded/packed/programmed plan
+    produced by :func:`repro.runtime.compile` instead of the float stack.
+    """
+    predictions = plan.predict(np.asarray(inputs), batch_size=batch_size)
+    return float((predictions == np.asarray(labels)).mean())
+
+
+def backend_agreement(model: Module, inputs: np.ndarray,
+                      backends=("reference", "packed"),
+                      batch_size: int = 64, **compile_kwargs):
+    """Compile ``model`` for every backend and compare predictions.
+
+    Returns ``(predictions, agreement)``: per-backend predicted labels and
+    each backend's agreement fraction with the first one.  The standing
+    deployment contract (Eq. 3) is that ``reference`` and ``packed`` agree
+    bit-for-bit and ideal RRAM matches both; this helper is how the tests
+    and examples check it on real data (the CLI ``compile`` command keeps
+    its own loop because it also times each compiled plan).
+    """
+    from repro.runtime import compile as compile_model
+
+    inputs = np.asarray(inputs)
+    predictions: dict[str, np.ndarray] = {}
+    for backend in backends:
+        plan = compile_model(model, backend=backend, **compile_kwargs)
+        key, suffix = plan.backend.name, 2
+        while key in predictions:       # two configs of the same substrate
+            key = f"{plan.backend.name}#{suffix}"
+            suffix += 1
+        predictions[key] = plan.predict(inputs, batch_size)
+    names = list(predictions)
+    baseline = predictions[names[0]]
+    agreement = {name: float((predictions[name] == baseline).mean())
+                 for name in names}
+    return predictions, agreement
 
 
 def cross_validate(model_factory: Callable[[np.random.Generator], Module],

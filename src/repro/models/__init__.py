@@ -13,13 +13,13 @@ binarized-classifier configuration, plus a ``filter_multiplier`` for the
 augmentation sweeps of Table III / Fig. 7.
 """
 
-from repro.models.common import BinarizationMode, LayerSummary
+from repro.models.common import BinarizationMode, Compilable, LayerSummary
 from repro.models.eeg_net import EEGNet, EEG_INPUT_CHANNELS, EEG_INPUT_SAMPLES
 from repro.models.ecg_net import ECGNet, ECG_INPUT_LEADS, ECG_INPUT_SAMPLES
 from repro.models.mobilenet import MobileNetV1, MobileNetConfig
 
 __all__ = [
-    "BinarizationMode", "LayerSummary",
+    "BinarizationMode", "Compilable", "LayerSummary",
     "EEGNet", "EEG_INPUT_CHANNELS", "EEG_INPUT_SAMPLES",
     "ECGNet", "ECG_INPUT_LEADS", "ECG_INPUT_SAMPLES",
     "MobileNetV1", "MobileNetConfig",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["BinarizationMode", "LayerSummary"]
+__all__ = ["BinarizationMode", "LayerSummary", "Compilable"]
 
 
 class BinarizationMode(enum.Enum):
@@ -32,6 +32,23 @@ class BinarizationMode(enum.Enum):
     @property
     def binarize_classifier(self) -> bool:
         return self is not BinarizationMode.REAL
+
+
+class Compilable:
+    """Mixin giving every paper model a one-call route into the unified
+    inference runtime.
+
+    ``model.compile(backend="packed")`` folds batch-norms and packs (or
+    programs) weights once, returning an executable plan — see
+    :func:`repro.runtime.compile`.  The import is deferred so the model
+    layer stays importable without the runtime package.
+    """
+
+    def compile(self, backend="reference", **kwargs):
+        """Compile this trained model for ``backend``; returns a
+        :class:`repro.runtime.CompiledModel`."""
+        from repro.runtime import compile as compile_model
+        return compile_model(self, backend=backend, **kwargs)
 
 
 @dataclass

@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
-from repro.models.common import BinarizationMode, LayerSummary
+from repro.models.common import BinarizationMode, Compilable, LayerSummary
 from repro.tensor import Tensor
 
 __all__ = ["ECGNet", "ECG_INPUT_LEADS", "ECG_INPUT_SAMPLES"]
@@ -39,7 +39,7 @@ ECG_INPUT_SAMPLES = 750
 _CONV_STAGES = ((13, True), (11, True), (9, False), (7, False), (5, False))
 
 
-class ECGNet(nn.Module):
+class ECGNet(nn.Module, Compilable):
     """ECG classification network with selectable binarization mode.
 
     ``filter_multiplier`` implements the paper's filter augmentation sweep
@@ -115,6 +115,25 @@ class ECGNet(nn.Module):
             self.bn_fc2 = nn.Identity()
 
     # ------------------------------------------------------------------
+    def conv_stages(self) -> list[tuple[nn.Module, nn.Module,
+                                        nn.Module | None]]:
+        """Structural view of the conv stack: ``(conv, batch-norm, pool or
+        None)`` per stage, in execution order.
+
+        This is the hook the unified runtime uses to lower the fully
+        binarized feature extractor onto a backend (activations and
+        dropout carry no deployment state, so they are skipped).
+        """
+        stages: list[list] = []
+        for layer in self.conv_blocks:
+            if hasattr(layer, "kernel_size") and hasattr(layer, "weight"):
+                stages.append([layer, None, None])
+            elif isinstance(layer, nn.BatchNorm1d):
+                stages[-1][1] = layer
+            elif isinstance(layer, nn.MaxPool1d):
+                stages[-1][2] = layer
+        return [tuple(stage) for stage in stages]
+
     def fit_input_norm(self, train_inputs: np.ndarray) -> "ECGNet":
         """Fit the input batch-norm statistics on the training split."""
         self.input_norm.fit(train_inputs)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
-from repro.models.common import BinarizationMode, LayerSummary
+from repro.models.common import BinarizationMode, Compilable, LayerSummary
 from repro.tensor import Tensor
 
 __all__ = ["EEGNet", "EEG_INPUT_CHANNELS", "EEG_INPUT_SAMPLES"]
@@ -38,7 +38,7 @@ EEG_INPUT_CHANNELS = 64
 EEG_INPUT_SAMPLES = 960
 
 
-class EEGNet(nn.Module):
+class EEGNet(nn.Module, Compilable):
     """EEG classification network with selectable binarization mode.
 
     Parameters

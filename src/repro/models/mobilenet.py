@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import nn
-from repro.models.common import BinarizationMode
+from repro.models.common import BinarizationMode, Compilable
 from repro.tensor import Tensor
 
 __all__ = ["MobileNetConfig", "MobileNetV1"]
@@ -73,7 +73,7 @@ class MobileNetConfig:
         return max(16, int(round(2816 * self.width_multiplier)))
 
 
-class MobileNetV1(nn.Module):
+class MobileNetV1(nn.Module, Compilable):
     """MobileNet V1 with selectable binarization of classifier/features."""
 
     def __init__(self, config: MobileNetConfig | None = None,

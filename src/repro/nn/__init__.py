@@ -20,12 +20,15 @@ from repro.nn.stochastic import (stochastic_bits, stream_decode,
 from repro.nn.quant import (quant_scale, fake_quantize, QuantLinear,
                             QuantConv1d, QuantConv2d, ActivationQuantizer,
                             IntegerDense, deploy_dense_int)
-from repro.nn.bitops import (pack_bits, unpack_bits, packed_xnor_popcount,
-                             PackedBinaryDense)
+from repro.nn.bitops import (pack_bits, unpack_bits, pad_correction,
+                             packed_xnor_popcount, PackedBinaryDense,
+                             PackedOutputDense, PackedBinaryConv1d,
+                             PackedBinaryConv2d, pack_feature_map,
+                             unpack_feature_map)
 from repro.nn.binary import (
     BinaryLinear, BinaryConv1d, BinaryConv2d, BinaryDepthwiseConv2d,
     clip_latent_weights,
-    to_bits, from_bits, xnor_popcount, dot_from_popcount,
+    to_bits, from_bits, xnor_popcount, dot_from_popcount, threshold_bits,
     FoldedBinaryDense, FoldedOutputDense,
     fold_batchnorm_sign, fold_batchnorm_output)
 
@@ -42,10 +45,14 @@ __all__ = [
     "BinaryLinear", "BinaryConv1d", "BinaryConv2d", "BinaryDepthwiseConv2d",
     "clip_latent_weights",
     "to_bits", "from_bits", "xnor_popcount", "dot_from_popcount",
+    "threshold_bits",
     "FoldedBinaryDense", "FoldedOutputDense",
     "fold_batchnorm_sign", "fold_batchnorm_output",
     "stochastic_bits", "stream_decode", "StochasticBinarize",
     "quant_scale", "fake_quantize", "QuantLinear", "QuantConv1d",
     "QuantConv2d", "ActivationQuantizer", "IntegerDense", "deploy_dense_int",
-    "pack_bits", "unpack_bits", "packed_xnor_popcount", "PackedBinaryDense",
+    "pack_bits", "unpack_bits", "pad_correction", "packed_xnor_popcount",
+    "PackedBinaryDense", "PackedOutputDense",
+    "PackedBinaryConv1d", "PackedBinaryConv2d",
+    "pack_feature_map", "unpack_feature_map",
 ]

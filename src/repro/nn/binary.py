@@ -38,6 +38,7 @@ __all__ = [
     "from_bits",
     "xnor_popcount",
     "dot_from_popcount",
+    "threshold_bits",
     "FoldedBinaryDense",
     "FoldedOutputDense",
     "fold_batchnorm_sign",
@@ -213,6 +214,24 @@ def dot_from_popcount(popcount: np.ndarray, width: int) -> np.ndarray:
     return 2 * np.asarray(popcount, dtype=np.int64) - width
 
 
+def threshold_bits(dot: np.ndarray, theta: np.ndarray,
+                   gamma_sign: np.ndarray,
+                   beta_sign: np.ndarray) -> np.ndarray:
+    """The folded ``sign(BN(.))`` threshold unit shared by every substrate.
+
+    ``output_bit = (dot >= theta)`` for positive ``gamma``, flipped for
+    negative ``gamma``, and the constant ``sign(beta)`` when ``gamma == 0``
+    (the batch-norm output no longer depends on its input).  All operands
+    broadcast, so callers shape ``theta``/``gamma_sign``/``beta_sign`` for
+    dense ``(N, M)`` or convolutional ``(N, C, ...)`` layouts alike.
+    """
+    pos = dot >= theta
+    neg = dot <= theta
+    out = np.where(gamma_sign > 0, pos,
+                   np.where(gamma_sign < 0, neg, beta_sign >= 0))
+    return out.astype(np.uint8)
+
+
 # ---------------------------------------------------------------------------
 # Batch-norm folding into hardware thresholds
 # ---------------------------------------------------------------------------
@@ -242,12 +261,9 @@ class FoldedBinaryDense:
         """Exact integer inference: activation bits in, activation bits out."""
         pc = xnor_popcount(x_bits, self.weight_bits)
         dot = dot_from_popcount(pc, self.in_features)
-        pos = dot >= self.theta[None, :]
-        neg = dot <= self.theta[None, :]
-        out = np.where(self.gamma_sign[None, :] > 0, pos,
-                       np.where(self.gamma_sign[None, :] < 0, neg,
-                                self.beta_sign[None, :] >= 0))
-        return out.astype(np.uint8)
+        return threshold_bits(dot, self.theta[None, :],
+                              self.gamma_sign[None, :],
+                              self.beta_sign[None, :])
 
 
 @dataclass

@@ -32,8 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.binary import (FoldedBinaryDense, FoldedOutputDense,
-                             fold_batchnorm_output, fold_batchnorm_sign,
-                             to_bits)
+                             threshold_bits, to_bits)
 from repro.rram.array import RRAMArray
 from repro.rram.device import DeviceParameters
 from repro.rram.sense import SenseParameters
@@ -144,8 +143,11 @@ class MemoryController:
         """XNOR-popcount of a batch against every stored row.
 
         ``x_bits``: ``(N, in_features)``; returns ``(N, out_features)``
-        integer popcounts, accumulated tile by tile exactly as the shared
-        popcount logic of Fig. 5 would.
+        integer popcounts.  Each input chunk is broadcast once per tile
+        while the word lines are scanned with the vectorized
+        :meth:`~repro.rram.array.RRAMArray.xnor_popcounts` read — the
+        counts accumulate tile by tile exactly as the shared popcount
+        logic of Fig. 5 would, without materializing the XNOR bit planes.
         """
         x_bits = np.asarray(x_bits, dtype=np.uint8)
         if x_bits.ndim != 2 or x_bits.shape[1] != self.in_features:
@@ -159,9 +161,8 @@ class MemoryController:
             chunk = np.zeros((n, tc), dtype=np.uint8)
             chunk[:, :valid] = x_bits[:, j * tc:j * tc + valid]
             for i in range(self.grid_rows):
-                xnor = self.tiles[i][j].read_all_xnor_batch(chunk)
                 counts[:, i * tr:(i + 1) * tr] += \
-                    xnor[:, :, :valid].sum(axis=2, dtype=np.int64)
+                    self.tiles[i][j].xnor_popcounts(chunk, valid)
                 self.popcount_bit_ops += n * tr * valid
         return counts[:, :self.out_features]
 
@@ -181,14 +182,10 @@ class InMemoryDenseLayer:
 
     def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
         pc = self.controller.popcounts(x_bits)
-        dot = 2 * pc - self.folded.in_features
         f = self.folded
-        pos = dot >= f.theta[None, :]
-        neg = dot <= f.theta[None, :]
-        out = np.where(f.gamma_sign[None, :] > 0, pos,
-                       np.where(f.gamma_sign[None, :] < 0, neg,
-                                f.beta_sign[None, :] >= 0))
-        return out.astype(np.uint8)
+        dot = 2 * pc - f.in_features
+        return threshold_bits(dot, f.theta[None, :], f.gamma_sign[None, :],
+                              f.beta_sign[None, :])
 
 
 class InMemoryOutputLayer:
@@ -248,37 +245,42 @@ class InMemoryClassifier:
 
 
 # ---------------------------------------------------------------------------
-# Deployment from trained models
+# Deployment from trained models (compatibility shims over the runtime)
 # ---------------------------------------------------------------------------
 def fold_classifier(model) -> tuple[list[FoldedBinaryDense],
                                     FoldedOutputDense]:
     """Fold the two-layer binarized classifier of a trained model.
 
-    Works with any model following the repository convention of exposing
-    ``fc1``/``bn_fc1`` (hidden, sign-activated) and ``fc2``/``bn_fc2``
-    (output) binary layers — :class:`~repro.models.EEGNet`,
-    :class:`~repro.models.ECGNet` and :class:`~repro.models.MobileNetV1` in
-    their binarized modes all do.
+    Compatibility shim: the canonical fold lives in
+    :func:`repro.runtime.fold_classifier_stack`, which the unified
+    ``compile`` step uses for every backend.  Works with any model
+    following the repository convention of exposing ``fc1``/``bn_fc1``
+    (hidden, sign-activated) and ``fc2``/``bn_fc2`` (output) binary
+    layers — :class:`~repro.models.EEGNet`, :class:`~repro.models.ECGNet`
+    and :class:`~repro.models.MobileNetV1` in their binarized modes all do.
     """
-    if not hasattr(model, "fc1") or model.fc2 is None:
-        raise ValueError("model does not have a two-layer classifier")
-    if not type(model.fc1).__name__.startswith("Binary"):
-        raise ValueError("classifier is not binarized; train with "
-                         "BinarizationMode.FULL_BINARY or BINARY_CLASSIFIER")
-    hidden = [fold_batchnorm_sign(model.fc1, model.bn_fc1)]
-    output = fold_batchnorm_output(model.fc2, model.bn_fc2)
-    return hidden, output
+    from repro.runtime.compile import fold_classifier_stack
+    return fold_classifier_stack(model)
 
 
 def deploy_classifier(model, config: AcceleratorConfig | None = None,
                       rng: np.random.Generator | None = None
                       ) -> InMemoryClassifier:
-    """Program a trained model's binary classifier into RRAM tiles."""
-    hidden_folded, output_folded = fold_classifier(model)
-    rng = rng or np.random.default_rng((config or AcceleratorConfig()).seed)
-    hidden = [InMemoryDenseLayer(f, config, rng) for f in hidden_folded]
-    output = InMemoryOutputLayer(output_folded, config, rng)
-    return InMemoryClassifier(hidden, output)
+    """Program a trained model's binary classifier into RRAM tiles.
+
+    Compatibility shim over ``compile(model, backend=RRAMBackend(...))``;
+    the returned :class:`InMemoryClassifier` is the plan's substrate layers
+    repackaged in the legacy container.  Unlike ``compile`` (which leaves
+    the model in eval mode, its deployment semantics), this shim restores
+    the caller's training mode — the legacy function had no side effects.
+    """
+    from repro.runtime import RRAMBackend, compile as compile_model
+    was_training = model.training
+    backend = RRAMBackend(config, rng)
+    plan = compile_model(model, backend=backend, lower_features=False)
+    if was_training:
+        model.train()
+    return plan.as_inmemory_classifier()
 
 
 def classifier_input_bits(model, inputs: np.ndarray) -> np.ndarray:

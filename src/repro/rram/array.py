@@ -55,6 +55,7 @@ class RRAMArray:
         self.r_blb = np.full(shape, np.nan)   # unused in 1T1R mode
         self.program_ops = 0
         self._programmed = np.zeros(shape, dtype=bool)
+        self._margin_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Decoders
@@ -94,6 +95,7 @@ class RRAMArray:
         self.cycles[row, cols] += 1
         self.weight_bits[row, cols] = bits
         self._programmed[row, cols] = True
+        self._margin_cache = None
         self.program_ops += bits.size
         cyc = self.cycles[row, cols]
         if self.mode == "2T2R":
@@ -110,6 +112,17 @@ class RRAMArray:
     def wear(self, cycles: int) -> None:
         """Age every device by ``cycles`` additional program cycles."""
         self.cycles += int(cycles)
+
+    def _sense_margin(self) -> np.ndarray:
+        """Differential log-resistance margin of every 2T2R cell.
+
+        The margin is fixed by the programmed resistances — only the
+        per-read sense-amplifier offset varies — so it is computed once
+        and cached until the next program event redraws the resistances.
+        """
+        if self._margin_cache is None:
+            self._margin_cache = np.log(self.r_blb) - np.log(self.r_bl)
+        return self._margin_cache
 
     # ------------------------------------------------------------------
     # Reading
@@ -158,7 +171,7 @@ class RRAMArray:
         offsets = self.amplifiers.params.offset(
             self.rng, (self.n_rows, self.n_cols))
         self.amplifiers.sense_count += self.n_rows * self.n_cols
-        weight_read = (np.log(self.r_blb) - np.log(self.r_bl) + offsets) > 0
+        weight_read = (self._sense_margin() + offsets) > 0
         return np.logical_not(
             np.logical_xor(weight_read, input_bits[None, :].astype(bool))
         ).astype(np.uint8)
@@ -182,12 +195,44 @@ class RRAMArray:
         offsets = self.amplifiers.params.offset(
             self.rng, (n, self.n_rows, self.n_cols))
         self.amplifiers.sense_count += n * self.n_rows * self.n_cols
-        margin = (np.log(self.r_blb) - np.log(self.r_bl))[None, :, :]
+        margin = self._sense_margin()[None, :, :]
         weight_read = (margin + offsets) > 0
         return np.logical_not(
             np.logical_xor(weight_read,
                            input_bits[:, None, :].astype(bool))
         ).astype(np.uint8)
+
+    def xnor_popcounts(self, input_bits: np.ndarray,
+                       n_valid: int | None = None) -> np.ndarray:
+        """Vectorized word-line scan with on-the-fly popcount.
+
+        ``input_bits``: ``(N, n_cols)``.  Returns ``(N, n_rows)`` counts of
+        agreeing cells over the first ``n_valid`` columns (all by default).
+        Physically identical to :meth:`read_all_xnor_batch` followed by the
+        shared popcount logic — every word line is scanned with fresh
+        sense-amplifier offsets — but the XNOR plane is never materialized
+        as a bit tensor, which is how the Fig. 5 popcount tree actually
+        consumes the sense amplifiers' outputs.
+        """
+        input_bits = np.asarray(input_bits, dtype=np.uint8)
+        if input_bits.ndim != 2 or input_bits.shape[1] != self.n_cols:
+            raise ValueError(
+                f"input bits shape {input_bits.shape} != (N, {self.n_cols})")
+        if self.mode != "2T2R":
+            raise RuntimeError("XNOR sensing requires the 2T2R array")
+        self._check_programmed(None, None)
+        n_valid = self.n_cols if n_valid is None else int(n_valid)
+        if not 0 <= n_valid <= self.n_cols:
+            raise ValueError(f"n_valid {n_valid} outside [0, {self.n_cols}]")
+        n = input_bits.shape[0]
+        offsets = self.amplifiers.params.offset(
+            self.rng, (n, self.n_rows, self.n_cols))
+        self.amplifiers.sense_count += n * self.n_rows * self.n_cols
+        margin = self._sense_margin()[None, :, :]
+        weight_read = (margin + offsets) > 0
+        agree = weight_read[:, :, :n_valid] \
+            == (input_bits[:, None, :n_valid] != 0)
+        return agree.sum(axis=2, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def _check_programmed(self, row, cols) -> None:

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.binary import to_bits, xnor_popcount
+from repro.nn.binary import threshold_bits, to_bits, xnor_popcount
 from repro.nn.conv import Conv1d
 from repro.nn.norm import _BatchNorm
 from repro.rram.accelerator import AcceleratorConfig, MemoryController
@@ -84,12 +84,9 @@ class FoldedBinaryConv1d:
             n * l_out, c * self.kernel_size)
 
     def _threshold(self, dot: np.ndarray) -> np.ndarray:
-        pos = dot >= self.theta[None, :]
-        neg = dot <= self.theta[None, :]
-        out = np.where(self.gamma_sign[None, :] > 0, pos,
-                       np.where(self.gamma_sign[None, :] < 0, neg,
-                                self.beta_sign[None, :] >= 0))
-        return out.astype(np.uint8)
+        return threshold_bits(dot, self.theta[None, :],
+                              self.gamma_sign[None, :],
+                              self.beta_sign[None, :])
 
     def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
         """Exact integer inference: ``(N, C_in, L)`` bits ->

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.binary import to_bits, xnor_popcount
+from repro.nn.binary import threshold_bits, to_bits, xnor_popcount
 from repro.nn.conv import Conv2d
 from repro.nn.norm import _BatchNorm
 from repro.rram.accelerator import AcceleratorConfig, MemoryController
@@ -38,11 +38,7 @@ def _threshold_channels(dot: np.ndarray, theta: np.ndarray,
                         gamma_sign: np.ndarray, beta_sign: np.ndarray
                         ) -> np.ndarray:
     """Per-channel popcount threshold with batch-norm sign handling."""
-    pos = dot >= theta
-    neg = dot <= theta
-    out = np.where(gamma_sign > 0, pos,
-                   np.where(gamma_sign < 0, neg, beta_sign >= 0))
-    return out.astype(np.uint8)
+    return threshold_bits(dot, theta, gamma_sign, beta_sign)
 
 
 @dataclass

@@ -1,0 +1,42 @@
+"""Unified inference runtime: compile a trained model once, execute on any
+substrate.
+
+The paper's central claim is that one trained BNN (Eq. 3) can run on three
+different substrates — the floating-point training stack, packed-word
+XNOR-popcount digital kernels, and the Fig. 5 in-memory 2T2R architecture.
+This package makes that a first-class architecture instead of per-example
+wiring:
+
+* :func:`compile` walks a trained model (the ``fc1``/``bn_fc1`` classifier
+  convention shared by all three paper networks), folds every batch-norm
+  **once**, packs / programs weight bits **once**, and returns an
+  executable :class:`CompiledModel` plan;
+* a :class:`Backend` maps each folded layer onto a substrate —
+  :class:`ReferenceBackend` (integer matmul formulation),
+  :class:`PackedBackend` (uint64 XNOR-popcount kernels, dense *and*
+  convolutional), :class:`RRAMBackend` (simulated 2T2R macros with
+  vectorized word-line scanning);
+* :func:`register_backend` makes every future substrate (sharded
+  multi-macro arrays, async sweep executors) a plug-in rather than a
+  rewrite.
+
+Fully binarized EEG/ECG models can additionally lower their *feature*
+convolutions onto the backend (``lower_features``), keeping only the
+analog-facing first stage in the digital front-end — standard BNN
+practice.
+"""
+
+from repro.runtime.backends import (Backend, ReferenceBackend, PackedBackend,
+                                    RRAMBackend, register_backend,
+                                    resolve_backend, available_backends)
+from repro.runtime.compile import (compile, CompiledModel,
+                                   fold_classifier_stack)
+from repro.runtime.ir import (PlanOp, FrontEndOp, BitTransformOp, BitLayerOp,
+                              OutputLayerOp)
+
+__all__ = [
+    "compile", "CompiledModel", "fold_classifier_stack",
+    "Backend", "ReferenceBackend", "PackedBackend", "RRAMBackend",
+    "register_backend", "resolve_backend", "available_backends",
+    "PlanOp", "FrontEndOp", "BitTransformOp", "BitLayerOp", "OutputLayerOp",
+]

@@ -1,0 +1,173 @@
+"""Execution backends: one substrate per class, one protocol for all.
+
+A backend turns substrate-independent folded layers (the output of the
+batch-norm folding of Eq. 3) into executors with ``forward_bits`` /
+``forward_scores`` methods.  All expensive preparation — packing weight
+bits into uint64 words, programming 2T2R tiles — happens in the
+``prepare_*`` calls at compile time, never per batch.
+
+The registry (:func:`register_backend` / :func:`resolve_backend`) is the
+extension point: a sharded multi-macro backend or an async sweep executor
+plugs in by name without touching the compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
+from repro.nn.bitops import (PackedBinaryConv1d, PackedBinaryConv2d,
+                             PackedBinaryDense, PackedOutputDense)
+from repro.rram.accelerator import (AcceleratorConfig, InMemoryDenseLayer,
+                                    InMemoryOutputLayer)
+from repro.rram.conv import FoldedBinaryConv1d, InMemoryConv1dLayer
+from repro.rram.conv2d import FoldedBinaryConv2d, InMemoryConv2dLayer
+
+__all__ = ["Backend", "ReferenceBackend", "PackedBackend", "RRAMBackend",
+           "register_backend", "resolve_backend", "available_backends"]
+
+
+class Backend:
+    """Protocol for inference substrates.
+
+    Subclasses override the ``prepare_*`` hooks for the layer types they
+    support; the defaults raise so an unsupported lowering fails at
+    compile time, not mid-inference.
+    """
+
+    name = "abstract"
+
+    def prepare_dense(self, folded: FoldedBinaryDense):
+        raise NotImplementedError(
+            f"backend {self.name!r} does not execute dense layers")
+
+    def prepare_output(self, folded: FoldedOutputDense):
+        raise NotImplementedError(
+            f"backend {self.name!r} does not execute output layers")
+
+    def prepare_conv1d(self, folded: FoldedBinaryConv1d):
+        raise NotImplementedError(
+            f"backend {self.name!r} does not execute 1-D convolutions")
+
+    def prepare_conv2d(self, folded: FoldedBinaryConv2d):
+        raise NotImplementedError(
+            f"backend {self.name!r} does not execute 2-D convolutions")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ReferenceBackend(Backend):
+    """The integer matmul formulation of Eq. 3 — the verification golden
+    model.  Folded layers already execute themselves, so preparation is
+    the identity."""
+
+    name = "reference"
+
+    def prepare_dense(self, folded: FoldedBinaryDense):
+        return folded
+
+    def prepare_output(self, folded: FoldedOutputDense):
+        return folded
+
+    def prepare_conv1d(self, folded: FoldedBinaryConv1d):
+        return folded
+
+    def prepare_conv2d(self, folded: FoldedBinaryConv2d):
+        return folded
+
+
+class PackedBackend(Backend):
+    """Packed-word XNOR-popcount kernels (64 synapses per machine word).
+
+    Dense layers and convolutions (bit-packed im2col; bit-sliced kernels
+    for depthwise) — the software mirror of the paper's §II-A argument
+    that XNOR gates replace multipliers.
+    """
+
+    name = "packed"
+
+    def prepare_dense(self, folded: FoldedBinaryDense):
+        return PackedBinaryDense(folded)
+
+    def prepare_output(self, folded: FoldedOutputDense):
+        return PackedOutputDense(folded)
+
+    def prepare_conv1d(self, folded: FoldedBinaryConv1d):
+        return PackedBinaryConv1d(folded)
+
+    def prepare_conv2d(self, folded: FoldedBinaryConv2d):
+        return PackedBinaryConv2d(folded)
+
+
+class RRAMBackend(Backend):
+    """The Fig. 5 in-memory architecture on simulated 2T2R macros.
+
+    Preparation programs the weight bits into
+    :class:`~repro.rram.accelerator.MemoryController` tile grids; layers
+    then execute with vectorized word-line scanning and batched activation
+    broadcast.  One shared ``rng`` keeps deployment deterministic per
+    config seed, matching :func:`~repro.rram.accelerator.deploy_classifier`.
+    """
+
+    name = "rram"
+
+    def __init__(self, config: AcceleratorConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.config = config or AcceleratorConfig()
+        self.rng = rng or np.random.default_rng(self.config.seed)
+
+    def prepare_dense(self, folded: FoldedBinaryDense):
+        return InMemoryDenseLayer(folded, self.config, self.rng)
+
+    def prepare_output(self, folded: FoldedOutputDense):
+        return InMemoryOutputLayer(folded, self.config, self.rng)
+
+    def prepare_conv1d(self, folded: FoldedBinaryConv1d):
+        return InMemoryConv1dLayer(folded, self.config, self.rng)
+
+    def prepare_conv2d(self, folded: FoldedBinaryConv2d):
+        return InMemoryConv2dLayer(folded, self.config, self.rng)
+
+    def __repr__(self) -> str:
+        return f"RRAMBackend(config={self.config!r})"
+
+
+_BACKENDS: dict[str, Callable[[], Backend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    PackedBackend.name: PackedBackend,
+    RRAMBackend.name: RRAMBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a new substrate under ``name`` (overwrites existing).
+
+    ``factory`` is called with no arguments when the backend is requested
+    by name; pass configured instances to :func:`resolve_backend` directly
+    when construction needs parameters.
+    """
+    if not callable(factory):
+        raise TypeError("factory must be callable")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names currently registered, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def resolve_backend(spec) -> Backend:
+    """Accept a backend name or an already-built :class:`Backend`."""
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _BACKENDS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; registered: "
+                f"{', '.join(_BACKENDS)}") from None
+    raise TypeError(f"backend must be a name or Backend, got {type(spec)}")

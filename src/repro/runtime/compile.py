@@ -1,0 +1,304 @@
+"""The compiler: trained model -> executable plan, folding and packing once.
+
+``compile(model, backend=...)`` is the single entry point every deployment
+path in this repository goes through (the ``fold_classifier`` /
+``deploy_classifier`` helpers in :mod:`repro.rram.accelerator` are thin
+compatibility shims over it).  It:
+
+1. puts the model in eval mode (deployment uses the batch-norm running
+   statistics, exactly like the hardware fold);
+2. folds every binarized layer into substrate-independent integer
+   popcount/threshold form — **once**;
+3. asks the backend to prepare an executor per folded layer (packing
+   weight words, programming RRAM tiles) — **once**;
+4. returns a :class:`CompiledModel` whose ops chain activation bits from
+   the digital front-end to the class scores.
+
+For fully binarized EEG/ECG networks, ``lower_features`` additionally maps
+the feature convolutions onto the backend: every convolution whose inputs
+are already binary executes on the substrate, and only the analog-facing
+first stage stays in the digital front-end (standard BNN practice — the
+paper's §II-B conv adaptation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.common import BinarizationMode
+from repro.nn.binary import (fold_batchnorm_output, fold_batchnorm_sign,
+                             to_bits)
+from repro.rram.conv import fold_conv1d_batchnorm_sign, max_pool_bits_1d
+from repro.rram.conv2d import fold_conv2d_batchnorm_sign
+from repro.runtime.backends import Backend, resolve_backend
+from repro.runtime.ir import (BitLayerOp, BitTransformOp, FrontEndOp,
+                              OutputLayerOp, PlanOp)
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["compile", "CompiledModel", "fold_classifier_stack"]
+
+
+def fold_classifier_stack(model):
+    """Fold the two-layer binarized classifier of a trained model.
+
+    Works with any model following the repository convention of exposing
+    ``fc1``/``bn_fc1`` (hidden, sign-activated) and ``fc2``/``bn_fc2``
+    (output) binary layers — :class:`~repro.models.EEGNet`,
+    :class:`~repro.models.ECGNet` and :class:`~repro.models.MobileNetV1`
+    in their binarized modes all do.  Returns ``(hidden_layers, output)``
+    folded forms.
+    """
+    if not hasattr(model, "fc1") or model.fc2 is None:
+        raise ValueError("model does not have a two-layer classifier")
+    if not type(model.fc1).__name__.startswith("Binary"):
+        raise ValueError("classifier is not binarized; train with "
+                         "BinarizationMode.FULL_BINARY or BINARY_CLASSIFIER")
+    hidden = [fold_batchnorm_sign(model.fc1, model.bn_fc1)]
+    output = fold_batchnorm_output(model.fc2, model.bn_fc2)
+    return hidden, output
+
+
+class CompiledModel:
+    """An executable inference plan bound to one backend.
+
+    ``ops`` is the straight-line program: a front-end, zero or more
+    lowered feature ops, the classifier layers, and a terminal score op.
+    """
+
+    def __init__(self, ops: list[PlanOp], backend: Backend, model=None):
+        if not ops or not isinstance(ops[-1], OutputLayerOp):
+            raise ValueError("a plan must end in an output layer")
+        self.ops = ops
+        self.backend = backend
+        self.model = model
+
+    # -- execution -------------------------------------------------------
+    def scores(self, inputs: np.ndarray,
+               batch_size: int | None = None) -> np.ndarray:
+        """Class scores ``(N, classes)`` for raw model inputs."""
+        inputs = np.asarray(inputs)
+        if batch_size is None or len(inputs) == 0:
+            return self._run(inputs)
+        chunks = [self._run(inputs[s:s + batch_size])
+                  for s in range(0, len(inputs), batch_size)]
+        return np.concatenate(chunks, axis=0)
+
+    def predict(self, inputs: np.ndarray,
+                batch_size: int | None = None) -> np.ndarray:
+        """Predicted class labels for raw model inputs."""
+        return self.scores(inputs, batch_size).argmax(axis=1)
+
+    def _run(self, x):
+        for op in self.ops:
+            x = op.run(x)
+        return x
+
+    # -- introspection ---------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable plan listing (one line per op)."""
+        header = f"CompiledModel on backend {self.backend.name!r}"
+        lines = [header, "-" * len(header)]
+        lines += [f"{i:2d}. {op.describe()}"
+                  for i, op in enumerate(self.ops)]
+        return "\n".join(lines)
+
+    @property
+    def layer_ops(self) -> list[PlanOp]:
+        """The substrate-executed ops (excludes the digital periphery)."""
+        return [op for op in self.ops
+                if isinstance(op, (BitLayerOp, OutputLayerOp))]
+
+    def as_inmemory_classifier(self):
+        """Repackage an RRAM classifier plan as the legacy
+        :class:`~repro.rram.accelerator.InMemoryClassifier` object."""
+        from repro.rram.accelerator import (InMemoryClassifier,
+                                            InMemoryDenseLayer,
+                                            InMemoryOutputLayer)
+        hidden = [op.executor for op in self.ops
+                  if isinstance(op, BitLayerOp)
+                  and isinstance(op.executor, InMemoryDenseLayer)]
+        output = self.ops[-1].executor
+        if not isinstance(output, InMemoryOutputLayer):
+            raise ValueError(
+                "plan was not compiled with the rram backend")
+        return InMemoryClassifier(hidden, output)
+
+    def __repr__(self) -> str:
+        return (f"CompiledModel(backend={self.backend.name!r}, "
+                f"ops={len(self.ops)})")
+
+
+# ---------------------------------------------------------------------------
+# Plan construction
+# ---------------------------------------------------------------------------
+def compile(model, backend="reference", *, lower_features: bool | str = "auto",
+            front_end=None) -> CompiledModel:
+    """Compile a trained model into an executable plan on ``backend``.
+
+    Parameters
+    ----------
+    model:
+        A trained model following the classifier convention (and, for
+        feature lowering, the conv-stage hooks of the EEG/ECG models).
+        Switched to eval mode — folding uses the running statistics.
+    backend:
+        Backend name (``"reference"``, ``"packed"``, ``"rram"`` or any
+        :func:`~repro.runtime.register_backend` plug-in) or a configured
+        :class:`~repro.runtime.Backend` instance.
+    lower_features:
+        ``"auto"`` lowers binary feature convolutions onto the backend
+        when the model supports it (fully binarized EEG/ECG networks);
+        ``True`` requires lowering (raises if unsupported); ``False``
+        keeps all features in the float front-end.
+    front_end:
+        Optional replacement for the plan's default front-end: a callable
+        mapping raw inputs to the activation bits expected by the first
+        lowered op (e.g. a stochastic stream encoder for the first
+        convolution).
+    """
+    backend = resolve_backend(backend)
+    if lower_features not in (True, False, "auto"):
+        raise ValueError("lower_features must be True, False or 'auto'")
+    model.eval()
+
+    want_lowering = lower_features in (True, "auto") \
+        and getattr(model, "mode", None) is BinarizationMode.FULL_BINARY
+    ops: list[PlanOp] = []
+    if want_lowering and hasattr(model, "conv_stages"):
+        ops += _lowered_conv1d_ops(model, backend, front_end)
+    elif want_lowering and hasattr(model, "conv_space"):
+        ops += _lowered_eeg_ops(model, backend, front_end)
+    elif lower_features is True:
+        raise ValueError(
+            f"{type(model).__name__} does not support feature lowering "
+            "(needs FULL_BINARY mode and zero-padding conv stages)")
+    else:
+        ops.append(_default_front_end(model, front_end))
+
+    hidden, output = fold_classifier_stack(model)
+    for index, folded in enumerate(hidden, start=1):
+        ops.append(BitLayerOp(
+            backend.prepare_dense(folded), folded,
+            f"dense fc{index} {folded.in_features}->{folded.out_features} "
+            f"(popcount-threshold)"))
+    ops.append(OutputLayerOp(
+        backend.prepare_output(output), output,
+        f"output fc {output.in_features}->{len(output.scale)} "
+        f"(popcount-affine, argmax)"))
+    return CompiledModel(ops, backend, model=model)
+
+
+def _default_front_end(model, front_end) -> FrontEndOp:
+    """Feature extractor + binarization in the float stack."""
+    if front_end is not None:
+        return FrontEndOp(front_end, "custom front-end")
+
+    def run(inputs: np.ndarray) -> np.ndarray:
+        with no_grad():
+            feats = model.features(Tensor(np.asarray(inputs)))
+            pre = model.pre_classifier(feats)
+        return to_bits(pre.data)
+
+    return FrontEndOp(run, "float features + binarize")
+
+
+# -- ECG-style 1-D conv stacks ----------------------------------------------
+def _lowered_conv1d_ops(model, backend: Backend, front_end) -> list[PlanOp]:
+    """Lower a 1-D conv stack (``conv_stages`` hook): the first, analog-
+    facing stage stays in the front-end; every later stage runs as a
+    folded binary convolution on the backend."""
+    stages = model.conv_stages()
+    first_conv, first_bn, first_pool = stages[0]
+
+    if front_end is None:
+        def front(inputs: np.ndarray) -> np.ndarray:
+            with no_grad():
+                h = model.input_norm(Tensor(np.asarray(inputs)))
+                h = first_bn(first_conv(h))
+            bits = to_bits(h.data)
+            if first_pool is not None:
+                bits = max_pool_bits_1d(bits, first_pool.kernel_size,
+                                        first_pool.stride)
+            return bits
+        ops: list[PlanOp] = [FrontEndOp(
+            front, "input-norm + conv stage 0 + binarize (analog front)")]
+    else:
+        ops = [FrontEndOp(front_end, "custom front-end")]
+
+    for index, (conv, bn, pool) in enumerate(stages[1:], start=1):
+        folded = fold_conv1d_batchnorm_sign(conv, bn)
+        ops.append(BitLayerOp(
+            backend.prepare_conv1d(folded), folded,
+            f"conv1d stage {index} {folded.in_channels}->"
+            f"{folded.out_channels} k={folded.kernel_size}"))
+        if pool is not None:
+            ops.append(BitTransformOp(
+                _pool1d_fn(pool.kernel_size, pool.stride),
+                f"max-pool bits k={pool.kernel_size} (logical OR)"))
+    ops.append(BitTransformOp(
+        lambda bits: np.ascontiguousarray(bits).reshape(bits.shape[0], -1),
+        "flatten"))
+    ops.append(_sign_remap_op(model))
+    return ops
+
+
+def _pool1d_fn(kernel: int, stride: int):
+    return lambda bits: max_pool_bits_1d(bits, kernel, stride)
+
+
+def _sign_remap_op(model) -> BitTransformOp:
+    """The pre-classifier ``BatchNorm + Sign`` over ±1 inputs.
+
+    An elementwise monotone map of a two-valued input is fully described
+    by its images of -1 and +1; both rows are precomputed here, so at run
+    time the op is a single select — a two-row lookup in hardware.
+    """
+    n_features = model.fc1.in_features
+    with no_grad():
+        minus = model.pre_classifier(Tensor(-np.ones((1, n_features))))
+        plus = model.pre_classifier(Tensor(np.ones((1, n_features))))
+    bit_for_0 = to_bits(minus.data)[0]
+    bit_for_1 = to_bits(plus.data)[0]
+
+    def run(bits: np.ndarray) -> np.ndarray:
+        return np.where(bits != 0, bit_for_1[None, :], bit_for_0[None, :])
+
+    return BitTransformOp(run, "pre-classifier batch-norm + sign "
+                               "(two-row lookup)")
+
+
+# -- EEG: temporal front + spatial conv on the fabric -----------------------
+def _lowered_eeg_ops(model, backend: Backend, front_end) -> list[PlanOp]:
+    """Lower the EEG network: the temporal convolution (analog input)
+    stays in the front-end; the spatial convolution executes on the
+    backend; pooling + pre-classifier bridge through the periphery."""
+    if front_end is None:
+        def front(inputs: np.ndarray) -> np.ndarray:
+            with no_grad():
+                h = model._as_image(Tensor(np.asarray(inputs)))
+                h = model.bn_time(model.conv_time(h))
+            return to_bits(h.data)
+        ops: list[PlanOp] = [FrontEndOp(
+            front, "temporal conv + binarize (analog front)")]
+    else:
+        ops = [FrontEndOp(front_end, "custom front-end")]
+
+    folded = fold_conv2d_batchnorm_sign(model.conv_space, model.bn_space)
+    ops.append(BitLayerOp(
+        backend.prepare_conv2d(folded), folded,
+        f"conv2d spatial {folded.in_channels}->{folded.out_channels} "
+        f"k={folded.kernel_size}"))
+
+    def bridge(bits: np.ndarray) -> np.ndarray:
+        # (N, F, T', 1) bits -> ±1 -> overlapping avg-pool -> flatten ->
+        # pre-classifier batch-norm + sign.  The averaging pool needs real
+        # arithmetic, so this stage lives in the digital periphery.
+        pm1 = np.where(bits != 0, 1.0, -1.0).reshape(bits.shape[:3])
+        with no_grad():
+            h = model.pool(Tensor(pm1))
+            h = model.pre_classifier(h.flatten_from(1))
+        return to_bits(h.data)
+
+    ops.append(BitTransformOp(
+        bridge, "avg-pool + flatten + pre-classifier (periphery)"))
+    return ops

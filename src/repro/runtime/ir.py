@@ -1,0 +1,113 @@
+"""Plan operations: the compiled form of a model.
+
+A compiled plan is a straight-line sequence of ops.  Activation *bits*
+(uint8 arrays) flow between them; only the first op sees real-valued
+inputs and only the last produces real-valued class scores.  Two kinds of
+ops exist:
+
+* **digital periphery** ops (:class:`FrontEndOp`, :class:`BitTransformOp`)
+  run identically under every backend — they model the parts of Fig. 5
+  that stay in ordinary logic (the input data controller, bit pooling,
+  flatten, elementwise re-thresholding);
+* **substrate** ops (:class:`BitLayerOp`, :class:`OutputLayerOp`) hold an
+  executor prepared by the backend at compile time — a folded software
+  layer, a packed-word kernel, or a programmed set of RRAM tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["PlanOp", "FrontEndOp", "BitTransformOp", "BitLayerOp",
+           "OutputLayerOp"]
+
+
+class PlanOp:
+    """One step of a compiled plan."""
+
+    kind = "op"
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def run(self, x):
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.kind:<10} {self.label}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label!r})"
+
+
+class FrontEndOp(PlanOp):
+    """Digital front-end: real-valued inputs in, activation bits out.
+
+    Wraps a model-specific closure (feature extractor + binarization, or
+    the analog-facing first convolution stage of a lowered plan).  Runs
+    outside the backend — on hardware this is the part that happens before
+    the input data controller of Fig. 5.
+    """
+
+    kind = "front-end"
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], label: str):
+        super().__init__(label)
+        self.fn = fn
+
+    def run(self, x):
+        return self.fn(x)
+
+
+class BitTransformOp(PlanOp):
+    """Backend-independent bit transform (pooling, flatten, remap, bridge).
+
+    These are cheap digital-periphery operations: max-pooling on ±1
+    activations is a logical OR, flatten is wiring, and an elementwise
+    batch-norm + sign over known ±1 inputs reduces to a precomputed
+    two-row lookup.
+    """
+
+    kind = "periphery"
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], label: str):
+        super().__init__(label)
+        self.fn = fn
+
+    def run(self, bits):
+        return self.fn(bits)
+
+
+class BitLayerOp(PlanOp):
+    """A folded binary layer executed on the backend substrate.
+
+    ``executor`` is whatever the backend prepared (it only needs a
+    ``forward_bits`` method); ``folded`` keeps the substrate-independent
+    fold so plans can be re-targeted or inspected.
+    """
+
+    kind = "layer"
+
+    def __init__(self, executor, folded, label: str):
+        super().__init__(label)
+        self.executor = executor
+        self.folded = folded
+
+    def run(self, bits):
+        return self.executor.forward_bits(bits)
+
+
+class OutputLayerOp(PlanOp):
+    """The terminal layer: popcount + per-class affine, scores out."""
+
+    kind = "output"
+
+    def __init__(self, executor, folded, label: str):
+        super().__init__(label)
+        self.executor = executor
+        self.folded = folded
+
+    def run(self, bits):
+        return self.executor.forward_scores(bits)

@@ -143,3 +143,92 @@ class TestPackedBinaryDense:
         rng = np.random.default_rng(seed + 1)
         x = rng.integers(0, 2, size=(8, 97)).astype(np.uint8)
         assert np.array_equal(packed.forward_bits(x), folded.forward_bits(x))
+
+
+class TestPadCorrection:
+    def test_exact_values(self):
+        from repro.nn import pad_correction
+        assert pad_correction(1, 64) == 0
+        assert pad_correction(2, 65) == 63
+        assert pad_correction(0, 0) == 0
+        assert pad_correction(3, 100) == 92
+
+    def test_rejects_impossible_width(self):
+        from repro.nn import pad_correction
+        with pytest.raises(ValueError, match="impossible"):
+            pad_correction(1, 65)
+        with pytest.raises(ValueError, match="impossible"):
+            pad_correction(1, -1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 300), st.integers(0, 2 ** 31))
+    def test_raw_popcount_minus_pad_is_exact(self, width, seed):
+        """The documented identity: raw XNOR popcount over padded words
+        equals the true agreement count plus the pad correction."""
+        from repro.nn import pad_correction
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, size=(3, width)).astype(np.uint8)
+        w = rng.integers(0, 2, size=(2, width)).astype(np.uint8)
+        xw, ww = pack_bits(x), pack_bits(w)
+        raw = np.bitwise_count(~(xw[:, None, :] ^ ww[None, :, :])) \
+            .sum(axis=-1, dtype=np.int64)
+        correction = pad_correction(xw.shape[-1], width)
+        assert np.array_equal(raw - correction, xnor_popcount(x, w))
+
+
+class TestRoundTripEveryWidth:
+    @pytest.mark.parametrize("width", range(1, 131))
+    def test_round_trip(self, width):
+        """Satellite contract: pack/unpack round-trips widths 1..130."""
+        rng = np.random.default_rng(width)
+        bits = rng.integers(0, 2, size=(4, width)).astype(np.uint8)
+        words = pack_bits(bits)
+        assert words.shape == (4, -(-width // 64))
+        assert np.array_equal(unpack_bits(words, width), bits)
+
+    def test_zero_width(self):
+        bits = np.zeros((3, 0), dtype=np.uint8)
+        words = pack_bits(bits)
+        assert words.shape == (3, 0)
+        assert np.array_equal(unpack_bits(words, 0), bits)
+
+
+class TestPackedWeightCaching:
+    def test_weights_packed_once_at_construction(self):
+        """Per-call work must not re-pack the weight words."""
+        folded = FoldedBinaryDense(
+            weight_bits=np.eye(8, 100, dtype=np.uint8),
+            theta=np.zeros(8), gamma_sign=np.ones(8), beta_sign=np.ones(8))
+        packed = PackedBinaryDense(folded)
+        cached = packed.weight_words
+        x = np.random.default_rng(0).integers(0, 2, (4, 100)).astype(np.uint8)
+        packed.forward_bits(x)
+        packed.forward_bits(x)
+        assert packed.weight_words is cached
+        # Mutating the folded weights must NOT affect the packed layer:
+        # packing happened once, at construction.
+        folded.weight_bits[:] = 1 - folded.weight_bits
+        before = packed.forward_bits(x)
+        assert np.array_equal(before, packed.forward_bits(x))
+
+
+class TestPackedOutputDense:
+    def _folded(self, in_f=130, classes=4, seed=11):
+        from repro.nn.binary import FoldedOutputDense
+        rng = np.random.default_rng(seed)
+        return FoldedOutputDense(
+            weight_bits=rng.integers(0, 2, (classes, in_f)).astype(np.uint8),
+            scale=rng.normal(size=classes),
+            offset=rng.normal(size=classes))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_scores_and_predictions_match_reference(self, seed):
+        from repro.nn import PackedOutputDense
+        folded = self._folded(seed=seed)
+        packed = PackedOutputDense(folded)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.integers(0, 2, (8, folded.in_features)).astype(np.uint8)
+        assert np.allclose(packed.forward_scores(x),
+                           folded.forward_scores(x))
+        assert np.array_equal(packed.predict(x), folded.predict(x))

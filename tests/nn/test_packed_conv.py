@@ -1,0 +1,208 @@
+"""Packed convolution kernels vs the folded reference — bit-exactness.
+
+Satellite contract: the ``packed`` backend's conv path (bit-packed im2col
+for standard convolutions, bit-sliced channel-major kernels for depthwise)
+agrees bit-for-bit with the folded integer reference on random conv
+blocks, across ragged channel counts, strides, and degenerate batch-norm
+channels (``gamma == 0``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import (PackedBinaryConv1d, PackedBinaryConv2d,
+                      pack_feature_map, unpack_feature_map)
+from repro.rram import (fold_conv1d_batchnorm_sign, fold_conv2d_batchnorm_sign,
+                        fold_depthwise2d_batchnorm_sign)
+
+
+def _fitted_bn(n, rng, cls=nn.BatchNorm1d):
+    """A batch-norm with realistic running stats and all three gamma-sign
+    regimes represented."""
+    bn = cls(n)
+    bn.set_buffer("running_mean", rng.normal(0, 2, n))
+    bn.set_buffer("running_var", rng.uniform(0.5, 3, n))
+    bn.gamma.data[:] = rng.choice([-1.5, 0.0, 1.2], n, p=[0.3, 0.2, 0.5])
+    bn.beta.data[:] = rng.normal(0, 1, n)
+    return bn
+
+
+class TestPackedConv1d:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_blocks_bit_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        c_in = int(rng.integers(1, 70))
+        c_out = int(rng.integers(1, 20))
+        kernel = int(rng.integers(1, 8))
+        stride = int(rng.integers(1, 3))
+        length = kernel + int(rng.integers(0, 30))
+        conv = nn.BinaryConv1d(c_in, c_out, kernel, stride=stride, rng=rng)
+        folded = fold_conv1d_batchnorm_sign(conv, _fitted_bn(c_out, rng))
+        packed = PackedBinaryConv1d(folded)
+        x = rng.integers(0, 2, (3, c_in, length)).astype(np.uint8)
+        assert np.array_equal(packed.forward_bits(x), folded.forward_bits(x))
+
+    def test_ecg_geometry(self, rng):
+        conv = nn.BinaryConv1d(32, 32, 13, rng=rng)
+        folded = fold_conv1d_batchnorm_sign(conv, _fitted_bn(32, rng))
+        packed = PackedBinaryConv1d(folded)
+        x = rng.integers(0, 2, (4, 32, 200)).astype(np.uint8)
+        assert np.array_equal(packed.forward_bits(x), folded.forward_bits(x))
+
+    def test_rejects_wrong_shape(self, rng):
+        conv = nn.BinaryConv1d(4, 4, 3, rng=rng)
+        packed = PackedBinaryConv1d(
+            fold_conv1d_batchnorm_sign(conv, _fitted_bn(4, rng)))
+        with pytest.raises(ValueError, match="expected"):
+            packed.forward_bits(np.zeros((2, 5, 10), dtype=np.uint8))
+
+
+class TestPackedConv2dStandard:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_blocks_bit_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        c_in = int(rng.integers(1, 70))
+        c_out = int(rng.integers(1, 12))
+        kernel = int(rng.integers(1, 4))
+        stride = int(rng.integers(1, 3))
+        side = kernel + int(rng.integers(0, 8))
+        conv = nn.BinaryConv2d(c_in, c_out, kernel, stride=stride, rng=rng)
+        folded = fold_conv2d_batchnorm_sign(
+            conv, _fitted_bn(c_out, rng, nn.BatchNorm2d))
+        packed = PackedBinaryConv2d(folded)
+        x = rng.integers(0, 2, (2, c_in, side, side)).astype(np.uint8)
+        assert np.array_equal(packed.forward_bits(x), folded.forward_bits(x))
+
+    def test_pointwise_words_path_matches(self, rng):
+        conv = nn.BinaryConv2d(70, 33, 1, rng=rng)
+        folded = fold_conv2d_batchnorm_sign(
+            conv, _fitted_bn(33, rng, nn.BatchNorm2d))
+        packed = PackedBinaryConv2d(folded)
+        x = rng.integers(0, 2, (2, 70, 6, 6)).astype(np.uint8)
+        words_out = packed.forward_map(pack_feature_map(x))
+        assert np.array_equal(unpack_feature_map(words_out, 33),
+                              folded.forward_bits(x))
+
+
+class TestPackedConv2dDepthwise:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_bitsliced_random_blocks_bit_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        channels = int(rng.integers(1, 140))
+        kernel = int(rng.integers(1, 5))
+        stride = int(rng.integers(1, 3))
+        side = kernel + int(rng.integers(0, 8))
+        conv = nn.BinaryDepthwiseConv2d(channels, kernel, stride=stride,
+                                        rng=rng)
+        folded = fold_depthwise2d_batchnorm_sign(
+            conv, _fitted_bn(channels, rng, nn.BatchNorm2d))
+        packed = PackedBinaryConv2d(folded)
+        x = rng.integers(0, 2, (2, channels, side, side)).astype(np.uint8)
+        assert np.array_equal(packed.forward_bits(x), folded.forward_bits(x))
+
+    def test_words_chaining_separable_block(self, rng):
+        """Depthwise -> pointwise chained entirely in the packed domain."""
+        channels = 96
+        dw = nn.BinaryDepthwiseConv2d(channels, 3, rng=rng)
+        pw = nn.BinaryConv2d(channels, 64, 1, rng=rng)
+        f_dw = fold_depthwise2d_batchnorm_sign(
+            dw, _fitted_bn(channels, rng, nn.BatchNorm2d))
+        f_pw = fold_conv2d_batchnorm_sign(
+            pw, _fitted_bn(64, rng, nn.BatchNorm2d))
+        p_dw, p_pw = PackedBinaryConv2d(f_dw), PackedBinaryConv2d(f_pw)
+        x = rng.integers(0, 2, (2, channels, 10, 10)).astype(np.uint8)
+        want = f_pw.forward_bits(f_dw.forward_bits(x))
+        got = p_pw.forward_map(p_dw.forward_map(pack_feature_map(x)))
+        assert np.array_equal(unpack_feature_map(got, 64), want)
+
+    def test_pad_lanes_masked(self, rng):
+        """Channel counts off the 64 grid must not leak garbage into the
+        pad lanes of the packed output (a chained layer would read them)."""
+        channels = 70
+        conv = nn.BinaryDepthwiseConv2d(channels, 3, rng=rng)
+        folded = fold_depthwise2d_batchnorm_sign(
+            conv, _fitted_bn(channels, rng, nn.BatchNorm2d))
+        packed = PackedBinaryConv2d(folded)
+        x = rng.integers(0, 2, (1, channels, 6, 6)).astype(np.uint8)
+        words = packed.forward_map(pack_feature_map(x))
+        pad = unpack_bits_hi = np.unpackbits(
+            words.view(np.uint8), axis=-1, bitorder="little")[..., channels:]
+        assert not pad.any(), unpack_bits_hi.sum()
+
+    def test_gamma_zero_channels_constant(self, rng):
+        conv = nn.BinaryDepthwiseConv2d(8, 3, rng=rng)
+        bn = nn.BatchNorm2d(8)
+        bn.gamma.data[:] = 0.0
+        bn.beta.data[:4] = 1.0
+        bn.beta.data[4:] = -1.0
+        folded = fold_depthwise2d_batchnorm_sign(conv, bn)
+        packed = PackedBinaryConv2d(folded)
+        x = rng.integers(0, 2, (2, 8, 5, 5)).astype(np.uint8)
+        out = packed.forward_bits(x)
+        assert (out[:, :4] == 1).all() and (out[:, 4:] == 0).all()
+        assert np.array_equal(out, folded.forward_bits(x))
+
+
+class TestDegenerateThresholds:
+    """Non-finite folded thresholds (overflowed batch-norm folds) must keep
+    the sign semantics of the float comparison in the integer/bit-sliced
+    threshold paths."""
+
+    @pytest.mark.parametrize("theta_value,expected_pos", [
+        (np.inf, 0),      # dot >= +inf never fires
+        (-np.inf, 1),     # dot >= -inf always fires
+    ])
+    def test_infinite_theta_standard_conv(self, rng, theta_value,
+                                          expected_pos):
+        from repro.rram.conv2d import FoldedBinaryConv2d
+        folded = FoldedBinaryConv2d(
+            weight_bits=rng.integers(0, 2, (3, 4 * 2 * 2)).astype(np.uint8),
+            in_channels=4, kernel_size=(2, 2), stride=(1, 1),
+            theta=np.full(3, theta_value),
+            gamma_sign=np.ones(3), beta_sign=np.ones(3))
+        packed = PackedBinaryConv2d(folded)
+        x = rng.integers(0, 2, (2, 4, 5, 5)).astype(np.uint8)
+        want = folded.forward_bits(x)
+        got = packed.forward_bits(x)
+        assert (got == expected_pos).all()
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("theta_value", [np.inf, -np.inf])
+    @pytest.mark.parametrize("gamma", [1.0, -1.0])
+    def test_infinite_theta_depthwise_bitsliced(self, rng, theta_value,
+                                                gamma):
+        from repro.rram.conv2d import FoldedBinaryConv2d
+        c = 6
+        folded = FoldedBinaryConv2d(
+            weight_bits=rng.integers(0, 2, (c, 9)).astype(np.uint8),
+            in_channels=c, kernel_size=(3, 3), stride=(1, 1),
+            theta=np.full(c, theta_value),
+            gamma_sign=np.full(c, gamma), beta_sign=np.ones(c),
+            depthwise=True)
+        packed = PackedBinaryConv2d(folded)
+        x = rng.integers(0, 2, (2, c, 6, 6)).astype(np.uint8)
+        assert np.array_equal(packed.forward_bits(x),
+                              folded.forward_bits(x))
+
+
+class TestPackedXorCountsValidation:
+    def test_word_mismatch_raises(self):
+        from repro.nn.bitops import packed_xor_counts
+        from repro.nn import pack_bits
+        a = pack_bits(np.ones((2, 64), dtype=np.uint8))
+        b = pack_bits(np.ones((3, 128), dtype=np.uint8))
+        with pytest.raises(ValueError, match="mismatch"):
+            packed_xor_counts(a, b)
+
+    def test_non_2d_raises(self):
+        from repro.nn.bitops import packed_xor_counts
+        from repro.nn import pack_bits
+        a = pack_bits(np.ones(64, dtype=np.uint8))
+        with pytest.raises(ValueError, match="2-D"):
+            packed_xor_counts(a, a)

@@ -1,0 +1,294 @@
+"""The unified runtime: compile-once plans and backend equivalence.
+
+The acceptance contract: ``compile(model, backend=b)`` produces identical
+predictions for the ``reference`` and ``packed`` backends on all three
+paper models, ideal RRAM matches both, and lowered feature plans stay
+bit-exact with the float stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import ECGConfig, EEGConfig, make_ecg_dataset, make_eeg_dataset
+from repro.experiments import (TrainConfig, backend_agreement,
+                               evaluate_accuracy, evaluate_compiled,
+                               train_model)
+from repro.models import (BinarizationMode, ECGNet, EEGNet, MobileNetConfig,
+                          MobileNetV1)
+from repro.rram import AcceleratorConfig, deploy_classifier
+from repro.rram.accelerator import classifier_input_bits
+from repro.runtime import (Backend, CompiledModel, PackedBackend,
+                           ReferenceBackend, RRAMBackend, available_backends,
+                           compile, register_backend, resolve_backend)
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def trained_ecg():
+    ds = make_ecg_dataset(ECGConfig(n_trials=80, n_samples=200,
+                                    noise_amplitude=0.05, seed=31))
+    model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=200,
+                   base_filters=4, conv_keep_prob=1.0,
+                   classifier_keep_prob=1.0, rng=np.random.default_rng(5))
+    model.fit_input_norm(ds.inputs)
+    train_model(model, ds.inputs, ds.labels,
+                TrainConfig(epochs=5, batch_size=16, lr=2e-3, seed=3))
+    model.eval()
+    return model, ds
+
+
+@pytest.fixture(scope="module")
+def trained_ecg_full_binary():
+    ds = make_ecg_dataset(ECGConfig(n_trials=60, n_samples=200,
+                                    noise_amplitude=0.05, seed=32))
+    model = ECGNet(mode=BinarizationMode.FULL_BINARY, n_samples=200,
+                   base_filters=4, conv_keep_prob=1.0,
+                   classifier_keep_prob=1.0, rng=np.random.default_rng(6))
+    model.fit_input_norm(ds.inputs)
+    train_model(model, ds.inputs, ds.labels,
+                TrainConfig(epochs=3, batch_size=16, lr=2e-3, seed=4))
+    model.eval()
+    return model, ds
+
+
+@pytest.fixture(scope="module")
+def trained_eeg_full_binary():
+    ds = make_eeg_dataset(EEGConfig(n_trials=32, n_channels=16,
+                                    n_samples=240, seed=33))
+    model = EEGNet(mode=BinarizationMode.FULL_BINARY, n_channels=16,
+                   n_samples=240, base_filters=4, hidden_units=16,
+                   rng=np.random.default_rng(7))
+    train_model(model, ds.inputs, ds.labels,
+                TrainConfig(epochs=2, batch_size=8, seed=5))
+    model.eval()
+    return model, ds
+
+
+@pytest.fixture(scope="module")
+def trained_mobilenet():
+    rng = np.random.default_rng(8)
+    config = MobileNetConfig.reduced(n_classes=4, image_size=12,
+                                     width_multiplier=0.25, n_blocks=2)
+    model = MobileNetV1(config, mode=BinarizationMode.BINARY_CLASSIFIER,
+                        rng=rng)
+    inputs = rng.standard_normal((20, 3, 12, 12))
+    labels = rng.integers(0, 4, 20)
+    train_model(model, inputs, labels,
+                TrainConfig(epochs=2, batch_size=5, seed=6))
+    model.eval()
+    return model, inputs
+
+
+def _software_predictions(model, inputs):
+    with no_grad():
+        return model(Tensor(inputs)).data.argmax(axis=1)
+
+
+class TestBackendEquivalence:
+    """reference == packed == software on every paper model."""
+
+    def test_ecg_reference_packed_identical(self, trained_ecg):
+        model, ds = trained_ecg
+        sw = _software_predictions(model, ds.inputs)
+        for backend in ("reference", "packed"):
+            plan = compile(model, backend=backend)
+            assert np.array_equal(plan.predict(ds.inputs), sw), backend
+
+    def test_eeg_reference_packed_identical(self, trained_eeg_full_binary):
+        model, ds = trained_eeg_full_binary
+        sw = _software_predictions(model, ds.inputs)
+        for backend in ("reference", "packed"):
+            plan = compile(model, backend=backend, lower_features=False)
+            assert np.array_equal(plan.predict(ds.inputs), sw), backend
+
+    def test_mobilenet_reference_packed_identical(self, trained_mobilenet):
+        model, inputs = trained_mobilenet
+        sw = _software_predictions(model, inputs)
+        for backend in ("reference", "packed"):
+            plan = compile(model, backend=backend)
+            assert np.array_equal(plan.predict(inputs), sw), backend
+
+    def test_ideal_rram_identical(self, trained_ecg):
+        model, ds = trained_ecg
+        sw = _software_predictions(model, ds.inputs)
+        plan = compile(model,
+                       backend=RRAMBackend(AcceleratorConfig(ideal=True)))
+        assert np.array_equal(plan.predict(ds.inputs), sw)
+
+    def test_scores_match_model_scores(self, trained_ecg):
+        model, ds = trained_ecg
+        with no_grad():
+            sw_scores = model(Tensor(ds.inputs)).data
+        scores = compile(model, backend="packed").scores(ds.inputs)
+        assert np.allclose(scores, sw_scores)
+
+    def test_batched_execution_matches(self, trained_ecg):
+        model, ds = trained_ecg
+        plan = compile(model, backend="packed")
+        assert np.array_equal(plan.predict(ds.inputs),
+                              plan.predict(ds.inputs, batch_size=7))
+
+
+class TestFeatureLowering:
+    def test_ecg_lowered_all_backends_bit_exact(self,
+                                                trained_ecg_full_binary):
+        model, ds = trained_ecg_full_binary
+        sw = _software_predictions(model, ds.inputs)
+        for backend in ("reference", "packed",
+                        RRAMBackend(AcceleratorConfig(ideal=True))):
+            plan = compile(model, backend=backend, lower_features=True)
+            assert np.array_equal(plan.predict(ds.inputs), sw)
+
+    def test_eeg_lowered_bit_exact(self, trained_eeg_full_binary):
+        model, ds = trained_eeg_full_binary
+        sw = _software_predictions(model, ds.inputs)
+        for backend in ("reference", "packed"):
+            plan = compile(model, backend=backend, lower_features=True)
+            assert np.array_equal(plan.predict(ds.inputs), sw)
+
+    def test_auto_equals_explicit_lowering(self, trained_ecg_full_binary):
+        model, ds = trained_ecg_full_binary
+        auto = compile(model, backend="packed", lower_features="auto")
+        explicit = compile(model, backend="packed", lower_features=True)
+        assert len(auto.ops) == len(explicit.ops)
+        assert np.array_equal(auto.predict(ds.inputs),
+                              explicit.predict(ds.inputs))
+
+    def test_lowered_plan_has_conv_ops(self, trained_ecg_full_binary):
+        model, _ = trained_ecg_full_binary
+        plan = compile(model, backend="packed", lower_features=True)
+        # 4 on-fabric conv stages + fc1 + output.
+        assert len(plan.layer_ops) == 6
+
+    def test_binary_classifier_cannot_lower(self, trained_ecg):
+        model, _ = trained_ecg
+        with pytest.raises(ValueError, match="lowering"):
+            compile(model, backend="packed", lower_features=True)
+
+    def test_mobilenet_auto_falls_back_to_front_end(self,
+                                                    trained_mobilenet):
+        model, inputs = trained_mobilenet
+        plan = compile(model, backend="packed", lower_features="auto")
+        assert len(plan.layer_ops) == 2     # classifier only
+
+    def test_custom_front_end(self, trained_ecg):
+        model, ds = trained_ecg
+        baseline = compile(model, backend="packed")
+        plan = compile(model, backend="packed",
+                       front_end=lambda x: classifier_input_bits(model, x))
+        assert np.array_equal(plan.predict(ds.inputs),
+                              baseline.predict(ds.inputs))
+
+
+class TestCompileValidation:
+    def test_real_classifier_rejected(self, rng):
+        model = ECGNet(mode=BinarizationMode.REAL, n_samples=200,
+                       base_filters=4, rng=rng)
+        with pytest.raises(ValueError, match="not binarized"):
+            compile(model, backend="reference")
+
+    def test_unknown_backend_rejected(self, trained_ecg):
+        model, _ = trained_ecg
+        with pytest.raises(ValueError, match="unknown backend"):
+            compile(model, backend="sharded")
+
+    def test_bad_lower_flag_rejected(self, trained_ecg):
+        model, _ = trained_ecg
+        with pytest.raises(ValueError, match="lower_features"):
+            compile(model, backend="reference", lower_features="maybe")
+
+    def test_plan_must_end_in_output(self):
+        with pytest.raises(ValueError, match="output layer"):
+            CompiledModel([], ReferenceBackend())
+
+    def test_summary_lists_every_op(self, trained_ecg):
+        model, _ = trained_ecg
+        plan = compile(model, backend="packed")
+        summary = plan.summary()
+        assert "packed" in summary
+        for op in plan.ops:
+            assert op.label in summary
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        for name in ("reference", "packed", "rram"):
+            assert name in names
+
+    def test_resolve_accepts_instances_and_names(self):
+        assert isinstance(resolve_backend("packed"), PackedBackend)
+        backend = RRAMBackend(AcceleratorConfig(ideal=True))
+        assert resolve_backend(backend) is backend
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_register_plugin_backend(self, trained_ecg):
+        model, ds = trained_ecg
+
+        class LoggingBackend(ReferenceBackend):
+            name = "logging"
+            prepared = 0
+
+            def prepare_dense(self, folded):
+                LoggingBackend.prepared += 1
+                return super().prepare_dense(folded)
+
+        register_backend("logging", LoggingBackend)
+        plan = compile(model, backend="logging")
+        assert plan.backend.name == "logging"
+        assert LoggingBackend.prepared == 1
+        sw = _software_predictions(model, ds.inputs)
+        assert np.array_equal(plan.predict(ds.inputs), sw)
+
+    def test_register_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            register_backend("broken", "not-a-factory")
+
+    def test_abstract_backend_refuses_layers(self):
+        backend = Backend()
+        with pytest.raises(NotImplementedError):
+            backend.prepare_dense(None)
+        with pytest.raises(NotImplementedError):
+            backend.prepare_conv2d(None)
+
+
+class TestExperimentsIntegration:
+    def test_evaluate_compiled_matches_float_eval(self, trained_ecg):
+        model, ds = trained_ecg
+        software = evaluate_accuracy(model, ds.inputs, ds.labels)
+        plan = compile(model, backend="packed")
+        assert evaluate_compiled(plan, ds.inputs, ds.labels) == software
+
+    def test_backend_agreement_contract(self, trained_ecg):
+        model, ds = trained_ecg
+        _, agreement = backend_agreement(
+            model, ds.inputs,
+            backends=("reference", "packed",
+                      RRAMBackend(AcceleratorConfig(ideal=True))))
+        assert agreement == {"reference": 1.0, "packed": 1.0, "rram": 1.0}
+
+    def test_backend_agreement_disambiguates_duplicates(self, trained_ecg):
+        model, ds = trained_ecg
+        predictions, agreement = backend_agreement(
+            model, ds.inputs[:8],
+            backends=(RRAMBackend(AcceleratorConfig(ideal=True)),
+                      RRAMBackend(AcceleratorConfig(ideal=True))))
+        assert set(predictions) == {"rram", "rram#2"}
+        assert agreement["rram#2"] == 1.0
+
+
+class TestLegacyShims:
+    def test_deploy_classifier_matches_runtime_plan(self, trained_ecg):
+        model, ds = trained_ecg
+        config = AcceleratorConfig(ideal=True)
+        legacy = deploy_classifier(model, config)
+        plan = compile(model, backend=RRAMBackend(config))
+        bits = classifier_input_bits(model, ds.inputs)
+        assert np.array_equal(legacy.predict(bits), plan.predict(ds.inputs))
+
+    def test_as_inmemory_classifier_requires_rram(self, trained_ecg):
+        model, _ = trained_ecg
+        plan = compile(model, backend="packed")
+        with pytest.raises(ValueError, match="rram"):
+            plan.as_inmemory_classifier()
