@@ -1,0 +1,139 @@
+"""Throughput claim XTRA14 — parallel sweep execution.
+
+The paper's evaluation is built from parameter sweeps (Fig. 4 programming
+cycles, Fig. 7 filter augmentation, Fig. 8 training epochs) whose points
+are independent by construction.  This script measures the process-pool
+executor (:mod:`repro.experiments.executor`) against the serial loop on a
+16-point grid and verifies the two halves of its contract:
+
+* **throughput** — wall-clock speedup at ``jobs=4`` on latency-bound
+  points (the regime where pool execution overlaps waiting even on a
+  single core; CPU-bound points additionally scale with cores);
+* **integrity** — a parallel run, and a parallel run crashed mid-grid and
+  resumed, both produce byte-identical JSONL result files to the serial
+  run of the same grid.
+
+Results are recorded in ``BENCH_sweep_parallel.json`` at the repo root.
+
+Run:  python benchmarks/bench_sweep_parallel.py [--smoke]
+(--smoke: tiny grid, no timing assertions, no JSON record — the CI mode.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+JSON_PATH = ROOT / "BENCH_sweep_parallel.json"
+
+
+def _grid(n_points: int, blocking_ms: float, flag: pathlib.Path,
+          fail_at: int) -> list[dict]:
+    from repro.experiments import grid
+    return grid(index=list(range(n_points)), seed=(0,),
+                blocking_ms=(blocking_ms,), spin_elems=(50_000,),
+                fail_flag=(str(flag),), fail_at=(fail_at,))
+
+
+def main(smoke: bool = False) -> None:
+    from repro.experiments import Sweep, run_parallel
+    from repro.experiments.workloads import latency_point
+    from _util import report
+
+    n_points = 6 if smoke else 16
+    blocking_ms = 5.0 if smoke else 250.0
+    jobs = 2 if smoke else 4
+    fail_at = n_points // 2
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="sweep_parallel_"))
+    flag = tmp / "crash.flag"
+    points = _grid(n_points, blocking_ms, flag, fail_at)
+
+    # Serial baseline (also the byte-level reference file).
+    serial = Sweep(tmp / "serial.jsonl", latency_point)
+    t0 = time.perf_counter()
+    serial.run_all(points)
+    serial_s = time.perf_counter() - t0
+
+    # Parallel run of the same grid.
+    parallel = Sweep(tmp / "parallel.jsonl", latency_point)
+    t0 = time.perf_counter()
+    run_parallel(parallel, points, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    speedup = serial_s / parallel_s
+
+    serial_bytes = (tmp / "serial.jsonl").read_bytes()
+    parallel_identical = (tmp / "parallel.jsonl").read_bytes() == serial_bytes
+
+    # Crash mid-grid, then resume: the flag file makes every point from
+    # ``fail_at`` on raise in the workers; the parent persists the
+    # preceding records and re-raises.  Removing the flag and re-running
+    # the same grid must complete the file to the serial bytes.
+    crashed = Sweep(tmp / "resumed.jsonl", latency_point)
+    flag.touch()
+    crash_seen = False
+    try:
+        run_parallel(crashed, points, jobs=jobs)
+    except RuntimeError:
+        crash_seen = True
+    flag.unlink()
+    persisted_at_crash = len(Sweep(tmp / "resumed.jsonl", latency_point))
+    resumed = Sweep(tmp / "resumed.jsonl", latency_point)
+    run_parallel(resumed, points, jobs=jobs)
+    resume_identical = (tmp / "resumed.jsonl").read_bytes() == serial_bytes
+
+    text = (
+        "XTRA14 — parallel sweep execution\n"
+        "=================================\n"
+        f"grid: {n_points} points, {blocking_ms:.0f} ms blocking latency "
+        f"+ compute per point\n"
+        f"  serial          : {serial_s:6.2f} s\n"
+        f"  jobs={jobs}          : {parallel_s:6.2f} s\n"
+        f"  speedup         : {speedup:6.2f}x\n"
+        f"  parallel file byte-identical to serial : {parallel_identical}\n"
+        f"  crash at point {fail_at}: {persisted_at_crash} records "
+        "persisted, resume completes byte-identical : "
+        f"{resume_identical}\n")
+    report("sweep_parallel", text)
+
+    assert crash_seen, "simulated crash did not raise"
+    assert parallel_identical, "parallel result file diverged from serial"
+    assert resume_identical, "resumed result file diverged from serial"
+    assert 0 < persisted_at_crash < n_points, persisted_at_crash
+    if smoke:
+        return
+
+    result = {
+        "grid_points": n_points,
+        "jobs": jobs,
+        "point_model": {
+            "workload": "repro.experiments.workloads.latency_point",
+            "blocking_ms": blocking_ms,
+            "spin_elems": 50_000,
+        },
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 2),
+        "parallel_byte_identical": parallel_identical,
+        "resume_byte_identical": resume_identical,
+        "records_persisted_at_crash": persisted_at_crash,
+        "cores": len(os.sched_getaffinity(0)),
+    }
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    assert speedup >= 2.5, result
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid, no timing assertions, no JSON")
+    main(parser.parse_args().smoke)

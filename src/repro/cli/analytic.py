@@ -23,8 +23,13 @@ __all__ = ["run_fig4", "run_table1", "run_table2", "run_table4",
            "run_energy", "run_retention", "run_analog"]
 
 
-def run_fig4() -> str:
-    """Closed-form Fig. 4 curves (the Monte-Carlo version is the bench)."""
+def run_fig4(jobs: int = 1) -> str:
+    """Closed-form Fig. 4 curves (the Monte-Carlo version is the bench).
+
+    With ``jobs != 1`` a Monte-Carlo spot check of the closed forms runs
+    on a process pool (array-level programming + noisy read-back of
+    16K cells per point) and is appended to the report.
+    """
     params = DeviceParameters()
     cycles = np.geomspace(1e8, 7e8, 12)
     ber_bl = analytic_ber_1t1r(params, cycles)
@@ -38,11 +43,29 @@ def run_fig4() -> str:
         title="Fig. 4 — bit error rate vs programming cycles (analytic)",
         x_log=True, y_log=True, x_label="cycles", y_label="error rate")
     ratio = ber_bl / ber_2t2r
-    return (plot + "\n\n"
+    text = (plot + "\n\n"
             f"1T1R/2T2R separation: {ratio.min():.0f}x .. {ratio.max():.0f}x"
             "\nPaper: 2T2R approximately two orders of magnitude below 1T1R."
             "\nMonte-Carlo version: pytest "
             "benchmarks/bench_fig4_bit_error_rate.py --benchmark-only -s")
+    if jobs == 1:
+        return text
+
+    from repro.experiments import map_parallel
+    from repro.experiments.workloads import ber_point
+    spots = [{"cycles": int(c), "mode": mode, "n_cells": 16384, "seed": 0}
+             for mode in ("1T1R", "2T2R")
+             for c in np.geomspace(1e8, 7e8, 4)]
+    measured = map_parallel(ber_point, spots, jobs=jobs)
+    lines = [f"\nMonte-Carlo spot check ({jobs} workers, "
+             "16,384 cells/point):"]
+    analytic_of = {"1T1R": analytic_ber_1t1r, "2T2R": analytic_ber_2t2r}
+    for spot, result in zip(spots, measured):
+        closed = float(analytic_of[spot["mode"]](params, spot["cycles"]))
+        lines.append(f"  {spot['mode']} @ {spot['cycles']:.1e} cycles: "
+                     f"measured {result['ber']:.2e} "
+                     f"(analytic {closed:.2e})")
+    return text + "\n" + "\n".join(lines)
 
 
 def _architecture_table(title: str, model) -> str:

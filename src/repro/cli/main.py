@@ -30,6 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run an analytic experiment now")
     run.add_argument("id", help="experiment id, e.g. FIG4 (see 'list')")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for runners that sweep "
+                          "(forwarded when the runner supports it)")
 
     sub.add_parser("memory", help="Table IV memory report (alias: run TAB4)")
     sub.add_parser("energy",
@@ -49,6 +52,23 @@ def build_parser() -> argparse.ArgumentParser:
                              help="binarization mode (full_binary lowers "
                                   "the EEG/ECG conv stack onto the "
                                   "backend)")
+    compile_cmd.add_argument("--jobs", type=int, default=1,
+                             help="evaluate backends in N worker "
+                                  "processes (1 = in-process)")
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="run a persisted, resumable parameter sweep (optionally on "
+             "a process pool)")
+    sweep_cmd.add_argument("workload", choices=["ber", "robustness"],
+                           help="ber: Monte-Carlo Fig. 4 error rates; "
+                                "robustness: agreement vs sense-offset "
+                                "sigma")
+    sweep_cmd.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (1 = serial)")
+    sweep_cmd.add_argument("--out", default=None,
+                           help="JSONL result file (default "
+                                "benchmarks/results/sweep_<workload>"
+                                ".jsonl); an existing file resumes")
     floorplan = sub.add_parser(
         "floorplan",
         help="map a paper model's classifier onto RRAM macros")
@@ -82,9 +102,10 @@ def _cmd_list() -> str:
     width = max(len(i) for i in EXPERIMENTS)
     lines = ["Reproduced artefacts ('run <id>' for analytic ones, the "
              "listed bench for training ones):", ""]
+    tags = {"analytic": "run now ", "script": "python  "}
     for exp_id in sorted(EXPERIMENTS, key=_sort_key):
         info = EXPERIMENTS[exp_id]
-        tag = "run now " if info.kind == "analytic" else "pytest  "
+        tag = tags.get(info.kind, "pytest  ")
         lines.append(f"  {info.id.ljust(width)}  [{tag}]  {info.artefact}")
     return "\n".join(lines)
 
@@ -96,36 +117,48 @@ def _cmd_info(exp_id: str) -> str:
             f"unknown experiment {exp_id!r}; see 'python -m repro list'")
     lines = [info.artefact, "=" * len(info.artefact), info.description, ""]
     lines.append(f"modules : {', '.join(info.modules)}")
-    lines.append(f"bench   : pytest {info.bench} --benchmark-only -s")
+    if info.kind == "script":
+        lines.append(f"run now : python {info.bench} [--smoke]")
+    else:
+        lines.append(f"bench   : pytest {info.bench} --benchmark-only -s")
     if info.kind == "analytic":
         lines.append(f"run now : python -m repro run {info.id}")
     return "\n".join(lines)
 
 
-def _cmd_run(exp_id: str) -> str:
+def _cmd_run(exp_id: str, jobs: int = 1) -> str:
     info = EXPERIMENTS.get(_canonical_id(exp_id))
     if info is None:
         raise SystemExit(
             f"unknown experiment {exp_id!r}; see 'python -m repro list'")
+    if info.kind == "script":
+        raise SystemExit(
+            f"{info.id} is a standalone benchmark script; run it with:\n"
+            f"  python {info.bench} [--smoke]")
     if info.kind != "analytic":
         raise SystemExit(
             f"{info.id} is a training experiment; run it with:\n"
             f"  pytest {info.bench} --benchmark-only -s")
     runner = getattr(analytic, info.runner)
-    return runner()
+    import inspect
+    if "jobs" in inspect.signature(runner).parameters:
+        return runner(jobs=jobs)
+    text = runner()
+    if jobs != 1:
+        text += f"\n\n(--jobs ignored: {info.id} is closed-form analytic)"
+    return text
 
 
-def _cmd_compile(model_name: str, backend_spec: str, mode_name: str) -> str:
-    """Build a reduced paper model, compile it for each requested backend,
-    and report plan structure, prediction agreement, and latency."""
-    import time
+def _demo_model_and_inputs(model_name: str, mode_name: str):
+    """Reduced paper model + calibration inputs, deterministic per name.
 
+    Module-level (and seeded) so backend-evaluation workers can rebuild
+    the identical model in their own process.
+    """
     import numpy as np
 
     from repro.models import (BinarizationMode, ECGNet, EEGNet,
                               MobileNetConfig, MobileNetV1)
-    from repro.rram import AcceleratorConfig
-    from repro.runtime import RRAMBackend, available_backends, compile
     from repro.tensor import Tensor, no_grad
 
     mode = BinarizationMode(mode_name)
@@ -155,35 +188,118 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str) -> str:
         for start in range(0, len(inputs), 8):
             model(Tensor(inputs[start:start + 8]))
     model.eval()
+    return model, inputs
+
+
+def _evaluate_backend(model, inputs, spec: str) -> dict:
+    """Compile one backend against a built model and time a prediction."""
+    import time
+
+    from repro.rram import AcceleratorConfig
+    from repro.runtime import RRAMBackend, compile
+
+    backend = RRAMBackend(AcceleratorConfig(ideal=True)) \
+        if spec == "ideal-rram" else spec
+    plan = compile(model, backend=backend)
+    t0 = time.perf_counter()
+    predicted = plan.predict(inputs)
+    elapsed = (time.perf_counter() - t0) * 1e3
+    return {"backend": plan.backend.name, "predicted": predicted,
+            "ms": elapsed, "summary": plan.summary()}
+
+
+def _evaluate_backend_point(model_name: str, mode_name: str,
+                            spec: str) -> dict:
+    """Pool worker: rebuild the deterministic demo model in this process
+    and evaluate one backend on it."""
+    model, inputs = _demo_model_and_inputs(model_name, mode_name)
+    return _evaluate_backend(model, inputs, spec)
+
+
+def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
+                 jobs: int = 1) -> str:
+    """Build a reduced paper model, compile it for each requested backend,
+    and report plan structure, prediction agreement, and latency.
+
+    With ``--jobs N`` the backends are compiled and evaluated in worker
+    processes (each rebuilds the deterministic demo model); with 1 they
+    run in-process, serially.
+    """
+    from repro.experiments import map_parallel
+    from repro.runtime import available_backends
 
     if backend_spec == "all":
-        backends = ["reference", "packed",
-                    RRAMBackend(AcceleratorConfig(ideal=True))]
+        specs = ["reference", "packed", "ideal-rram"]
     elif backend_spec in available_backends():
-        backends = [backend_spec]
+        specs = [backend_spec]
     else:
         raise SystemExit(
             f"unknown backend {backend_spec!r}; registered: "
             f"{', '.join(available_backends())} (or 'all')")
 
-    # Compile each backend exactly once; agreement and timing both come
-    # from the same plan (and the same programmed devices, for rram).
-    plans = [compile(model, backend=backend) for backend in backends]
-    lines = [plans[0].summary(), ""]
+    if jobs <= 1:
+        # In-process: build and calibrate the demo model exactly once.
+        model, inputs = _demo_model_and_inputs(model_name, mode_name)
+        results = [_evaluate_backend(model, inputs, spec) for spec in specs]
+    else:
+        results = map_parallel(
+            _evaluate_backend_point,
+            [{"model_name": model_name, "mode_name": mode_name,
+              "spec": spec} for spec in specs],
+            jobs=jobs)
+
+    lines = [results[0]["summary"], ""]
     lines.append(f"{'backend':<12} {'agreement':>10} {'ms/batch':>10}")
-    baseline = None
-    for plan in plans:
-        t0 = time.perf_counter()
-        predicted = plan.predict(inputs)
-        elapsed = (time.perf_counter() - t0) * 1e3
-        baseline = predicted if baseline is None else baseline
-        agreement = float((predicted == baseline).mean())
-        lines.append(f"{plan.backend.name:<12} "
+    baseline = results[0]["predicted"]
+    for result in results:
+        agreement = float((result["predicted"] == baseline).mean())
+        lines.append(f"{result['backend']:<12} "
                      f"{agreement:>9.1%} "
-                     f"{elapsed:>10.2f}")
+                     f"{result['ms']:>10.2f}")
     lines.append("")
     lines.append("agreement is relative to the first backend; the Eq. 3 "
                  "contract is 100% for\nreference/packed and ideal RRAM.")
+    return "\n".join(lines)
+
+
+def _cmd_sweep(workload: str, jobs: int, out: str | None) -> str:
+    """Run a stock sweep workload through the (optionally parallel)
+    executor, reporting throughput in points/sec."""
+    import pathlib
+
+    import numpy as np
+
+    from repro.experiments import RateProgress, Sweep, grid, run_parallel
+    from repro.experiments import workloads
+
+    if workload == "ber":
+        fn = workloads.ber_point
+        points = grid(cycles=[int(c) for c in np.geomspace(1e8, 7e8, 8)],
+                      mode=("1T1R", "2T2R"), n_cells=(4096,), seed=(0,))
+        x_axis, metric, split = "cycles", "ber", "mode"
+    else:
+        fn = workloads.rram_inference_point
+        points = grid(sigma=[round(s, 3) for s in np.linspace(0.0, 2.5, 8)],
+                      seed=(0, 1))
+        x_axis, metric, split = "sigma", "agreement", "seed"
+
+    path = pathlib.Path(out) if out is not None else \
+        pathlib.Path("benchmarks/results") / f"sweep_{workload}.jsonl"
+    sweep = Sweep(path, fn)
+    missing = sum(1 for p in points if not sweep.completed(p))
+    progress = RateProgress(missing) if missing else None
+    run_parallel(sweep, points, jobs=jobs, progress=progress)
+
+    lines = [f"{workload} sweep: {len(points)} points "
+             f"({missing} computed, {len(points) - missing} resumed) "
+             f"-> {path}"]
+    if progress is not None and progress.done:
+        lines.append(f"throughput: {progress.rate:.2f} points/sec "
+                     f"at jobs={jobs}")
+    for value in sorted({p[split] for p in points}, key=str):
+        xs, ys = sweep.series(x_axis, metric, where={split: value})
+        series = ", ".join(f"{x:g}:{y:.4g}" for x, y in zip(xs, ys))
+        lines.append(f"  {split}={value}: {metric} by {x_axis}: {series}")
     return "\n".join(lines)
 
 
@@ -222,13 +338,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "info":
             print(_cmd_info(args.id))
         elif args.command == "run":
-            print(_cmd_run(args.id))
+            print(_cmd_run(args.id, args.jobs))
         elif args.command == "memory":
             print(analytic.run_table4())
         elif args.command == "energy":
             print(analytic.run_energy())
         elif args.command == "compile":
-            print(_cmd_compile(args.model, args.backend, args.mode))
+            print(_cmd_compile(args.model, args.backend, args.mode,
+                               args.jobs))
+        elif args.command == "sweep":
+            print(_cmd_sweep(args.workload, args.jobs, args.out))
         elif args.command == "floorplan":
             print(_cmd_floorplan(args.model, args.macro))
     except BrokenPipeError:

@@ -211,6 +211,31 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
             modules=("repro.nn.bitops", "repro.runtime"),
             bench="benchmarks/bench_ablation_packed_kernel.py"),
         ExperimentInfo(
+            id="XTRA14",
+            artefact="throughput claim — parallel sweep execution",
+            description=(
+                "The Fig. 4/7/8 sweeps on a process pool: worker/"
+                "persistence contract, wall-clock speedup over the serial "
+                "loop on a 16-point grid, and byte-identical resume after "
+                "a simulated crash (records BENCH_sweep_parallel.json)."),
+            kind="script",
+            modules=("repro.experiments.executor",
+                     "repro.experiments.sweep"),
+            bench="benchmarks/bench_sweep_parallel.py"),
+        ExperimentInfo(
+            id="XTRA15",
+            artefact="throughput claim — fast-path RRAM simulation kernels",
+            description=(
+                "Noise-free Fig. 5 configurations dispatched to the packed "
+                "uint64 XNOR-popcount kernels at program time vs full "
+                "device simulation on the quickstart-scale EEG classifier, "
+                "bit-exact against the reference backend (records "
+                "BENCH_rram_hotpath.json)."),
+            kind="script",
+            modules=("repro.rram.accelerator", "repro.nn.bitops",
+                     "repro.runtime"),
+            bench="benchmarks/bench_rram_hotpath.py"),
+        ExperimentInfo(
             id="XTRA8",
             artefact="§I reference point — 8-bit quantization",
             description=(

@@ -10,6 +10,8 @@ from repro.experiments.configs import (BenchScale, current_scale, EcgTask,
                                        EegTask, image_dataset, PAPER_RESULTS)
 from repro.experiments.tables import render_table, render_series
 from repro.experiments.sweep import Sweep, grid
+from repro.experiments.executor import (run_parallel, map_parallel,
+                                        RateProgress, default_jobs)
 
 __all__ = [
     "TrainConfig", "TrainResult", "CrossValResult", "train_model",
@@ -20,4 +22,5 @@ __all__ = [
     "PAPER_RESULTS",
     "render_table", "render_series",
     "Sweep", "grid",
+    "run_parallel", "map_parallel", "RateProgress", "default_jobs",
 ]

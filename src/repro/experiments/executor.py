@@ -1,0 +1,137 @@
+"""Parallel sweep execution on a process pool.
+
+The paper's figures are parameter sweeps whose points each run a full
+training or RRAM-simulated inference — independent by construction (every
+point carries its own seed).  This module dispatches the missing points of
+a :class:`~repro.experiments.sweep.Sweep` grid to worker processes while
+keeping the sweep's resume contract intact:
+
+* **workers are pure**: a worker receives ``(fn, params)``, returns
+  ``(params, metrics)`` and touches no files;
+* **the parent owns persistence**: records are validated and appended to
+  the sweep's JSONL store by the parent only, *in submission order*, so a
+  parallel run writes a byte-identical result file to a serial run of the
+  same grid (out-of-order completions are buffered until their turn);
+* **completed points are skipped before dispatch**, exactly like the
+  serial path, so a crashed run — serial or parallel — resumes where it
+  stopped;
+* **determinism is the point function's job**: seed through a ``seed``
+  parameter and the parallel schedule cannot change any result.
+
+``fn`` crosses a process boundary, so it must be picklable — a
+module-level function, not a lambda or closure (the workloads in
+:mod:`repro.experiments.workloads` are shaped this way).  With
+``jobs <= 1`` everything runs in-process through the serial path and no
+pickling is required.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["run_parallel", "map_parallel", "RateProgress", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose one: the cores the
+    process is actually allowed to use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:          # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+class RateProgress:
+    """A progress callback that reports throughput in points/sec.
+
+    Wraps an optional inner ``sink`` (``print`` by default when used from
+    the CLI); every call emits ``completed k/n (r.r points/sec)``.
+    """
+
+    def __init__(self, total: int, sink: Callable[[str], None] = print):
+        self.total = int(total)
+        self.sink = sink
+        self.done = 0
+        self._start = time.perf_counter()
+
+    @property
+    def rate(self) -> float:
+        elapsed = time.perf_counter() - self._start
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    def __call__(self, message: str) -> None:
+        self.done += 1
+        self.sink(f"[{self.done}/{self.total}] {message} "
+                  f"({self.rate:.2f} points/sec)")
+
+
+def _execute_point(fn: Callable, params: Mapping) -> tuple[dict, Mapping]:
+    """Worker body: run one point, return ``(params, metrics)``."""
+    return dict(params), fn(**params)
+
+
+def map_parallel(fn: Callable, points: Sequence[Mapping],
+                 jobs: int | None = None) -> list:
+    """Persistence-free parallel map: ``fn(**params)`` for every point.
+
+    Results come back in point order.  The building block for callers that
+    want pool execution without a sweep file (the CLI uses it to evaluate
+    independent backends concurrently).
+    """
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs <= 1 or len(points) <= 1:
+        return [fn(**params) for params in points]
+    from concurrent.futures import ProcessPoolExecutor
+    with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+        futures = [pool.submit(_execute_point, fn, params)
+                   for params in points]
+        return [future.result()[1] for future in futures]
+
+
+def run_parallel(sweep, points: Sequence[Mapping], jobs: int | None = None,
+                 progress: Callable[[str], None] | None = None
+                 ) -> list[dict]:
+    """Execute a sweep grid on a process pool; returns every record.
+
+    Drop-in parallel form of :meth:`~repro.experiments.sweep.Sweep.run_all`
+    — same skip-completed semantics, same persistence format, same result
+    list.  The parent walks ``points`` in order, appending each newly
+    computed record to the sweep store as soon as *it and every earlier
+    point* have landed; a crash therefore loses only the in-flight window,
+    and the surviving file is always a prefix-consistent serial-equivalent
+    result set.
+
+    A worker failure is re-raised in the parent after every record that
+    precedes the failing point has been persisted — matching where a
+    serial run would have stopped.
+    """
+    from repro.experiments.sweep import _point_key
+
+    jobs = default_jobs() if jobs is None else int(jobs)
+    missing = [dict(p) for p in points if not sweep.completed(p)]
+    if jobs <= 1 or len(missing) <= 1:
+        return sweep.run_all(points, progress)
+
+    from concurrent.futures import ProcessPoolExecutor
+    futures: dict[str, object] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
+        for params in missing:
+            futures[_point_key(params)] = pool.submit(
+                _execute_point, sweep.fn, params)
+        records = []
+        try:
+            for params in points:
+                key = _point_key(params)
+                if not sweep.completed(params):
+                    _, metrics = futures[key].result()
+                    sweep.record_point(params, metrics)
+                    if progress is not None:
+                        progress(f"completed {key}")
+                records.append(dict(sweep._results[key]))
+        except BaseException:
+            for future in futures.values():
+                future.cancel()
+            raise
+    return records

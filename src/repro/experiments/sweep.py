@@ -3,12 +3,20 @@
 The paper's evaluation is built from sweeps — filter augmentation (Fig. 7),
 programming cycles (Fig. 4), training epochs (Fig. 8) — and each point can
 cost minutes of training.  :class:`Sweep` runs a function over a parameter
-grid, persists every completed point to a JSON file as it lands, and skips
+grid, persists every completed point as it lands, and skips
 already-computed points on re-run, so an interrupted study resumes instead
 of restarting.
 
-Results are plain JSON (parameters + float metrics), so they can be
-post-processed without this library.
+Results are stored as JSON Lines — one ``{"params": ..., "metrics": ...}``
+object per line — so completing a point is a single O(1) append instead of
+a rewrite of the whole result set, and the file can be post-processed with
+any JSON tooling (or plain ``grep``) without this library.  Legacy files
+written by earlier versions as one JSON array are migrated to the
+line-oriented layout the first time they are loaded.
+
+For multi-process execution of a grid see
+:mod:`repro.experiments.executor`, which dispatches missing points to a
+worker pool while this class keeps sole ownership of persistence.
 """
 
 from __future__ import annotations
@@ -44,6 +52,16 @@ def _point_key(params: Mapping) -> str:
     return json.dumps(params, sort_keys=True, default=str)
 
 
+def _record_line(record: Mapping) -> str:
+    """Canonical one-line serialization of a record.
+
+    Compact separators and caller-side key order: two runs that complete
+    the same points in the same order produce byte-identical files, which
+    is what the parallel-vs-serial equality contract checks.
+    """
+    return json.dumps(record, separators=(",", ":"), default=str)
+
+
 class Sweep:
     """Run ``fn(**params) -> dict[str, float]`` over a list of points.
 
@@ -58,11 +76,44 @@ class Sweep:
         self.fn = fn
         self._results: dict[str, dict] = {}
         if self.path.exists():
-            records = json.loads(self.path.read_text())
+            self._load()
+
+    def _load(self) -> None:
+        text = self.path.read_text()
+        if text.lstrip().startswith("["):
+            # Legacy layout: one JSON array holding every record.  Parse it
+            # and rewrite as JSON Lines — a one-time migration, after which
+            # every completed point is an append.
+            records = json.loads(text)
             if not isinstance(records, list):
                 raise ValueError(f"{self.path} is not a sweep result file")
             for record in records:
                 self._results[_point_key(record["params"])] = record
+            self._rewrite()
+            return
+        lines = [(i, line) for i, line in
+                 enumerate(text.splitlines(), start=1) if line.strip()]
+        for position, (lineno, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if position == len(lines) - 1:
+                    # A torn final line is what a kill/power-loss during
+                    # an append leaves behind.  The completed prefix is
+                    # intact: drop the partial record (it re-runs on
+                    # resume) and heal the file so later appends don't
+                    # land on top of the fragment.
+                    import warnings
+                    warnings.warn(
+                        f"{self.path}:{lineno}: dropping partially "
+                        "written final record (interrupted append)")
+                    self._rewrite()
+                    return
+                raise ValueError(
+                    f"{self.path}:{lineno} is not a sweep record") from None
+            if not isinstance(record, dict) or "params" not in record:
+                raise ValueError(f"{self.path} is not a sweep result file")
+            self._results[_point_key(record["params"])] = record
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -80,34 +131,59 @@ class Sweep:
         return [dict(r) for r in self._results.values()]
 
     # ------------------------------------------------------------------
-    def _flush(self) -> None:
+    def _rewrite(self) -> None:
+        """Full rewrite (migration only — the hot path appends).
+
+        Atomic: the new layout lands in a sibling temp file and replaces
+        the original in one rename, so a crash mid-migration cannot
+        destroy previously persisted results.
+        """
+        import os
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(list(self._results.values()),
-                                        indent=1))
+        tmp = self.path.with_name(self.path.name + ".migrating")
+        tmp.write_text(
+            "".join(_record_line(r) + "\n" for r in self._results.values()))
+        os.replace(tmp, self.path)
+
+    def _append(self, record: Mapping) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as stream:
+            stream.write(_record_line(record) + "\n")
+
+    @staticmethod
+    def _validated_metrics(metrics: Mapping) -> dict[str, float]:
+        bad = {k: v for k, v in metrics.items()
+               if not isinstance(v, (int, float))}
+        if bad:
+            raise TypeError(f"sweep metrics must be numeric, got {bad}")
+        return {k: float(v) for k, v in metrics.items()}
+
+    def record_point(self, params: Mapping, metrics: Mapping) -> dict:
+        """Persist one externally-computed point (the executor's hook).
+
+        Validates the metrics, stores the record, and appends it to the
+        result file.  Returns the stored record.
+        """
+        record = {"params": dict(params),
+                  "metrics": self._validated_metrics(metrics)}
+        self._results[_point_key(params)] = record
+        self._append(record)
+        return record
 
     def run(self, points: list[Mapping],
             progress: Callable[[str], None] | None = None
             ) -> Iterator[dict]:
         """Execute missing points, yielding every record (old and new).
 
-        The result file is rewritten after each computed point, so a crash
-        loses at most the point in flight.
+        Each computed point is appended to the result file before the next
+        one starts, so a crash loses at most the point in flight.
         """
         for params in points:
             key = _point_key(params)
             if key not in self._results:
+                self.record_point(params, self.fn(**params))
                 if progress is not None:
-                    progress(f"running {key}")
-                metrics = self.fn(**params)
-                bad = {k: v for k, v in metrics.items()
-                       if not isinstance(v, (int, float))}
-                if bad:
-                    raise TypeError(
-                        f"sweep metrics must be numeric, got {bad}")
-                self._results[key] = {"params": dict(params),
-                                      "metrics": {k: float(v) for k, v
-                                                  in metrics.items()}}
-                self._flush()
+                    progress(f"completed {key}")
             yield dict(self._results[key])
 
     def run_all(self, points: list[Mapping],
@@ -115,6 +191,14 @@ class Sweep:
                 ) -> list[dict]:
         """Eager form of :meth:`run`."""
         return list(self.run(points, progress))
+
+    def run_parallel(self, points: list[Mapping], jobs: int | None = None,
+                     progress: Callable[[str], None] | None = None
+                     ) -> list[dict]:
+        """Execute missing points on a process pool; see
+        :func:`repro.experiments.executor.run_parallel`."""
+        from repro.experiments.executor import run_parallel
+        return run_parallel(self, points, jobs=jobs, progress=progress)
 
     def series(self, x_axis: str, metric: str,
                where: Mapping | None = None

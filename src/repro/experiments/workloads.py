@@ -1,0 +1,100 @@
+"""Module-level sweep point functions (picklable by construction).
+
+Points dispatched by :mod:`repro.experiments.executor` cross a process
+boundary, so they must be importable top-level callables.  This module
+collects the stock workloads the CLI ``sweep`` command, the throughput
+benchmarks and the tests all share.  Every workload takes a ``seed``
+parameter and is deterministic given its full parameter dict — the
+property the sweep resume/equality contract relies on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["ber_point", "rram_inference_point", "latency_point"]
+
+
+def ber_point(cycles: float, mode: str = "2T2R", n_cells: int = 4096,
+              seed: int = 0) -> dict[str, float]:
+    """Monte-Carlo bit error rate of one Fig. 4 sweep point.
+
+    Programs ``n_cells`` random bits into a wear-aged array and counts
+    read-back errors through the noisy sense amplifiers.
+    """
+    from repro.rram import RRAMArray
+
+    rng = np.random.default_rng(seed)
+    side = int(np.sqrt(n_cells))
+    array = RRAMArray(side, side, rng=rng, mode=mode)
+    array.wear(int(cycles) - 1)
+    bits = rng.integers(0, 2, (side, side)).astype(np.uint8)
+    array.program(bits)
+    errors = int((array.read_all() != bits).sum())
+    return {"ber": errors / (side * side), "cells": float(side * side)}
+
+
+def rram_inference_point(sigma: float, seed: int = 0, n_inputs: int = 32,
+                         in_features: int = 128, out_features: int = 16
+                         ) -> dict[str, float]:
+    """Agreement of a noisy RRAM dense layer against the folded software
+    reference — one point of an offset-sigma robustness sweep (the §II-B
+    error-tolerance argument as a sweepable workload).
+
+    Only the sense-amplifier offset varies across the sweep: device
+    variability is held at zero for every point, so the series isolates
+    the swept variable (at ``sigma=0`` the config is noise-free and takes
+    the fast path — agreement exactly 1).
+    """
+    from repro import nn
+    from repro.nn.binary import fold_batchnorm_sign
+    from repro.rram import (AcceleratorConfig, DeviceParameters,
+                            InMemoryDenseLayer, SenseParameters)
+
+    rng = np.random.default_rng(seed)
+    layer = nn.BinaryLinear(in_features, out_features, rng=rng)
+    bn = nn.BatchNorm1d(out_features)
+    bn.set_buffer("running_mean", rng.standard_normal(out_features))
+    bn.set_buffer("running_var", rng.uniform(0.5, 2.0, out_features))
+    bn.eval()
+    folded = fold_batchnorm_sign(layer, bn)
+    device = DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                              broadening=0.0, hrs_drift=0.0,
+                              device_mismatch=1.0)
+    config = AcceleratorConfig(device=device,
+                               sense=SenseParameters(offset_sigma=sigma))
+    hw = InMemoryDenseLayer(folded, config, rng)
+    x = rng.integers(0, 2, (n_inputs, in_features)).astype(np.uint8)
+    agreement = float((hw.forward_bits(x) == folded.forward_bits(x)).mean())
+    return {"agreement": agreement}
+
+
+def latency_point(index: int, seed: int = 0, blocking_ms: float = 0.0,
+                  spin_elems: int = 50_000, fail_flag: str = "",
+                  fail_at: int = -1) -> dict[str, float]:
+    """A scheduler-calibration point: bounded blocking latency plus a small
+    deterministic compute kernel.
+
+    Models the shape of real sweep points that wait on external resources
+    (device programming, storage, a queue) — the regime where pool
+    execution overlaps latency even on few cores.  The metric is a pure
+    function of ``(index, seed)``, so serial and parallel runs must agree
+    byte for byte.
+
+    ``fail_flag``/``fail_at`` are the crash-recovery test hook: while the
+    file named by ``fail_flag`` exists, points with ``index >= fail_at``
+    raise — a reproducible mid-grid "crash" that disappears on resume.
+    """
+    import pathlib
+
+    if fail_flag and 0 <= fail_at <= index \
+            and pathlib.Path(fail_flag).exists():
+        raise RuntimeError(f"simulated crash at point {index}")
+    if blocking_ms > 0:
+        time.sleep(blocking_ms / 1e3)
+    rng = np.random.default_rng(seed + index)
+    values = rng.standard_normal(int(spin_elems))
+    return {"checksum": float(np.sort(values)[: 100].sum()),
+            "index": float(index)}

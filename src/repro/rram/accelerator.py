@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.nn.binary import (FoldedBinaryDense, FoldedOutputDense,
                              threshold_bits, to_bits)
+from repro.nn.bitops import pack_bits, packed_xnor_popcount
 from repro.rram.array import RRAMArray
 from repro.rram.device import DeviceParameters
 from repro.rram.sense import SenseParameters
@@ -74,17 +75,47 @@ class AcceleratorConfig:
                                  sense, self.seed, ideal=False)
 
 
+def _noise_free(config: AcceleratorConfig) -> bool:
+    """True when every read is deterministic: no device variability, no
+    HRS drift with wear, no sense-amplifier offset, and a correctly ordered
+    resistance window.  Under these conditions the sensed weight equals
+    the programmed bit for every cell, always."""
+    device, sense = config.device, config.sense
+    return (device.sigma_lrs0 == 0.0 and device.sigma_hrs0 == 0.0
+            and device.hrs_drift == 0.0 and sense.offset_sigma == 0.0
+            and device.median_hrs > device.median_lrs)
+
+
 class MemoryController:
     """Programs a weight-bit matrix across a grid of RRAM tiles.
 
     The matrix is laid out row = output neuron, column = input; tiles pad
     the ragged edges, and padded columns are masked out of the popcount so
     they never contribute.
+
+    Two read paths, selected at program time by ``fast_path``:
+
+    * **fast path** (``"auto"`` + a noise-free configuration, or ``True``):
+      a deterministic read always returns the programmed bits, so the
+      controller skips device simulation entirely and dispatches reads to
+      the packed uint64 XNOR-popcount kernels of :mod:`repro.nn.bitops` —
+      no noise draws, no bit-plane materialization, bit-exact with the
+      noisy path at zero sigma;
+    * **noisy path**: tiles are programmed as physical
+      :class:`~repro.rram.array.RRAMArray` macros, their differential
+      sense margins are stacked into one ``(out, in)`` matrix, and a scan
+      draws fresh per-read offsets once per batch chunk and reduces over
+      every tile in a single vectorized pass (no per-tile Python loop).
+      The batch axis is chunked so the offset tensor never exceeds
+      ``read_chunk_elems`` elements.
     """
+
+    read_chunk_elems = 1 << 22   # offset-tensor element budget per scan
 
     def __init__(self, weight_bits: np.ndarray,
                  config: AcceleratorConfig | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool | str = "auto"):
         config = (config or AcceleratorConfig()).resolved()
         self.config = config
         self.rng = rng or np.random.default_rng(config.seed)
@@ -95,7 +126,31 @@ class MemoryController:
         tr, tc = config.tile_rows, config.tile_cols
         self.grid_rows = -(-self.out_features // tr)
         self.grid_cols = -(-self.in_features // tc)
+        # Valid-column count per tile column block (for popcount masking).
+        self._valid_cols = [min(tc, self.in_features - j * tc)
+                            for j in range(self.grid_cols)]
+        self.popcount_bit_ops = 0
+        self._extra_sense_ops = 0
+
+        if fast_path not in (True, False, "auto"):
+            raise ValueError("fast_path must be True, False or 'auto'")
+        deterministic = _noise_free(config)
+        if fast_path is True and not deterministic:
+            raise ValueError(
+                "fast_path=True requires a noise-free configuration "
+                "(zero device sigma, zero HRS drift, zero sense offset); "
+                "use fast_path='auto' to dispatch on the config")
+        self.fast_path = deterministic if fast_path == "auto" \
+            else bool(fast_path)
+
         self.tiles: list[list[RRAMArray]] = []
+        self._margins: np.ndarray | None = None
+        if self.fast_path:
+            # Deterministic reads: the stored word is all that matters, so
+            # pack it once for the uint64 kernels and skip device state.
+            self.weight_words = pack_bits(weight_bits)
+            return
+        self.weight_words = None
         padded = np.zeros((self.grid_rows * tr, self.grid_cols * tc),
                           dtype=np.uint8)
         padded[:self.out_features, :self.in_features] = weight_bits
@@ -108,10 +163,6 @@ class MemoryController:
                                     j * tc:(j + 1) * tc])
                 row_tiles.append(tile)
             self.tiles.append(row_tiles)
-        # Valid-column count per tile column block (for popcount masking).
-        self._valid_cols = [min(tc, self.in_features - j * tc)
-                            for j in range(self.grid_cols)]
-        self.popcount_bit_ops = 0
 
     @property
     def n_tiles(self) -> int:
@@ -125,10 +176,15 @@ class MemoryController:
 
     @property
     def sense_ops(self) -> int:
-        return sum(t.sense_ops for row in self.tiles for t in row)
+        return sum(t.sense_ops for row in self.tiles for t in row) \
+            + self._extra_sense_ops
 
     def wear(self, cycles: int) -> None:
-        """Age every device (endurance studies on deployed weights)."""
+        """Age every device (endurance studies on deployed weights).
+
+        A no-op on the fast path: wear only manifests through the
+        variability parameters, which a noise-free configuration zeroes.
+        """
         for row in self.tiles:
             for tile in row:
                 tile.wear(cycles)
@@ -138,16 +194,40 @@ class MemoryController:
         for row in self.tiles:
             for tile in row:
                 tile.program(tile.weight_bits)
+        self._margins = None
+
+    def _stacked_margins(self) -> np.ndarray:
+        """Tile sense margins as one ``(out_padded, in_features)`` matrix.
+
+        Assembled lazily from the tile grid and cached until the next
+        reprogram (margins are fixed by the programmed resistances; only
+        per-read offsets vary).  Padded columns are dropped here, which is
+        what masks them out of every popcount.
+        """
+        if self._margins is None:
+            tr, tc = self.config.tile_rows, self.config.tile_cols
+            full = np.empty((self.grid_rows * tr, self.grid_cols * tc))
+            for i, row_tiles in enumerate(self.tiles):
+                for j, tile in enumerate(row_tiles):
+                    full[i * tr:(i + 1) * tr, j * tc:(j + 1) * tc] = \
+                        tile._sense_margin()
+            valid = np.concatenate(
+                [np.arange(j * tc, j * tc + self._valid_cols[j])
+                 for j in range(self.grid_cols)])
+            self._margins = np.ascontiguousarray(full[:, valid])
+        return self._margins
 
     def popcounts(self, x_bits: np.ndarray) -> np.ndarray:
         """XNOR-popcount of a batch against every stored row.
 
         ``x_bits``: ``(N, in_features)``; returns ``(N, out_features)``
-        integer popcounts.  Each input chunk is broadcast once per tile
-        while the word lines are scanned with the vectorized
-        :meth:`~repro.rram.array.RRAMArray.xnor_popcounts` read — the
-        counts accumulate tile by tile exactly as the shared popcount
-        logic of Fig. 5 would, without materializing the XNOR bit planes.
+        integer popcounts.  On the fast path this is one packed-word
+        kernel call.  On the noisy path the whole tile grid is scanned in
+        one vectorized pass per batch chunk: fresh sense offsets are drawn
+        once per scan (every cell, every inference — the same statistics
+        as per-tile reads), added to the stacked margins, and the XNOR
+        agreements are reduced over the input axis without materializing
+        any per-tile intermediates.
         """
         x_bits = np.asarray(x_bits, dtype=np.uint8)
         if x_bits.ndim != 2 or x_bits.shape[1] != self.in_features:
@@ -155,15 +235,24 @@ class MemoryController:
                 f"input shape {x_bits.shape} != (N, {self.in_features})")
         n = x_bits.shape[0]
         tr, tc = self.config.tile_rows, self.config.tile_cols
-        counts = np.zeros((n, self.grid_rows * tr), dtype=np.int64)
-        for j in range(self.grid_cols):
-            valid = self._valid_cols[j]
-            chunk = np.zeros((n, tc), dtype=np.uint8)
-            chunk[:, :valid] = x_bits[:, j * tc:j * tc + valid]
-            for i in range(self.grid_rows):
-                counts[:, i * tr:(i + 1) * tr] += \
-                    self.tiles[i][j].xnor_popcounts(chunk, valid)
-                self.popcount_bit_ops += n * tr * valid
+        out_p = self.grid_rows * tr
+        self.popcount_bit_ops += n * out_p * self.in_features
+        self._extra_sense_ops += n * out_p * self.grid_cols * tc
+        if self.fast_path:
+            return packed_xnor_popcount(pack_bits(x_bits),
+                                        self.weight_words, self.in_features)
+        margins = self._stacked_margins()
+        x_bool = x_bits.astype(bool)
+        counts = np.empty((n, out_p), dtype=np.int64)
+        chunk = max(1, self.read_chunk_elems
+                    // max(1, out_p * self.in_features))
+        for start in range(0, n, chunk):
+            xs = x_bool[start:start + chunk]
+            offsets = self.config.sense.offset(
+                self.rng, (len(xs),) + margins.shape)
+            weight_read = (margins[None, :, :] + offsets) > 0
+            agree = weight_read == xs[:, None, :]
+            counts[start:start + len(xs)] = agree.sum(axis=2, dtype=np.int64)
         return counts[:, :self.out_features]
 
 
@@ -176,9 +265,11 @@ class InMemoryDenseLayer:
 
     def __init__(self, folded: FoldedBinaryDense,
                  config: AcceleratorConfig | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool | str = "auto"):
         self.folded = folded
-        self.controller = MemoryController(folded.weight_bits, config, rng)
+        self.controller = MemoryController(folded.weight_bits, config, rng,
+                                           fast_path)
 
     def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
         pc = self.controller.popcounts(x_bits)
@@ -194,9 +285,11 @@ class InMemoryOutputLayer:
 
     def __init__(self, folded: FoldedOutputDense,
                  config: AcceleratorConfig | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool | str = "auto"):
         self.folded = folded
-        self.controller = MemoryController(folded.weight_bits, config, rng)
+        self.controller = MemoryController(folded.weight_bits, config, rng,
+                                           fast_path)
 
     def forward_scores(self, x_bits: np.ndarray) -> np.ndarray:
         pc = self.controller.popcounts(x_bits)

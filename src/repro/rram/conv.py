@@ -141,9 +141,11 @@ class InMemoryConv1dLayer:
 
     def __init__(self, folded: FoldedBinaryConv1d,
                  config: AcceleratorConfig | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool | str = "auto"):
         self.folded = folded
-        self.controller = MemoryController(folded.weight_bits, config, rng)
+        self.controller = MemoryController(folded.weight_bits, config, rng,
+                                           fast_path)
 
     def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
         f = self.folded

@@ -110,29 +110,43 @@ class RRAMBackend(Backend):
     then execute with vectorized word-line scanning and batched activation
     broadcast.  One shared ``rng`` keeps deployment deterministic per
     config seed, matching :func:`~repro.rram.accelerator.deploy_classifier`.
+
+    ``fast_path`` dispatches deterministic (noise-free) configurations to
+    the packed uint64 XNOR-popcount kernels at program time: ``"auto"``
+    (default) enables it exactly when the config has zero device
+    variability and zero sense offset — bit-exact with the simulated
+    path, orders of magnitude faster; ``False`` forces full device
+    simulation; ``True`` requires a noise-free config.
     """
 
     name = "rram"
 
     def __init__(self, config: AcceleratorConfig | None = None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool | str = "auto"):
         self.config = config or AcceleratorConfig()
         self.rng = rng or np.random.default_rng(self.config.seed)
+        self.fast_path = fast_path
 
     def prepare_dense(self, folded: FoldedBinaryDense):
-        return InMemoryDenseLayer(folded, self.config, self.rng)
+        return InMemoryDenseLayer(folded, self.config, self.rng,
+                                  self.fast_path)
 
     def prepare_output(self, folded: FoldedOutputDense):
-        return InMemoryOutputLayer(folded, self.config, self.rng)
+        return InMemoryOutputLayer(folded, self.config, self.rng,
+                                   self.fast_path)
 
     def prepare_conv1d(self, folded: FoldedBinaryConv1d):
-        return InMemoryConv1dLayer(folded, self.config, self.rng)
+        return InMemoryConv1dLayer(folded, self.config, self.rng,
+                                   self.fast_path)
 
     def prepare_conv2d(self, folded: FoldedBinaryConv2d):
-        return InMemoryConv2dLayer(folded, self.config, self.rng)
+        return InMemoryConv2dLayer(folded, self.config, self.rng,
+                                   self.fast_path)
 
     def __repr__(self) -> str:
-        return f"RRAMBackend(config={self.config!r})"
+        return (f"RRAMBackend(config={self.config!r}, "
+                f"fast_path={self.fast_path!r})")
 
 
 _BACKENDS: dict[str, Callable[[], Backend]] = {

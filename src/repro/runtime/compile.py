@@ -144,7 +144,10 @@ def compile(model, backend="reference", *, lower_features: bool | str = "auto",
     backend:
         Backend name (``"reference"``, ``"packed"``, ``"rram"`` or any
         :func:`~repro.runtime.register_backend` plug-in) or a configured
-        :class:`~repro.runtime.Backend` instance.
+        :class:`~repro.runtime.Backend` instance — e.g.
+        ``RRAMBackend(config, fast_path="auto")``, whose ``fast_path``
+        flag dispatches noise-free RRAM configurations to the packed
+        uint64 kernels at program time.
     lower_features:
         ``"auto"`` lowers binary feature convolutions onto the backend
         when the model supports it (fully binarized EEG/ECG networks);

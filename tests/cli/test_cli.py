@@ -33,7 +33,7 @@ class TestRegistry:
             assert (root / info.bench).exists(), info.bench
 
     def test_kinds_are_valid(self):
-        assert all(i.kind in ("analytic", "training")
+        assert all(i.kind in ("analytic", "training", "script")
                    for i in EXPERIMENTS.values())
 
     def test_info_is_frozen(self):
@@ -83,6 +83,37 @@ class TestCommands:
     def test_run_unknown_id_exits(self):
         with pytest.raises(SystemExit, match="unknown experiment"):
             _cmd_run("FIG99")
+
+    def test_run_fig4_jobs_adds_monte_carlo_check(self):
+        text = _cmd_run("FIG4", jobs=2)
+        assert "Monte-Carlo spot check (2 workers" in text
+        assert "ignored" not in text
+
+    def test_run_script_id_points_to_python(self):
+        with pytest.raises(SystemExit, match="python benchmarks/"):
+            _cmd_run("XTRA14")
+
+    def test_info_script_id_shows_smoke_invocation(self):
+        text = _cmd_info("XTRA15")
+        assert "python benchmarks/bench_rram_hotpath.py" in text
+        assert "--smoke" in text
+
+    def test_sweep_command_runs_and_resumes(self, tmp_path, capsys):
+        out = tmp_path / "robustness.jsonl"
+        assert main(["sweep", "robustness", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "points/sec" in text and "agreement" in text
+        n_lines = len(out.read_text().splitlines())
+        assert n_lines > 0
+        # Second invocation resumes: nothing recomputed, file untouched.
+        assert main(["sweep", "robustness", "--out", str(out)]) == 0
+        assert "(0 computed" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == n_lines
+
+    def test_compile_accepts_jobs(self, capsys):
+        assert main(["compile", "ecg", "--backend", "reference",
+                     "--jobs", "1"]) == 0
+        assert "reference" in capsys.readouterr().out
 
 
 class TestAnalyticRunners:

@@ -1,0 +1,109 @@
+"""Tests for the parallel sweep executor (repro.experiments.executor).
+
+The point functions live at module level so they can cross the process
+boundary (the executor's documented pickling contract).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (RateProgress, Sweep, grid, map_parallel,
+                               run_parallel)
+from repro.experiments.workloads import latency_point
+
+
+def square(x, offset=0):
+    return {"y": float(x * x + offset)}
+
+
+def seeded(x, seed):
+    # Deterministic in its params — the executor equality contract.
+    return {"y": float(x * 1000 + seed)}
+
+
+def bad_metrics(x):
+    return {"y": "nope"}
+
+
+class TestMapParallel:
+    def test_results_in_point_order(self):
+        points = grid(x=(3, 1, 2))
+        assert map_parallel(square, points, jobs=2) == \
+            [{"y": 9.0}, {"y": 1.0}, {"y": 4.0}]
+
+    def test_serial_fallback_allows_closures(self):
+        # jobs=1 never pickles, so non-module-level callables are fine.
+        results = map_parallel(lambda x: {"y": x}, grid(x=(1, 2)), jobs=1)
+        assert results == [{"y": 1}, {"y": 2}]
+
+
+class TestRunParallel:
+    def test_matches_serial_byte_for_byte(self, tmp_path):
+        points = grid(x=(1, 2, 3, 4), seed=(0, 1))
+        serial = Sweep(tmp_path / "serial.jsonl", seeded)
+        serial_records = serial.run_all(points)
+        parallel = Sweep(tmp_path / "parallel.jsonl", seeded)
+        parallel_records = run_parallel(parallel, points, jobs=2)
+        assert parallel_records == serial_records
+        assert (tmp_path / "parallel.jsonl").read_bytes() == \
+            (tmp_path / "serial.jsonl").read_bytes()
+
+    def test_skips_completed_points(self, tmp_path):
+        points = grid(x=(1, 2, 3))
+        sweep = Sweep(tmp_path / "s.jsonl", square)
+        sweep.run_all(points[:2])
+        two_lines = (tmp_path / "s.jsonl").read_text()
+        records = run_parallel(sweep, points, jobs=2)
+        assert len(records) == 3
+        # The completed prefix was not rewritten or recomputed.
+        assert (tmp_path / "s.jsonl").read_text().startswith(two_lines)
+
+    def test_jobs_one_runs_serially(self, tmp_path):
+        # The serial path accepts closures (nothing crosses a process).
+        sweep = Sweep(tmp_path / "s.jsonl", lambda x: {"y": float(x)})
+        assert [r["metrics"]["y"] for r in
+                run_parallel(sweep, grid(x=(1, 2)), jobs=1)] == [1.0, 2.0]
+
+    def test_crash_resume_mid_grid(self, tmp_path):
+        flag = tmp_path / "crash.flag"
+        points = grid(index=list(range(6)), seed=(0,), blocking_ms=(0.0,),
+                      spin_elems=(100,), fail_flag=(str(flag),),
+                      fail_at=(3,))
+        serial = Sweep(tmp_path / "serial.jsonl", latency_point)
+        serial.run_all(points)
+
+        flag.touch()
+        crashed = Sweep(tmp_path / "crashed.jsonl", latency_point)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_parallel(crashed, points, jobs=2)
+        # Every record before the failing point survived the crash.
+        survivors = Sweep(tmp_path / "crashed.jsonl", latency_point)
+        assert 0 < len(survivors) < len(points)
+        assert survivors.completed(points[0])
+
+        flag.unlink()
+        run_parallel(survivors, points, jobs=2)
+        assert (tmp_path / "crashed.jsonl").read_bytes() == \
+            (tmp_path / "serial.jsonl").read_bytes()
+
+    def test_parent_validates_metrics(self, tmp_path):
+        sweep = Sweep(tmp_path / "s.jsonl", bad_metrics)
+        with pytest.raises(TypeError, match="numeric"):
+            run_parallel(sweep, grid(x=(1, 2)), jobs=2)
+
+    def test_progress_reports_rate(self, tmp_path):
+        messages = []
+        sweep = Sweep(tmp_path / "s.jsonl", square)
+        progress = RateProgress(2, sink=messages.append)
+        run_parallel(sweep, grid(x=(1, 2)), jobs=2, progress=progress)
+        assert len(messages) == 2
+        assert "points/sec" in messages[0]
+        assert messages[1].startswith("[2/2]")
+        assert progress.rate > 0
+
+    def test_records_readable_as_plain_jsonl(self, tmp_path):
+        sweep = Sweep(tmp_path / "s.jsonl", square)
+        run_parallel(sweep, grid(x=(5,)), jobs=2)
+        record = json.loads((tmp_path / "s.jsonl").read_text())
+        assert record == {"params": {"x": 5}, "metrics": {"y": 25.0}}

@@ -48,9 +48,11 @@ class TestSweep:
         sweep = Sweep(path, self.square)
         iterator = sweep.run(grid(x=(1, 2)))
         next(iterator)
-        # First point already on disk before the second is computed.
-        on_disk = json.loads(path.read_text())
-        assert len(on_disk) == 1
+        # First point already on disk (one JSONL record) before the
+        # second is computed.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["metrics"] == {"y": 1.0}
 
     def test_resume_skips_completed(self, tmp_path):
         path = tmp_path / "s.json"
@@ -108,14 +110,77 @@ class TestSweep:
         assert xs == [1, 2, 3]          # sorted by x
         assert ys == [2.0, 4.0, 6.0]
 
-    def test_progress_callback(self, tmp_path):
+    def test_progress_callback_fires_per_completed_point(self, tmp_path):
         messages = []
         sweep = Sweep(tmp_path / "s.json", self.square)
         sweep.run_all(grid(x=(1,)), progress=messages.append)
-        assert len(messages) == 1 and "running" in messages[0]
+        assert len(messages) == 1 and "completed" in messages[0]
+        # Resumed points do not re-fire progress (nothing was computed).
+        sweep.run_all(grid(x=(1,)), progress=messages.append)
+        assert len(messages) == 1
 
     def test_rejects_non_sweep_file(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"not": "a list"}')
         with pytest.raises(ValueError, match="not a sweep"):
+            Sweep(path, self.square)
+
+
+class TestJsonlStore:
+    """Append-only persistence and legacy-file migration."""
+
+    @staticmethod
+    def square(x):
+        return {"y": float(x * x)}
+
+    def test_completed_points_append_not_rewrite(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sweep = Sweep(path, self.square)
+        sweep.run_all(grid(x=(1, 2)))
+        first_two = path.read_text()
+        sweep.run_all(grid(x=(1, 2, 3)))
+        # The earlier bytes are untouched; the new point is an append.
+        assert path.read_text().startswith(first_two)
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_legacy_json_array_migrates_once(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        records = [{"params": {"x": 1}, "metrics": {"y": 1.0}},
+                   {"params": {"x": 2}, "metrics": {"y": 4.0}}]
+        path.write_text(json.dumps(records, indent=1))
+        sweep = Sweep(path, self.square)
+        assert len(sweep) == 2
+        assert sweep.result({"x": 2}) == {"y": 4.0}
+        # The file is now line-oriented and loads as such.
+        text = path.read_text()
+        assert not text.lstrip().startswith("[")
+        assert [json.loads(line) for line in text.splitlines()] == records
+        assert len(Sweep(path, self.square)) == 2
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        Sweep(path, self.square).run_all(grid(x=(1,)))
+        path.write_text(path.read_text() + "\n")
+        assert len(Sweep(path, self.square)) == 1
+
+    def test_torn_final_line_drops_and_resumes(self, tmp_path):
+        # A kill mid-append leaves a partial final record; loading must
+        # keep the completed prefix, heal the file, and resume.
+        path = tmp_path / "s.jsonl"
+        Sweep(path, self.square).run_all(grid(x=(1, 2)))
+        path.write_text(path.read_text() + '{"params": {"x": 3}, "met')
+        with pytest.warns(UserWarning, match="partially written"):
+            sweep = Sweep(path, self.square)
+        assert len(sweep) == 2 and not sweep.completed({"x": 3})
+        sweep.run_all(grid(x=(1, 2, 3)))
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        assert [r["params"]["x"] for r in records] == [1, 2, 3]
+
+    def test_torn_line_mid_file_still_rejected(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        Sweep(path, self.square).run_all(grid(x=(1, 2)))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0][:20], lines[1]]) + "\n")
+        with pytest.raises(ValueError, match="not a sweep record"):
             Sweep(path, self.square)

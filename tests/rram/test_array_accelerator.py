@@ -128,6 +128,87 @@ class TestMemoryController:
         assert ctrl.n_devices == 1 * 4 * 8 * 2
 
 
+class TestFastPath:
+    """Program-time dispatch of noise-free configs to the packed kernels."""
+
+    def test_ideal_config_auto_selects_fast_path(self, rng):
+        bits = rng.integers(0, 2, (10, 50)).astype(np.uint8)
+        ctrl = MemoryController(bits, AcceleratorConfig(ideal=True), rng)
+        assert ctrl.fast_path
+        assert ctrl.tiles == []          # no device simulation at all
+
+    def test_noisy_config_keeps_simulation(self, rng):
+        bits = rng.integers(0, 2, (10, 50)).astype(np.uint8)
+        ctrl = MemoryController(bits, AcceleratorConfig(), rng)
+        assert not ctrl.fast_path
+        assert len(ctrl.tiles) == ctrl.grid_rows
+
+    def test_forcing_fast_path_on_noisy_config_raises(self, rng):
+        bits = rng.integers(0, 2, (4, 5)).astype(np.uint8)
+        with pytest.raises(ValueError, match="noise-free"):
+            MemoryController(bits, AcceleratorConfig(), rng, fast_path=True)
+        with pytest.raises(ValueError, match="fast_path"):
+            MemoryController(bits, AcceleratorConfig(ideal=True), rng,
+                             fast_path="maybe")
+
+    def test_fast_matches_noisy_path_at_zero_variability(self, rng):
+        bits = rng.integers(0, 2, (40, 70)).astype(np.uint8)
+        config = AcceleratorConfig(tile_rows=8, tile_cols=16, ideal=True)
+        fast = MemoryController(bits, config, np.random.default_rng(0))
+        slow = MemoryController(bits, config, np.random.default_rng(0),
+                                fast_path=False)
+        x = rng.integers(0, 2, (9, 70)).astype(np.uint8)
+        assert fast.fast_path and not slow.fast_path
+        assert np.array_equal(fast.popcounts(x), slow.popcounts(x))
+        assert np.array_equal(fast.popcounts(x), xnor_popcount(x, bits))
+
+    def test_fast_path_keeps_op_accounting(self, rng):
+        bits = rng.integers(0, 2, (4, 5)).astype(np.uint8)
+        config = AcceleratorConfig(tile_rows=4, tile_cols=8, ideal=True)
+        fast = MemoryController(bits, config, np.random.default_rng(0))
+        slow = MemoryController(bits, config, np.random.default_rng(0),
+                                fast_path=False)
+        x = rng.integers(0, 2, (3, 5)).astype(np.uint8)
+        fast.popcounts(x)
+        slow.popcounts(x)
+        assert fast.n_devices == slow.n_devices == 1 * 4 * 8 * 2
+        assert fast.sense_ops == slow.sense_ops > 0
+        assert fast.popcount_bit_ops == slow.popcount_bit_ops > 0
+
+    def test_fast_path_wear_and_reprogram_are_safe(self, rng):
+        bits = rng.integers(0, 2, (4, 5)).astype(np.uint8)
+        ctrl = MemoryController(bits, AcceleratorConfig(ideal=True), rng)
+        ctrl.wear(int(1e9))              # no-op: no variability to age
+        ctrl.reprogram()
+        x = rng.integers(0, 2, (3, 5)).astype(np.uint8)
+        assert np.array_equal(ctrl.popcounts(x), xnor_popcount(x, bits))
+
+
+class TestNoisyPathChunking:
+    """The batch-chunked scan is equivalent to one unchunked scan."""
+
+    def test_chunked_equals_unchunked_under_fixed_rng(self, rng):
+        bits = rng.integers(0, 2, (40, 70)).astype(np.uint8)
+        config = AcceleratorConfig(tile_rows=8, tile_cols=16)
+        x = rng.integers(0, 2, (11, 70)).astype(np.uint8)
+        whole = MemoryController(bits, config, np.random.default_rng(3))
+        chunked = MemoryController(bits, config, np.random.default_rng(3))
+        # 3 batch rows per offset draw instead of the whole batch at once.
+        chunked.read_chunk_elems = \
+            3 * chunked.grid_rows * config.tile_rows * 70
+        assert np.array_equal(whole.popcounts(x), chunked.popcounts(x))
+
+    def test_chunking_bounds_do_not_change_statistics(self, rng):
+        # Sanity: a noisy controller with tiny chunks still mostly agrees
+        # with the stored bits on fresh devices.
+        bits = rng.integers(0, 2, (16, 32)).astype(np.uint8)
+        ctrl = MemoryController(bits, AcceleratorConfig(), rng)
+        ctrl.read_chunk_elems = 1        # one batch row per draw
+        x = rng.integers(0, 2, (8, 32)).astype(np.uint8)
+        agreement = (ctrl.popcounts(x) == xnor_popcount(x, bits)).mean()
+        assert agreement > 0.9
+
+
 def _trained_like_bn(rng, features):
     bn = nn.BatchNorm1d(features)
     bn.gamma.data = rng.uniform(0.5, 1.5, features)

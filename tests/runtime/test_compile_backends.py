@@ -180,6 +180,52 @@ class TestFeatureLowering:
                               baseline.predict(ds.inputs))
 
 
+class TestRRAMFastPath:
+    """The packed fast path is bit-exact with full device simulation at
+    zero variability — on every paper model, dense and lowered-conv."""
+
+    @staticmethod
+    def _fast_and_slow_plans(model, **kwargs):
+        config = AcceleratorConfig(ideal=True)
+        fast = compile(model, backend=RRAMBackend(config), **kwargs)
+        slow = compile(model, backend=RRAMBackend(config, fast_path=False),
+                       **kwargs)
+        return fast, slow
+
+    def _assert_exact(self, model, inputs, **kwargs):
+        fast, slow = self._fast_and_slow_plans(model, **kwargs)
+        reference = compile(model, backend="reference", **kwargs)
+        assert np.array_equal(fast.scores(inputs), slow.scores(inputs))
+        assert np.array_equal(fast.scores(inputs),
+                              reference.scores(inputs))
+
+    def test_ecg_classifier_exact(self, trained_ecg):
+        model, ds = trained_ecg
+        self._assert_exact(model, ds.inputs)
+
+    def test_ecg_lowered_convs_exact(self, trained_ecg_full_binary):
+        model, ds = trained_ecg_full_binary
+        self._assert_exact(model, ds.inputs, lower_features=True)
+
+    def test_eeg_lowered_conv2d_exact(self, trained_eeg_full_binary):
+        model, ds = trained_eeg_full_binary
+        self._assert_exact(model, ds.inputs, lower_features=True)
+
+    def test_mobilenet_classifier_exact(self, trained_mobilenet):
+        model, inputs = trained_mobilenet
+        self._assert_exact(model, inputs)
+
+    def test_auto_dispatch_follows_config(self, trained_ecg):
+        model, _ = trained_ecg
+        ideal = compile(model,
+                        backend=RRAMBackend(AcceleratorConfig(ideal=True)))
+        noisy = compile(model, backend=RRAMBackend(AcceleratorConfig()))
+        assert all(op.executor.controller.fast_path
+                   for op in ideal.ops[1:])
+        assert not any(op.executor.controller.fast_path
+                       for op in noisy.ops[1:])
+
+
 class TestCompileValidation:
     def test_real_classifier_rejected(self, rng):
         model = ECGNet(mode=BinarizationMode.REAL, n_samples=200,
