@@ -1,0 +1,166 @@
+"""Throughput claim XTRA16 — trial-batched Monte-Carlo engine.
+
+The paper's robustness evidence (Fig. 4 bit-error rate vs endurance,
+§II-B sense-offset tolerance) is Monte-Carlo: many noisy read trials over
+the same programmed weights.  This script measures the trial-batched
+engine (:mod:`repro.rram.mc` + the trial axis on the array/controller
+read paths) and the per-worker programmed-plan cache
+(:func:`repro.experiments.executor.cached_plan`) against the per-trial
+baseline those experiments used to pay, and verifies the engine's two
+contracts:
+
+* **throughput** — a Fig. 4-style BER grid (cycles x mode, ``TRIALS``
+  read trials per point) runs >=5x faster than the per-trial baseline
+  that rebuilds and programs the array for every trial (the historic
+  sweep-point shape: one ``ber_point`` call per trial);
+* **bit-identity** — the trial-batched statistics are bit-identical to a
+  serial per-trial read loop over the same child RNG streams, and a
+  sweep evaluated against a warm plan cache writes a byte-identical
+  JSONL result file to a cold-cache run.
+
+Results are recorded in ``BENCH_mc_trials.json`` at the repo root.
+
+Run:  python benchmarks/bench_mc_trials.py [--smoke]
+(--smoke: tiny grid, no timing assertions, no JSON record — the CI mode.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+JSON_PATH = ROOT / "BENCH_mc_trials.json"
+
+
+def _fig4_grid(n_cycles: int, n_cells: int, trials: int) -> list[dict]:
+    from repro.experiments import grid
+    return grid(cycles=[int(c) for c in np.geomspace(1e8, 7e8, n_cycles)],
+                mode=("1T1R", "2T2R"), n_cells=(n_cells,), seed=(0,),
+                trials=(trials,))
+
+
+def _per_trial_baseline(points: list[dict]) -> list[dict]:
+    """The historic Monte-Carlo shape: every trial rebuilds its array.
+
+    For each grid point, trial ``t`` re-creates, wears and programs the
+    array from the root seed (deterministic, so every rebuild programs
+    identical resistances), then runs one serial noisy read on child
+    stream ``t`` — the same streams the engine uses, so the per-trial
+    error counts must be bit-identical to the trial-batched run.
+    """
+    from repro.experiments.workloads import _cell_geometry
+    from repro.rram import RRAMArray, trial_streams
+
+    records = []
+    for point in points:
+        rows, cols = _cell_geometry(point["n_cells"])
+        streams = trial_streams(point["seed"], point["trials"])
+        per_trial = np.empty(point["trials"])
+        for t, stream in enumerate(streams):
+            rng = np.random.default_rng(point["seed"])
+            array = RRAMArray(rows, cols, rng=rng, mode=point["mode"])
+            array.wear(int(point["cycles"]) - 1)
+            bits = rng.integers(0, 2, (rows, cols)).astype(np.uint8)
+            array.program(bits)
+            per_trial[t] = (array.read_all(rng=stream) != bits).sum() \
+                / (rows * cols)
+        records.append({"params": dict(point),
+                        "metrics": {"ber": float(per_trial.mean()),
+                                    "ber_std": float(per_trial.std()),
+                                    "cells": float(rows * cols)}})
+    return records
+
+
+def main(smoke: bool = False) -> None:
+    from _util import report
+    from repro.experiments import Sweep, clear_plan_cache, plan_cache_stats
+    from repro.experiments.workloads import ber_point, rram_inference_point
+
+    n_cycles = 2 if smoke else 8
+    n_cells = 256 if smoke else 4096
+    trials = 8 if smoke else 64
+    points = _fig4_grid(n_cycles, n_cells, trials)
+
+    # --- throughput: engine vs per-trial rebuild baseline ---------------
+    t0 = time.perf_counter()
+    baseline_records = _per_trial_baseline(points)
+    baseline_s = time.perf_counter() - t0
+
+    clear_plan_cache()
+    t0 = time.perf_counter()
+    engine_records = [{"params": dict(p), "metrics": ber_point(**p)}
+                      for p in points]
+    engine_s = time.perf_counter() - t0
+    speedup = baseline_s / engine_s
+
+    # --- bit-identity: batched vs per-trial baseline statistics ---------
+    stats_identical = [r["metrics"] for r in baseline_records] == \
+        [r["metrics"] for r in engine_records]
+
+    # --- plan cache: warm sweep byte-identical to cold sweep ------------
+    sigma_points = [{"sigma": round(s, 3), "seed": 0, "trials": trials}
+                    for s in np.linspace(0.0, 2.5, 4 if smoke else 8)]
+    with tempfile.TemporaryDirectory(prefix="mc_trials_") as tmp_name:
+        tmp = pathlib.Path(tmp_name)
+        clear_plan_cache()
+        cold = Sweep(tmp / "cold.jsonl", rram_inference_point)
+        cold.run_all(sigma_points)
+        cold_stats = plan_cache_stats()
+        warm = Sweep(tmp / "warm.jsonl", rram_inference_point)
+        warm.run_all(sigma_points)    # cache already programmed
+        cache_identical = (tmp / "warm.jsonl").read_bytes() == \
+            (tmp / "cold.jsonl").read_bytes()
+
+    text = (
+        "XTRA16 — trial-batched Monte-Carlo engine\n"
+        "=========================================\n"
+        f"grid: {len(points)} BER points ({n_cycles} cycle checkpoints x "
+        f"2 modes), {n_cells} cells, {trials} trials/point\n"
+        f"  per-trial rebuild baseline : {baseline_s:7.2f} s\n"
+        f"  trial-batched engine       : {engine_s:7.2f} s\n"
+        f"  speedup                    : {speedup:7.2f}x\n"
+        f"  batched stats bit-identical to per-trial baseline : "
+        f"{stats_identical}\n"
+        f"sigma sweep plan cache: {cold_stats['hits']} hits / "
+        f"{cold_stats['misses']} miss(es) on the cold run; warm sweep "
+        f"byte-identical : {cache_identical}\n")
+    report("mc_trials", text)
+
+    assert stats_identical, "trial-batched stats diverged from baseline"
+    assert cache_identical, "cached-plan sweep diverged from cold run"
+    if smoke:
+        return
+
+    result = {
+        "grid_points": len(points),
+        "trials_per_point": trials,
+        "n_cells": n_cells,
+        "workload": "repro.experiments.workloads.ber_point",
+        "per_trial_baseline_s": round(baseline_s, 3),
+        "engine_s": round(engine_s, 3),
+        "speedup": round(speedup, 2),
+        "stats_bit_identical": stats_identical,
+        "cache_byte_identical": cache_identical,
+        "plan_cache": cold_stats,
+        "cores": len(os.sched_getaffinity(0)),
+    }
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    assert speedup >= 5.0, result
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid, no timing assertions, no JSON")
+    main(parser.parse_args().smoke)

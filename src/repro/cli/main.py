@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 "sigma")
     sweep_cmd.add_argument("--jobs", type=int, default=1,
                            help="worker processes (1 = serial)")
+    sweep_cmd.add_argument("--trials", type=int, default=1,
+                           help="Monte-Carlo read trials per point, "
+                                "evaluated trial-batched on deterministic "
+                                "per-trial RNG streams (default 1)")
+    sweep_cmd.add_argument("--trial-chunk", type=int, default=None,
+                           help="trials per vectorized window (bounds "
+                                "peak memory; never changes results)")
     sweep_cmd.add_argument("--out", default=None,
                            help="JSONL result file (default "
                                 "benchmarks/results/sweep_<workload>"
@@ -262,9 +269,11 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
     return "\n".join(lines)
 
 
-def _cmd_sweep(workload: str, jobs: int, out: str | None) -> str:
+def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
+               trial_chunk: int | None = None) -> str:
     """Run a stock sweep workload through the (optionally parallel)
-    executor, reporting throughput in points/sec."""
+    executor, reporting throughput in points/sec (and trials/sec when the
+    points are trial-batched)."""
     import pathlib
 
     import numpy as np
@@ -275,29 +284,41 @@ def _cmd_sweep(workload: str, jobs: int, out: str | None) -> str:
     if workload == "ber":
         fn = workloads.ber_point
         points = grid(cycles=[int(c) for c in np.geomspace(1e8, 7e8, 8)],
-                      mode=("1T1R", "2T2R"), n_cells=(4096,), seed=(0,))
+                      mode=("1T1R", "2T2R"), n_cells=(4096,), seed=(0,),
+                      trials=(int(trials),))
         x_axis, metric, split = "cycles", "ber", "mode"
     else:
         fn = workloads.rram_inference_point
         points = grid(sigma=[round(s, 3) for s in np.linspace(0.0, 2.5, 8)],
-                      seed=(0, 1))
+                      seed=(0, 1), trials=(int(trials),))
         x_axis, metric, split = "sigma", "agreement", "seed"
+    if trial_chunk is not None:
+        # A pure-memory knob: it never changes results, so it stays out
+        # of the point params (and therefore out of the resume identity).
+        import functools
+        fn = functools.partial(fn, trial_chunk=int(trial_chunk))
 
     path = pathlib.Path(out) if out is not None else \
         pathlib.Path("benchmarks/results") / f"sweep_{workload}.jsonl"
     sweep = Sweep(path, fn)
     missing = sum(1 for p in points if not sweep.completed(p))
-    progress = RateProgress(missing) if missing else None
+    progress = RateProgress(missing, trials_per_point=trials) \
+        if missing else None
     run_parallel(sweep, points, jobs=jobs, progress=progress)
 
-    lines = [f"{workload} sweep: {len(points)} points "
+    lines = [f"{workload} sweep: {len(points)} points x {trials} trial(s) "
              f"({missing} computed, {len(points) - missing} resumed) "
              f"-> {path}"]
     if progress is not None and progress.done:
-        lines.append(f"throughput: {progress.rate:.2f} points/sec "
-                     f"at jobs={jobs}")
+        throughput = f"throughput: {progress.rate:.2f} points/sec"
+        if trials > 1:
+            throughput += f" ({progress.trial_rate:.1f} trials/sec)"
+        lines.append(f"{throughput} at jobs={jobs}")
     for value in sorted({p[split] for p in points}, key=str):
-        xs, ys = sweep.series(x_axis, metric, where={split: value})
+        # Filter on the trial count too, so records from other trial
+        # budgets (or pre-trial-axis files) never mix into the series.
+        xs, ys = sweep.series(x_axis, metric,
+                              where={split: value, "trials": int(trials)})
         series = ", ".join(f"{x:g}:{y:.4g}" for x, y in zip(xs, ys))
         lines.append(f"  {split}={value}: {metric} by {x_axis}: {series}")
     return "\n".join(lines)
@@ -347,7 +368,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(_cmd_compile(args.model, args.backend, args.mode,
                                args.jobs))
         elif args.command == "sweep":
-            print(_cmd_sweep(args.workload, args.jobs, args.out))
+            print(_cmd_sweep(args.workload, args.jobs, args.out,
+                             args.trials, args.trial_chunk))
         elif args.command == "floorplan":
             print(_cmd_floorplan(args.model, args.macro))
     except BrokenPipeError:

@@ -236,6 +236,22 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                      "repro.runtime"),
             bench="benchmarks/bench_rram_hotpath.py"),
         ExperimentInfo(
+            id="XTRA16",
+            artefact="throughput claim — trial-batched Monte-Carlo engine",
+            description=(
+                "A Fig. 4-style BER grid evaluated with the trial-batched "
+                "noisy read engine and the per-worker programmed-plan "
+                "cache vs the per-trial rebuild baseline: >=5x wall-clock "
+                "with bit-identical statistics under fixed per-trial RNG "
+                "streams, and cached-plan sweeps byte-identical to cold "
+                "runs (records BENCH_mc_trials.json)."),
+            kind="script",
+            modules=("repro.rram.mc", "repro.rram.array",
+                     "repro.rram.accelerator",
+                     "repro.experiments.executor",
+                     "repro.experiments.workloads"),
+            bench="benchmarks/bench_mc_trials.py"),
+        ExperimentInfo(
             id="XTRA8",
             artefact="§I reference point — 8-bit quantization",
             description=(

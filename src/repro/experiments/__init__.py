@@ -11,7 +11,9 @@ from repro.experiments.configs import (BenchScale, current_scale, EcgTask,
 from repro.experiments.tables import render_table, render_series
 from repro.experiments.sweep import Sweep, grid
 from repro.experiments.executor import (run_parallel, map_parallel,
-                                        RateProgress, default_jobs)
+                                        RateProgress, default_jobs,
+                                        cached_plan, clear_plan_cache,
+                                        plan_cache_stats)
 
 __all__ = [
     "TrainConfig", "TrainResult", "CrossValResult", "train_model",
@@ -23,4 +25,5 @@ __all__ = [
     "render_table", "render_series",
     "Sweep", "grid",
     "run_parallel", "map_parallel", "RateProgress", "default_jobs",
+    "cached_plan", "clear_plan_cache", "plan_cache_stats",
 ]

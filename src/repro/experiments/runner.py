@@ -97,36 +97,47 @@ def evaluate_accuracy(model: Module, inputs: np.ndarray, labels: np.ndarray,
 def evaluate_topk(model: Module, inputs: np.ndarray, labels: np.ndarray,
                   ks: tuple[int, ...] = (1, 5), batch_size: int = 64
                   ) -> dict[int, float]:
-    """Top-k accuracies in eval mode, evaluated in batches."""
-    was_training = model.training
-    model.eval()
-    hits = {k: 0 for k in ks}
+    """Top-k accuracies in eval mode, evaluated in batches.
+
+    One sort over the preallocated score matrix replaces the historic
+    per-batch ``argsort`` + per-k Python loop; a cumulative hit mask then
+    answers every ``k`` from the single sorted order.  Row-wise sorting
+    is independent of batch grouping, so the accuracies are identical to
+    the looped form, ties included.
+    """
+    labels = np.asarray(labels)
+    scores = predict_scores(model, inputs, batch_size)
+    order = np.argsort(-scores, axis=1)
+    hit_at = np.cumsum(order == labels[:, None], axis=1) > 0
     n = len(inputs)
-    with no_grad():
-        for start in range(0, n, batch_size):
-            x = Tensor(inputs[start:start + batch_size])
-            y = labels[start:start + batch_size]
-            scores = model(x).data
-            order = np.argsort(-scores, axis=1)
-            for k in ks:
-                hits[k] += int((order[:, :k] == y[:, None]).any(axis=1).sum())
-    if was_training:
-        model.train()
-    return {k: hits[k] / n for k in ks}
+    n_classes = scores.shape[1]
+    # k < 1 means an empty candidate set: 0 hits, as in the looped form.
+    return {k: float(hit_at[:, min(k, n_classes) - 1].sum()) / n
+            if k >= 1 else 0.0 for k in ks}
 
 
 def predict_scores(model: Module, inputs: np.ndarray,
                    batch_size: int = 64) -> np.ndarray:
-    """Raw class scores ``(N, classes)`` in eval mode, batched."""
+    """Raw class scores ``(N, classes)`` in eval mode, batched.
+
+    The output buffer is preallocated after the first batch reveals the
+    class count, so large evaluations write in place instead of
+    accumulating a Python list and concatenating at the end.
+    """
     was_training = model.training
     model.eval()
-    chunks = []
+    n = len(inputs)
+    scores: np.ndarray | None = None
     with no_grad():
-        for start in range(0, len(inputs), batch_size):
-            chunks.append(model(Tensor(inputs[start:start + batch_size])).data)
+        for start in range(0, n, batch_size):
+            batch = model(Tensor(inputs[start:start + batch_size])).data
+            if scores is None:
+                scores = np.empty((n,) + batch.shape[1:], dtype=batch.dtype)
+            scores[start:start + len(batch)] = batch
     if was_training:
         model.train()
-    return np.concatenate(chunks, axis=0)
+    return scores if scores is not None \
+        else np.empty((0, 0), dtype=np.float64)
 
 
 def evaluate_report(model: Module, inputs: np.ndarray, labels: np.ndarray,
@@ -215,15 +226,36 @@ def train_model(model: Module, train_inputs: np.ndarray,
 
 
 def evaluate_compiled(plan, inputs: np.ndarray, labels: np.ndarray,
-                      batch_size: int = 64) -> float:
+                      batch_size: int | None = None,
+                      trials: int | None = None, seed: int = 0,
+                      trial_chunk: int | None = None):
     """Top-1 accuracy of a compiled runtime plan (any backend).
 
     The deployment-side mirror of :func:`evaluate_accuracy`: the same
-    batched protocol, but running the folded/packed/programmed plan
-    produced by :func:`repro.runtime.compile` instead of the float stack.
+    batched protocol (64-sample batches unless ``batch_size`` is given),
+    but running the folded/packed/programmed plan produced by
+    :func:`repro.runtime.compile` instead of the float stack.
+
+    With ``trials`` set, the plan's Monte-Carlo axis is exercised instead:
+    ``trials`` noisy evaluations run trial-batched on deterministic child
+    streams of ``seed`` (:meth:`~repro.runtime.CompiledModel.
+    predict_trials`) and the per-trial accuracy vector ``(trials,)`` is
+    returned — the distribution behind the paper's robustness claims.  On
+    deterministic backends every trial coincides.  The trials path runs
+    unbatched unless ``batch_size`` is given explicitly, matching
+    ``predict_trials``: noisy results are reproducible per ``(seed,
+    batch_size)`` pair, so no batching is imposed silently.
     """
-    predictions = plan.predict(np.asarray(inputs), batch_size=batch_size)
-    return float((predictions == np.asarray(labels)).mean())
+    labels = np.asarray(labels)
+    if trials is None:
+        predictions = plan.predict(
+            np.asarray(inputs),
+            batch_size=64 if batch_size is None else batch_size)
+        return float((predictions == labels).mean())
+    predictions = plan.predict_trials(np.asarray(inputs), trials, seed=seed,
+                                      batch_size=batch_size,
+                                      trial_chunk=trial_chunk)
+    return (predictions == labels[None]).mean(axis=1)
 
 
 def backend_agreement(model: Module, inputs: np.ndarray,

@@ -6,6 +6,13 @@ collects the stock workloads the CLI ``sweep`` command, the throughput
 benchmarks and the tests all share.  Every workload takes a ``seed``
 parameter and is deterministic given its full parameter dict — the
 property the sweep resume/equality contract relies on.
+
+The Monte-Carlo workloads additionally follow the engine contract of
+:mod:`repro.rram.mc`: the root seed stream builds/programs, child stream
+``t`` reads trial ``t``, and the structural build is memoized through
+:func:`repro.experiments.executor.cached_plan` — so neither trial
+batching nor plan caching can change a single recorded byte relative to
+a cold, serial evaluation.
 """
 
 from __future__ import annotations
@@ -17,58 +24,111 @@ import numpy as np
 __all__ = ["ber_point", "rram_inference_point", "latency_point"]
 
 
+def _cell_geometry(n_cells: int) -> tuple[int, int]:
+    """Exact array geometry for ``n_cells``: square when possible, one
+    word line otherwise — never silently dropping cells (the historic
+    ``int(np.sqrt(n_cells))`` truncation lost up to ``2*side`` cells for
+    non-square counts)."""
+    n_cells = int(n_cells)
+    if n_cells < 1:
+        raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+    side = int(np.sqrt(n_cells))
+    while side * side > n_cells:     # guard float-sqrt edge cases
+        side -= 1
+    if side * side == n_cells:
+        return side, side
+    return 1, n_cells
+
+
 def ber_point(cycles: float, mode: str = "2T2R", n_cells: int = 4096,
-              seed: int = 0) -> dict[str, float]:
+              seed: int = 0, trials: int = 1,
+              trial_chunk: int | None = None) -> dict[str, float]:
     """Monte-Carlo bit error rate of one Fig. 4 sweep point.
 
-    Programs ``n_cells`` random bits into a wear-aged array and counts
-    read-back errors through the noisy sense amplifiers.
+    Programs ``n_cells`` random bits into a wear-aged array once, then
+    runs ``trials`` noisy read-back trials through the trial-batched
+    engine (:mod:`repro.rram.mc`): the root ``seed`` stream programs the
+    array, child stream ``t`` reads trial ``t``, so the statistics are
+    bit-identical to a serial per-trial loop over the same streams for
+    any ``trial_chunk``.  The programmed plan is cached per worker
+    (keyed by geometry/mode/wear/seed), so re-runs and trial-count
+    extensions skip the expensive device-sampling program pass.
     """
-    from repro.rram import RRAMArray
+    from repro.experiments.executor import cached_plan
+    from repro.rram import RRAMArray, read_bit_errors, trial_streams
 
-    rng = np.random.default_rng(seed)
-    side = int(np.sqrt(n_cells))
-    array = RRAMArray(side, side, rng=rng, mode=mode)
-    array.wear(int(cycles) - 1)
-    bits = rng.integers(0, 2, (side, side)).astype(np.uint8)
-    array.program(bits)
-    errors = int((array.read_all() != bits).sum())
-    return {"ber": errors / (side * side), "cells": float(side * side)}
+    rows, cols = _cell_geometry(n_cells)
+
+    def _build():
+        rng = np.random.default_rng(seed)
+        array = RRAMArray(rows, cols, rng=rng, mode=mode)
+        array.wear(int(cycles) - 1)
+        bits = rng.integers(0, 2, (rows, cols)).astype(np.uint8)
+        array.program(bits)
+        return array, bits
+
+    array, bits = cached_plan(
+        ("ber_point", mode, rows, cols, int(cycles), seed), _build)
+    errors = read_bit_errors(array, bits,
+                             trial_streams(seed, trials), trial_chunk)
+    per_trial = errors / (rows * cols)
+    return {"ber": float(per_trial.mean()),
+            "ber_std": float(per_trial.std()),
+            "cells": float(rows * cols)}
 
 
 def rram_inference_point(sigma: float, seed: int = 0, n_inputs: int = 32,
-                         in_features: int = 128, out_features: int = 16
+                         in_features: int = 128, out_features: int = 16,
+                         trials: int = 1, trial_chunk: int | None = None
                          ) -> dict[str, float]:
     """Agreement of a noisy RRAM dense layer against the folded software
     reference — one point of an offset-sigma robustness sweep (the §II-B
     error-tolerance argument as a sweepable workload).
 
     Only the sense-amplifier offset varies across the sweep: device
-    variability is held at zero for every point, so the series isolates
-    the swept variable (at ``sigma=0`` the config is noise-free and takes
-    the fast path — agreement exactly 1).
+    variability is held at zero for every point and ``sigma`` is applied
+    at *read time* as a sense override, so the whole sigma series shares
+    one programmed plan through the per-worker cache — the sweep programs
+    the array once and perturbs it many times.  ``trials`` noisy read
+    trials run trial-batched on child streams of ``seed`` (at ``sigma=0``
+    offsets are exactly zero and agreement is exactly 1).
     """
-    from repro import nn
-    from repro.nn.binary import fold_batchnorm_sign
-    from repro.rram import (AcceleratorConfig, DeviceParameters,
-                            InMemoryDenseLayer, SenseParameters)
+    from repro.experiments.executor import cached_plan
+    from repro.rram import SenseParameters, trial_streams
 
-    rng = np.random.default_rng(seed)
-    layer = nn.BinaryLinear(in_features, out_features, rng=rng)
-    bn = nn.BatchNorm1d(out_features)
-    bn.set_buffer("running_mean", rng.standard_normal(out_features))
-    bn.set_buffer("running_var", rng.uniform(0.5, 2.0, out_features))
-    bn.eval()
-    folded = fold_batchnorm_sign(layer, bn)
-    device = DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
-                              broadening=0.0, hrs_drift=0.0,
-                              device_mismatch=1.0)
-    config = AcceleratorConfig(device=device,
-                               sense=SenseParameters(offset_sigma=sigma))
-    hw = InMemoryDenseLayer(folded, config, rng)
-    x = rng.integers(0, 2, (n_inputs, in_features)).astype(np.uint8)
-    agreement = float((hw.forward_bits(x) == folded.forward_bits(x)).mean())
-    return {"agreement": agreement}
+    def _build():
+        from repro import nn
+        from repro.nn.binary import fold_batchnorm_sign
+        from repro.rram import (AcceleratorConfig, DeviceParameters,
+                                InMemoryDenseLayer)
+
+        rng = np.random.default_rng(seed)
+        layer = nn.BinaryLinear(in_features, out_features, rng=rng)
+        bn = nn.BatchNorm1d(out_features)
+        bn.set_buffer("running_mean", rng.standard_normal(out_features))
+        bn.set_buffer("running_var", rng.uniform(0.5, 2.0, out_features))
+        bn.eval()
+        folded = fold_batchnorm_sign(layer, bn)
+        device = DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                                  broadening=0.0, hrs_drift=0.0,
+                                  device_mismatch=1.0)
+        config = AcceleratorConfig(
+            device=device, sense=SenseParameters(offset_sigma=0.0))
+        # fast_path=False keeps the physical margins resident: the cached
+        # plan must stay readable at every sense sigma of the sweep.
+        hw = InMemoryDenseLayer(folded, config, rng, fast_path=False)
+        x = rng.integers(0, 2, (n_inputs, in_features)).astype(np.uint8)
+        return hw, x, folded.forward_bits(x)
+
+    hw, x, reference = cached_plan(
+        ("rram_inference", seed, n_inputs, in_features, out_features),
+        _build)
+    out = hw.forward_bits_trials(
+        x, trial_streams(seed, trials),
+        sense=SenseParameters(offset_sigma=sigma), trial_chunk=trial_chunk)
+    per_trial = (out == reference[None]).mean(axis=(1, 2))
+    return {"agreement": float(per_trial.mean()),
+            "agreement_std": float(per_trial.std())}
 
 
 def latency_point(index: int, seed: int = 0, blocking_ms: float = 0.0,

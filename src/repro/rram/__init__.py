@@ -11,6 +11,8 @@ Implements the paper's hardware contribution end to end:
 * the Fig. 5 in-memory BNN layer architecture and one-call deployment of
   trained classifiers (:mod:`~repro.rram.accelerator`);
 * endurance/BER measurement and fault injection (:mod:`~repro.rram.errors`);
+* the trial-batched Monte-Carlo engine with deterministic per-trial RNG
+  streams (:mod:`~repro.rram.mc`);
 * the Hamming-ECC digital alternative (:mod:`~repro.rram.ecc`);
 * energy/area accounting (:mod:`~repro.rram.energy`).
 """
@@ -46,6 +48,7 @@ from repro.rram.floorplan import (MacroGeometry, LayerPlacement,
 from repro.rram.conv2d import (FoldedBinaryConv2d, fold_conv2d_batchnorm_sign,
                                fold_depthwise2d_batchnorm_sign,
                                InMemoryConv2dLayer, max_pool_bits_2d)
+from repro.rram.mc import read_bit_errors, trial_chunks, trial_streams
 
 __all__ = [
     "DeviceParameters", "ResistiveState", "RRAMDevice",
@@ -73,4 +76,5 @@ __all__ = [
     "FoldedBinaryConv2d", "fold_conv2d_batchnorm_sign",
     "fold_depthwise2d_batchnorm_sign", "InMemoryConv2dLayer",
     "max_pool_bits_2d",
+    "read_bit_errors", "trial_chunks", "trial_streams",
 ]

@@ -36,6 +36,7 @@ from repro.nn.binary import (FoldedBinaryDense, FoldedOutputDense,
 from repro.nn.bitops import pack_bits, packed_xnor_popcount
 from repro.rram.array import RRAMArray
 from repro.rram.device import DeviceParameters
+from repro.rram.mc import READ_CHUNK_ELEMS
 from repro.rram.sense import SenseParameters
 from repro.tensor import Tensor, no_grad
 
@@ -110,7 +111,7 @@ class MemoryController:
       ``read_chunk_elems`` elements.
     """
 
-    read_chunk_elems = 1 << 22   # offset-tensor element budget per scan
+    read_chunk_elems = READ_CHUNK_ELEMS   # offset-tensor budget per scan
 
     def __init__(self, weight_bits: np.ndarray,
                  config: AcceleratorConfig | None = None,
@@ -217,7 +218,9 @@ class MemoryController:
             self._margins = np.ascontiguousarray(full[:, valid])
         return self._margins
 
-    def popcounts(self, x_bits: np.ndarray) -> np.ndarray:
+    def popcounts(self, x_bits: np.ndarray,
+                  rng: np.random.Generator | None = None,
+                  sense: SenseParameters | None = None) -> np.ndarray:
         """XNOR-popcount of a batch against every stored row.
 
         ``x_bits``: ``(N, in_features)``; returns ``(N, out_features)``
@@ -228,32 +231,127 @@ class MemoryController:
         as per-tile reads), added to the stacked margins, and the XNOR
         agreements are reduced over the input axis without materializing
         any per-tile intermediates.
+
+        ``rng`` overrides the controller's generator for this scan only
+        (the Monte-Carlo per-trial stream hook) and ``sense`` overrides
+        the sense parameters (margins never depend on them, so a cached
+        programmed controller can be read at any offset sigma).
         """
         x_bits = np.asarray(x_bits, dtype=np.uint8)
         if x_bits.ndim != 2 or x_bits.shape[1] != self.in_features:
             raise ValueError(
                 f"input shape {x_bits.shape} != (N, {self.in_features})")
         n = x_bits.shape[0]
-        tr, tc = self.config.tile_rows, self.config.tile_cols
-        out_p = self.grid_rows * tr
-        self.popcount_bit_ops += n * out_p * self.in_features
-        self._extra_sense_ops += n * out_p * self.grid_cols * tc
+        out_p = self._count_read_ops(n, trials=1)
         if self.fast_path:
+            self._check_sense_override(sense)
             return packed_xnor_popcount(pack_bits(x_bits),
                                         self.weight_words, self.in_features)
         margins = self._stacked_margins()
         x_bool = x_bits.astype(bool)
         counts = np.empty((n, out_p), dtype=np.int64)
+        sense = sense or self.config.sense
+        rng = rng or self.rng
         chunk = max(1, self.read_chunk_elems
                     // max(1, out_p * self.in_features))
         for start in range(0, n, chunk):
             xs = x_bool[start:start + chunk]
-            offsets = self.config.sense.offset(
-                self.rng, (len(xs),) + margins.shape)
+            offsets = sense.offset(rng, (len(xs),) + margins.shape)
             weight_read = (margins[None, :, :] + offsets) > 0
             agree = weight_read == xs[:, None, :]
             counts[start:start + len(xs)] = agree.sum(axis=2, dtype=np.int64)
         return counts[:, :self.out_features]
+
+    @staticmethod
+    def _check_sense_override(sense: SenseParameters | None) -> None:
+        """A fast-path controller has no margins to perturb: a noisy
+        read-time sense override cannot be honoured, so refuse it loudly
+        instead of silently returning deterministic results."""
+        if sense is not None and sense.offset_sigma != 0.0:
+            raise ValueError(
+                "sense override with nonzero offset_sigma requires the "
+                "physical device path; build the controller with "
+                "fast_path=False to keep margins resident")
+
+    def _count_read_ops(self, n: int, trials: int) -> int:
+        """Update the popcount/sense-op meters for ``trials`` scans of an
+        ``n``-row batch; returns the padded output-row count."""
+        tr, tc = self.config.tile_rows, self.config.tile_cols
+        out_p = self.grid_rows * tr
+        self.popcount_bit_ops += trials * n * out_p * self.in_features
+        self._extra_sense_ops += trials * n * out_p * self.grid_cols * tc
+        return out_p
+
+    def popcounts_trials(self, x_bits: np.ndarray, rngs,
+                         sense: SenseParameters | None = None,
+                         trial_chunk: int | None = None) -> np.ndarray:
+        """Trial-batched XNOR-popcounts: ``T`` noisy scans in one pass.
+
+        ``x_bits`` is either a shared ``(N, in_features)`` batch (every
+        trial sees the same activations — the Monte-Carlo case) or a
+        per-trial ``(T, N, in_features)`` stack (mid-network, where
+        earlier noisy layers already diverged the trials).  ``rngs`` holds
+        one generator per trial (:func:`repro.rram.mc.trial_streams`);
+        returns ``(T, N, out_features)`` counts.
+
+        Trial ``t`` draws every offset from ``rngs[t]`` alone, so the
+        result is bit-identical to ``[popcounts(x[t], rng=rngs[t]) for
+        t in range(T)]`` for any ``trial_chunk`` (numpy normal draws are
+        split-stable; see :mod:`repro.rram.mc`).  The stacked
+        ``(T_chunk, N_chunk, out, in)`` offset tensor is bounded by
+        ``read_chunk_elems`` like the single-trial scan.
+
+        On the fast path reads are deterministic, so all trials are the
+        one packed-kernel result broadcast over the trial axis.
+        """
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        n_trials = len(rngs)
+        shared = x_bits.ndim == 2
+        if (shared and x_bits.shape[1] != self.in_features) or \
+                (not shared and (x_bits.ndim != 3
+                                 or x_bits.shape[0] != n_trials
+                                 or x_bits.shape[2] != self.in_features)):
+            raise ValueError(
+                f"input shape {x_bits.shape} != (N, {self.in_features}) "
+                f"or ({n_trials}, N, {self.in_features})")
+        n = x_bits.shape[0] if shared else x_bits.shape[1]
+        out_p = self._count_read_ops(n, trials=n_trials)
+        if self.fast_path:
+            self._check_sense_override(sense)
+            if shared:
+                counts = packed_xnor_popcount(
+                    pack_bits(x_bits), self.weight_words, self.in_features)
+                return np.broadcast_to(
+                    counts[None], (n_trials,) + counts.shape).copy()
+            return np.stack([
+                packed_xnor_popcount(pack_bits(x_bits[t]),
+                                     self.weight_words, self.in_features)
+                for t in range(n_trials)])
+        margins = self._stacked_margins()
+        x_bool = x_bits.astype(bool)
+        counts = np.empty((n_trials, n, out_p), dtype=np.int64)
+        sense = sense or self.config.sense
+        per_trial = n * out_p * self.in_features
+        from repro.rram.mc import trial_chunks
+        for t0, t1 in trial_chunks(n_trials, per_trial,
+                                   self.read_chunk_elems, trial_chunk):
+            sub = rngs[t0:t1]
+            chunk = max(1, self.read_chunk_elems
+                        // max(1, len(sub) * out_p * self.in_features))
+            for start in range(0, n, chunk):
+                xs = x_bool[start:start + chunk] if shared \
+                    else x_bool[t0:t1, start:start + chunk]
+                rows = xs.shape[0] if shared else xs.shape[1]
+                offsets = np.stack([
+                    sense.offset(rng, (rows,) + margins.shape)
+                    for rng in sub])
+                weight_read = (margins[None, None] + offsets) > 0
+                x_cmp = xs[None, :, None, :] if shared \
+                    else xs[:, :, None, :]
+                agree = weight_read == x_cmp
+                counts[t0:t1, start:start + rows] = \
+                    agree.sum(axis=3, dtype=np.int64)
+        return counts[:, :, :self.out_features]
 
 
 class InMemoryDenseLayer:
@@ -271,8 +369,22 @@ class InMemoryDenseLayer:
         self.controller = MemoryController(folded.weight_bits, config, rng,
                                            fast_path)
 
-    def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
-        pc = self.controller.popcounts(x_bits)
+    def forward_bits(self, x_bits: np.ndarray,
+                     rng: np.random.Generator | None = None,
+                     sense: SenseParameters | None = None) -> np.ndarray:
+        pc = self.controller.popcounts(x_bits, rng=rng, sense=sense)
+        f = self.folded
+        dot = 2 * pc - f.in_features
+        return threshold_bits(dot, f.theta[None, :], f.gamma_sign[None, :],
+                              f.beta_sign[None, :])
+
+    def forward_bits_trials(self, x_bits: np.ndarray, rngs,
+                            sense: SenseParameters | None = None,
+                            trial_chunk: int | None = None) -> np.ndarray:
+        """Trial-batched forward: ``(N, in)`` or ``(T, N, in)`` bits in,
+        ``(T, N, out)`` bits out; trial ``t`` reads with ``rngs[t]``."""
+        pc = self.controller.popcounts_trials(x_bits, rngs, sense=sense,
+                                              trial_chunk=trial_chunk)
         f = self.folded
         dot = 2 * pc - f.in_features
         return threshold_bits(dot, f.theta[None, :], f.gamma_sign[None, :],
@@ -291,8 +403,20 @@ class InMemoryOutputLayer:
         self.controller = MemoryController(folded.weight_bits, config, rng,
                                            fast_path)
 
-    def forward_scores(self, x_bits: np.ndarray) -> np.ndarray:
-        pc = self.controller.popcounts(x_bits)
+    def forward_scores(self, x_bits: np.ndarray,
+                       rng: np.random.Generator | None = None,
+                       sense: SenseParameters | None = None) -> np.ndarray:
+        pc = self.controller.popcounts(x_bits, rng=rng, sense=sense)
+        dot = 2 * pc - self.folded.in_features
+        return dot * self.folded.scale[None, :] + self.folded.offset[None, :]
+
+    def forward_scores_trials(self, x_bits: np.ndarray, rngs,
+                              sense: SenseParameters | None = None,
+                              trial_chunk: int | None = None) -> np.ndarray:
+        """Trial-batched scores: ``(T, N, classes)``; trial ``t`` reads
+        with ``rngs[t]``."""
+        pc = self.controller.popcounts_trials(x_bits, rngs, sense=sense,
+                                              trial_chunk=trial_chunk)
         dot = 2 * pc - self.folded.in_features
         return dot * self.folded.scale[None, :] + self.folded.offset[None, :]
 
@@ -313,6 +437,27 @@ class InMemoryClassifier:
 
     def predict(self, x_bits: np.ndarray) -> np.ndarray:
         return self.forward_scores(x_bits).argmax(axis=1)
+
+    def forward_scores_trials(self, x_bits: np.ndarray, rngs,
+                              trial_chunk: int | None = None) -> np.ndarray:
+        """Monte-Carlo scores over a trial axis: ``(T, N, classes)``.
+
+        Every layer of trial ``t`` draws from stream ``rngs[t]`` in layer
+        order, so the stack equals a serial per-trial pass of the whole
+        classifier under the same child streams.
+        """
+        bits = np.asarray(x_bits, dtype=np.uint8)
+        for layer in self.hidden:
+            bits = layer.forward_bits_trials(bits, rngs,
+                                             trial_chunk=trial_chunk)
+        return self.output.forward_scores_trials(bits, rngs,
+                                                 trial_chunk=trial_chunk)
+
+    def predict_trials(self, x_bits: np.ndarray, rngs,
+                       trial_chunk: int | None = None) -> np.ndarray:
+        """Per-trial predicted labels ``(T, N)``."""
+        return self.forward_scores_trials(x_bits, rngs,
+                                          trial_chunk).argmax(axis=2)
 
     # ------------------------------------------------------------------
     @property

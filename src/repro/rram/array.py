@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.rram.device import DeviceParameters
+from repro.rram.mc import READ_CHUNK_ELEMS
 from repro.rram.sense import SenseParameters, XnorPCSA
 
 __all__ = ["RRAMArray"]
@@ -33,6 +34,8 @@ class RRAMArray:
         ``'2T2R'`` (differential, the paper's design) or ``'1T1R'``
         (single-ended baseline).
     """
+
+    read_chunk_elems = READ_CHUNK_ELEMS   # noise-tensor budget per MC scan
 
     def __init__(self, n_rows: int = 32, n_cols: int = 32,
                  params: DeviceParameters | None = None,
@@ -150,23 +153,45 @@ class RRAMArray:
             self.r_bl[row, cols], self.r_blb[row, cols],
             np.asarray(input_bits, dtype=np.uint8).reshape(-1))
 
-    def read_all(self) -> np.ndarray:
+    def _read_margin(self) -> np.ndarray:
+        """Offset-free decision margin of every cell for a plain read
+        (differential in 2T2R mode, against the reference in 1T1R)."""
+        if self.mode == "2T2R":
+            return self._sense_margin()
+        return np.log(self.params.reference_resistance) - np.log(self.r_bl)
+
+    def read_all(self, rng: np.random.Generator | None = None) -> np.ndarray:
         """Read every word line; returns the sensed bit matrix.
 
         Vectorized scan: one offset draw covers the whole array instead of
         one RNG round-trip per word line, with decisions identical in
-        distribution to row-by-row :meth:`read_row` reads.
+        distribution to row-by-row :meth:`read_row` reads.  ``rng``
+        overrides the array's generator for this read only — the hook the
+        Monte-Carlo engine uses to give every trial its own child stream
+        (:mod:`repro.rram.mc`) without touching shared state.
         """
         self._check_programmed(None, None)
         offsets = self.amplifiers.params.offset(
-            self.rng, (self.n_rows, self.n_cols))
+            rng or self.rng, (self.n_rows, self.n_cols))
         self.amplifiers.sense_count += self.n_rows * self.n_cols
-        if self.mode == "2T2R":
-            decision = self._sense_margin() + offsets
-        else:
-            decision = np.log(self.params.reference_resistance) \
-                - np.log(self.r_bl) + offsets
-        return (decision > 0).astype(np.uint8)
+        return (self._read_margin() + offsets > 0).astype(np.uint8)
+
+    def read_all_trials(self, rngs) -> np.ndarray:
+        """Trial-batched full-array reads: one noisy read per stream.
+
+        ``rngs`` is a sequence of per-trial generators (see
+        :func:`repro.rram.mc.trial_streams`); returns ``(T, rows, cols)``
+        sensed bits.  Trial ``t`` draws its offsets from ``rngs[t]``
+        alone, so the stack is bit-identical to ``[read_all(rng=r) for r
+        in rngs]`` while the margin-plus-offset decision runs as a single
+        broadcast compare over the leading trial axis.
+        """
+        self._check_programmed(None, None)
+        shape = (self.n_rows, self.n_cols)
+        offsets = np.stack([self.amplifiers.params.offset(rng, shape)
+                            for rng in rngs])
+        self.amplifiers.sense_count += offsets.size
+        return (self._read_margin()[None] + offsets > 0).astype(np.uint8)
 
     def read_all_xnor(self, input_bits: np.ndarray) -> np.ndarray:
         """XNOR every stored row with ``input_bits`` (one read per row).

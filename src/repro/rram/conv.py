@@ -147,15 +147,37 @@ class InMemoryConv1dLayer:
         self.controller = MemoryController(folded.weight_bits, config, rng,
                                            fast_path)
 
-    def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
+    def forward_bits(self, x_bits: np.ndarray,
+                     rng=None, sense=None) -> np.ndarray:
         f = self.folded
         n, _, length = np.asarray(x_bits).shape
         l_out = f.output_length(length)
         patches = f._patches(x_bits)
-        pc = self.controller.popcounts(patches)
+        pc = self.controller.popcounts(patches, rng=rng, sense=sense)
         dot = 2 * pc - f.fan_in
         out = f._threshold(dot)
         return out.reshape(n, l_out, f.out_channels).transpose(0, 2, 1)
+
+    def forward_bits_trials(self, x_bits: np.ndarray, rngs,
+                            sense=None, trial_chunk=None) -> np.ndarray:
+        """Trial-batched conv: ``(N, C, L)`` or ``(T, N, C, L)`` bits in,
+        ``(T, N, C_out, L_out)`` out; trial ``t`` reads with ``rngs[t]``
+        (bit-identical to a per-trial :meth:`forward_bits` loop)."""
+        f = self.folded
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        shared = x_bits.ndim == 3
+        if not shared and x_bits.shape[0] != len(rngs):
+            raise ValueError(
+                f"{x_bits.shape[0]} trial slices for {len(rngs)} streams")
+        n, _, length = x_bits.shape if shared else x_bits.shape[1:]
+        l_out = f.output_length(length)
+        patches = f._patches(x_bits) if shared else np.stack(
+            [f._patches(x_bits[t]) for t in range(len(rngs))])
+        pc = self.controller.popcounts_trials(patches, rngs, sense=sense,
+                                              trial_chunk=trial_chunk)
+        out = f._threshold(2 * pc - f.fan_in)
+        return out.reshape(len(rngs), n, l_out, f.out_channels) \
+            .transpose(0, 1, 3, 2)
 
 
 def max_pool_bits_1d(bits: np.ndarray, kernel: int,

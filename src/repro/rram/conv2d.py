@@ -207,7 +207,8 @@ class InMemoryConv2dLayer:
         self.controller = MemoryController(folded.weight_bits, config, rng,
                                            fast_path)
 
-    def forward_bits(self, x_bits: np.ndarray) -> np.ndarray:
+    def forward_bits(self, x_bits: np.ndarray,
+                     rng=None, sense=None) -> np.ndarray:
         f = self.folded
         if f.depthwise:
             # Channel-local reads; the controller models the device layer
@@ -216,13 +217,45 @@ class InMemoryConv2dLayer:
         n, _, height, width = np.asarray(x_bits).shape
         h_out, w_out = f.output_shape(height, width)
         patches = f._patches(x_bits)
-        pc = self.controller.popcounts(patches)
+        pc = self.controller.popcounts(patches, rng=rng, sense=sense)
         dot = 2 * pc - f.fan_in
         out = _threshold_channels(dot, f.theta[None, :],
                                   f.gamma_sign[None, :],
                                   f.beta_sign[None, :])
         return out.reshape(n, h_out, w_out, f.out_channels) \
             .transpose(0, 3, 1, 2)
+
+    def forward_bits_trials(self, x_bits: np.ndarray, rngs,
+                            sense=None, trial_chunk=None) -> np.ndarray:
+        """Trial-batched conv2d: ``(N, C, H, W)`` or ``(T, N, C, H, W)``
+        bits in, ``(T, N, C_out, H_out, W_out)`` out; trial ``t`` reads
+        with ``rngs[t]``.  Depthwise layers are deterministic (folded
+        math), so their trials coincide."""
+        f = self.folded
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        shared = x_bits.ndim == 4
+        n_trials = len(rngs)
+        if not shared and x_bits.shape[0] != n_trials:
+            raise ValueError(
+                f"{x_bits.shape[0]} trial slices for {n_trials} streams")
+        if f.depthwise:
+            if shared:
+                out = f.forward_bits(x_bits)
+                return np.broadcast_to(
+                    out[None], (n_trials,) + out.shape).copy()
+            return np.stack([f.forward_bits(x_bits[t])
+                             for t in range(n_trials)])
+        n, _, height, width = x_bits.shape if shared else x_bits.shape[1:]
+        h_out, w_out = f.output_shape(height, width)
+        patches = f._patches(x_bits) if shared else np.stack(
+            [f._patches(x_bits[t]) for t in range(n_trials)])
+        pc = self.controller.popcounts_trials(patches, rngs, sense=sense,
+                                              trial_chunk=trial_chunk)
+        out = _threshold_channels(2 * pc - f.fan_in, f.theta[None, :],
+                                  f.gamma_sign[None, :],
+                                  f.beta_sign[None, :])
+        return out.reshape(n_trials, n, h_out, w_out, f.out_channels) \
+            .transpose(0, 1, 4, 2, 3)
 
 
 def max_pool_bits_2d(bits: np.ndarray, kernel: int,

@@ -51,6 +51,14 @@ class EnduranceExperiment:
     simulated per measurement path.  The per-trial work is fully
     vectorized, so millions of trials run in seconds — necessary because
     2T2R error rates sit at 1e-6.
+
+    RNG-stream contract (see :mod:`repro.rram.mc`): one child stream per
+    checkpoint, re-spawned into one stream per draw site (BL/BLb
+    resistances, BL/BLb single-ended offsets, PCSA offset).  Because
+    numpy normal draws are split-stable per stream, the trial axis can be
+    evaluated in memory-bounded windows (``trial_chunk``) with results
+    bit-identical for every chunking — the same contract the
+    trial-batched array reads obey.
     """
 
     device: DeviceParameters = field(default_factory=DeviceParameters)
@@ -59,9 +67,14 @@ class EnduranceExperiment:
         1e8, 7e8, 7))
     trials: int = 200_000
     seed: int = 0
+    trial_chunk: int | None = None   # trials per vectorized window
+
+    #: ~doubles drawn per trial per checkpoint (sizes the default window)
+    _ELEMS_PER_TRIAL = 8
 
     def run(self) -> EnduranceResult:
-        rng = np.random.default_rng(self.seed)
+        from repro.rram.mc import READ_CHUNK_ELEMS, trial_chunks
+
         ref = np.log(self.device.reference_resistance)
         ber_bl = np.empty(len(self.checkpoints))
         ber_blb = np.empty(len(self.checkpoints))
@@ -70,27 +83,44 @@ class EnduranceExperiment:
         # weight +1, half weight -1, as in the paper's protocol.
         stored = np.tile(np.array([1, 0], dtype=np.uint8),
                          -(-self.trials // 2))[:self.trials]
+        single_sigma = np.sqrt(self.sense.offset_sigma ** 2
+                               + self.device.reference_spread ** 2)
+        checkpoint_seeds = np.random.SeedSequence(self.seed).spawn(
+            len(self.checkpoints))
         for k, cycles in enumerate(self.checkpoints):
-            # Program: BL holds LRS iff weight == 1, BLb the complement.
-            ln_r_bl = np.log(self.device.sample_resistance(
-                stored == 1, cycles, rng))
-            ln_r_blb = np.log(self.device.sample_resistance(
-                stored == 0, cycles, rng,
-                mismatch=self.device.device_mismatch))
-            # 1T1R single-ended reads of each device against the reference;
-            # the decision noise adds sense offset and reference imprecision
-            # in quadrature.
-            single_sigma = np.sqrt(self.sense.offset_sigma ** 2
-                                   + self.device.reference_spread ** 2)
-            off = rng.normal(0.0, single_sigma, (2, self.trials))
-            bl_bit = (ref - ln_r_bl + off[0]) > 0          # 1 = read LRS
-            blb_bit = (ref - ln_r_blb + off[1]) > 0
-            ber_bl[k] = np.mean(bl_bit != (stored == 1))
-            ber_blb[k] = np.mean(blb_bit != (stored == 0))
-            # 2T2R differential read through the PCSA.
-            off2 = self.sense.offset(rng, self.trials)
-            weight_read = (ln_r_blb - ln_r_bl + off2) > 0  # 1 = weight +1
-            ber_2t2r[k] = np.mean(weight_read != (stored == 1))
+            streams = [np.random.default_rng(child)
+                       for child in checkpoint_seeds[k].spawn(5)]
+            r_bl, r_blb, so_bl, so_blb, pcsa = streams
+            err_bl = err_blb = err_2t = 0
+            for start, stop in trial_chunks(self.trials,
+                                            self._ELEMS_PER_TRIAL,
+                                            READ_CHUNK_ELEMS,
+                                            self.trial_chunk):
+                window = stored[start:stop]
+                # Program: BL holds LRS iff weight == 1, BLb the
+                # complement.
+                ln_r_bl = np.log(self.device.sample_resistance(
+                    window == 1, cycles, r_bl))
+                ln_r_blb = np.log(self.device.sample_resistance(
+                    window == 0, cycles, r_blb,
+                    mismatch=self.device.device_mismatch))
+                # 1T1R single-ended reads of each device against the
+                # reference; the decision noise adds sense offset and
+                # reference imprecision in quadrature.
+                bl_bit = (ref - ln_r_bl
+                          + so_bl.normal(0.0, single_sigma, len(window))) > 0
+                blb_bit = (ref - ln_r_blb
+                           + so_blb.normal(0.0, single_sigma,
+                                           len(window))) > 0
+                err_bl += int((bl_bit != (window == 1)).sum())
+                err_blb += int((blb_bit != (window == 0)).sum())
+                # 2T2R differential read through the PCSA.
+                off2 = self.sense.offset(pcsa, len(window))
+                weight_read = (ln_r_blb - ln_r_bl + off2) > 0  # weight +1
+                err_2t += int((weight_read != (window == 1)).sum())
+            ber_bl[k] = err_bl / self.trials
+            ber_blb[k] = err_blb / self.trials
+            ber_2t2r[k] = err_2t / self.trials
         return EnduranceResult(np.asarray(self.checkpoints, dtype=float),
                                ber_bl, ber_blb, ber_2t2r, self.trials)
 

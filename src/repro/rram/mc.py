@@ -1,0 +1,111 @@
+"""Trial-batched Monte-Carlo engine for noisy RRAM reads.
+
+The paper's robustness evidence (Fig. 4 bit-error rate vs endurance,
+§II-B sense-offset tolerance) is Monte-Carlo: many noisy read trials over
+the *same* programmed weights.  Simulating that one trial at a time pays
+the full program/fold/build cost per trial; this module provides the two
+primitives that let the whole repository amortize it:
+
+* **deterministic per-trial RNG streams** — :func:`trial_streams` spawns
+  one independent child generator per trial from a single root seed
+  (``numpy.random.SeedSequence.spawn``).  Trial ``t`` always reads the
+  same noise no matter how trials are grouped, because every draw for
+  trial ``t`` comes from stream ``t`` and numpy ``Generator`` draws are
+  *split-stable*: drawing ``normal(size=a)`` then ``normal(size=b)``
+  yields the same values as one ``normal(size=a + b)`` draw.  Batched
+  execution is therefore bit-identical to a serial per-trial loop over
+  the same streams — the engine's core contract, enforced by the
+  property tests;
+* **trial-batched evaluation** — the noisy read paths of
+  :class:`~repro.rram.array.RRAMArray` and
+  :class:`~repro.rram.accelerator.MemoryController` accept a stack of
+  trial streams and evaluate every trial in one vectorized pass over a
+  leading ``(T, ...)`` axis, chunked so the stacked offset tensor stays
+  inside the controller's element budget.
+
+The RNG-stream contract, in one line: *the root seed programs, child
+stream* ``t`` *reads trial* ``t``.  Programming (device resistance
+sampling) consumes only the root generator; every read-time draw for a
+trial consumes only that trial's child stream.  Structural state (margins,
+packed words) is therefore reusable across trials and across sweep points
+— which is what the programmed-plan cache in
+:mod:`repro.experiments.executor` exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["READ_CHUNK_ELEMS", "trial_streams", "trial_chunks",
+           "read_bit_errors"]
+
+#: Shared element budget for stacked noise tensors: every chunked scan
+#: (array reads, controller scans, endurance windows) bounds its offset
+#: stack to this many elements.  Chunking never changes results — streams
+#: are split-stable — so this is purely a peak-memory knob.
+READ_CHUNK_ELEMS = 1 << 22
+
+
+def trial_streams(seed, trials: int) -> list[np.random.Generator]:
+    """One independent child generator per Monte-Carlo trial.
+
+    ``seed`` feeds a :class:`numpy.random.SeedSequence` whose first
+    ``trials`` spawned children become the per-trial streams.  The same
+    ``(seed, t)`` pair always yields the same stream, independent of the
+    total trial count's *batching* — stream ``t`` of ``trial_streams(s,
+    8)`` equals stream ``t`` of ``trial_streams(s, 64)`` for ``t < 8`` —
+    so a study can grow its trial budget without invalidating earlier
+    trials.
+    """
+    trials = int(trials)
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    seed_seq = seed if isinstance(seed, np.random.SeedSequence) \
+        else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seed_seq.spawn(trials)]
+
+
+def trial_chunks(n_trials: int, per_trial_elems: int,
+                 budget: int, trial_chunk: int | None = None):
+    """Yield ``(start, stop)`` trial windows whose stacked noise tensor
+    stays inside ``budget`` elements.
+
+    ``trial_chunk`` overrides the derived window (clamped to at least 1);
+    results never depend on the chunking — only peak memory does — because
+    every trial draws from its own stream (see module docstring).
+    """
+    if trial_chunk is None:
+        trial_chunk = max(1, int(budget) // max(1, int(per_trial_elems)))
+    trial_chunk = max(1, min(int(trial_chunk), int(n_trials)))
+    for start in range(0, int(n_trials), trial_chunk):
+        yield start, min(start + trial_chunk, int(n_trials))
+
+
+def read_bit_errors(array, expected_bits: np.ndarray,
+                    rngs: list[np.random.Generator],
+                    trial_chunk: int | None = None) -> np.ndarray:
+    """Per-trial read-back error counts of one programmed array.
+
+    The Fig. 4 inner loop as an engine primitive: ``T`` noisy full-array
+    reads of ``array`` (one per stream in ``rngs``), each compared against
+    ``expected_bits``; returns an ``(T,)`` int64 error-count vector.  The
+    array is programmed once by the caller and never mutated here, so the
+    cost per extra trial is one offset draw plus one vectorized compare.
+
+    Bit-identical to ``[int((array.read_all(rng=r) != expected_bits).sum())
+    for r in rngs]`` for any ``trial_chunk``.
+    """
+    expected_bits = np.asarray(expected_bits, dtype=np.uint8)
+    if expected_bits.shape != (array.n_rows, array.n_cols):
+        raise ValueError(
+            f"expected bits shape {expected_bits.shape} != array "
+            f"{array.n_rows}x{array.n_cols}")
+    errors = np.empty(len(rngs), dtype=np.int64)
+    per_trial = array.n_rows * array.n_cols
+    budget = getattr(array, "read_chunk_elems", READ_CHUNK_ELEMS)
+    for start, stop in trial_chunks(len(rngs), per_trial, budget,
+                                    trial_chunk):
+        read = array.read_all_trials(rngs[start:stop])
+        errors[start:stop] = (read != expected_bits[None]).sum(
+            axis=(1, 2), dtype=np.int64)
+    return errors

@@ -117,6 +117,14 @@ class RRAMBackend(Backend):
     variability and zero sense offset — bit-exact with the simulated
     path, orders of magnitude faster; ``False`` forces full device
     simulation; ``True`` requires a noise-free config.
+
+    Every prepared layer also exposes the Monte-Carlo trial axis
+    (``forward_bits_trials`` / ``forward_scores_trials``): a compiled
+    plan on this backend evaluates ``T`` noisy trials in one
+    trial-batched pass via
+    :meth:`~repro.runtime.compile.CompiledModel.scores_trials`, with
+    per-trial child RNG streams making the stack bit-identical to a
+    serial per-trial loop (see :mod:`repro.rram.mc`).
     """
 
     name = "rram"

@@ -93,6 +93,82 @@ class CompiledModel:
             x = op.run(x)
         return x
 
+    # -- Monte-Carlo execution (trial axis) ------------------------------
+    def scores_trials(self, inputs: np.ndarray, trials: int, seed: int = 0,
+                      batch_size: int | None = None,
+                      trial_chunk: int | None = None) -> np.ndarray:
+        """Class scores with a leading Monte-Carlo trial axis:
+        ``(trials, N, classes)``.
+
+        Each trial is one noisy end-to-end evaluation of the plan; trial
+        ``t`` draws every stochastic read from child stream ``t`` of
+        ``seed`` (:func:`repro.rram.mc.trial_streams`), so for a fixed
+        ``(seed, batch_size)`` the stack is bit-identical to a serial
+        per-trial pass over the same streams, for any ``trial_chunk``.
+        Substrate ops that expose ``forward_*_trials`` (the ``rram``
+        backend's noisy layers) evaluate all trials in one vectorized
+        pass; deterministic ops (front-end, periphery, packed/reference
+        executors, fast-path RRAM) run once and broadcast.
+        """
+        from repro.rram.mc import trial_streams
+
+        inputs = np.asarray(inputs)
+        rngs = trial_streams(seed, trials)
+        if batch_size is None or len(inputs) == 0:
+            return self._run_trials(inputs, rngs, trial_chunk)
+        chunks = [self._run_trials(inputs[s:s + batch_size], rngs,
+                                   trial_chunk)
+                  for s in range(0, len(inputs), batch_size)]
+        return np.concatenate(chunks, axis=1)
+
+    def predict_trials(self, inputs: np.ndarray, trials: int, seed: int = 0,
+                       batch_size: int | None = None,
+                       trial_chunk: int | None = None) -> np.ndarray:
+        """Per-trial predicted labels ``(trials, N)``."""
+        return self.scores_trials(inputs, trials, seed, batch_size,
+                                  trial_chunk).argmax(axis=2)
+
+    @staticmethod
+    def _stochastic(executor) -> bool:
+        """True when a trial-aware executor actually draws read noise.
+
+        Fast-path controllers are deterministic: their trials coincide,
+        so the plan keeps the activations shared instead of fanning out
+        ``T`` identical evaluations.
+        """
+        controller = getattr(executor, "controller", None)
+        return controller is not None and not controller.fast_path
+
+    def _run_trials(self, x, rngs, trial_chunk):
+        per_trial = False
+        for op in self.ops:
+            executor = getattr(op, "executor", None)
+            if isinstance(op, OutputLayerOp) and \
+                    hasattr(executor, "forward_scores_trials") and \
+                    (per_trial or self._stochastic(executor)):
+                x = executor.forward_scores_trials(
+                    x, rngs, trial_chunk=trial_chunk)
+                per_trial = True
+            elif isinstance(op, BitLayerOp) and \
+                    hasattr(executor, "forward_bits_trials") and \
+                    (per_trial or self._stochastic(executor)):
+                x = executor.forward_bits_trials(
+                    x, rngs, trial_chunk=trial_chunk)
+                per_trial = True
+            elif per_trial:
+                # Deterministic op downstream of a noisy one: the trials
+                # have already diverged, so it maps over the trial axis.
+                x = np.stack([op.run(x[t]) for t in range(len(rngs))])
+            else:
+                # Deterministic op on still-shared activations (front
+                # end, periphery, packed/reference or fast-path layers):
+                # run once, stay shared.
+                x = op.run(x)
+        if not per_trial:
+            # Fully deterministic plan: every trial coincides.
+            x = np.broadcast_to(x[None], (len(rngs),) + x.shape).copy()
+        return x
+
     # -- introspection ---------------------------------------------------
     def summary(self) -> str:
         """Human-readable plan listing (one line per op)."""

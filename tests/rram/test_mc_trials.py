@@ -1,0 +1,241 @@
+"""Trial-batched Monte-Carlo engine: streams, array/controller trial axis,
+workload integration (repro.rram.mc and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
+from repro.rram import (AcceleratorConfig, DeviceParameters,
+                        InMemoryClassifier, InMemoryDenseLayer,
+                        InMemoryOutputLayer, RRAMArray, SenseParameters,
+                        read_bit_errors, trial_streams)
+from repro.rram.mc import trial_chunks
+
+
+def _programmed_array(mode="2T2R", rows=12, cols=20, seed=0, wear=10 ** 8):
+    rng = np.random.default_rng(seed)
+    array = RRAMArray(rows, cols, rng=rng, mode=mode)
+    array.wear(wear)
+    bits = rng.integers(0, 2, (rows, cols)).astype(np.uint8)
+    array.program(bits)
+    return array, bits
+
+
+def _dense_hw(seed=0, out_features=24, in_features=50, sigma=0.15):
+    rng = np.random.default_rng(seed)
+    folded = FoldedBinaryDense(
+        rng.integers(0, 2, (out_features, in_features)).astype(np.uint8),
+        theta=rng.standard_normal(out_features),
+        gamma_sign=np.ones(out_features), beta_sign=np.ones(out_features))
+    config = AcceleratorConfig(sense=SenseParameters(offset_sigma=sigma))
+    return folded, InMemoryDenseLayer(folded, config,
+                                      np.random.default_rng(seed + 1),
+                                      fast_path=False)
+
+
+class TestTrialStreams:
+    def test_deterministic_and_independent(self):
+        a = trial_streams(7, 4)
+        b = trial_streams(7, 4)
+        draws_a = [r.normal(size=3) for r in a]
+        draws_b = [r.normal(size=3) for r in b]
+        for x, y in zip(draws_a, draws_b):
+            assert np.array_equal(x, y)
+        # Distinct trials are distinct streams.
+        assert not np.array_equal(draws_a[0], draws_a[1])
+
+    def test_prefix_stable_under_growth(self):
+        # Stream t of a T-trial study equals stream t of a larger study:
+        # trial budgets can grow without invalidating earlier trials.
+        small = [r.normal(size=4) for r in trial_streams(3, 2)]
+        large = [r.normal(size=4) for r in trial_streams(3, 16)[:2]]
+        assert all(np.array_equal(s, g) for s, g in zip(small, large))
+
+    def test_validates_trials(self):
+        with pytest.raises(ValueError, match="trials"):
+            trial_streams(0, 0)
+
+    def test_chunking_covers_range(self):
+        windows = list(trial_chunks(10, per_trial_elems=1, budget=3))
+        assert windows == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        # A budget below one trial still makes progress, one trial at a
+        # time; a generous budget takes the whole range in one window.
+        assert list(trial_chunks(2, 100, 10)) == [(0, 1), (1, 2)]
+        assert list(trial_chunks(5, 1, 100)) == [(0, 5)]
+
+
+class TestArrayTrialReads:
+    @pytest.mark.parametrize("mode", ["2T2R", "1T1R"])
+    def test_batched_equals_per_trial_loop(self, mode):
+        array, _ = _programmed_array(mode)
+        batched = array.read_all_trials(trial_streams(11, 6))
+        serial = np.stack([array.read_all(rng=r)
+                           for r in trial_streams(11, 6)])
+        assert batched.shape == (6,) + (array.n_rows, array.n_cols)
+        assert np.array_equal(batched, serial)
+
+    def test_rng_override_leaves_array_stream_untouched(self):
+        array, _ = _programmed_array()
+        before = array.rng.bit_generator.state
+        array.read_all(rng=np.random.default_rng(0))
+        array.read_all_trials(trial_streams(0, 3))
+        assert array.rng.bit_generator.state == before
+
+    @pytest.mark.parametrize("trial_chunk", [None, 1, 2, 5])
+    def test_read_bit_errors_chunk_invariant(self, trial_chunk):
+        array, bits = _programmed_array(wear=5 * 10 ** 8)
+        errors = read_bit_errors(array, bits, trial_streams(3, 5),
+                                 trial_chunk)
+        reference = np.array([(array.read_all(rng=r) != bits).sum()
+                              for r in trial_streams(3, 5)])
+        assert np.array_equal(errors, reference)
+
+    def test_read_bit_errors_validates_shape(self):
+        array, bits = _programmed_array()
+        with pytest.raises(ValueError, match="shape"):
+            read_bit_errors(array, bits[:, :-1], trial_streams(0, 2))
+
+
+class TestControllerTrialScans:
+    @pytest.mark.parametrize("trial_chunk", [None, 1, 3])
+    def test_batched_equals_per_trial_loop(self, trial_chunk):
+        _, hw = _dense_hw()
+        x = np.random.default_rng(9).integers(0, 2, (7, 50)).astype(np.uint8)
+        batched = hw.forward_bits_trials(x, trial_streams(21, 5),
+                                         trial_chunk=trial_chunk)
+        serial = np.stack([hw.forward_bits(x, rng=r)
+                           for r in trial_streams(21, 5)])
+        assert np.array_equal(batched, serial)
+
+    def test_batch_chunked_scan_identical(self):
+        # Shrinking the offset-tensor budget forces batch chunking inside
+        # each trial window; split-stable streams keep results identical.
+        _, hw = _dense_hw()
+        x = np.random.default_rng(9).integers(0, 2, (9, 50)).astype(np.uint8)
+        wide = hw.forward_bits_trials(x, trial_streams(2, 4))
+        hw.controller.read_chunk_elems = 2 * 32 * 64   # tiny budget
+        narrow = hw.forward_bits_trials(x, trial_streams(2, 4))
+        assert np.array_equal(wide, narrow)
+
+    def test_per_trial_inputs_diverge_trials(self):
+        _, hw = _dense_hw()
+        rng = np.random.default_rng(1)
+        x_stack = rng.integers(0, 2, (3, 7, 50)).astype(np.uint8)
+        batched = hw.controller.popcounts_trials(x_stack,
+                                                 trial_streams(2, 3))
+        serial = np.stack(
+            [hw.controller.popcounts(x_stack[t], rng=r)
+             for t, r in enumerate(trial_streams(2, 3))])
+        assert np.array_equal(batched, serial)
+
+    def test_sense_override_matches_rebuilt_config(self):
+        # Reading a programmed controller at a different offset sigma must
+        # equal a controller built with that sigma (margins are untouched
+        # by sense parameters) — the property the plan cache relies on.
+        folded, hw = _dense_hw(sigma=0.0)
+        x = np.random.default_rng(3).integers(0, 2, (5, 50)).astype(np.uint8)
+        override = hw.forward_bits_trials(
+            x, trial_streams(8, 4), sense=SenseParameters(offset_sigma=0.7))
+        config = AcceleratorConfig(sense=SenseParameters(offset_sigma=0.7))
+        rebuilt = InMemoryDenseLayer(folded, config,
+                                     np.random.default_rng(1),
+                                     fast_path=False)
+        native = rebuilt.forward_bits_trials(x, trial_streams(8, 4))
+        assert np.array_equal(override, native)
+
+    def test_fast_path_trials_coincide(self):
+        rng = np.random.default_rng(0)
+        folded = FoldedBinaryDense(
+            rng.integers(0, 2, (8, 40)).astype(np.uint8),
+            theta=np.zeros(8), gamma_sign=np.ones(8), beta_sign=np.ones(8))
+        hw = InMemoryDenseLayer(folded, AcceleratorConfig(ideal=True),
+                                np.random.default_rng(1))
+        assert hw.controller.fast_path
+        x = rng.integers(0, 2, (6, 40)).astype(np.uint8)
+        out = hw.forward_bits_trials(x, trial_streams(0, 3))
+        assert np.array_equal(out[0], folded.forward_bits(x))
+        assert np.array_equal(out[0], out[1]) and np.array_equal(
+            out[1], out[2])
+
+    def test_validates_input_shape(self):
+        _, hw = _dense_hw()
+        with pytest.raises(ValueError, match="input shape"):
+            hw.controller.popcounts_trials(
+                np.zeros((3, 7), dtype=np.uint8), trial_streams(0, 2))
+
+    def test_fast_path_refuses_noisy_sense_override(self):
+        # A fast-path controller has no margins; a noisy override must
+        # raise instead of silently returning deterministic results.
+        rng = np.random.default_rng(0)
+        folded = FoldedBinaryDense(
+            rng.integers(0, 2, (8, 40)).astype(np.uint8),
+            theta=np.zeros(8), gamma_sign=np.ones(8), beta_sign=np.ones(8))
+        hw = InMemoryDenseLayer(folded, AcceleratorConfig(ideal=True),
+                                np.random.default_rng(1))
+        x = rng.integers(0, 2, (4, 40)).astype(np.uint8)
+        noisy = SenseParameters(offset_sigma=0.5)
+        with pytest.raises(ValueError, match="fast_path=False"):
+            hw.forward_bits_trials(x, trial_streams(0, 2), sense=noisy)
+        with pytest.raises(ValueError, match="fast_path=False"):
+            hw.forward_bits(x, sense=noisy)
+        # A zero-sigma override is honoured trivially (no noise to draw).
+        out = hw.forward_bits(x, sense=SenseParameters(offset_sigma=0.0))
+        assert np.array_equal(out, folded.forward_bits(x))
+
+
+class TestConvTrialReads:
+    def _conv_hw(self):
+        from repro.rram.conv import FoldedBinaryConv1d, InMemoryConv1dLayer
+        rng = np.random.default_rng(2)
+        folded = FoldedBinaryConv1d(
+            weight_bits=rng.integers(0, 2, (6, 4 * 3)).astype(np.uint8),
+            in_channels=4, kernel_size=3, stride=1,
+            theta=rng.standard_normal(6), gamma_sign=np.ones(6),
+            beta_sign=np.ones(6))
+        hw = InMemoryConv1dLayer(folded, AcceleratorConfig(),
+                                 np.random.default_rng(3), fast_path=False)
+        x = rng.integers(0, 2, (5, 4, 11)).astype(np.uint8)
+        return hw, x
+
+    def test_batched_equals_per_trial_loop(self):
+        hw, x = self._conv_hw()
+        batched = hw.forward_bits_trials(x, trial_streams(6, 4))
+        serial = np.stack([hw.forward_bits(x, rng=r)
+                           for r in trial_streams(6, 4)])
+        assert np.array_equal(batched, serial)
+
+    def test_rejects_trial_count_mismatch(self):
+        hw, x = self._conv_hw()
+        stack = np.broadcast_to(x[None], (3,) + x.shape).copy()
+        with pytest.raises(ValueError, match="trial slices"):
+            hw.forward_bits_trials(stack, trial_streams(0, 2))
+
+
+class TestClassifierTrials:
+    def test_stacked_classifier_matches_serial_pass(self):
+        rng = np.random.default_rng(4)
+        hidden_folded = FoldedBinaryDense(
+            rng.integers(0, 2, (16, 30)).astype(np.uint8),
+            theta=rng.standard_normal(16),
+            gamma_sign=np.ones(16), beta_sign=np.ones(16))
+        out_folded = FoldedOutputDense(
+            rng.integers(0, 2, (4, 16)).astype(np.uint8),
+            scale=np.ones(4), offset=np.zeros(4))
+        config = AcceleratorConfig()
+        hidden = InMemoryDenseLayer(hidden_folded, config,
+                                    np.random.default_rng(5),
+                                    fast_path=False)
+        output = InMemoryOutputLayer(out_folded, config,
+                                     np.random.default_rng(6),
+                                     fast_path=False)
+        clf = InMemoryClassifier([hidden], output)
+        x = rng.integers(0, 2, (5, 30)).astype(np.uint8)
+        batched = clf.forward_scores_trials(x, trial_streams(1, 4))
+        serial = []
+        for r in trial_streams(1, 4):
+            bits = hidden.forward_bits(x, rng=r)
+            serial.append(output.forward_scores(bits, rng=r))
+        assert np.array_equal(batched, np.stack(serial))
+        labels = clf.predict_trials(x, trial_streams(1, 4))
+        assert labels.shape == (4, 5)
+        assert np.array_equal(labels, batched.argmax(axis=2))
