@@ -1,0 +1,177 @@
+"""Scale claim XTRA17 — sharded multi-macro backend.
+
+The paper's test vehicle is a fixed 1K-synapse macro (Fig. 2): deploying a
+real classifier therefore means splitting every folded layer across a
+*grid* of such chips.  This script measures the sharded backend — the
+floorplan shard map executed as one simulated chip per
+:class:`~repro.rram.floorplan.MacroShard` with partial-popcount reduction
+(:class:`~repro.rram.accelerator.ShardedController`) — against the
+monolithic single-controller RRAM backend, and verifies its two contracts:
+
+* **equivalence** — noise-free sharded execution is bit-identical to the
+  monolithic RRAM backend (and the reference backend) at a divisible
+  macro geometry and at a prime geometry forcing non-divisible tail
+  shards, on the demo EEG classifier;
+* **Monte-Carlo invariance** — noisy sharded trials are chunk-invariant:
+  ``scores_trials`` under any ``trial_chunk`` is bit-identical, per-shard
+  noise riding on the per-(shard, trial) child streams of
+  :func:`repro.rram.mc.shard_streams`;
+* **throughput** — sharded vs monolithic word-line-scan rate at the
+  controller level (model-level latency is front-end-dominated), on both
+  the fast packed path and the noisy device path, i.e. the simulation
+  cost of chip-level fidelity (recorded, not asserted: sharding adds
+  per-chip dispatch by construction).
+
+Results are recorded in ``BENCH_sharded_backend.json`` at the repo root.
+
+Run:  python benchmarks/bench_sharded_backend.py [--smoke]
+(--smoke: small batch, no JSON record — the CI mode.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+JSON_PATH = ROOT / "BENCH_sharded_backend.json"
+
+GEOMETRIES = ((32, 32), (7, 13))     # divisible-ish and tail-forcing
+
+
+def _time_popcounts(controller, x_bits, repeats: int) -> float:
+    controller.popcounts(x_bits)               # warm-up
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        controller.popcounts(x_bits)
+    return (time.perf_counter() - t0) / repeats * 1e3
+
+
+def main(smoke: bool = False) -> None:
+    from _util import report
+    from repro.cli.main import _demo_model_and_inputs
+    from repro.rram import (AcceleratorConfig, DeviceParameters,
+                            MacroGeometry, SenseParameters)
+    from repro.runtime import RRAMBackend, ShardedRRAMBackend, compile
+
+    model, inputs = _demo_model_and_inputs("eeg", "binary_classifier")
+    if not smoke:
+        inputs = np.tile(inputs, (8, 1, 1))
+    repeats = 1 if smoke else 5
+
+    # --- equivalence: sharded == monolithic == reference, bit for bit ---
+    reference = compile(model, backend="reference").scores(inputs)
+    mono_plan = compile(model,
+                        backend=RRAMBackend(AcceleratorConfig(ideal=True)))
+    mono_scores = mono_plan.scores(inputs)
+    equivalence = {}
+    macro_counts = {}
+    for rows, cols in GEOMETRIES:
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                     macro=MacroGeometry(rows, cols))
+        plan = compile(model, backend=backend)
+        scores = plan.scores(inputs)
+        equivalence[f"{rows}x{cols}"] = bool(
+            np.array_equal(scores, mono_scores)
+            and np.array_equal(scores, reference))
+        macro_counts[f"{rows}x{cols}"] = plan.floorplan().n_macros
+
+    # --- Monte-Carlo: noisy sharded trials are chunk-invariant ----------
+    device = DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                              broadening=0.0, hrs_drift=0.0,
+                              device_mismatch=1.0)
+    noisy = ShardedRRAMBackend(
+        AcceleratorConfig(device=device,
+                          sense=SenseParameters(offset_sigma=0.8)),
+        macro=MacroGeometry(8, 16), fast_path=False)
+    noisy_plan = compile(model, backend=noisy)
+    mc_inputs = inputs[:4] if smoke else inputs[:16]
+    trials = 4 if smoke else 16
+    stacked = noisy_plan.scores_trials(mc_inputs, trials=trials, seed=11)
+    chunked = noisy_plan.scores_trials(mc_inputs, trials=trials, seed=11,
+                                       trial_chunk=1)
+    mc_invariant = bool(np.array_equal(stacked, chunked))
+
+    # --- throughput: the cost of chip-level fidelity --------------------
+    # Controller-level word-line scans (model-level latency is front-end
+    # dominated): one wide dense layer, monolithic vs sharded, fast and
+    # noisy device paths.
+    from repro.rram import MemoryController, ShardedController
+
+    rng = np.random.default_rng(0)
+    out_f, in_f = (64, 384) if smoke else (128, 1023)
+    weights = rng.integers(0, 2, (out_f, in_f)).astype(np.uint8)
+    x_bits = rng.integers(
+        0, 2, (64 if smoke else 256, in_f)).astype(np.uint8)
+    ideal = AcceleratorConfig(ideal=True)
+    noisy_cfg = AcceleratorConfig(device=device,
+                                  sense=SenseParameters(offset_sigma=0.3))
+    timings = {}
+    for label, cfg, fast in (("fast", ideal, "auto"),
+                             ("noisy", noisy_cfg, False)):
+        mono_ms = _time_popcounts(
+            MemoryController(weights, cfg, np.random.default_rng(1), fast),
+            x_bits, repeats)
+        shard_ms = _time_popcounts(
+            ShardedController(weights, config=cfg,
+                              rng=np.random.default_rng(1), fast_path=fast,
+                              macro=MacroGeometry(32, 32)),
+            x_bits, repeats)
+        timings[label] = {"monolithic_ms": round(mono_ms, 3),
+                          "sharded_ms": round(shard_ms, 3),
+                          "overhead_x": round(shard_ms / mono_ms, 2)}
+
+    geom_lines = "\n".join(
+        f"  {name:<7}: bit-identical to monolithic+reference = "
+        f"{equivalence[name]}  ({macro_counts[name]} macros)"
+        for name in equivalence)
+    timing_lines = "\n".join(
+        f"  {label} path scan ({out_f}x{in_f}, batch {len(x_bits)}): "
+        f"monolithic {t['monolithic_ms']:.2f} ms, sharded "
+        f"{t['sharded_ms']:.2f} ms ({t['overhead_x']:.2f}x)"
+        for label, t in timings.items())
+    text = (
+        "XTRA17 — sharded multi-macro backend\n"
+        "====================================\n"
+        f"demo EEG classifier, batch {len(inputs)}\n"
+        f"{geom_lines}\n"
+        f"  noisy sharded trials chunk-invariant ({trials} trials) = "
+        f"{mc_invariant}\n"
+        f"{timing_lines}\n")
+    report("sharded_backend", text)
+
+    assert all(equivalence.values()), equivalence
+    assert mc_invariant, "sharded Monte-Carlo trials were chunk-variant"
+    if smoke:
+        return
+
+    result = {
+        "model": "eeg demo classifier",
+        "batch": int(len(inputs)),
+        "geometries": {name: {"equivalent": equivalence[name],
+                              "n_macros": macro_counts[name]}
+                       for name in equivalence},
+        "mc_trials": trials,
+        "mc_chunk_invariant": mc_invariant,
+        "scan_layer": f"{out_f}x{in_f}",
+        "scan_batch": int(len(x_bits)),
+        "scan_timings": timings,
+        "cores": len(os.sched_getaffinity(0)),
+    }
+    JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small batch, no JSON record")
+    main(parser.parse_args().smoke)

@@ -10,7 +10,8 @@ the same predictions.  This example makes the contract concrete:
 2. ``compile`` it once per backend — folding batch-norms, packing weight
    words, programming RRAM tiles all happen at compile time;
 3. cross-check predictions: reference vs packed is bit-exact, ideal RRAM
-   is bit-exact, realistic fresh devices agree to within device noise;
+   is bit-exact (monolithic and sharded across 8x24 macro chips alike),
+   realistic fresh devices agree to within device noise;
 4. register a *custom* backend under a new name to show that substrates
    are plug-ins, not rewrites.
 
@@ -25,9 +26,9 @@ from repro.data import EEGConfig, make_eeg_dataset
 from repro.experiments import (TrainConfig, backend_agreement,
                                evaluate_accuracy, train_model)
 from repro.models import BinarizationMode, EEGNet
-from repro.rram import AcceleratorConfig
-from repro.runtime import (RRAMBackend, available_backends, compile,
-                           register_backend)
+from repro.rram import AcceleratorConfig, MacroGeometry
+from repro.runtime import (RRAMBackend, ShardedRRAMBackend,
+                           available_backends, compile, register_backend)
 
 
 def main() -> None:
@@ -52,6 +53,8 @@ def main() -> None:
 
     print("\n3) Compiling once per substrate and cross-checking ...")
     backends = ["reference", "packed", "rram-ideal",
+                ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                   macro=MacroGeometry(8, 24)),
                 RRAMBackend(AcceleratorConfig())]
     # The experiments-layer helper compiles each backend once and keys
     # duplicate substrates apart ("rram", "rram#2").

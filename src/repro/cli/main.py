@@ -46,7 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(reduced geometry, random weights)")
     compile_cmd.add_argument("--backend", default="all",
                              help="backend name, or 'all' (default) for "
-                                  "reference/packed/ideal-rram")
+                                  "reference/packed/ideal-rram/sharded")
+    compile_cmd.add_argument("--macros", default="32x32",
+                             help="macro geometry ROWSxCOLS for the "
+                                  "sharded backend (default 32x32); each "
+                                  "folded layer is split across chips of "
+                                  "this size")
     compile_cmd.add_argument("--mode", default="binary_classifier",
                              choices=["binary_classifier", "full_binary"],
                              help="binarization mode (full_binary lowers "
@@ -59,10 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a persisted, resumable parameter sweep (optionally on "
              "a process pool)")
-    sweep_cmd.add_argument("workload", choices=["ber", "robustness"],
+    sweep_cmd.add_argument("workload",
+                           choices=["ber", "robustness", "sharded"],
                            help="ber: Monte-Carlo Fig. 4 error rates; "
                                 "robustness: agreement vs sense-offset "
-                                "sigma")
+                                "sigma; sharded: agreement vs macro "
+                                "geometry on the multi-chip backend")
     sweep_cmd.add_argument("--jobs", type=int, default=1,
                            help="worker processes (1 = serial)")
     sweep_cmd.add_argument("--trials", type=int, default=1,
@@ -72,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--trial-chunk", type=int, default=None,
                            help="trials per vectorized window (bounds "
                                 "peak memory; never changes results)")
+    sweep_cmd.add_argument("--cache-stats", action="store_true",
+                           help="report the programmed-plan cache "
+                                "hit/miss counters after the sweep "
+                                "(per-process; with --jobs > 1 workers "
+                                "keep their own caches)")
     sweep_cmd.add_argument("--out", default=None,
                            help="JSONL result file (default "
                                 "benchmarks/results/sweep_<workload>"
@@ -198,45 +210,71 @@ def _demo_model_and_inputs(model_name: str, mode_name: str):
     return model, inputs
 
 
-def _evaluate_backend(model, inputs, spec: str) -> dict:
+def _parse_macro(spec: str):
+    """``ROWSxCOLS`` -> :class:`~repro.rram.MacroGeometry` (or exit)."""
+    from repro.rram import MacroGeometry
+
+    try:
+        rows, cols = (int(part) for part in spec.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"macro geometry must look like 32x32, "
+                         f"got {spec!r}")
+    try:
+        return MacroGeometry(rows, cols)
+    except ValueError as error:       # well-formed spec, invalid value
+        raise SystemExit(str(error))
+
+
+def _evaluate_backend(model, inputs, spec: str,
+                      macro_spec: str = "32x32") -> dict:
     """Compile one backend against a built model and time a prediction."""
     import time
 
     from repro.rram import AcceleratorConfig
-    from repro.runtime import RRAMBackend, compile
+    from repro.runtime import RRAMBackend, ShardedRRAMBackend, compile
 
-    backend = RRAMBackend(AcceleratorConfig(ideal=True)) \
-        if spec == "ideal-rram" else spec
+    if spec == "ideal-rram":
+        backend = RRAMBackend(AcceleratorConfig(ideal=True))
+    elif spec == "sharded":
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                     macro=_parse_macro(macro_spec))
+    else:
+        backend = spec
     plan = compile(model, backend=backend)
     t0 = time.perf_counter()
     predicted = plan.predict(inputs)
     elapsed = (time.perf_counter() - t0) * 1e3
-    return {"backend": plan.backend.name, "predicted": predicted,
-            "ms": elapsed, "summary": plan.summary()}
+    result = {"backend": plan.backend.name, "predicted": predicted,
+              "ms": elapsed, "summary": plan.summary()}
+    if plan.placements:
+        result["macro_report"] = plan.floorplan().macro_report()
+    return result
 
 
-def _evaluate_backend_point(model_name: str, mode_name: str,
-                            spec: str) -> dict:
+def _evaluate_backend_point(model_name: str, mode_name: str, spec: str,
+                            macro_spec: str = "32x32") -> dict:
     """Pool worker: rebuild the deterministic demo model in this process
     and evaluate one backend on it."""
     model, inputs = _demo_model_and_inputs(model_name, mode_name)
-    return _evaluate_backend(model, inputs, spec)
+    return _evaluate_backend(model, inputs, spec, macro_spec)
 
 
 def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
-                 jobs: int = 1) -> str:
+                 jobs: int = 1, macro_spec: str = "32x32") -> str:
     """Build a reduced paper model, compile it for each requested backend,
     and report plan structure, prediction agreement, and latency.
 
     With ``--jobs N`` the backends are compiled and evaluated in worker
     processes (each rebuilds the deterministic demo model); with 1 they
-    run in-process, serially.
+    run in-process, serially.  The ``sharded`` backend additionally
+    reports its per-macro shard map (fill and scan energy).
     """
     from repro.experiments import map_parallel
     from repro.runtime import available_backends
 
+    _parse_macro(macro_spec)    # reject a bad --macros before any work
     if backend_spec == "all":
-        specs = ["reference", "packed", "ideal-rram"]
+        specs = ["reference", "packed", "ideal-rram", "sharded"]
     elif backend_spec in available_backends():
         specs = [backend_spec]
     else:
@@ -247,12 +285,13 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
     if jobs <= 1:
         # In-process: build and calibrate the demo model exactly once.
         model, inputs = _demo_model_and_inputs(model_name, mode_name)
-        results = [_evaluate_backend(model, inputs, spec) for spec in specs]
+        results = [_evaluate_backend(model, inputs, spec, macro_spec)
+                   for spec in specs]
     else:
         results = map_parallel(
             _evaluate_backend_point,
             [{"model_name": model_name, "mode_name": mode_name,
-              "spec": spec} for spec in specs],
+              "spec": spec, "macro_spec": macro_spec} for spec in specs],
             jobs=jobs)
 
     lines = [results[0]["summary"], ""]
@@ -265,12 +304,17 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
                      f"{result['ms']:>10.2f}")
     lines.append("")
     lines.append("agreement is relative to the first backend; the Eq. 3 "
-                 "contract is 100% for\nreference/packed and ideal RRAM.")
+                 "contract is 100% for\nreference/packed, ideal RRAM and "
+                 "the sharded multi-macro backend.")
+    for result in results:
+        if "macro_report" in result:
+            lines += ["", result["macro_report"]]
     return "\n".join(lines)
 
 
 def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
-               trial_chunk: int | None = None) -> str:
+               trial_chunk: int | None = None,
+               cache_stats: bool = False) -> str:
     """Run a stock sweep workload through the (optionally parallel)
     executor, reporting throughput in points/sec (and trials/sec when the
     points are trial-batched)."""
@@ -287,6 +331,11 @@ def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
                       mode=("1T1R", "2T2R"), n_cells=(4096,), seed=(0,),
                       trials=(int(trials),))
         x_axis, metric, split = "cycles", "ber", "mode"
+    elif workload == "sharded":
+        fn = workloads.sharded_robustness_point
+        points = grid(macro_cols=(8, 16, 32, 64), macro_rows=(8,),
+                      sigma=(1.5,), seed=(0, 1), trials=(int(trials),))
+        x_axis, metric, split = "macro_cols", "agreement", "seed"
     else:
         fn = workloads.rram_inference_point
         points = grid(sigma=[round(s, 3) for s in np.linspace(0.0, 2.5, 8)],
@@ -321,25 +370,29 @@ def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
                               where={split: value, "trials": int(trials)})
         series = ", ".join(f"{x:g}:{y:.4g}" for x, y in zip(xs, ys))
         lines.append(f"  {split}={value}: {metric} by {x_axis}: {series}")
+    if cache_stats:
+        from repro.experiments import plan_cache_stats
+        stats = plan_cache_stats()
+        line = (f"plan cache: {stats['hits']} hits, "
+                f"{stats['misses']} misses, {stats['size']} resident")
+        if jobs > 1:
+            line += " (parent process only; workers keep their own caches)"
+        lines.append(line)
     return "\n".join(lines)
 
 
 def _cmd_floorplan(model_name: str, macro_spec: str) -> str:
-    from repro.rram import MacroGeometry, plan_classifier
+    from repro.rram import plan_classifier
 
-    try:
-        rows, cols = (int(part) for part in macro_spec.lower().split("x"))
-    except ValueError:
-        raise SystemExit(
-            f"--macro must look like 32x32, got {macro_spec!r}")
+    macro = _parse_macro(macro_spec)
     # Classifier geometries of the three full-size paper models.
     shapes = {
         "eeg": [(80, 2520), (2, 80)],
         "ecg": [(75, 5152), (2, 75)],
         "mobilenet": [(1024, 1024), (1000, 1024)],
     }[model_name]
-    plan = plan_classifier(shapes, MacroGeometry(rows, cols))
-    return plan.report()
+    plan = plan_classifier(shapes, macro)
+    return plan.report() + "\n\n" + plan.macro_report()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -366,10 +419,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(analytic.run_energy())
         elif args.command == "compile":
             print(_cmd_compile(args.model, args.backend, args.mode,
-                               args.jobs))
+                               args.jobs, args.macros))
         elif args.command == "sweep":
             print(_cmd_sweep(args.workload, args.jobs, args.out,
-                             args.trials, args.trial_chunk))
+                             args.trials, args.trial_chunk,
+                             args.cache_stats))
         elif args.command == "floorplan":
             print(_cmd_floorplan(args.model, args.macro))
     except BrokenPipeError:

@@ -252,6 +252,22 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                      "repro.experiments.workloads"),
             bench="benchmarks/bench_mc_trials.py"),
         ExperimentInfo(
+            id="XTRA17",
+            artefact="scale claim — sharded multi-macro backend",
+            description=(
+                "Every folded layer split across fixed-geometry simulated "
+                "RRAM chips by its floorplan shard map (fan-in slices, "
+                "partial-popcount reduction, fan-out stripes): bit-"
+                "identical to the monolithic RRAM backend on noise-free "
+                "configs at divisible and tail-shard geometries, chunk-"
+                "invariant Monte-Carlo trials with per-(shard, trial) "
+                "noise streams, and sharded-vs-monolithic throughput "
+                "(records BENCH_sharded_backend.json)."),
+            kind="script",
+            modules=("repro.rram.accelerator", "repro.rram.floorplan",
+                     "repro.rram.mc", "repro.runtime"),
+            bench="benchmarks/bench_sharded_backend.py"),
+        ExperimentInfo(
             id="XTRA8",
             artefact="§I reference point — 8-bit quantization",
             description=(

@@ -21,7 +21,8 @@ import time
 
 import numpy as np
 
-__all__ = ["ber_point", "rram_inference_point", "latency_point"]
+__all__ = ["ber_point", "rram_inference_point", "sharded_robustness_point",
+           "latency_point"]
 
 
 def _cell_geometry(n_cells: int) -> tuple[int, int]:
@@ -129,6 +130,70 @@ def rram_inference_point(sigma: float, seed: int = 0, n_inputs: int = 32,
     per_trial = (out == reference[None]).mean(axis=(1, 2))
     return {"agreement": float(per_trial.mean()),
             "agreement_std": float(per_trial.std())}
+
+
+def sharded_robustness_point(macro_cols: int, macro_rows: int = 8,
+                             sigma: float = 1.5, seed: int = 0,
+                             n_inputs: int = 32, in_features: int = 131,
+                             out_features: int = 10, trials: int = 1,
+                             trial_chunk: int | None = None
+                             ) -> dict[str, float]:
+    """Agreement of a *sharded multi-macro* dense layer against the folded
+    reference, as a function of the macro geometry — the new robustness
+    axis the sharded backend opens: the same layer, the same read-offset
+    sigma, but split across more (smaller) or fewer (larger) chips.
+
+    ``in_features`` defaults to a prime so almost every geometry produces
+    non-divisible tail shards.  Device variability is zero and ``sigma``
+    is applied at read time as a sense override, so the whole geometry
+    series shares one folded layer while each geometry programs its own
+    shard grid (cached per worker, keyed by the geometry).  Trials run
+    trial-batched on per-(shard, trial) child streams
+    (:func:`repro.rram.mc.shard_streams`); at ``sigma=0`` the reduction
+    is exact and agreement is exactly 1.
+    """
+    from repro.experiments.executor import cached_plan
+    from repro.rram import SenseParameters, trial_streams
+
+    def _build():
+        from repro import nn
+        from repro.nn.binary import fold_batchnorm_sign
+        from repro.rram import (AcceleratorConfig, DeviceParameters,
+                                InMemoryDenseLayer, MacroGeometry,
+                                ShardedController)
+
+        rng = np.random.default_rng(seed)
+        layer = nn.BinaryLinear(in_features, out_features, rng=rng)
+        bn = nn.BatchNorm1d(out_features)
+        bn.set_buffer("running_mean", rng.standard_normal(out_features))
+        bn.set_buffer("running_var", rng.uniform(0.5, 2.0, out_features))
+        bn.eval()
+        folded = fold_batchnorm_sign(layer, bn)
+        device = DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                                  broadening=0.0, hrs_drift=0.0,
+                                  device_mismatch=1.0)
+        config = AcceleratorConfig(
+            device=device, sense=SenseParameters(offset_sigma=0.0))
+        # fast_path=False keeps every shard's physical margins resident so
+        # the cached grid can be read at any sense sigma of the sweep.
+        controller = ShardedController(
+            folded.weight_bits, config=config, rng=rng, fast_path=False,
+            macro=MacroGeometry(int(macro_rows), int(macro_cols)))
+        hw = InMemoryDenseLayer(folded, controller=controller)
+        x = rng.integers(0, 2, (n_inputs, in_features)).astype(np.uint8)
+        return hw, x, folded.forward_bits(x)
+
+    hw, x, reference = cached_plan(
+        ("sharded_robustness", int(macro_rows), int(macro_cols), seed,
+         n_inputs, in_features, out_features), _build)
+    out = hw.forward_bits_trials(
+        x, trial_streams(seed, trials),
+        sense=SenseParameters(offset_sigma=sigma), trial_chunk=trial_chunk)
+    per_trial = (out == reference[None]).mean(axis=(1, 2))
+    return {"agreement": float(per_trial.mean()),
+            "agreement_std": float(per_trial.std()),
+            "n_macros": float(hw.controller.n_macros),
+            "utilization": float(hw.controller.placement.utilization)}
 
 
 def latency_point(index: int, seed: int = 0, blocking_ms: float = 0.0,

@@ -24,6 +24,7 @@ from repro.rram.sense import (SenseParameters, PrechargeSenseAmplifier,
 from repro.rram.cell import OneT1RCell, TwoT2RCell
 from repro.rram.array import RRAMArray
 from repro.rram.accelerator import (AcceleratorConfig, MemoryController,
+                                    ShardedController,
                                     InMemoryDenseLayer, InMemoryOutputLayer,
                                     InMemoryClassifier, fold_classifier,
                                     deploy_classifier, classifier_input_bits)
@@ -42,13 +43,14 @@ from repro.rram.reliability import (RetentionModel, retention_ber_1t1r,
                                     YieldAnalysis, YieldResult)
 from repro.rram.analog import (AnalogConfig, AnalogCrossbar, AnalogLinear,
                                PeripheryModel)
-from repro.rram.floorplan import (MacroGeometry, LayerPlacement,
+from repro.rram.floorplan import (MacroGeometry, MacroShard, LayerPlacement,
                                   ChipFloorplan, plan_classifier,
                                   plan_model)
 from repro.rram.conv2d import (FoldedBinaryConv2d, fold_conv2d_batchnorm_sign,
                                fold_depthwise2d_batchnorm_sign,
                                InMemoryConv2dLayer, max_pool_bits_2d)
-from repro.rram.mc import read_bit_errors, trial_chunks, trial_streams
+from repro.rram.mc import (read_bit_errors, shard_streams, trial_chunks,
+                           trial_streams)
 
 __all__ = [
     "DeviceParameters", "ResistiveState", "RRAMDevice",
@@ -56,9 +58,9 @@ __all__ = [
     "SenseParameters", "PrechargeSenseAmplifier", "XnorPCSA",
     "OneT1RCell", "TwoT2RCell",
     "RRAMArray",
-    "AcceleratorConfig", "MemoryController", "InMemoryDenseLayer",
-    "InMemoryOutputLayer", "InMemoryClassifier", "fold_classifier",
-    "deploy_classifier", "classifier_input_bits",
+    "AcceleratorConfig", "MemoryController", "ShardedController",
+    "InMemoryDenseLayer", "InMemoryOutputLayer", "InMemoryClassifier",
+    "fold_classifier", "deploy_classifier", "classifier_input_bits",
     "EnduranceExperiment", "EnduranceResult", "inject_bit_errors",
     "corrupt_folded",
     "HammingCode", "simulate_protected_storage",
@@ -71,10 +73,10 @@ __all__ = [
     "arrhenius_acceleration", "equivalent_hours",
     "YieldAnalysis", "YieldResult",
     "AnalogConfig", "AnalogCrossbar", "AnalogLinear", "PeripheryModel",
-    "MacroGeometry", "LayerPlacement", "ChipFloorplan", "plan_classifier",
-    "plan_model",
+    "MacroGeometry", "MacroShard", "LayerPlacement", "ChipFloorplan",
+    "plan_classifier", "plan_model",
     "FoldedBinaryConv2d", "fold_conv2d_batchnorm_sign",
     "fold_depthwise2d_batchnorm_sign", "InMemoryConv2dLayer",
     "max_pool_bits_2d",
-    "read_bit_errors", "trial_chunks", "trial_streams",
+    "read_bit_errors", "shard_streams", "trial_chunks", "trial_streams",
 ]

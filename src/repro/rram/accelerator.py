@@ -11,6 +11,10 @@ This module provides that architecture end to end:
 
 * :class:`MemoryController` — tiles an arbitrary weight-bit matrix over
   kilobit :class:`~repro.rram.array.RRAMArray` macros and programs them;
+* :class:`ShardedController` — the multi-chip variant: executes a
+  floorplan shard map (:meth:`~repro.rram.floorplan.LayerPlacement.
+  shards`) as one fixed-geometry macro chip per shard, with fan-in
+  slicing, per-chip partial popcounts and a digital reduction stage;
 * :class:`InMemoryDenseLayer` / :class:`InMemoryOutputLayer` — hardware
   execution of hidden (sign) and output (argmax) binary dense layers;
 * :class:`InMemoryClassifier` — a stack of the above;
@@ -27,7 +31,7 @@ bit-exactness tests and realistic hardware for fault studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -36,13 +40,14 @@ from repro.nn.binary import (FoldedBinaryDense, FoldedOutputDense,
 from repro.nn.bitops import pack_bits, packed_xnor_popcount
 from repro.rram.array import RRAMArray
 from repro.rram.device import DeviceParameters
-from repro.rram.mc import READ_CHUNK_ELEMS
+from repro.rram.floorplan import LayerPlacement, MacroGeometry
+from repro.rram.mc import READ_CHUNK_ELEMS, shard_streams
 from repro.rram.sense import SenseParameters
 from repro.tensor import Tensor, no_grad
 
-__all__ = ["AcceleratorConfig", "MemoryController", "InMemoryDenseLayer",
-           "InMemoryOutputLayer", "InMemoryClassifier", "fold_classifier",
-           "deploy_classifier", "classifier_input_bits"]
+__all__ = ["AcceleratorConfig", "MemoryController", "ShardedController",
+           "InMemoryDenseLayer", "InMemoryOutputLayer", "InMemoryClassifier",
+           "fold_classifier", "deploy_classifier", "classifier_input_bits"]
 
 
 @dataclass
@@ -85,6 +90,25 @@ def _noise_free(config: AcceleratorConfig) -> bool:
     return (device.sigma_lrs0 == 0.0 and device.sigma_hrs0 == 0.0
             and device.hrs_drift == 0.0 and sense.offset_sigma == 0.0
             and device.median_hrs > device.median_lrs)
+
+
+def _validate_trial_input(x_bits: np.ndarray, n_trials: int,
+                          in_features: int) -> bool:
+    """Check a trial-batched activation stack; returns ``shared``.
+
+    ``x_bits`` is either a shared ``(N, in_features)`` batch or a
+    per-trial ``(n_trials, N, in_features)`` stack.  Both controller
+    flavours accept exactly these shapes, through this one check.
+    """
+    shared = x_bits.ndim == 2
+    if (shared and x_bits.shape[1] != in_features) or \
+            (not shared and (x_bits.ndim != 3
+                             or x_bits.shape[0] != n_trials
+                             or x_bits.shape[2] != in_features)):
+        raise ValueError(
+            f"input shape {x_bits.shape} != (N, {in_features}) "
+            f"or ({n_trials}, N, {in_features})")
+    return shared
 
 
 class MemoryController:
@@ -306,14 +330,7 @@ class MemoryController:
         """
         x_bits = np.asarray(x_bits, dtype=np.uint8)
         n_trials = len(rngs)
-        shared = x_bits.ndim == 2
-        if (shared and x_bits.shape[1] != self.in_features) or \
-                (not shared and (x_bits.ndim != 3
-                                 or x_bits.shape[0] != n_trials
-                                 or x_bits.shape[2] != self.in_features)):
-            raise ValueError(
-                f"input shape {x_bits.shape} != (N, {self.in_features}) "
-                f"or ({n_trials}, N, {self.in_features})")
+        shared = _validate_trial_input(x_bits, n_trials, self.in_features)
         n = x_bits.shape[0] if shared else x_bits.shape[1]
         out_p = self._count_read_ops(n, trials=n_trials)
         if self.fast_path:
@@ -354,6 +371,187 @@ class MemoryController:
         return counts[:, :, :self.out_features]
 
 
+class ShardedController:
+    """One folded layer split across a grid of simulated macro *chips*.
+
+    Where :class:`MemoryController` simulates a layer as one monolithic
+    array (tiling internally but sensing and reducing as a single device),
+    this controller executes the layer's
+    :meth:`~repro.rram.floorplan.LayerPlacement.shards` map: every
+    :class:`~repro.rram.floorplan.MacroShard` becomes its own fixed-
+    geometry chip — a single-macro :class:`MemoryController` holding the
+    shard's row/column slice of the weight matrix, padded to the macro
+    geometry exactly like a real partially-filled edge macro.
+
+    The dataflow is shard-and-reduce:
+
+    * **fan-in sharding**: the activation bits are sliced per shard
+      column range; each chip XNOR-scans its word lines against its slice
+      and emits *partial popcounts* over its own fan-in columns;
+    * **reduction**: partial popcounts of the shards in one fan-out
+      stripe are summed digitally (the inter-chip accumulator); stripes
+      are concatenated for wide layers (fan-out sharding).  The caller
+      applies the integer threshold once, on the reduced counts — so on
+      noise-free configurations the result is bit-identical to the
+      monolithic controller (popcounts decompose exactly over column
+      slices).
+
+    Randomness follows the sharded stream contract of
+    :func:`repro.rram.mc.shard_streams`: programming spawns one child of
+    the root generator per shard (chips have independent devices), and
+    every noisy scan spawns one child per shard from the read stream —
+    per-trial, per-shard independent sense noise, chunk-invariant and
+    bit-identical between trial-batched and serial per-trial execution.
+
+    The same read API as :class:`MemoryController` (``popcounts`` /
+    ``popcounts_trials`` / meters), so the in-memory layer classes accept
+    either via their ``controller`` parameter.
+    """
+
+    read_chunk_elems = READ_CHUNK_ELEMS
+
+    def __init__(self, weight_bits: np.ndarray,
+                 placement: LayerPlacement | None = None,
+                 config: AcceleratorConfig | None = None,
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool | str = "auto",
+                 macro: MacroGeometry | None = None,
+                 name: str = "layer"):
+        config = (config or AcceleratorConfig()).resolved()
+        self.config = config
+        self.rng = rng or np.random.default_rng(config.seed)
+        weight_bits = np.asarray(weight_bits, dtype=np.uint8)
+        if weight_bits.ndim != 2:
+            raise ValueError(
+                f"weight bits must be 2-D, got {weight_bits.shape}")
+        self.out_features, self.in_features = weight_bits.shape
+        if placement is None:
+            macro = macro or MacroGeometry(config.tile_rows, config.tile_cols)
+            placement = LayerPlacement(name, self.out_features,
+                                       self.in_features, macro)
+        if (placement.out_features, placement.in_features) \
+                != weight_bits.shape:
+            raise ValueError(
+                f"placement {placement.name!r} is for "
+                f"({placement.out_features}, {placement.in_features}) "
+                f"weights, got {weight_bits.shape}")
+        self.placement = placement
+        self.macro = placement.macro
+        self.shard_map = placement.shards()
+        # Every chip is a full macro: tail shards pad to the fixed
+        # geometry, exactly like the floorplan provisions them.
+        shard_config = replace(config, tile_rows=self.macro.rows,
+                               tile_cols=self.macro.cols)
+        program_streams = self.rng.spawn(len(self.shard_map))
+        self.shards = [
+            MemoryController(
+                weight_bits[s.row_start:s.row_stop,
+                            s.col_start:s.col_stop],
+                shard_config, program_streams[s.index], fast_path)
+            for s in self.shard_map]
+        self.fast_path = self.shards[0].fast_path
+
+    # -- geometry / meters ----------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_macros(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_devices(self) -> int:
+        return sum(shard.n_devices for shard in self.shards)
+
+    @property
+    def sense_ops(self) -> int:
+        return sum(shard.sense_ops for shard in self.shards)
+
+    @property
+    def popcount_bit_ops(self) -> int:
+        return sum(shard.popcount_bit_ops for shard in self.shards)
+
+    def wear(self, cycles: int) -> None:
+        """Age every chip's devices (endurance studies)."""
+        for shard in self.shards:
+            shard.wear(cycles)
+
+    def reprogram(self) -> None:
+        """Refresh every chip (re-draws all shard resistances)."""
+        for shard in self.shards:
+            shard.reprogram()
+
+    # -- reads -----------------------------------------------------------
+    def popcounts(self, x_bits: np.ndarray,
+                  rng: np.random.Generator | None = None,
+                  sense: SenseParameters | None = None) -> np.ndarray:
+        """Shard-and-reduce XNOR-popcount of a batch: ``(N, in)`` bits in,
+        ``(N, out_features)`` reduced counts out.
+
+        Each shard scans its fan-in slice with its own spawned child of
+        ``rng`` (the controller's root generator by default); partial
+        popcounts are summed per fan-out stripe.  On the fast path no
+        noise is drawn and the reduction is exact.
+        """
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        if x_bits.ndim != 2 or x_bits.shape[1] != self.in_features:
+            raise ValueError(
+                f"input shape {x_bits.shape} != (N, {self.in_features})")
+        if self.fast_path:
+            streams = [None] * self.n_shards
+        else:
+            streams = (rng or self.rng).spawn(self.n_shards)
+        counts = np.zeros((x_bits.shape[0], self.out_features),
+                          dtype=np.int64)
+        for spec, shard, stream in zip(self.shard_map, self.shards,
+                                       streams):
+            counts[:, spec.row_start:spec.row_stop] += shard.popcounts(
+                x_bits[:, spec.col_start:spec.col_stop],
+                rng=stream, sense=sense)
+        return counts
+
+    def popcounts_trials(self, x_bits: np.ndarray, rngs,
+                         sense: SenseParameters | None = None,
+                         trial_chunk: int | None = None) -> np.ndarray:
+        """Trial-batched shard-and-reduce: ``(T, N, out_features)`` counts.
+
+        Shard ``s`` of trial ``t`` draws from child ``(t, s)`` of the
+        trial streams (:func:`repro.rram.mc.shard_streams`), so the stack
+        is bit-identical to ``[popcounts(x[t], rng=rngs[t]) for t in
+        range(T)]`` for any ``trial_chunk`` — the serial path spawns the
+        same children from its single trial stream.
+        """
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        n_trials = len(rngs)
+        shared = _validate_trial_input(x_bits, n_trials, self.in_features)
+        if self.fast_path:
+            # Deterministic reads never consume the trial streams, so the
+            # (unused) stream list is passed through unspawned — but the
+            # scan still goes shard by shard so every chip meters all
+            # n_trials scans, exactly like the noisy path.
+            streams = [rngs] * self.n_shards
+        else:
+            streams = shard_streams(rngs, self.n_shards)
+        n = x_bits.shape[0] if shared else x_bits.shape[1]
+        counts = np.zeros((n_trials, n, self.out_features), dtype=np.int64)
+        for spec, shard, shard_rngs in zip(self.shard_map, self.shards,
+                                           streams):
+            xs = x_bits[:, spec.col_start:spec.col_stop] if shared \
+                else x_bits[:, :, spec.col_start:spec.col_stop]
+            counts[:, :, spec.row_start:spec.row_stop] += \
+                shard.popcounts_trials(xs, shard_rngs, sense=sense,
+                                       trial_chunk=trial_chunk)
+        return counts
+
+    def __repr__(self) -> str:
+        rows, cols = self.placement.tile_grid
+        return (f"ShardedController({self.out_features}x{self.in_features} "
+                f"on {rows}x{cols} macros of "
+                f"{self.macro.rows}x{self.macro.cols}, "
+                f"fast_path={self.fast_path})")
+
+
 class InMemoryDenseLayer:
     """A hidden binary dense layer executed on RRAM tiles.
 
@@ -364,10 +562,11 @@ class InMemoryDenseLayer:
     def __init__(self, folded: FoldedBinaryDense,
                  config: AcceleratorConfig | None = None,
                  rng: np.random.Generator | None = None,
-                 fast_path: bool | str = "auto"):
+                 fast_path: bool | str = "auto",
+                 controller=None):
         self.folded = folded
-        self.controller = MemoryController(folded.weight_bits, config, rng,
-                                           fast_path)
+        self.controller = controller if controller is not None else \
+            MemoryController(folded.weight_bits, config, rng, fast_path)
 
     def forward_bits(self, x_bits: np.ndarray,
                      rng: np.random.Generator | None = None,
@@ -398,10 +597,11 @@ class InMemoryOutputLayer:
     def __init__(self, folded: FoldedOutputDense,
                  config: AcceleratorConfig | None = None,
                  rng: np.random.Generator | None = None,
-                 fast_path: bool | str = "auto"):
+                 fast_path: bool | str = "auto",
+                 controller=None):
         self.folded = folded
-        self.controller = MemoryController(folded.weight_bits, config, rng,
-                                           fast_path)
+        self.controller = controller if controller is not None else \
+            MemoryController(folded.weight_bits, config, rng, fast_path)
 
     def forward_scores(self, x_bits: np.ndarray,
                        rng: np.random.Generator | None = None,

@@ -202,10 +202,11 @@ class InMemoryConv2dLayer:
     def __init__(self, folded: FoldedBinaryConv2d,
                  config: AcceleratorConfig | None = None,
                  rng: np.random.Generator | None = None,
-                 fast_path: bool | str = "auto"):
+                 fast_path: bool | str = "auto",
+                 controller=None):
         self.folded = folded
-        self.controller = MemoryController(folded.weight_bits, config, rng,
-                                           fast_path)
+        self.controller = controller if controller is not None else \
+            MemoryController(folded.weight_bits, config, rng, fast_path)
 
     def forward_bits(self, x_bits: np.ndarray,
                      rng=None, sense=None) -> np.ndarray:

@@ -11,6 +11,14 @@ one-time programming cost are.
 :class:`ChipFloorplan` computes exactly that from the folded layer shapes,
 using the same technology constants as :class:`repro.rram.energy.EnergyModel`
 so area numbers are consistent across the repository.
+
+A placement is also *executable*: :meth:`LayerPlacement.shards` turns the
+tile grid into an explicit shard map — one :class:`MacroShard` per macro,
+carrying the exact row/column slice of the weight matrix that macro holds
+(edge shards are partial).  The sharded multi-macro backend
+(:class:`repro.rram.accelerator.ShardedController`) programs one simulated
+chip per shard from this map, which is what ties the floorplan's placement
+math to actual execution instead of report-only accounting.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.rram.energy import EnergyModel
 
-__all__ = ["MacroGeometry", "LayerPlacement", "ChipFloorplan",
+__all__ = ["MacroGeometry", "MacroShard", "LayerPlacement", "ChipFloorplan",
            "plan_classifier", "plan_model"]
 
 
@@ -39,6 +47,44 @@ class MacroGeometry:
     @property
     def synapses(self) -> int:
         return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class MacroShard:
+    """One macro's slice of a layer placement: the executable shard map
+    entry.
+
+    ``row_start:row_stop`` are the output neurons (word lines) this chip
+    holds, ``col_start:col_stop`` the fan-in slice (bit-line columns).
+    Edge shards of a non-divisible layer are partial: they still occupy a
+    full macro but only ``rows x cols`` of its synapses hold real weights.
+    """
+
+    index: int
+    grid_row: int
+    grid_col: int
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+    macro: MacroGeometry
+
+    @property
+    def rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    @property
+    def cols(self) -> int:
+        return self.col_stop - self.col_start
+
+    @property
+    def synapses_used(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def utilization(self) -> float:
+        """Fill fraction of this one macro (1.0 for interior shards)."""
+        return self.synapses_used / self.macro.synapses
 
 
 @dataclass
@@ -62,6 +108,14 @@ class LayerPlacement:
                 f"({self.out_features}, {self.in_features})")
         self.tile_grid = (-(-self.out_features // self.macro.rows),
                           -(-self.in_features // self.macro.cols))
+        # Tail-shard invariant: the ceil division must provision at least
+        # every real synapse (the tail is a partial macro, never dropped)
+        # and utilization can therefore never exceed 1.0.
+        if self.synapses_provisioned < self.synapses_used:
+            raise ValueError(
+                f"layer {self.name!r}: provisioned "
+                f"{self.synapses_provisioned} synapses for "
+                f"{self.synapses_used} weights — tail shard lost")
 
     @property
     def n_macros(self) -> int:
@@ -80,6 +134,35 @@ class LayerPlacement:
     def utilization(self) -> float:
         """Fraction of provisioned synapses that hold real weights."""
         return self.synapses_used / self.synapses_provisioned
+
+    def shards(self) -> list[MacroShard]:
+        """The executable shard map: one :class:`MacroShard` per macro.
+
+        Shards are emitted in row-major grid order (fan-out stripes outer,
+        fan-in slices inner) — the scan order the sharded controller's
+        reduction stage relies on.  The map is validated on every call:
+        shards tile the weight matrix exactly (every weight accounted
+        once, tails included) and never over-claim a macro.
+        """
+        rows, cols = self.tile_grid
+        mr, mc = self.macro.rows, self.macro.cols
+        shards = []
+        for i in range(rows):
+            for j in range(cols):
+                shards.append(MacroShard(
+                    index=i * cols + j, grid_row=i, grid_col=j,
+                    row_start=i * mr,
+                    row_stop=min((i + 1) * mr, self.out_features),
+                    col_start=j * mc,
+                    col_stop=min((j + 1) * mc, self.in_features),
+                    macro=self.macro))
+        used = sum(s.synapses_used for s in shards)
+        if used != self.synapses_used or \
+                any(s.utilization > 1.0 for s in shards):
+            raise RuntimeError(
+                f"layer {self.name!r}: shard map covers {used} synapses, "
+                f"expected {self.synapses_used}")
+        return shards
 
     def row(self) -> tuple[str, ...]:
         rows, cols = self.tile_grid
@@ -143,6 +226,36 @@ class ChipFloorplan:
         writes = 2 * sum(p.synapses_used for p in self.placements)
         return {"device_writes": float(writes),
                 "energy_pj": writes * self.energy.rram_program_pj}
+
+    def macro_report(self) -> str:
+        """Per-macro view of the plan: shard fill and scan energy.
+
+        For each layer: how many macros it occupies, how many of them are
+        partial tail shards, the worst/mean per-macro utilization from the
+        shard map, and the energy of one full word-line scan of a single
+        macro (every synapse sensed through the XNOR PCSA plus its share
+        of the popcount tree) from the shared technology constants.
+        """
+        from repro.experiments.tables import render_table
+        rows = []
+        for p in self.placements:
+            shards = p.shards()
+            tails = sum(1 for s in shards if s.utilization < 1.0)
+            fills = [s.utilization for s in shards]
+            scan_pj = p.macro.synapses * (
+                self.energy.xnor_pcsa_sense_fj
+                + self.energy.popcount_fj_per_bit) / 1e3
+            rows.append((p.name, str(p.n_macros), str(tails),
+                         f"{min(fills):.1%}",
+                         f"{sum(fills) / len(fills):.1%}",
+                         f"{scan_pj:.2f}"))
+        return render_table(
+            "Per-macro shard map "
+            f"({self.placements[0].macro.rows}x"
+            f"{self.placements[0].macro.cols} macros)",
+            ["Layer", "Macros", "Tails", "Min fill", "Mean fill",
+             "Scan pJ/macro"],
+            rows)
 
     def report(self) -> str:
         from repro.experiments.tables import render_table

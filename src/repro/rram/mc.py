@@ -37,7 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["READ_CHUNK_ELEMS", "trial_streams", "trial_chunks",
-           "read_bit_errors"]
+           "shard_streams", "read_bit_errors"]
 
 #: Shared element budget for stacked noise tensors: every chunked scan
 #: (array reads, controller scans, endurance windows) bounds its offset
@@ -63,6 +63,31 @@ def trial_streams(seed, trials: int) -> list[np.random.Generator]:
     seed_seq = seed if isinstance(seed, np.random.SeedSequence) \
         else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seed_seq.spawn(trials)]
+
+
+def shard_streams(rngs, n_shards: int) -> list[list[np.random.Generator]]:
+    """Per-(shard, trial) child streams for a sharded multi-macro scan.
+
+    Extends the per-trial stream contract to a second axis: a sharded
+    controller reading trial ``t`` across ``n_shards`` chips gives shard
+    ``s`` the ``s``-th spawned child of trial stream ``t``, so every
+    ``(shard, trial)`` pair draws from its own independent generator —
+    chips have independent sense amplifiers, and neither trial chunking
+    nor shard scan order can couple their noise.
+
+    Returns ``streams[s][t]`` (shard-major), ready to hand each shard its
+    own per-trial stream list.  Spawning consumes each trial stream's
+    spawn counter exactly once, in trial order, so the stack is
+    bit-identical to a serial per-trial loop that spawns ``n_shards``
+    children from its single trial stream — the sharded analogue of the
+    split-stable-draw contract above.
+    """
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    children = [rng.spawn(n_shards) for rng in rngs]
+    return [[children[t][s] for t in range(len(rngs))]
+            for s in range(n_shards)]
 
 
 def trial_chunks(n_trials: int, per_trial_elems: int,

@@ -15,10 +15,11 @@ wiring:
   :class:`ReferenceBackend` (integer matmul formulation),
   :class:`PackedBackend` (uint64 XNOR-popcount kernels, dense *and*
   convolutional), :class:`RRAMBackend` (simulated 2T2R macros with
-  vectorized word-line scanning);
-* :func:`register_backend` makes every future substrate (sharded
-  multi-macro arrays, async sweep executors) a plug-in rather than a
-  rewrite.
+  vectorized word-line scanning), :class:`ShardedRRAMBackend` (the
+  floorplan's shard map executed across multiple fixed-geometry macro
+  chips with partial-popcount reduction);
+* :func:`register_backend` makes every future substrate (async sweep
+  executors, multi-model serving) a plug-in rather than a rewrite.
 
 Fully binarized EEG/ECG models can additionally lower their *feature*
 convolutions onto the backend (``lower_features``), keeping only the
@@ -27,8 +28,9 @@ practice.
 """
 
 from repro.runtime.backends import (Backend, ReferenceBackend, PackedBackend,
-                                    RRAMBackend, register_backend,
-                                    resolve_backend, available_backends)
+                                    RRAMBackend, ShardedRRAMBackend,
+                                    register_backend, resolve_backend,
+                                    available_backends)
 from repro.runtime.compile import (compile, CompiledModel,
                                    fold_classifier_stack)
 from repro.runtime.ir import (PlanOp, FrontEndOp, BitTransformOp, BitLayerOp,
@@ -37,6 +39,7 @@ from repro.runtime.ir import (PlanOp, FrontEndOp, BitTransformOp, BitLayerOp,
 __all__ = [
     "compile", "CompiledModel", "fold_classifier_stack",
     "Backend", "ReferenceBackend", "PackedBackend", "RRAMBackend",
+    "ShardedRRAMBackend",
     "register_backend", "resolve_backend", "available_backends",
     "PlanOp", "FrontEndOp", "BitTransformOp", "BitLayerOp", "OutputLayerOp",
 ]

@@ -21,12 +21,15 @@ from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
 from repro.nn.bitops import (PackedBinaryConv1d, PackedBinaryConv2d,
                              PackedBinaryDense, PackedOutputDense)
 from repro.rram.accelerator import (AcceleratorConfig, InMemoryDenseLayer,
-                                    InMemoryOutputLayer)
+                                    InMemoryOutputLayer, ShardedController)
 from repro.rram.conv import FoldedBinaryConv1d, InMemoryConv1dLayer
 from repro.rram.conv2d import FoldedBinaryConv2d, InMemoryConv2dLayer
+from repro.rram.energy import EnergyModel
+from repro.rram.floorplan import ChipFloorplan, LayerPlacement, MacroGeometry
 
 __all__ = ["Backend", "ReferenceBackend", "PackedBackend", "RRAMBackend",
-           "register_backend", "resolve_backend", "available_backends"]
+           "ShardedRRAMBackend", "register_backend", "resolve_backend",
+           "available_backends"]
 
 
 class Backend:
@@ -38,6 +41,14 @@ class Backend:
     """
 
     name = "abstract"
+
+    def begin_plan(self) -> None:
+        """Called once by ``compile`` before any ``prepare_*`` call.
+
+        Stateful backends reset per-plan bookkeeping here (the sharded
+        backend clears its recorded placements) so reusing one backend
+        instance across compiles never leaks state between plans.
+        """
 
     def prepare_dense(self, folded: FoldedBinaryDense):
         raise NotImplementedError(
@@ -157,22 +168,111 @@ class RRAMBackend(Backend):
                 f"fast_path={self.fast_path!r})")
 
 
+class ShardedRRAMBackend(Backend):
+    """Multi-macro execution: every folded layer split across simulated
+    RRAM *chips* by its floorplan placement.
+
+    The monolithic :class:`RRAMBackend` cannot place a layer wider than
+    one controller's array at realistic macro geometries; this backend
+    executes the :class:`~repro.rram.floorplan.LayerPlacement` shard map
+    instead — one fixed-geometry macro chip per shard, fan-in slices
+    producing partial popcounts that a digital reduction stage sums before
+    the single integer threshold (fan-out stripes are concatenated for
+    wide layers).  Noise-free configurations are bit-identical to the
+    monolithic backend *and* to reference/packed; noisy configurations
+    draw per-shard independent sense noise through the
+    :func:`repro.rram.mc.shard_streams` contract, so Monte-Carlo trial
+    batching (``scores_trials`` / ``evaluate_compiled(trials=)``) stays
+    chunk-invariant on the sharded path.
+
+    Placements are recorded per prepared layer (in plan order) and exposed
+    as a :class:`~repro.rram.floorplan.ChipFloorplan`, so a compiled plan
+    reports per-macro utilization, area and programming/scan energy from
+    the existing floorplan cost model.
+    """
+
+    name = "sharded"
+
+    def __init__(self, config: AcceleratorConfig | None = None,
+                 macro: MacroGeometry | None = None,
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool | str = "auto",
+                 energy: EnergyModel | None = None):
+        self.config = config or AcceleratorConfig()
+        self.macro = macro or MacroGeometry(self.config.tile_rows,
+                                            self.config.tile_cols)
+        self.rng = rng or np.random.default_rng(self.config.seed)
+        self.fast_path = fast_path
+        self.energy = energy or EnergyModel()
+        self.placements: list[LayerPlacement] = []
+
+    def begin_plan(self) -> None:
+        self.placements = []
+
+    def _controller(self, kind: str, weight_bits) -> ShardedController:
+        count = sum(1 for p in self.placements if p.name.startswith(kind))
+        name = f"{kind}{count + 1}"
+        placement = LayerPlacement(name, weight_bits.shape[0],
+                                   weight_bits.shape[1], self.macro)
+        controller = ShardedController(weight_bits, placement, self.config,
+                                       self.rng, self.fast_path)
+        self.placements.append(placement)
+        return controller
+
+    def prepare_dense(self, folded: FoldedBinaryDense):
+        return InMemoryDenseLayer(
+            folded, controller=self._controller("fc", folded.weight_bits))
+
+    def prepare_output(self, folded: FoldedOutputDense):
+        return InMemoryOutputLayer(
+            folded, controller=self._controller("out", folded.weight_bits))
+
+    def prepare_conv1d(self, folded: FoldedBinaryConv1d):
+        return InMemoryConv1dLayer(
+            folded, controller=self._controller("conv", folded.weight_bits))
+
+    def prepare_conv2d(self, folded: FoldedBinaryConv2d):
+        return InMemoryConv2dLayer(
+            folded, controller=self._controller("conv", folded.weight_bits))
+
+    def floorplan(self) -> ChipFloorplan:
+        """The aggregate chip plan of the most recent compile (placements
+        reset at each ``begin_plan``)."""
+        if not self.placements:
+            raise ValueError("no layers prepared yet; compile a model "
+                             "with this backend first")
+        return ChipFloorplan(list(self.placements), self.energy)
+
+    def __repr__(self) -> str:
+        return (f"ShardedRRAMBackend(macro={self.macro.rows}x"
+                f"{self.macro.cols}, layers={len(self.placements)}, "
+                f"fast_path={self.fast_path!r})")
+
+
 _BACKENDS: dict[str, Callable[[], Backend]] = {
     ReferenceBackend.name: ReferenceBackend,
     PackedBackend.name: PackedBackend,
     RRAMBackend.name: RRAMBackend,
+    ShardedRRAMBackend.name: ShardedRRAMBackend,
 }
 
 
-def register_backend(name: str, factory: Callable[[], Backend]) -> None:
-    """Register a new substrate under ``name`` (overwrites existing).
+def register_backend(name: str, factory: Callable[[], Backend],
+                     overwrite: bool = False) -> None:
+    """Register a new substrate under ``name``.
 
     ``factory`` is called with no arguments when the backend is requested
     by name; pass configured instances to :func:`resolve_backend` directly
-    when construction needs parameters.
+    when construction needs parameters.  Re-registering an existing name
+    raises unless ``overwrite=True`` — silently shadowing a substrate
+    (including the built-ins) is almost always a bug in plug-in code.
     """
     if not callable(factory):
         raise TypeError("factory must be callable")
+    if name in _BACKENDS and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass overwrite=True "
+            "to replace it")
     _BACKENDS[name] = factory
 
 

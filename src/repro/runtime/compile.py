@@ -176,7 +176,52 @@ class CompiledModel:
         lines = [header, "-" * len(header)]
         lines += [f"{i:2d}. {op.describe()}"
                   for i, op in enumerate(self.ops)]
+        placements = self.placements
+        if placements:
+            macros = sum(p.n_macros for p in placements)
+            lines.append(f"    placed on {macros} macros "
+                         f"({placements[0].macro.rows}x"
+                         f"{placements[0].macro.cols}) across "
+                         f"{len(placements)} layers")
         return "\n".join(lines)
+
+    @property
+    def placements(self):
+        """Floorplan placements of the substrate ops, in plan order.
+
+        Non-empty exactly when the backend executes a shard map (the
+        ``sharded`` backend); each entry is the
+        :class:`~repro.rram.floorplan.LayerPlacement` its layer's
+        :class:`~repro.rram.accelerator.ShardedController` was built from.
+        """
+        placements = []
+        for op in self.layer_ops:
+            controller = getattr(op.executor, "controller", None)
+            placement = getattr(controller, "placement", None)
+            if placement is not None:
+                placements.append(placement)
+        return placements
+
+    def floorplan(self, energy=None):
+        """The plan's :class:`~repro.rram.floorplan.ChipFloorplan`.
+
+        Available for plans whose backend carries placements (sharded
+        multi-macro execution); raises otherwise.  ``energy`` overrides
+        the cost model (defaults to the backend's, or the shared
+        constants).
+        """
+        from repro.rram.energy import EnergyModel
+        from repro.rram.floorplan import ChipFloorplan
+
+        placements = self.placements
+        if not placements:
+            raise ValueError(
+                f"backend {self.backend.name!r} does not place layers on "
+                "macros; compile with the 'sharded' backend for a "
+                "floorplan")
+        energy = energy or getattr(self.backend, "energy", None) \
+            or EnergyModel()
+        return ChipFloorplan(placements, energy)
 
     @property
     def layer_ops(self) -> list[PlanOp]:
@@ -238,6 +283,7 @@ def compile(model, backend="reference", *, lower_features: bool | str = "auto",
     backend = resolve_backend(backend)
     if lower_features not in (True, False, "auto"):
         raise ValueError("lower_features must be True, False or 'auto'")
+    backend.begin_plan()
     model.eval()
 
     want_lowering = lower_features in (True, "auto") \

@@ -115,6 +115,39 @@ class TestCommands:
                      "--jobs", "1"]) == 0
         assert "reference" in capsys.readouterr().out
 
+    def test_compile_sharded_reports_macro_map(self, capsys):
+        assert main(["compile", "eeg", "--backend", "sharded",
+                     "--macros", "8x24"]) == 0
+        text = capsys.readouterr().out
+        assert "sharded" in text
+        assert "placed on" in text and "8x24" in text
+        assert "Scan pJ/macro" in text
+
+    def test_compile_bad_macros_exits(self):
+        with pytest.raises(SystemExit, match="32x32"):
+            main(["compile", "eeg", "--backend", "sharded",
+                  "--macros", "banana"])
+
+    def test_compile_zero_macro_reports_value_error(self):
+        # Well-formed spec, invalid value: the geometry's own message
+        # surfaces, not a format complaint.
+        with pytest.raises(SystemExit, match="positive"):
+            main(["compile", "eeg", "--backend", "sharded",
+                  "--macros", "0x32"])
+
+    def test_sweep_sharded_with_cache_stats(self, tmp_path, capsys):
+        out = tmp_path / "sharded.jsonl"
+        assert main(["sweep", "sharded", "--cache-stats",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "agreement by macro_cols" in text
+        assert "plan cache:" in text and "misses" in text
+        # Resumed run: no points recomputed, stats still reported.
+        assert main(["sweep", "sharded", "--cache-stats",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "(0 computed" in text and "plan cache:" in text
+
 
 class TestAnalyticRunners:
     """Each analytic runner must execute quickly and mention its artefact."""

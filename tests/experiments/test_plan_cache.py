@@ -7,7 +7,8 @@ import pytest
 from repro.experiments import (RateProgress, Sweep, cached_plan,
                                clear_plan_cache, plan_cache_stats)
 from repro.experiments.workloads import (_cell_geometry, ber_point,
-                                         rram_inference_point)
+                                         rram_inference_point,
+                                         sharded_robustness_point)
 
 
 @pytest.fixture(autouse=True)
@@ -119,6 +120,41 @@ class TestRramInferencePoint:
         quiet = rram_inference_point(0.1, trials=4)["agreement"]
         loud = rram_inference_point(2.5, trials=4)["agreement"]
         assert loud < quiet
+
+
+class TestShardedRobustnessPoint:
+    def test_zero_sigma_reduction_is_exact(self):
+        point = sharded_robustness_point(16, sigma=0.0, trials=3)
+        assert point["agreement"] == 1.0
+
+    def test_reports_shard_grid_metrics(self):
+        point = sharded_robustness_point(16, macro_rows=8, trials=2)
+        # 131 prime columns on 16-wide macros, 10 rows on 8-tall macros:
+        # ceil(10/8) * ceil(131/16) chips, tails included.
+        assert point["n_macros"] == 2 * 9
+        assert 0 < point["utilization"] <= 1.0
+
+    def test_geometry_series_caches_per_geometry(self):
+        for cols in (8, 16, 8, 16):
+            sharded_robustness_point(cols, trials=2)
+        stats = plan_cache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 2
+
+    def test_cached_sweep_byte_identical_to_cold(self, tmp_path):
+        points = [{"macro_cols": c, "sigma": s, "seed": 0, "trials": 2}
+                  for c in (8, 16) for s in (0.5, 1.5)]
+        cold = Sweep(tmp_path / "cold.jsonl", sharded_robustness_point)
+        cold.run_all(points)
+        warm = Sweep(tmp_path / "warm.jsonl", sharded_robustness_point)
+        warm.run_all(points)          # shard grids already programmed
+        assert plan_cache_stats()["hits"] > 0
+        assert (tmp_path / "warm.jsonl").read_bytes() == \
+            (tmp_path / "cold.jsonl").read_bytes()
+
+    def test_trial_chunk_never_changes_the_record(self):
+        whole = sharded_robustness_point(16, trials=4)
+        chunked = sharded_robustness_point(16, trials=4, trial_chunk=1)
+        assert whole == chunked
 
 
 class TestRateProgressTrials:

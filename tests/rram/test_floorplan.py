@@ -9,6 +9,61 @@ from repro.rram import (ChipFloorplan, LayerPlacement, MacroGeometry,
                         plan_classifier)
 
 
+class TestShardMap:
+    """The executable shard map (LayerPlacement.shards)."""
+
+    def test_prime_fan_in_tail_accounted_exactly_once(self):
+        """Regression: a layer whose fan-in is prime (never a multiple of
+        the macro word-line count) must shard with its tail counted once
+        — total shard coverage equals the weight count and utilization
+        stays <= 1.0."""
+        p = LayerPlacement("fc", 37, 131, MacroGeometry(32, 32))
+        shards = p.shards()
+        assert len(shards) == p.n_macros
+        assert sum(s.synapses_used for s in shards) == 37 * 131
+        assert p.utilization <= 1.0
+        assert all(s.utilization <= 1.0 for s in shards)
+        # The tail column shard holds exactly the leftover columns.
+        tail = shards[-1]
+        assert tail.cols == 131 - 4 * 32
+        assert tail.rows == 37 - 32
+
+    def test_shards_tile_disjointly_in_scan_order(self):
+        p = LayerPlacement("fc", 33, 50, MacroGeometry(8, 16))
+        covered = np.zeros((33, 50), dtype=int)
+        for index, s in enumerate(p.shards()):
+            assert s.index == index       # row-major reduction order
+            covered[s.row_start:s.row_stop, s.col_start:s.col_stop] += 1
+        assert (covered == 1).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 300), st.integers(1, 1000),
+           st.integers(1, 64), st.integers(1, 64))
+    def test_shard_coverage_invariants(self, out_f, in_f, rows, cols):
+        p = LayerPlacement("x", out_f, in_f, MacroGeometry(rows, cols))
+        shards = p.shards()
+        assert len(shards) == p.n_macros
+        assert sum(s.synapses_used for s in shards) == p.synapses_used
+        assert all(0 < s.utilization <= 1.0 for s in shards)
+        assert sum(s.utilization for s in shards) \
+            == pytest.approx(p.utilization * p.n_macros)
+
+    def test_plan_classifier_prime_layer_regression(self):
+        """plan_classifier on a prime-sized layer: the report-side numbers
+        agree with the executable map."""
+        plan = plan_classifier([(37, 131), (2, 37)], MacroGeometry(32, 32))
+        assert 0 < plan.utilization <= 1.0
+        for p in plan.placements:
+            assert sum(s.synapses_used for s in p.shards()) \
+                == p.synapses_used
+
+    def test_macro_report_renders_tails_and_energy(self):
+        plan = plan_classifier([(37, 131)], MacroGeometry(32, 32))
+        text = plan.macro_report()
+        assert "Tails" in text and "Scan pJ/macro" in text
+        assert "fc1" in text
+
+
 class TestMacroGeometry:
     def test_paper_macro_is_1k_synapses(self):
         assert MacroGeometry().synapses == 1024

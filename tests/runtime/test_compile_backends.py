@@ -236,7 +236,7 @@ class TestCompileValidation:
     def test_unknown_backend_rejected(self, trained_ecg):
         model, _ = trained_ecg
         with pytest.raises(ValueError, match="unknown backend"):
-            compile(model, backend="sharded")
+            compile(model, backend="multi-model")
 
     def test_bad_lower_flag_rejected(self, trained_ecg):
         model, _ = trained_ecg

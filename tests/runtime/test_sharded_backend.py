@@ -1,0 +1,184 @@
+"""The sharded multi-macro backend through the unified runtime.
+
+Acceptance contract of the sharded refactor: for every model in
+``models/`` that compiles today, noise-free sharded execution is
+bit-identical to the monolithic ``rram`` backend (and to ``reference``)
+at multiple macro geometries — including geometries forcing non-divisible
+tail shards — plans carry their floorplan placements, Monte-Carlo trial
+batching stays chunk-invariant on the sharded path, and the backend
+registry handles its error paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli.main import _demo_model_and_inputs
+from repro.experiments import backend_agreement
+from repro.rram import (AcceleratorConfig, DeviceParameters, MacroGeometry,
+                        SenseParameters)
+from repro.runtime import (RRAMBackend, ShardedRRAMBackend,
+                           available_backends, compile, register_backend,
+                           resolve_backend)
+
+# One divisible-friendly geometry and one prime geometry that forces
+# non-divisible tail shards on every demo layer.
+GEOMETRIES = [(32, 32), (7, 13)]
+
+MODELS = [("eeg", "binary_classifier"), ("eeg", "full_binary"),
+          ("ecg", "binary_classifier"), ("ecg", "full_binary"),
+          ("mobilenet", "binary_classifier")]
+
+
+@pytest.fixture(scope="module")
+def demo_models():
+    return {key: _demo_model_and_inputs(*key) for key in MODELS}
+
+
+def _noisy_config(sigma=2.0) -> AcceleratorConfig:
+    device = DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                              broadening=0.0, hrs_drift=0.0,
+                              device_mismatch=1.0)
+    return AcceleratorConfig(device=device,
+                             sense=SenseParameters(offset_sigma=sigma))
+
+
+class TestNoiseFreeEquivalence:
+    @pytest.mark.parametrize("key", MODELS, ids=lambda k: f"{k[0]}-{k[1]}")
+    @pytest.mark.parametrize("geometry", GEOMETRIES,
+                             ids=lambda g: f"{g[0]}x{g[1]}")
+    def test_sharded_matches_monolithic_and_reference(self, demo_models,
+                                                      key, geometry):
+        model, inputs = demo_models[key]
+        reference = compile(model, backend="reference").scores(inputs)
+        mono = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True))).scores(inputs)
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                     macro=MacroGeometry(*geometry))
+        sharded = compile(model, backend=backend).scores(inputs)
+        assert np.array_equal(sharded, mono)
+        assert np.array_equal(sharded, reference)
+
+    def test_tail_geometry_actually_produces_tails(self, demo_models):
+        model, _ = demo_models[("eeg", "binary_classifier")]
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                     macro=MacroGeometry(7, 13))
+        plan = compile(model, backend=backend)
+        tails = [s for p in plan.placements for s in p.shards()
+                 if s.utilization < 1.0]
+        assert tails, "7x13 geometry was expected to force tail shards"
+
+
+class TestPlanPlacements:
+    def test_plan_carries_placements_in_plan_order(self, demo_models):
+        model, _ = demo_models[("ecg", "full_binary")]
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True))
+        plan = compile(model, backend=backend)
+        placements = plan.placements
+        assert placements == backend.placements
+        assert len(placements) == len(plan.layer_ops)
+        shapes = [(op.folded.weight_bits.shape) for op in plan.layer_ops]
+        assert [(p.out_features, p.in_features) for p in placements] \
+            == shapes
+
+    def test_floorplan_reports_per_macro_numbers(self, demo_models):
+        model, _ = demo_models[("eeg", "binary_classifier")]
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                     macro=MacroGeometry(8, 24))
+        plan = compile(model, backend=backend)
+        floorplan = plan.floorplan()
+        assert floorplan.n_macros == \
+            sum(p.n_macros for p in plan.placements)
+        report = floorplan.macro_report()
+        assert "Tails" in report and "Scan pJ/macro" in report
+        assert "placed on" in plan.summary()
+
+    def test_backend_reuse_resets_placements_per_compile(self, demo_models):
+        """Regression: compiling a second model on the same backend must
+        not merge the two floorplans."""
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True))
+        eeg, _ = demo_models[("eeg", "binary_classifier")]
+        ecg, _ = demo_models[("ecg", "binary_classifier")]
+        compile(eeg, backend=backend)
+        plan = compile(ecg, backend=backend)
+        assert backend.placements == plan.placements
+        assert len(backend.placements) == len(plan.layer_ops)
+        # Fresh numbering per plan — not fc2/out2 continuing the first.
+        assert [p.name for p in backend.placements] == ["fc1", "out1"]
+        assert backend.floorplan().n_macros == plan.floorplan().n_macros
+
+    def test_non_sharded_plan_has_no_placements(self, demo_models):
+        model, _ = demo_models[("eeg", "binary_classifier")]
+        plan = compile(model, backend="packed")
+        assert plan.placements == []
+        with pytest.raises(ValueError, match="floorplan"):
+            plan.floorplan()
+
+
+class TestShardedMonteCarlo:
+    @pytest.fixture(scope="class")
+    def noisy_plan(self, demo_models):
+        model, inputs = demo_models[("eeg", "binary_classifier")]
+        backend = ShardedRRAMBackend(_noisy_config(),
+                                     macro=MacroGeometry(8, 16),
+                                     fast_path=False)
+        return compile(model, backend=backend), inputs[:6]
+
+    @pytest.mark.parametrize("trial_chunk", [1, 2, None])
+    def test_trial_batching_chunk_invariant(self, noisy_plan, trial_chunk):
+        plan, inputs = noisy_plan
+        expected = plan.scores_trials(inputs, trials=5, seed=13)
+        chunked = plan.scores_trials(inputs, trials=5, seed=13,
+                                     trial_chunk=trial_chunk)
+        assert np.array_equal(expected, chunked)
+
+    def test_trials_reproducible_per_seed(self, noisy_plan):
+        plan, inputs = noisy_plan
+        a = plan.predict_trials(inputs, trials=4, seed=2)
+        b = plan.predict_trials(inputs, trials=4, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_sharded_counts_as_stochastic_op(self, noisy_plan):
+        """A noisy sharded plan must fan trials out (not broadcast one
+        deterministic evaluation)."""
+        plan, inputs = noisy_plan
+        scores = plan.scores_trials(inputs, trials=6, seed=3)
+        assert any(not np.array_equal(scores[0], scores[t])
+                   for t in range(1, 6))
+
+
+class TestRegistryErrorPaths:
+    def test_sharded_is_registered(self):
+        assert "sharded" in available_backends()
+        assert isinstance(resolve_backend("sharded"), ShardedRRAMBackend)
+
+    def test_unknown_backend_name_lists_registered(self):
+        with pytest.raises(ValueError, match="sharded"):
+            resolve_backend("does-not-exist")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("sharded", ShardedRRAMBackend)
+
+    def test_duplicate_registration_with_overwrite_wins(self):
+        from repro.runtime.backends import _BACKENDS
+        original = _BACKENDS["sharded"]
+        try:
+            register_backend("sharded",
+                             lambda: ShardedRRAMBackend(
+                                 macro=MacroGeometry(16, 16)),
+                             overwrite=True)
+            assert resolve_backend("sharded").macro == MacroGeometry(16, 16)
+        finally:
+            register_backend("sharded", original, overwrite=True)
+
+    def test_backend_agreement_across_all_substrates(self, demo_models):
+        """reference / packed / ideal rram / ideal sharded agree 100% on
+        the small EEG model."""
+        model, inputs = demo_models[("eeg", "binary_classifier")]
+        backends = ["reference", "packed",
+                    RRAMBackend(AcceleratorConfig(ideal=True)),
+                    ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                       macro=MacroGeometry(7, 13))]
+        _, agreement = backend_agreement(model, inputs, backends)
+        assert set(agreement) == {"reference", "packed", "rram", "sharded"}
+        assert all(value == 1.0 for value in agreement.values())
