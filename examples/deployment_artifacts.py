@@ -3,16 +3,20 @@
 §II-B of the paper: weights are "obtained by off-chip training" and
 "programming occurs before the use of the inference circuit and is managed
 by a memory controller".  In production that hand-off is a file, not a
-Python object.  This example runs the full flow:
+Python object.  This example runs the full flow on the compiled-plan
+artifact format:
 
-1. train the binarized-classifier ECG model (the *lab* phase);
+1. train the fully binarized ECG model (the *lab* phase);
 2. write two artefacts: a training checkpoint (`.npz` state dict) and the
-   hardware programming artefact (folded weight bits + integer
-   thresholds — exactly what the memory controller consumes);
-3. discard the training stack, reload only the programming artefact, and
-   program a simulated chip from it (the *factory* phase);
-4. verify the programmed chip is bit-identical to one deployed directly
-   from the live model, and plan its macro floorplan.
+   **plan artifact** — the whole compiled plan as weight words, integer
+   thresholds and periphery specs (`repro.io.save_plan`);
+3. discard the training stack, reload only the plan artifact, and rebind
+   it to every registered backend — CPU verification kernels and
+   simulated RRAM chips run from the same file (the *factory* phase);
+4. verify the reloaded plans are bit-identical to plans compiled from the
+   live model, and print the sharded floorplan the artifact programs;
+5. upgrade a legacy folded-classifier artefact with
+   `convert_folded_artifact` and run it from activation bits.
 
 Run:  python examples/deployment_artifacts.py
 """
@@ -23,32 +27,34 @@ import pathlib
 import numpy as np
 
 from repro.data import ECGConfig, make_ecg_dataset
-from repro.experiments import TrainConfig, evaluate_accuracy, train_model
-from repro.io import (load_folded_classifier, load_model,
-                      save_folded_classifier, save_model)
+from repro.experiments import (TrainConfig, artifact_agreement,
+                               evaluate_accuracy, evaluate_compiled,
+                               train_model)
+from repro.io import (convert_folded_artifact, load_compiled, load_model,
+                      load_plan, save_folded_classifier, save_model,
+                      save_plan)
 from repro.models import BinarizationMode, ECGNet
 from repro.rram import (AcceleratorConfig, MacroGeometry,
-                        classifier_input_bits, deploy_classifier,
-                        fold_classifier, plan_classifier)
-from repro.rram.accelerator import (InMemoryClassifier, InMemoryDenseLayer,
-                                    InMemoryOutputLayer)
+                        classifier_input_bits, fold_classifier)
+from repro.runtime import RRAMBackend, ShardedRRAMBackend, compile
 
 
 def main() -> None:
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro_deploy_"))
     checkpoint = workdir / "ecg_checkpoint.npz"
-    program = workdir / "ecg_program.npz"
+    artifact = workdir / "ecg_plan.npz"
 
     print("LAB PHASE")
-    print("1) Training the binarized-classifier ECG model ...")
+    print("1) Training the fully binarized ECG model ...")
     dataset = make_ecg_dataset(ECGConfig(n_trials=300, n_samples=300,
                                          noise_amplitude=0.05, seed=9))
     n_train = 240
-    model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=300,
-                   base_filters=8, rng=np.random.default_rng(10))
+    model = ECGNet(mode=BinarizationMode.FULL_BINARY, n_samples=300,
+                   base_filters=8, conv_keep_prob=1.0,
+                   rng=np.random.default_rng(10))
     model.fit_input_norm(dataset.inputs[:n_train])
     train_model(model, dataset.inputs[:n_train], dataset.labels[:n_train],
-                TrainConfig(epochs=40, batch_size=16, lr=2e-3, seed=11))
+                TrainConfig(epochs=12, batch_size=16, lr=2e-3, seed=11))
     model.eval()
     acc = evaluate_accuracy(model, dataset.inputs[n_train:],
                             dataset.labels[n_train:])
@@ -56,36 +62,64 @@ def main() -> None:
 
     print("2) Writing artefacts ...")
     save_model(model, checkpoint)
-    hidden, output = fold_classifier(model)
-    save_folded_classifier(hidden, output, program)
+    plan = compile(model, backend="reference", lower_features=True)
+    save_plan(plan, artifact)
     print(f"   checkpoint: {checkpoint.name} "
           f"({checkpoint.stat().st_size / 1024:.0f} KB, full float state)")
-    print(f"   programming artefact: {program.name} "
-          f"({program.stat().st_size / 1024:.0f} KB, bits + thresholds)")
+    print(f"   plan artifact: {artifact.name} "
+          f"({artifact.stat().st_size / 1024:.0f} KB, weight words + "
+          f"thresholds + periphery specs)")
 
     print("\nFACTORY PHASE (no training stack needed)")
-    print("3) Loading the programming artefact and programming a chip ...")
-    loaded_hidden, loaded_output = load_folded_classifier(program)
-    config = AcceleratorConfig(ideal=True)
-    chip = InMemoryClassifier(
-        [InMemoryDenseLayer(l, config) for l in loaded_hidden],
-        InMemoryOutputLayer(loaded_output, config))
+    print("3) Reloading the artifact on every substrate ...")
+    loaded = load_plan(artifact)
+    print("   " + loaded.describe().replace("\n", "\n   "))
+    test_inputs = dataset.inputs[n_train:]
+    test_labels = dataset.labels[n_train:]
+    backends = ("reference", "packed",
+                RRAMBackend(AcceleratorConfig(ideal=True)),
+                ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                   macro=MacroGeometry(32, 32)))
+    _, agreement = artifact_agreement(loaded, test_inputs,
+                                      backends=backends)
+    print(f"   cross-backend agreement: {agreement}")
 
-    print("4) Verifying against a chip deployed from the live model ...")
-    reference_chip = deploy_classifier(model, config)
-    bits = classifier_input_bits(model, dataset.inputs[n_train:])
-    identical = bool(np.array_equal(chip.predict(bits),
-                                    reference_chip.predict(bits)))
-    print(f"   predictions bit-identical: {identical}")
+    print("4) Verifying against plans compiled from the live model ...")
+    for backend in ("reference", "packed"):
+        fresh = compile(model, backend=backend, lower_features=True)
+        from_file = load_compiled(loaded, backend=backend)
+        identical = bool(np.array_equal(from_file.scores(test_inputs),
+                                        fresh.scores(test_inputs)))
+        print(f"   {backend}: scores bit-identical to fresh compile: "
+              f"{identical}")
+    chip_acc = evaluate_compiled(
+        load_compiled(loaded,
+                      backend=RRAMBackend(AcceleratorConfig(ideal=True))),
+        test_inputs, test_labels)
+    print(f"   accuracy from the file, on simulated RRAM: {chip_acc:.1%} "
+          f"(software: {acc:.1%})")
 
-    print("5) Floorplan of the programmed classifier:")
-    shapes = [(l.out_features, l.in_features) for l in loaded_hidden]
-    shapes.append(loaded_output.weight_bits.shape)
-    print(plan_classifier(shapes, MacroGeometry(32, 32)).report())
+    print("5) Floorplan programmed by the artifact (sharded backend):")
+    sharded = load_compiled(
+        loaded, backend=ShardedRRAMBackend(AcceleratorConfig(ideal=True)))
+    print(sharded.floorplan().report())
 
-    print("\n6) Round-tripping the checkpoint restores the lab model:")
-    fresh = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER, n_samples=300,
-                   base_filters=8, rng=np.random.default_rng(99))
+    print("\n6) Legacy folded-classifier artefacts convert in one call:")
+    legacy = workdir / "ecg_program.npz"
+    hidden, output = fold_classifier(model)
+    save_folded_classifier(hidden, output, legacy)
+    upgraded = convert_folded_artifact(legacy)
+    bits = classifier_input_bits(model, test_inputs)
+    from_legacy = load_compiled(upgraded, backend="packed")
+    reference = load_compiled(upgraded, backend="reference")
+    print(f"   {legacy.name} -> {upgraded.name}; packed == reference on "
+          f"classifier bits: "
+          f"{bool(np.array_equal(from_legacy.predict(bits), reference.predict(bits)))}")
+
+    print("\n7) Round-tripping the checkpoint restores the lab model:")
+    fresh = ECGNet(mode=BinarizationMode.FULL_BINARY, n_samples=300,
+                   base_filters=8, conv_keep_prob=1.0,
+                   rng=np.random.default_rng(99))
     load_model(fresh, checkpoint)
     fresh.eval()
     restored_acc = evaluate_accuracy(fresh, dataset.inputs[n_train:],

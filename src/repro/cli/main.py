@@ -60,6 +60,34 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--jobs", type=int, default=1,
                              help="evaluate backends in N worker "
                                   "processes (1 = in-process)")
+    compile_cmd.add_argument("--save", default=None, metavar="PATH",
+                             help="write the compiled plan as a "
+                                  "deployment artifact (.npz) that "
+                                  "'deploy' reloads without the model")
+    compile_cmd.add_argument("--overwrite", action="store_true",
+                             help="allow --save to replace an existing "
+                                  "artifact file")
+    deploy_cmd = sub.add_parser(
+        "deploy",
+        help="load a saved plan artifact (no model needed) and run "
+             "inference on every backend, reporting agreement")
+    deploy_cmd.add_argument("artifact",
+                            help="plan artifact written by 'compile "
+                                 "--save' or repro.io.save_plan (legacy "
+                                 "folded-classifier files are converted "
+                                 "on the fly)")
+    deploy_cmd.add_argument("--backend", default="all",
+                            help="backend name, or 'all' (default) for "
+                                 "reference/packed/ideal-rram/sharded")
+    deploy_cmd.add_argument("--macros", default="32x32",
+                            help="macro geometry ROWSxCOLS for the "
+                                 "sharded backend (default 32x32)")
+    deploy_cmd.add_argument("--batch", type=int, default=32,
+                            help="synthetic evaluation batch size "
+                                 "(default 32)")
+    deploy_cmd.add_argument("--seed", type=int, default=0,
+                            help="seed for the synthetic evaluation "
+                                 "inputs (default 0)")
     sweep_cmd = sub.add_parser(
         "sweep",
         help="run a persisted, resumable parameter sweep (optionally on "
@@ -169,45 +197,15 @@ def _cmd_run(exp_id: str, jobs: int = 1) -> str:
 
 
 def _demo_model_and_inputs(model_name: str, mode_name: str):
-    """Reduced paper model + calibration inputs, deterministic per name.
+    """Reduced paper model + calibration inputs, deterministic per name
+    (:func:`repro.models.demo_model_and_inputs`, shared with the golden
+    fixture tooling); unsupported combinations exit instead of raising."""
+    from repro.models import demo_model_and_inputs
 
-    Module-level (and seeded) so backend-evaluation workers can rebuild
-    the identical model in their own process.
-    """
-    import numpy as np
-
-    from repro.models import (BinarizationMode, ECGNet, EEGNet,
-                              MobileNetConfig, MobileNetV1)
-    from repro.tensor import Tensor, no_grad
-
-    mode = BinarizationMode(mode_name)
-    rng = np.random.default_rng(0)
-    if model_name == "eeg":
-        model = EEGNet(mode=mode, n_channels=16, n_samples=240,
-                       base_filters=8, hidden_units=32, rng=rng)
-        inputs = rng.standard_normal((32, 16, 240))
-    elif model_name == "ecg":
-        model = ECGNet(mode=mode, n_samples=300, base_filters=8,
-                       conv_keep_prob=1.0, classifier_keep_prob=1.0, rng=rng)
-        inputs = rng.standard_normal((32, 12, 300))
-        model.fit_input_norm(inputs)
-    else:
-        if mode is BinarizationMode.FULL_BINARY:
-            raise SystemExit("mobilenet feature lowering is not supported "
-                             "(padded convolutions); use binary_classifier")
-        config = MobileNetConfig.reduced(n_classes=4, image_size=16,
-                                         width_multiplier=0.25, n_blocks=3)
-        model = MobileNetV1(config, mode=mode, rng=rng)
-        inputs = rng.standard_normal((32, 3, 16, 16))
-
-    # Calibrate batch-norm running statistics (untrained weights are fine
-    # for a runtime demonstration; folding needs realistic stats).
-    model.train()
-    with no_grad():
-        for start in range(0, len(inputs), 8):
-            model(Tensor(inputs[start:start + 8]))
-    model.eval()
-    return model, inputs
+    try:
+        return demo_model_and_inputs(model_name, mode_name)
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _parse_macro(spec: str):
@@ -260,14 +258,17 @@ def _evaluate_backend_point(model_name: str, mode_name: str, spec: str,
 
 
 def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
-                 jobs: int = 1, macro_spec: str = "32x32") -> str:
+                 jobs: int = 1, macro_spec: str = "32x32",
+                 save: str | None = None, overwrite: bool = False) -> str:
     """Build a reduced paper model, compile it for each requested backend,
     and report plan structure, prediction agreement, and latency.
 
     With ``--jobs N`` the backends are compiled and evaluated in worker
     processes (each rebuilds the deterministic demo model); with 1 they
     run in-process, serially.  The ``sharded`` backend additionally
-    reports its per-macro shard map (fill and scan energy).
+    reports its per-macro shard map (fill and scan energy).  ``--save``
+    additionally writes the plan as a deployment artifact the ``deploy``
+    command reloads without the model.
     """
     from repro.experiments import map_parallel
     from repro.runtime import available_backends
@@ -282,6 +283,7 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
             f"unknown backend {backend_spec!r}; registered: "
             f"{', '.join(available_backends())} (or 'all')")
 
+    model = inputs = None
     if jobs <= 1:
         # In-process: build and calibrate the demo model exactly once.
         model, inputs = _demo_model_and_inputs(model_name, mode_name)
@@ -293,6 +295,30 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
             [{"model_name": model_name, "mode_name": mode_name,
               "spec": spec, "macro_spec": macro_spec} for spec in specs],
             jobs=jobs)
+
+    saved_lines: list[str] = []
+    if save is not None:
+        from repro.io import save_plan
+        from repro.runtime import compile as compile_model
+
+        if model is None:
+            model, inputs = _demo_model_and_inputs(model_name, mode_name)
+        plan = compile_model(model, backend="reference")
+        try:
+            path = save_plan(plan, save, overwrite=overwrite,
+                             allow_external_front_end=True)
+        except FileExistsError as error:
+            raise SystemExit(f"{error} (or pass --overwrite)")
+        from repro.io import load_plan
+        artifact = load_plan(path)
+        status = "self-contained" if artifact.self_contained else \
+            "front-end stays off-artifact (compile --mode full_binary " \
+            "for a self-contained one)"
+        saved_lines = ["", f"plan artifact -> {path} "
+                           f"({path.stat().st_size / 1024:.0f} KB, "
+                           f"{status})",
+                       "reload it with: python -m repro deploy "
+                       f"{path}"]
 
     lines = [results[0]["summary"], ""]
     lines.append(f"{'backend':<12} {'agreement':>10} {'ms/batch':>10}")
@@ -309,6 +335,88 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
     for result in results:
         if "macro_report" in result:
             lines += ["", result["macro_report"]]
+    lines += saved_lines
+    return "\n".join(lines)
+
+
+def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
+                macro_spec: str = "32x32", batch: int = 32,
+                seed: int = 0) -> str:
+    """Load a plan artifact — no model, no training stack — rebind it to
+    each requested backend and cross-check predictions on synthetic
+    inputs of the artifact's recorded geometry."""
+    import pathlib
+    import time
+
+    import numpy as np
+
+    from repro.io import load_plan, load_compiled
+    from repro.rram import AcceleratorConfig
+    from repro.runtime import (PlanSerializationError, RRAMBackend,
+                               ShardedRRAMBackend, available_backends)
+
+    macro = _parse_macro(macro_spec)
+    if not pathlib.Path(artifact_path).exists():
+        raise SystemExit(f"no artifact at {artifact_path!r}; write one "
+                         "with 'compile --save' first")
+    artifact = load_plan(artifact_path)
+    if not artifact.self_contained:
+        raise SystemExit(
+            f"{artifact_path} is not self-contained (its front-end stays "
+            "with the model); re-save from a lowered plan, e.g. "
+            "'compile eeg --mode full_binary --save ...'")
+    shape = artifact.input_shape
+    if shape is None:
+        raise SystemExit(f"{artifact_path} records no input geometry; "
+                         "cannot generate evaluation inputs")
+    if artifact.ops[0]["op"] == "bits":
+        inputs = np.random.default_rng(seed).integers(
+            0, 2, size=(batch,) + shape).astype(np.uint8)
+    else:
+        inputs = np.random.default_rng(seed).standard_normal(
+            (batch,) + shape)
+
+    if backend_spec == "all":
+        specs = ["reference", "packed", "ideal-rram", "sharded"]
+    elif backend_spec in available_backends():
+        specs = [backend_spec]
+    else:
+        raise SystemExit(
+            f"unknown backend {backend_spec!r}; registered: "
+            f"{', '.join(available_backends())} (or 'all')")
+
+    lines = [artifact.describe(), "",
+             f"synthetic inputs: {inputs.shape} (seed {seed})", "",
+             f"{'backend':<12} {'agreement':>10} {'ms/batch':>10}"]
+    baseline = None
+    reports = []
+    for spec in specs:
+        if spec == "ideal-rram":
+            backend = RRAMBackend(AcceleratorConfig(ideal=True))
+        elif spec == "sharded":
+            backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                         macro=macro)
+        else:
+            backend = spec
+        try:
+            plan = load_compiled(artifact, backend=backend)
+        except PlanSerializationError as error:
+            raise SystemExit(str(error))
+        t0 = time.perf_counter()
+        predicted = plan.predict(inputs)
+        elapsed = (time.perf_counter() - t0) * 1e3
+        if baseline is None:
+            baseline = predicted
+        agreement = float((predicted == baseline).mean())
+        lines.append(f"{plan.backend.name:<12} {agreement:>9.1%} "
+                     f"{elapsed:>10.2f}")
+        if plan.placements:
+            reports.append(plan.floorplan().macro_report())
+    lines += ["", "agreement is relative to the first backend; one "
+                  "artifact, every substrate —\nthe deployment contract "
+                  "of the saved plan."]
+    for report in reports:
+        lines += ["", report]
     return "\n".join(lines)
 
 
@@ -419,7 +527,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(analytic.run_energy())
         elif args.command == "compile":
             print(_cmd_compile(args.model, args.backend, args.mode,
-                               args.jobs, args.macros))
+                               args.jobs, args.macros, args.save,
+                               args.overwrite))
+        elif args.command == "deploy":
+            print(_cmd_deploy(args.artifact, args.backend, args.macros,
+                              args.batch, args.seed))
         elif args.command == "sweep":
             print(_cmd_sweep(args.workload, args.jobs, args.out,
                              args.trials, args.trial_chunk,

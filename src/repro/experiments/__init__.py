@@ -5,7 +5,8 @@ from repro.experiments.runner import (TrainConfig, TrainResult,
                                       evaluate_accuracy, evaluate_topk,
                                       predict_scores, evaluate_report,
                                       cross_validate, evaluate_compiled,
-                                      backend_agreement)
+                                      backend_agreement,
+                                      artifact_agreement)
 from repro.experiments.configs import (BenchScale, current_scale, EcgTask,
                                        EegTask, image_dataset, PAPER_RESULTS)
 from repro.experiments.tables import render_table, render_series
@@ -19,7 +20,7 @@ __all__ = [
     "TrainConfig", "TrainResult", "CrossValResult", "train_model",
     "evaluate_accuracy", "evaluate_topk", "predict_scores",
     "evaluate_report", "cross_validate", "evaluate_compiled",
-    "backend_agreement",
+    "backend_agreement", "artifact_agreement",
     "BenchScale", "current_scale", "EcgTask", "EegTask", "image_dataset",
     "PAPER_RESULTS",
     "render_table", "render_series",

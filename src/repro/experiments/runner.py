@@ -25,7 +25,7 @@ from repro.tensor import Tensor, no_grad
 __all__ = ["TrainConfig", "TrainResult", "CrossValResult", "train_model",
            "evaluate_accuracy", "evaluate_topk", "predict_scores",
            "evaluate_report", "cross_validate", "evaluate_compiled",
-           "backend_agreement"]
+           "backend_agreement", "artifact_agreement"]
 
 
 @dataclass
@@ -276,6 +276,40 @@ def backend_agreement(model: Module, inputs: np.ndarray,
     predictions: dict[str, np.ndarray] = {}
     for backend in backends:
         plan = compile_model(model, backend=backend, **compile_kwargs)
+        key, suffix = plan.backend.name, 2
+        while key in predictions:       # two configs of the same substrate
+            key = f"{plan.backend.name}#{suffix}"
+            suffix += 1
+        predictions[key] = plan.predict(inputs, batch_size)
+    names = list(predictions)
+    baseline = predictions[names[0]]
+    agreement = {name: float((predictions[name] == baseline).mean())
+                 for name in names}
+    return predictions, agreement
+
+
+def artifact_agreement(artifact, inputs: np.ndarray,
+                       backends=("reference", "packed"),
+                       batch_size: int = 64, front_end=None):
+    """Reload a saved plan artifact on every backend and compare
+    predictions — :func:`backend_agreement` for deployment artifacts.
+
+    ``artifact`` is a path (or a loaded
+    :class:`~repro.io.PlanArtifact`); no model is needed.  Returns the
+    same ``(predictions, agreement)`` pair as :func:`backend_agreement`,
+    with duplicate substrate names disambiguated the same way.  This is
+    the reproduction path for tables computed from a shipped artifact:
+    the accuracy numbers come from the file, not from a re-trained model.
+    """
+    from repro.io import load_compiled, load_plan, PlanArtifact
+
+    if not isinstance(artifact, PlanArtifact):
+        artifact = load_plan(artifact)
+    inputs = np.asarray(inputs)
+    predictions: dict[str, np.ndarray] = {}
+    for backend in backends:
+        plan = load_compiled(artifact, backend=backend,
+                             front_end=front_end)
         key, suffix = plan.backend.name, 2
         while key in predictions:       # two configs of the same substrate
             key = f"{plan.backend.name}#{suffix}"

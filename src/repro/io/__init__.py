@@ -1,0 +1,34 @@
+"""Model and deployment persistence.
+
+The paper's deployment flow is two-phase: weights are trained off-chip,
+then "programming occurs before the use of the inference circuit and is
+managed by a memory controller" (§II-B).  That hand-off needs artefact
+formats.  This package provides three, all plain numpy ``.npz`` (no
+pickle, safe to load from untrusted sources):
+
+* :func:`save_model` / :func:`load_model` — training checkpoints: the
+  full ``state_dict`` with a metadata record so stale or mismatched
+  checkpoints fail loudly;
+* :func:`save_plan` / :func:`load_plan` / :func:`load_compiled` — the
+  **deployment artifact**: a whole compiled plan (packed weight words,
+  integer thresholds, op kinds, geometry metadata and periphery specs).
+  Loading needs no live model and rebinds to any registered backend —
+  ``load_compiled(path, backend="sharded")`` programs simulated chips
+  from the file;
+* :func:`save_folded_classifier` / :func:`load_folded_classifier` — the
+  legacy classifier-only programming artefact, superseded by plan
+  artifacts; :func:`convert_folded_artifact` (and ``load_plan`` itself)
+  upgrade old files.
+
+Every ``save_*`` refuses to overwrite an existing file unless
+``overwrite=True``.
+"""
+
+from repro.io.checkpoints import load_model, save_model
+from repro.io.folded import (convert_folded_artifact, load_folded_classifier,
+                             save_folded_classifier)
+from repro.io.plans import PlanArtifact, load_compiled, load_plan, save_plan
+
+__all__ = ["save_model", "load_model", "save_folded_classifier",
+           "load_folded_classifier", "convert_folded_artifact",
+           "PlanArtifact", "save_plan", "load_plan", "load_compiled"]

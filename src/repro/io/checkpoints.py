@@ -1,0 +1,48 @@
+"""Training checkpoints: the full ``state_dict`` of a model.
+
+The state keys are the ``named_parameters`` / ``named_buffers`` paths, so
+a checkpoint is portable across processes but tied to the model
+architecture (loading validates class name and shapes).
+"""
+
+from __future__ import annotations
+
+from repro import __version__
+from repro.io.common import read_npz, write_npz
+from repro.nn.module import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path, *, overwrite: bool = False) -> None:
+    """Write a training checkpoint: every parameter and buffer.
+
+    Refuses to replace an existing file unless ``overwrite=True``.
+    """
+    meta = {
+        "kind": "model",
+        "repro_version": __version__,
+        "model_class": type(model).__name__,
+        "num_parameters": model.num_parameters(),
+    }
+    write_npz(path, model.state_dict(), meta, overwrite=overwrite)
+
+
+def load_model(model: Module, path) -> Module:
+    """Restore a checkpoint into an already-constructed model.
+
+    The model must be the same architecture (class and tensor shapes) the
+    checkpoint was saved from; mismatches raise instead of silently
+    mis-assigning weights.
+    """
+    arrays, meta = read_npz(path)
+    if meta.get("kind") != "model":
+        raise ValueError(
+            f"{path} holds a {meta.get('kind')!r} artefact, not a model "
+            "checkpoint")
+    if meta["model_class"] != type(model).__name__:
+        raise ValueError(
+            f"checkpoint was saved from {meta['model_class']}, cannot load "
+            f"into {type(model).__name__}")
+    model.load_state_dict(arrays)
+    return model

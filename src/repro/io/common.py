@@ -1,0 +1,58 @@
+"""Shared artifact machinery: versioned, pickle-free ``.npz`` files.
+
+Every repro artifact is a compressed numpy archive holding named arrays
+plus one JSON metadata record under ``__repro_meta__``.  No pickle is
+ever used, so artifacts are safe to load from untrusted sources and
+remain readable by any numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+__all__ = ["npz_path", "write_npz", "read_npz"]
+
+_META_KEY = "__repro_meta__"
+
+
+def npz_path(path) -> pathlib.Path:
+    """The path numpy will actually write (``.npz`` appended if absent)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = pathlib.Path(str(path) + ".npz")
+    return path
+
+
+def write_npz(path, arrays: dict[str, np.ndarray], meta: dict,
+              overwrite: bool = False) -> pathlib.Path:
+    """Write an artifact, refusing to clobber unless ``overwrite=True``.
+
+    Deployment artifacts are hand-offs between phases (lab -> factory);
+    silently replacing one is almost always an operator mistake, so the
+    existence check is on by default for every ``save_*`` entry point.
+    """
+    path = npz_path(path)
+    if path.exists() and not overwrite:
+        raise FileExistsError(
+            f"{path} already exists; pass overwrite=True to replace it")
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def read_npz(path) -> tuple[dict[str, np.ndarray], dict]:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        if _META_KEY not in data.files:
+            raise ValueError(
+                f"{path} is not a repro artefact (missing metadata record)")
+        meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+    return arrays, meta

@@ -1,0 +1,106 @@
+"""Legacy folded-classifier artifacts and their one-time conversion.
+
+``save_folded_classifier`` / ``load_folded_classifier`` persist the
+pre-runtime hardware artefact: folded weight bits and integer thresholds
+for the dense classifier only.  The compiled-plan format
+(:mod:`repro.io.plans`) supersedes it — a plan artifact additionally
+carries the lowered convolution stages and the digital periphery, and
+rebinds to any registered backend.  The legacy format stays readable:
+:func:`repro.io.load_plan` converts it transparently, and
+:func:`convert_folded_artifact` writes the upgraded file (mirroring the
+sweep store's one-time JSON -> JSONL migration).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro import __version__
+from repro.io.common import read_npz, write_npz
+from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
+
+__all__ = ["save_folded_classifier", "load_folded_classifier",
+           "convert_folded_artifact"]
+
+
+def save_folded_classifier(hidden: list[FoldedBinaryDense],
+                           output: FoldedOutputDense, path, *,
+                           overwrite: bool = False) -> None:
+    """Write the legacy hardware programming artefact for a classifier.
+
+    Stores each hidden layer's weight bits and thresholds plus the output
+    layer's bits/scale/offset — the complete content a memory controller
+    needs (what :func:`repro.rram.fold_classifier` produces).  New code
+    should prefer :func:`repro.io.save_plan`, which persists whole
+    compiled plans; this writer is kept for the installed base of
+    programming scripts.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for index, layer in enumerate(hidden):
+        prefix = f"hidden{index}."
+        arrays[prefix + "weight_bits"] = layer.weight_bits
+        arrays[prefix + "theta"] = layer.theta
+        arrays[prefix + "gamma_sign"] = layer.gamma_sign
+        arrays[prefix + "beta_sign"] = layer.beta_sign
+    arrays["output.weight_bits"] = output.weight_bits
+    arrays["output.scale"] = output.scale
+    arrays["output.offset"] = output.offset
+    meta = {
+        "kind": "folded_classifier",
+        "repro_version": __version__,
+        "n_hidden": len(hidden),
+        "layer_shapes": [list(l.weight_bits.shape) for l in hidden]
+        + [list(output.weight_bits.shape)],
+    }
+    write_npz(path, arrays, meta, overwrite=overwrite)
+
+
+def folded_from_arrays(arrays: dict, meta: dict) -> tuple[
+        list[FoldedBinaryDense], FoldedOutputDense]:
+    """Rebuild the folded layers from a legacy artifact's raw content."""
+    hidden = []
+    for index in range(meta["n_hidden"]):
+        prefix = f"hidden{index}."
+        hidden.append(FoldedBinaryDense(
+            weight_bits=arrays[prefix + "weight_bits"],
+            theta=arrays[prefix + "theta"],
+            gamma_sign=arrays[prefix + "gamma_sign"],
+            beta_sign=arrays[prefix + "beta_sign"]))
+    output = FoldedOutputDense(
+        weight_bits=arrays["output.weight_bits"],
+        scale=arrays["output.scale"],
+        offset=arrays["output.offset"])
+    return hidden, output
+
+
+def load_folded_classifier(path) -> tuple[list[FoldedBinaryDense],
+                                          FoldedOutputDense]:
+    """Reconstruct the folded layers from a legacy programming artefact."""
+    arrays, meta = read_npz(path)
+    if meta.get("kind") != "folded_classifier":
+        raise ValueError(
+            f"{path} holds a {meta.get('kind')!r} artefact, not a folded "
+            "classifier")
+    return folded_from_arrays(arrays, meta)
+
+
+def convert_folded_artifact(src, dst=None, *,
+                            overwrite: bool = False) -> pathlib.Path:
+    """Upgrade a legacy folded-classifier file to a plan artifact.
+
+    ``dst`` defaults to the source name with a ``.plan.npz`` suffix.  The
+    resulting artifact has an activation-bit passthrough front-end, so it
+    loads on every backend via :func:`repro.io.load_compiled` and is fed
+    the same ``(N, in_features)`` bits the legacy consumers used.
+    """
+    from repro.io.plans import save_plan
+    from repro.runtime import plan_from_folded
+
+    hidden, output = load_folded_classifier(src)
+    if dst is None:
+        src = pathlib.Path(src)
+        dst = src.with_name(src.name.removesuffix(".npz") + ".plan.npz")
+    plan = plan_from_folded(hidden, output, backend="reference")
+    return save_plan(plan, dst, overwrite=overwrite)

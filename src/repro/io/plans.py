@@ -1,0 +1,203 @@
+"""Compiled-plan deployment artifacts: the paper's end state as a file.
+
+A trained BNN ends its life on the RRAM chip as weight words plus integer
+thresholds (§II-B: "programming occurs before the use of the inference
+circuit").  ``runtime.compile`` produces exactly that; this module makes
+it a *file*:
+
+* :func:`save_plan` writes a versioned ``.npz`` holding every
+  :class:`~repro.runtime.ir.PlanOp`'s payload — packed weight words,
+  integer thresholds, op kind and geometry metadata (fan-in, kernel and
+  stride, pad/depthwise hints) plus the declarative periphery specs;
+* :func:`load_plan` reads it back (transparently converting legacy
+  folded-classifier artifacts) without touching the training stack;
+* :func:`load_compiled` rebinds the artifact to **any** registered
+  backend (``reference`` / ``packed`` / ``rram`` / ``sharded`` / plug-
+  ins) through ``resolve_backend`` + ``begin_plan`` + ``prepare_*`` —
+  one artifact serves CPU verification and simulated-chip execution.
+
+Because both the compiler and the loader build periphery ops from the
+same specs (:mod:`repro.runtime.serialize`), a reloaded plan is
+bit-identical to a freshly compiled one — the property the golden
+artifact tests under ``tests/fixtures/plans/`` pin down.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import __version__
+from repro.io.common import read_npz, write_npz
+
+__all__ = ["PlanArtifact", "save_plan", "load_plan", "load_compiled"]
+
+
+@dataclass
+class PlanArtifact:
+    """An in-memory deployment artifact: plan payload, no executors."""
+
+    format_version: int
+    repro_version: str
+    ops: list[dict]                       # one meta entry per plan op
+    arrays: dict[str, np.ndarray] = field(repr=False)
+    meta: dict = field(repr=False)
+
+    @property
+    def self_contained(self) -> bool:
+        """True when every op rebuilds from the artifact alone (no
+        ``external`` front-end closing over the original model)."""
+        return all(entry["op"] != "external" for entry in self.ops)
+
+    @property
+    def input_shape(self) -> tuple[int, ...] | None:
+        """Per-sample input geometry recorded at save time (if known)."""
+        shape = self.meta.get("input_shape")
+        return tuple(int(s) for s in shape) if shape else None
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, int]]:
+        """Weight-matrix shapes of the substrate ops, in plan order."""
+        return [tuple(entry["weight_shape"])
+                for entry in self.ops if entry["role"] in ("layer",
+                                                           "output")]
+
+    def describe(self) -> str:
+        """Human-readable artifact listing (one line per op)."""
+        header = (f"plan artifact v{self.format_version} "
+                  f"(saved with repro {self.repro_version}, "
+                  f"{'self-contained' if self.self_contained else 'needs a front_end'})")
+        lines = [header, "-" * len(header)]
+        for entry in self.ops:
+            geometry = ""
+            if "weight_shape" in entry:
+                rows, cols = entry["weight_shape"]
+                geometry = (f"  [{rows}x{cols} words, "
+                            f"fan-in {entry['params']['fan_in']}]")
+            lines.append(f"{entry['index']:2d}. {entry['role']:<10} "
+                         f"{entry['label']}{geometry}")
+        return "\n".join(lines)
+
+
+def save_plan(plan, path, *, overwrite: bool = False,
+              allow_external_front_end: bool = False) -> pathlib.Path:
+    """Write a compiled plan as a versioned deployment artifact.
+
+    The artifact is backend-independent: it stores the folded forms and
+    periphery specs, never the prepared executors, so loading rebinds it
+    to any registered backend.  Plans whose front-end is the float
+    feature stack of the model (non-lowered compiles, custom closures)
+    are only partially serializable; pass
+    ``allow_external_front_end=True`` to save them anyway — reloading
+    then requires a ``front_end=`` callable.
+
+    Refuses to replace an existing file unless ``overwrite=True``.
+    """
+    from repro.runtime.serialize import (FORMAT_VERSION,
+                                         PlanSerializationError,
+                                         plan_payload)
+
+    ops_meta, arrays = plan_payload(plan)
+    external = [entry["label"] for entry in ops_meta
+                if entry["op"] == "external"]
+    if external and not allow_external_front_end:
+        raise PlanSerializationError(
+            f"plan front-end {external[0]!r} closes over the model and "
+            "cannot be rebuilt from the artifact alone; compile with "
+            "lower_features=True (fully binarized models) for a "
+            "self-contained artifact, or pass "
+            "allow_external_front_end=True and supply front_end= at "
+            "load time")
+    for entry in ops_meta:
+        if entry["role"] in ("layer", "output"):
+            entry["weight_shape"] = list(
+                arrays[f"op{entry['index']}.weight_bits"].shape)
+    front_params = ops_meta[0]["params"] if ops_meta else {}
+    meta = {
+        "kind": "compiled_plan",
+        "format_version": FORMAT_VERSION,
+        "repro_version": __version__,
+        "backend": plan.backend.name,
+        "self_contained": not external,
+        "input_shape": front_params.get("input_shape"),
+        "n_ops": len(ops_meta),
+        "ops": ops_meta,
+    }
+    return write_npz(path, arrays, meta, overwrite=overwrite)
+
+
+def load_plan(path) -> PlanArtifact:
+    """Read a plan artifact (or convert a legacy folded classifier).
+
+    Validates the format version — artifacts written by a newer repro
+    fail loudly instead of mis-deserializing.  Legacy
+    ``folded_classifier`` files are upgraded in memory (an activation-bit
+    passthrough front-end plus the dense stack); use
+    :func:`repro.io.convert_folded_artifact` to persist the upgrade.
+    """
+    from repro.runtime.serialize import FORMAT_VERSION, plan_payload
+
+    arrays, meta = read_npz(path)
+    if meta.get("kind") == "folded_classifier":
+        from repro.io.folded import folded_from_arrays
+        from repro.runtime import plan_from_folded
+
+        hidden, output = folded_from_arrays(arrays, meta)
+        plan = plan_from_folded(hidden, output, backend="reference")
+        ops_meta, plan_arrays = plan_payload(plan)
+        for entry in ops_meta:
+            if entry["role"] in ("layer", "output"):
+                entry["weight_shape"] = list(
+                    plan_arrays[f"op{entry['index']}.weight_bits"].shape)
+        return PlanArtifact(
+            format_version=FORMAT_VERSION,
+            repro_version=meta.get("repro_version", "unknown"),
+            ops=ops_meta, arrays=plan_arrays,
+            meta={"kind": "compiled_plan", "converted_from":
+                  "folded_classifier",
+                  "input_shape": [int(output.in_features)
+                                  if not hidden
+                                  else int(hidden[0].in_features)],
+                  **{k: meta[k] for k in ("layer_shapes",) if k in meta}})
+    if meta.get("kind") != "compiled_plan":
+        raise ValueError(
+            f"{path} holds a {meta.get('kind')!r} artefact, not a "
+            "compiled plan")
+    version = meta.get("format_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"{path} has a malformed format_version "
+                         f"({version!r})")
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"{path} was saved as plan-artifact format v{version}; this "
+            f"repro build reads up to v{FORMAT_VERSION} — upgrade repro "
+            "to load it")
+    return PlanArtifact(format_version=version,
+                        repro_version=meta.get("repro_version", "unknown"),
+                        ops=meta["ops"], arrays=arrays, meta=meta)
+
+
+def load_compiled(path, backend="reference", *, front_end=None):
+    """Rebuild an executable :class:`~repro.runtime.CompiledModel` from a
+    saved artifact, bound to ``backend`` — no live model required.
+
+    ``backend`` accepts a registered name or a configured
+    :class:`~repro.runtime.Backend` instance (e.g.
+    ``ShardedRRAMBackend(macro=MacroGeometry(7, 13))``).  ``front_end``
+    supplies the input closure for artifacts whose front-end is
+    ``external``; self-contained artifacts ignore it.
+
+    ``path`` may also be an already-loaded :class:`PlanArtifact`, so the
+    file is parsed once when rebinding to several backends.
+    """
+    from repro.runtime import CompiledModel, resolve_backend
+    from repro.runtime.serialize import ops_from_payload
+
+    artifact = path if isinstance(path, PlanArtifact) else load_plan(path)
+    backend = resolve_backend(backend)
+    backend.begin_plan()
+    ops = ops_from_payload(artifact.ops, artifact.arrays, backend,
+                           front_end=front_end)
+    return CompiledModel(ops, backend)

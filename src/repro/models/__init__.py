@@ -14,6 +14,8 @@ augmentation sweeps of Table III / Fig. 7.
 """
 
 from repro.models.common import BinarizationMode, Compilable, LayerSummary
+from repro.models.demo import (demo_model_and_inputs, golden_classifier,
+                               GOLDEN_NAMES)
 from repro.models.eeg_net import EEGNet, EEG_INPUT_CHANNELS, EEG_INPUT_SAMPLES
 from repro.models.ecg_net import ECGNet, ECG_INPUT_LEADS, ECG_INPUT_SAMPLES
 from repro.models.mobilenet import MobileNetV1, MobileNetConfig
@@ -23,4 +25,5 @@ __all__ = [
     "EEGNet", "EEG_INPUT_CHANNELS", "EEG_INPUT_SAMPLES",
     "ECGNet", "ECG_INPUT_LEADS", "ECG_INPUT_SAMPLES",
     "MobileNetV1", "MobileNetConfig",
+    "demo_model_and_inputs", "golden_classifier", "GOLDEN_NAMES",
 ]

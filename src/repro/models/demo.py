@@ -1,0 +1,116 @@
+"""Deterministic demo classifiers for the CLI, fixtures and smoke tests.
+
+Two families, both reproducible bit-for-bit from fixed PCG64 seeds:
+
+* :func:`demo_model_and_inputs` — the CLI's reduced paper models
+  (calibrated batch-norm statistics via forward passes); deterministic
+  per (name, mode) so worker processes can rebuild the identical model;
+* :func:`golden_classifier` — tiny fully binarized EEG/ECG classifiers
+  whose batch-norm statistics are *drawn from the seeded generator*
+  instead of calibrated.  No matmul touches the parameters, so the
+  committed golden artifacts under ``tests/fixtures/plans/`` are
+  reproducible across BLAS builds — the drift the golden tests measure
+  is format/kernel drift, never floating-point library drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.common import BinarizationMode
+from repro.models.ecg_net import ECGNet
+from repro.models.eeg_net import EEGNet
+from repro.models.mobilenet import MobileNetConfig, MobileNetV1
+from repro.nn.norm import _BatchNorm
+
+__all__ = ["demo_model_and_inputs", "golden_classifier", "GOLDEN_NAMES"]
+
+GOLDEN_NAMES = ("eeg", "ecg")
+
+
+def demo_model_and_inputs(model_name: str, mode_name: str):
+    """Reduced paper model + calibration inputs, deterministic per name.
+
+    Seeded so backend-evaluation workers (and the ``deploy`` command's
+    synthetic inputs) can rebuild the identical model in any process.
+    Raises :class:`ValueError` for unsupported combinations (MobileNet
+    cannot lower its padded convolutions).
+    """
+    from repro.tensor import Tensor, no_grad
+
+    mode = BinarizationMode(mode_name)
+    rng = np.random.default_rng(0)
+    if model_name == "eeg":
+        model = EEGNet(mode=mode, n_channels=16, n_samples=240,
+                       base_filters=8, hidden_units=32, rng=rng)
+        inputs = rng.standard_normal((32, 16, 240))
+    elif model_name == "ecg":
+        model = ECGNet(mode=mode, n_samples=300, base_filters=8,
+                       conv_keep_prob=1.0, classifier_keep_prob=1.0, rng=rng)
+        inputs = rng.standard_normal((32, 12, 300))
+        model.fit_input_norm(inputs)
+    elif model_name == "mobilenet":
+        if mode is BinarizationMode.FULL_BINARY:
+            raise ValueError("mobilenet feature lowering is not supported "
+                             "(padded convolutions); use binary_classifier")
+        config = MobileNetConfig.reduced(n_classes=4, image_size=16,
+                                         width_multiplier=0.25, n_blocks=3)
+        model = MobileNetV1(config, mode=mode, rng=rng)
+        inputs = rng.standard_normal((32, 3, 16, 16))
+    else:
+        raise ValueError(f"unknown demo model {model_name!r}; "
+                         "choose eeg, ecg or mobilenet")
+
+    # Calibrate batch-norm running statistics (untrained weights are fine
+    # for a runtime demonstration; folding needs realistic stats).
+    model.train()
+    with no_grad():
+        for start in range(0, len(inputs), 8):
+            model(Tensor(inputs[start:start + 8]))
+    model.eval()
+    return model, inputs
+
+
+def _draw_batchnorm_stats(model, rng: np.random.Generator) -> None:
+    """Replace every batch-norm's parameters and running statistics with
+    seeded draws (non-degenerate: positive variance, gamma away from 0)."""
+    for module in model.modules():
+        if isinstance(module, _BatchNorm):
+            n = module.num_features
+            module.gamma.data[...] = rng.normal(1.0, 0.25, n)
+            module.beta.data[...] = rng.normal(0.0, 0.25, n)
+            module.set_buffer("running_mean", rng.normal(0.0, 0.5, n))
+            module.set_buffer("running_var",
+                              np.abs(rng.normal(1.0, 0.25, n)) + 0.1)
+
+
+def golden_classifier(name: str):
+    """A tiny FULL_BINARY demo classifier + inputs, stable across builds.
+
+    ``name`` is ``"eeg"`` (lowered temporal/spatial conv pipeline) or
+    ``"ecg"`` (lowered five-stage 1-D conv stack).  Every parameter,
+    statistic and input sample is a direct PCG64 draw, so the same bytes
+    come out on every platform — the fixture contract the golden
+    artifact tests rely on.
+    """
+    if name == "eeg":
+        rng = np.random.default_rng(20250729)
+        model = EEGNet(mode=BinarizationMode.FULL_BINARY, n_channels=8,
+                       n_samples=64, base_filters=4, hidden_units=16,
+                       rng=rng)
+        inputs = rng.standard_normal((16, 8, 64))
+    elif name == "ecg":
+        rng = np.random.default_rng(20260729)
+        model = ECGNet(mode=BinarizationMode.FULL_BINARY, n_samples=200,
+                       base_filters=4, hidden_units=16, conv_keep_prob=1.0,
+                       classifier_keep_prob=1.0, rng=rng)
+        model.input_norm.set_buffer("mean", rng.normal(0.0, 0.3, 12))
+        model.input_norm.set_buffer(
+            "std", np.abs(rng.normal(1.0, 0.2, 12)) + 0.5)
+        inputs = rng.standard_normal((16, 12, 200))
+    else:
+        raise ValueError(f"unknown golden classifier {name!r}; "
+                         f"choose one of {GOLDEN_NAMES}")
+    _draw_batchnorm_stats(model, rng)
+    model.eval()
+    return model, inputs

@@ -32,14 +32,16 @@ from repro.runtime.backends import (Backend, ReferenceBackend, PackedBackend,
                                     register_backend, resolve_backend,
                                     available_backends)
 from repro.runtime.compile import (compile, CompiledModel,
-                                   fold_classifier_stack)
+                                   fold_classifier_stack, plan_from_folded)
 from repro.runtime.ir import (PlanOp, FrontEndOp, BitTransformOp, BitLayerOp,
                               OutputLayerOp)
+from repro.runtime.serialize import FORMAT_VERSION, PlanSerializationError
 
 __all__ = [
-    "compile", "CompiledModel", "fold_classifier_stack",
+    "compile", "CompiledModel", "fold_classifier_stack", "plan_from_folded",
     "Backend", "ReferenceBackend", "PackedBackend", "RRAMBackend",
     "ShardedRRAMBackend",
     "register_backend", "resolve_backend", "available_backends",
     "PlanOp", "FrontEndOp", "BitTransformOp", "BitLayerOp", "OutputLayerOp",
+    "FORMAT_VERSION", "PlanSerializationError",
 ]

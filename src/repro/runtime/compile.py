@@ -28,14 +28,17 @@ import numpy as np
 from repro.models.common import BinarizationMode
 from repro.nn.binary import (fold_batchnorm_output, fold_batchnorm_sign,
                              to_bits)
-from repro.rram.conv import fold_conv1d_batchnorm_sign, max_pool_bits_1d
+from repro.rram.conv import fold_conv1d_batchnorm_sign
 from repro.rram.conv2d import fold_conv2d_batchnorm_sign
 from repro.runtime.backends import Backend, resolve_backend
 from repro.runtime.ir import (BitLayerOp, BitTransformOp, FrontEndOp,
                               OutputLayerOp, PlanOp)
+from repro.runtime.serialize import (bn_payload, build_front_end,
+                                     build_transform)
 from repro.tensor import Tensor, no_grad
 
-__all__ = ["compile", "CompiledModel", "fold_classifier_stack"]
+__all__ = ["compile", "CompiledModel", "fold_classifier_stack",
+           "plan_from_folded"]
 
 
 def fold_classifier_stack(model):
@@ -244,6 +247,21 @@ class CompiledModel:
                 "plan was not compiled with the rram backend")
         return InMemoryClassifier(hidden, output)
 
+    # -- persistence -----------------------------------------------------
+    def save(self, path, *, overwrite: bool = False,
+             allow_external_front_end: bool = False):
+        """Write this plan as a deployment artifact (see
+        :func:`repro.io.save_plan`).
+
+        The artifact is backend-independent — it holds the folded weight
+        words, integer thresholds and periphery specs, not the prepared
+        executors — so :func:`repro.io.load_compiled` can rebind it to
+        any registered backend without the original model.
+        """
+        from repro.io import save_plan
+        return save_plan(self, path, overwrite=overwrite,
+                         allow_external_front_end=allow_external_front_end)
+
     def __repr__(self) -> str:
         return (f"CompiledModel(backend={self.backend.name!r}, "
                 f"ops={len(self.ops)})")
@@ -313,10 +331,61 @@ def compile(model, backend="reference", *, lower_features: bool | str = "auto",
     return CompiledModel(ops, backend, model=model)
 
 
+def plan_from_folded(hidden, output, backend="reference",
+                     in_features: int | None = None) -> CompiledModel:
+    """Build an executable plan directly from folded classifier layers.
+
+    The model-free companion of :func:`compile`: the plan's front-end is
+    an activation-bit passthrough (the classic memory-controller input
+    contract), so inputs are ``(N, in_features)`` uint8 bits — exactly
+    what :func:`repro.rram.classifier_input_bits` produces.  Used by the
+    legacy folded-artifact conversion path and anywhere a classifier
+    exists only as weight words + thresholds.
+    """
+    backend = resolve_backend(backend)
+    backend.begin_plan()
+    if in_features is None:
+        in_features = hidden[0].in_features if hidden \
+            else output.in_features
+    ops: list[PlanOp] = [build_front_end(
+        {"op": "bits", "params": {"in_features": int(in_features),
+                                  "input_shape": [int(in_features)]}})]
+    for index, folded in enumerate(hidden, start=1):
+        ops.append(BitLayerOp(
+            backend.prepare_dense(folded), folded,
+            f"dense fc{index} {folded.in_features}->{folded.out_features} "
+            f"(popcount-threshold)"))
+    ops.append(OutputLayerOp(
+        backend.prepare_output(output), output,
+        f"output fc {output.in_features}->{len(output.scale)} "
+        f"(popcount-affine, argmax)"))
+    return CompiledModel(ops, backend)
+
+
+def _input_shape(model) -> list[int] | None:
+    """Per-sample input geometry, when the model convention exposes it."""
+    if hasattr(model, "n_channels") and hasattr(model, "n_samples"):
+        return [int(model.n_channels), int(model.n_samples)]
+    if hasattr(model, "n_leads") and hasattr(model, "n_samples"):
+        return [int(model.n_leads), int(model.n_samples)]
+    config = getattr(model, "config", None)
+    if config is not None and hasattr(config, "image_size"):
+        channels = int(getattr(config, "in_channels", 3))
+        return [channels, int(config.image_size), int(config.image_size)]
+    return None
+
+
 def _default_front_end(model, front_end) -> FrontEndOp:
-    """Feature extractor + binarization in the float stack."""
+    """Feature extractor + binarization in the float stack.
+
+    This op closes over the live model, so it persists only as an
+    ``external`` spec: a reloaded artifact needs a caller-supplied
+    ``front_end`` (or the model itself) to rebuild it.
+    """
+    spec = {"op": "external",
+            "params": {"input_shape": _input_shape(model)}}
     if front_end is not None:
-        return FrontEndOp(front_end, "custom front-end")
+        return FrontEndOp(front_end, "custom front-end", spec=spec)
 
     def run(inputs: np.ndarray) -> np.ndarray:
         with no_grad():
@@ -324,31 +393,41 @@ def _default_front_end(model, front_end) -> FrontEndOp:
             pre = model.pre_classifier(feats)
         return to_bits(pre.data)
 
-    return FrontEndOp(run, "float features + binarize")
+    return FrontEndOp(run, "float features + binarize", spec=spec)
 
 
 # -- ECG-style 1-D conv stacks ----------------------------------------------
 def _lowered_conv1d_ops(model, backend: Backend, front_end) -> list[PlanOp]:
     """Lower a 1-D conv stack (``conv_stages`` hook): the first, analog-
     facing stage stays in the front-end; every later stage runs as a
-    folded binary convolution on the backend."""
+    folded binary convolution on the backend.
+
+    Every op is built from a declarative spec
+    (:mod:`repro.runtime.serialize`), so the whole lowered plan persists
+    as a self-contained artifact and reloads without the model.
+    """
     stages = model.conv_stages()
     first_conv, first_bn, first_pool = stages[0]
 
     if front_end is None:
-        def front(inputs: np.ndarray) -> np.ndarray:
-            with no_grad():
-                h = model.input_norm(Tensor(np.asarray(inputs)))
-                h = first_bn(first_conv(h))
-            bits = to_bits(h.data)
-            if first_pool is not None:
-                bits = max_pool_bits_1d(bits, first_pool.kernel_size,
-                                        first_pool.stride)
-            return bits
-        ops: list[PlanOp] = [FrontEndOp(
-            front, "input-norm + conv stage 0 + binarize (analog front)")]
+        bn_params, arrays = bn_payload(first_bn)
+        params = {"in_channels": int(first_conv.in_channels),
+                  "stride": int(first_conv.stride),
+                  "padding": int(first_conv.padding),
+                  "pool_kernel": int(first_pool.kernel_size)
+                  if first_pool is not None else None,
+                  "pool_stride": int(first_pool.stride)
+                  if first_pool is not None else None,
+                  "input_shape": _input_shape(model), **bn_params}
+        arrays["weight_bits"] = to_bits(first_conv.weight.data)
+        arrays["norm_mean"] = np.array(model.input_norm.mean,
+                                       dtype=np.float64)
+        arrays["norm_std"] = np.array(model.input_norm.std,
+                                      dtype=np.float64)
+        ops: list[PlanOp] = [build_front_end(
+            {"op": "conv1d_front", "params": params}, arrays)]
     else:
-        ops = [FrontEndOp(front_end, "custom front-end")]
+        ops = [_default_front_end(model, front_end)]
 
     for index, (conv, bn, pool) in enumerate(stages[1:], start=1):
         folded = fold_conv1d_batchnorm_sign(conv, bn)
@@ -357,18 +436,14 @@ def _lowered_conv1d_ops(model, backend: Backend, front_end) -> list[PlanOp]:
             f"conv1d stage {index} {folded.in_channels}->"
             f"{folded.out_channels} k={folded.kernel_size}"))
         if pool is not None:
-            ops.append(BitTransformOp(
-                _pool1d_fn(pool.kernel_size, pool.stride),
-                f"max-pool bits k={pool.kernel_size} (logical OR)"))
-    ops.append(BitTransformOp(
-        lambda bits: np.ascontiguousarray(bits).reshape(bits.shape[0], -1),
-        "flatten"))
+            ops.append(build_transform(
+                {"op": "max_pool1d",
+                 "params": {"kernel": int(pool.kernel_size),
+                            "stride": int(pool.stride)}},
+                label=f"max-pool bits k={pool.kernel_size} (logical OR)"))
+    ops.append(build_transform({"op": "flatten", "params": {}}))
     ops.append(_sign_remap_op(model))
     return ops
-
-
-def _pool1d_fn(kernel: int, stride: int):
-    return lambda bits: max_pool_bits_1d(bits, kernel, stride)
 
 
 def _sign_remap_op(model) -> BitTransformOp:
@@ -376,37 +451,39 @@ def _sign_remap_op(model) -> BitTransformOp:
 
     An elementwise monotone map of a two-valued input is fully described
     by its images of -1 and +1; both rows are precomputed here, so at run
-    time the op is a single select — a two-row lookup in hardware.
+    time the op is a single select — a two-row lookup in hardware (and
+    two uint8 rows in the artifact).
     """
     n_features = model.fc1.in_features
     with no_grad():
         minus = model.pre_classifier(Tensor(-np.ones((1, n_features))))
         plus = model.pre_classifier(Tensor(np.ones((1, n_features))))
-    bit_for_0 = to_bits(minus.data)[0]
-    bit_for_1 = to_bits(plus.data)[0]
-
-    def run(bits: np.ndarray) -> np.ndarray:
-        return np.where(bits != 0, bit_for_1[None, :], bit_for_0[None, :])
-
-    return BitTransformOp(run, "pre-classifier batch-norm + sign "
-                               "(two-row lookup)")
+    return build_transform(
+        {"op": "two_row_lookup", "params": {}},
+        {"bit_for_0": to_bits(minus.data)[0],
+         "bit_for_1": to_bits(plus.data)[0]})
 
 
 # -- EEG: temporal front + spatial conv on the fabric -----------------------
 def _lowered_eeg_ops(model, backend: Backend, front_end) -> list[PlanOp]:
     """Lower the EEG network: the temporal convolution (analog input)
     stays in the front-end; the spatial convolution executes on the
-    backend; pooling + pre-classifier bridge through the periphery."""
+    backend; pooling + pre-classifier bridge through the periphery.
+
+    Front-end and bridge are spec-built (serializable) like the ECG path.
+    """
     if front_end is None:
-        def front(inputs: np.ndarray) -> np.ndarray:
-            with no_grad():
-                h = model._as_image(Tensor(np.asarray(inputs)))
-                h = model.bn_time(model.conv_time(h))
-            return to_bits(h.data)
-        ops: list[PlanOp] = [FrontEndOp(
-            front, "temporal conv + binarize (analog front)")]
+        bn_params, arrays = bn_payload(model.bn_time)
+        params = {"n_channels": int(model.n_channels),
+                  "n_samples": int(model.n_samples),
+                  "stride": [int(s) for s in model.conv_time.stride],
+                  "padding": [int(p) for p in model.conv_time.padding],
+                  "input_shape": _input_shape(model), **bn_params}
+        arrays["weight_bits"] = to_bits(model.conv_time.weight.data)
+        ops: list[PlanOp] = [build_front_end(
+            {"op": "conv2d_front", "params": params}, arrays)]
     else:
-        ops = [FrontEndOp(front_end, "custom front-end")]
+        ops = [_default_front_end(model, front_end)]
 
     folded = fold_conv2d_batchnorm_sign(model.conv_space, model.bn_space)
     ops.append(BitLayerOp(
@@ -414,16 +491,11 @@ def _lowered_eeg_ops(model, backend: Backend, front_end) -> list[PlanOp]:
         f"conv2d spatial {folded.in_channels}->{folded.out_channels} "
         f"k={folded.kernel_size}"))
 
-    def bridge(bits: np.ndarray) -> np.ndarray:
-        # (N, F, T', 1) bits -> ±1 -> overlapping avg-pool -> flatten ->
-        # pre-classifier batch-norm + sign.  The averaging pool needs real
-        # arithmetic, so this stage lives in the digital periphery.
-        pm1 = np.where(bits != 0, 1.0, -1.0).reshape(bits.shape[:3])
-        with no_grad():
-            h = model.pool(Tensor(pm1))
-            h = model.pre_classifier(h.flatten_from(1))
-        return to_bits(h.data)
-
-    ops.append(BitTransformOp(
-        bridge, "avg-pool + flatten + pre-classifier (periphery)"))
+    pre_bn = next(iter(model.pre_classifier))
+    bn_params, arrays = bn_payload(pre_bn)
+    ops.append(build_transform(
+        {"op": "avg_pool_bridge",
+         "params": {"pool_kernel": int(model.pool.kernel_size),
+                    "pool_stride": int(model.pool.stride), **bn_params}},
+        arrays))
     return ops

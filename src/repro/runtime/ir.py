@@ -12,6 +12,13 @@ ops exist:
 * **substrate** ops (:class:`BitLayerOp`, :class:`OutputLayerOp`) hold an
   executor prepared by the backend at compile time — a folded software
   layer, a packed-word kernel, or a programmed set of RRAM tiles.
+
+Digital-periphery ops additionally carry a declarative ``spec`` (a JSON
+description plus named numpy arrays).  Specs are how plans persist: the
+closure is rebuilt from the spec by :mod:`repro.runtime.serialize`, both
+at compile time and when an artifact is reloaded, so a saved plan runs
+the *same* code path as a freshly compiled one.  Substrate ops need no
+spec — their ``folded`` form is already declarative.
 """
 
 from __future__ import annotations
@@ -53,9 +60,13 @@ class FrontEndOp(PlanOp):
 
     kind = "front-end"
 
-    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], label: str):
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], label: str,
+                 spec: dict | None = None,
+                 spec_arrays: dict[str, np.ndarray] | None = None):
         super().__init__(label)
         self.fn = fn
+        self.spec = spec
+        self.spec_arrays = spec_arrays
 
     def run(self, x):
         return self.fn(x)
@@ -72,9 +83,13 @@ class BitTransformOp(PlanOp):
 
     kind = "periphery"
 
-    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], label: str):
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], label: str,
+                 spec: dict | None = None,
+                 spec_arrays: dict[str, np.ndarray] | None = None):
         super().__init__(label)
         self.fn = fn
+        self.spec = spec
+        self.spec_arrays = spec_arrays
 
     def run(self, bits):
         return self.fn(bits)

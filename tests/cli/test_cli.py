@@ -135,6 +135,64 @@ class TestCommands:
             main(["compile", "eeg", "--backend", "sharded",
                   "--macros", "0x32"])
 
+    def test_compile_save_then_deploy_roundtrip(self, tmp_path, capsys):
+        """The closed deploy loop: compile --save writes an artifact the
+        deploy command reloads (no model) with 100% backend agreement."""
+        artifact = tmp_path / "ecg_plan.npz"
+        assert main(["compile", "ecg", "--mode", "full_binary",
+                     "--backend", "reference",
+                     "--save", str(artifact)]) == 0
+        text = capsys.readouterr().out
+        assert "plan artifact ->" in text and "self-contained" in text
+        assert artifact.exists()
+
+        assert main(["deploy", str(artifact), "--backend", "all"]) == 0
+        text = capsys.readouterr().out
+        for backend in ("reference", "packed", "rram", "sharded"):
+            assert backend in text
+        assert text.count("100.0%") >= 4
+        assert "plan artifact v1" in text
+        assert "Per-macro shard map" in text
+
+    def test_compile_save_refuses_clobber_without_overwrite(self, tmp_path,
+                                                            capsys):
+        artifact = tmp_path / "plan.npz"
+        assert main(["compile", "ecg", "--mode", "full_binary",
+                     "--backend", "reference",
+                     "--save", str(artifact)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--overwrite"):
+            main(["compile", "ecg", "--mode", "full_binary",
+                  "--backend", "reference", "--save", str(artifact)])
+        assert main(["compile", "ecg", "--mode", "full_binary",
+                     "--backend", "reference", "--save", str(artifact),
+                     "--overwrite"]) == 0
+
+    def test_compile_save_binary_classifier_warns_external(self, tmp_path,
+                                                           capsys):
+        artifact = tmp_path / "plan.npz"
+        assert main(["compile", "ecg", "--backend", "reference",
+                     "--save", str(artifact)]) == 0
+        assert "front-end stays off-artifact" in capsys.readouterr().out
+        # ... and deploy refuses it with guidance instead of crashing.
+        with pytest.raises(SystemExit, match="full_binary"):
+            main(["deploy", str(artifact)])
+
+    def test_deploy_missing_artifact_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="compile --save"):
+            main(["deploy", str(tmp_path / "nope.npz")])
+
+    def test_deploy_single_backend_and_macros(self, tmp_path, capsys):
+        artifact = tmp_path / "eeg_plan.npz"
+        assert main(["compile", "eeg", "--mode", "full_binary",
+                     "--backend", "reference",
+                     "--save", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["deploy", str(artifact), "--backend", "sharded",
+                     "--macros", "8x24"]) == 0
+        text = capsys.readouterr().out
+        assert "sharded" in text and "8x24 macros" in text
+
     def test_sweep_sharded_with_cache_stats(self, tmp_path, capsys):
         out = tmp_path / "sharded.jsonl"
         assert main(["sweep", "sharded", "--cache-stats",

@@ -1,0 +1,35 @@
+"""Regenerate the committed golden plan artifacts.
+
+The fixtures are plan artifacts of the :func:`repro.models.golden_classifier`
+demo models (EEG and ECG, fully binarized, lowered).  Every parameter and
+batch-norm statistic of those models is a direct PCG64 draw — no matmul
+touches them — so this script writes byte-stable array content on any
+platform, and the golden tests can compare a fresh save against the
+committed file array-for-array.
+
+Run it only when the artifact format changes intentionally (bump
+``FORMAT_VERSION`` first):
+
+    PYTHONPATH=src python tests/fixtures/plans/make_fixtures.py
+"""
+
+import pathlib
+
+HERE = pathlib.Path(__file__).parent
+
+
+def main() -> None:
+    from repro.io import save_plan
+    from repro.models import GOLDEN_NAMES, golden_classifier
+    from repro.runtime import compile
+
+    for name in GOLDEN_NAMES:
+        model, _ = golden_classifier(name)
+        plan = compile(model, backend="reference", lower_features=True)
+        path = save_plan(plan, HERE / f"{name}_full_binary.npz",
+                         overwrite=True)
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Golden-artifact regression tests: the deployment format, pinned.
+
+The fixtures under ``tests/fixtures/plans/`` are plan artifacts of the
+:func:`repro.models.golden_classifier` demo models, committed to the
+repository.  Reloading them on every registered backend and comparing
+bit-for-bit against freshly compiled plans catches two drift classes:
+
+* **format drift** — a change to the artifact layout, spec kinds or
+  array naming silently breaking old files (a fresh save must also match
+  the committed arrays exactly);
+* **kernel drift** — a change to any backend's packed/simulated kernels
+  producing different scores from the same weight words.
+
+If a format change is intentional, bump ``FORMAT_VERSION`` and rerun
+``tests/fixtures/plans/make_fixtures.py`` (see its docstring).
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.experiments import artifact_agreement, evaluate_compiled
+from repro.io import load_compiled, load_plan, save_plan
+from repro.models import GOLDEN_NAMES, golden_classifier
+from repro.rram import AcceleratorConfig, MacroGeometry
+from repro.runtime import (FORMAT_VERSION, RRAMBackend, ShardedRRAMBackend,
+                           compile)
+
+FIXTURES = pathlib.Path(__file__).parents[1] / "fixtures" / "plans"
+
+
+def _all_backends():
+    return (("reference", "reference"),
+            ("packed", "packed"),
+            ("rram", RRAMBackend(AcceleratorConfig(ideal=True))),
+            ("sharded", ShardedRRAMBackend(AcceleratorConfig(ideal=True))))
+
+
+def _fixture(name: str) -> pathlib.Path:
+    return FIXTURES / f"{name}_full_binary.npz"
+
+
+class TestGoldenArtifacts:
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_fixture_is_committed(self, name):
+        assert _fixture(name).exists(), (
+            f"missing golden artifact {name}; regenerate with "
+            "tests/fixtures/plans/make_fixtures.py")
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_fixture_format_version_is_current(self, name):
+        artifact = load_plan(_fixture(name))
+        assert artifact.format_version == FORMAT_VERSION
+        assert artifact.self_contained
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_reload_matches_fresh_compile_on_every_backend(self, name):
+        """The acceptance contract: a committed artifact, loaded without
+        the model, scores bit-identically to a fresh compile on all four
+        registered backends."""
+        model, inputs = golden_classifier(name)
+        artifact = load_plan(_fixture(name))
+        for label, backend in _all_backends():
+            fresh = compile(model, backend=backend, lower_features=True)
+            # A fresh instance for the loaded plan: backends prepared a
+            # plan already and must not leak state into the reload.
+            reload_backend = backend if isinstance(backend, str) else \
+                type(backend)(AcceleratorConfig(ideal=True))
+            loaded = load_compiled(artifact, backend=reload_backend)
+            assert np.array_equal(loaded.scores(inputs),
+                                  fresh.scores(inputs)), label
+            assert np.array_equal(loaded.predict(inputs),
+                                  fresh.predict(inputs)), label
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_fresh_save_matches_committed_arrays(self, name, tmp_path):
+        """Format drift check: saving the same golden model today must
+        produce exactly the committed payload, array for array."""
+        model, _ = golden_classifier(name)
+        plan = compile(model, backend="reference", lower_features=True)
+        fresh_path = save_plan(plan, tmp_path / "fresh.npz")
+        fresh = load_plan(fresh_path)
+        committed = load_plan(_fixture(name))
+        assert fresh.ops == committed.ops
+        assert sorted(fresh.arrays) == sorted(committed.arrays)
+        for key in committed.arrays:
+            assert np.array_equal(fresh.arrays[key],
+                                  committed.arrays[key]), key
+            assert fresh.arrays[key].dtype == committed.arrays[key].dtype
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_artifact_agreement_all_backends(self, name):
+        model, inputs = golden_classifier(name)
+        backends = [backend for _, backend in _all_backends()]
+        predictions, agreement = artifact_agreement(
+            _fixture(name), inputs, backends=backends)
+        assert set(predictions) == {"reference", "packed", "rram",
+                                    "sharded"}
+        assert agreement == {key: 1.0 for key in predictions}
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_evaluate_compiled_runs_from_the_file(self, name):
+        """The experiments layer consumes loaded plans like compiled
+        ones: accuracy from the file equals accuracy from the model."""
+        model, inputs = golden_classifier(name)
+        labels = compile(model, backend="reference",
+                         lower_features=True).predict(inputs)
+        loaded = load_compiled(_fixture(name), backend="packed")
+        assert evaluate_compiled(loaded, inputs, labels) == 1.0
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_sharded_reload_at_tail_forcing_geometry(self, name):
+        """Reloading on a 7x13 macro grid (tail shards everywhere) stays
+        bit-identical to the reference reload."""
+        _, inputs = golden_classifier(name)
+        artifact = load_plan(_fixture(name))
+        reference = load_compiled(artifact, backend="reference")
+        sharded = load_compiled(
+            artifact,
+            backend=ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                       macro=MacroGeometry(7, 13)))
+        assert np.array_equal(sharded.scores(inputs),
+                              reference.scores(inputs))

@@ -1,0 +1,139 @@
+"""Property-based contracts of plan save/load round-trips.
+
+For *any* classifier geometry — including tail-forcing macro grids like
+7x13 and prime fan-ins like 131 — a plan written by ``save_plan`` and
+read back by ``load_compiled`` must score bit-identically to the original
+on every registered backend, and the noisy RRAM path of a *loaded* plan
+must keep the Monte-Carlo chunking invariance of the fresh one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import load_compiled, load_plan, save_plan
+from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
+from repro.rram import AcceleratorConfig, MacroGeometry
+from repro.runtime import (RRAMBackend, ShardedRRAMBackend, compile,
+                           plan_from_folded)
+
+
+def _random_folded_stack(rng, n_in, n_hidden, n_out, n_classes):
+    """A synthetic two-layer folded classifier with adversarial
+    thresholds (gamma==0 rows included)."""
+    def dense(rows, cols):
+        return FoldedBinaryDense(
+            weight_bits=rng.integers(0, 2, (rows, cols)).astype(np.uint8),
+            theta=rng.integers(-cols, cols + 1, rows).astype(np.float64),
+            gamma_sign=rng.choice([-1.0, 0.0, 1.0], rows),
+            beta_sign=rng.choice([-1.0, 1.0], rows))
+    hidden = [dense(n_hidden, n_in), dense(n_out, n_hidden)]
+    output = FoldedOutputDense(
+        weight_bits=rng.integers(0, 2,
+                                 (n_classes, n_out)).astype(np.uint8),
+        scale=rng.normal(1.0, 0.3, n_classes),
+        offset=rng.normal(0.0, 0.5, n_classes))
+    return hidden, output
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2 ** 31), st.integers(3, 140), st.integers(2, 40),
+       st.integers(2, 24), st.integers(2, 4))
+def test_roundtrip_bit_identical_on_all_backends(tmp_path_factory, seed,
+                                                 n_in, n_hidden, n_out,
+                                                 n_classes):
+    rng = np.random.default_rng(seed)
+    hidden, output = _random_folded_stack(rng, n_in, n_hidden, n_out,
+                                          n_classes)
+    bits = rng.integers(0, 2, (9, n_in)).astype(np.uint8)
+    path = tmp_path_factory.mktemp("plans") / "plan.npz"
+    save_plan(plan_from_folded(hidden, output, "reference"), path)
+    artifact = load_plan(path)
+
+    for backend_factory in (
+            lambda: "reference",
+            lambda: "packed",
+            lambda: RRAMBackend(AcceleratorConfig(ideal=True)),
+            lambda: ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                       macro=MacroGeometry(7, 13))):
+        fresh = plan_from_folded(hidden, output, backend_factory())
+        loaded = load_compiled(artifact, backend=backend_factory())
+        assert np.array_equal(loaded.scores(bits), fresh.scores(bits))
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 2 ** 31), st.integers(1, 5),
+       st.one_of(st.none(), st.integers(1, 3)))
+def test_prime_131_fan_in_roundtrip_sharded(tmp_path_factory, seed, trials,
+                                            trial_chunk):
+    """The PR 4 stress geometry: a 131-wide (prime) fan-in forces ragged
+    tail shards on any macro grid; the reloaded plan must agree with the
+    fresh one bit-for-bit, noisy trials included."""
+    rng = np.random.default_rng(seed)
+    hidden, output = _random_folded_stack(rng, 131, 17, 11, 3)
+    bits = rng.integers(0, 2, (6, 131)).astype(np.uint8)
+    path = tmp_path_factory.mktemp("plans") / "plan131.npz"
+    save_plan(plan_from_folded(hidden, output, "reference"), path)
+    artifact = load_plan(path)
+
+    def backend():
+        return ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                  macro=MacroGeometry(7, 13))
+
+    fresh = plan_from_folded(hidden, output, backend())
+    loaded = load_compiled(artifact, backend=backend())
+    assert np.array_equal(loaded.scores(bits), fresh.scores(bits))
+    assert np.array_equal(
+        loaded.scores_trials(bits, trials, seed=seed,
+                             trial_chunk=trial_chunk),
+        fresh.scores_trials(bits, trials, seed=seed,
+                            trial_chunk=trial_chunk))
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 2 ** 31), st.integers(2, 6),
+       st.one_of(st.none(), st.integers(1, 4)))
+def test_loaded_noisy_plan_is_chunk_invariant(tmp_path_factory, seed,
+                                              trials, trial_chunk):
+    """Monte-Carlo contract survives the file round-trip: a loaded noisy
+    plan's trial batching is invariant to ``trial_chunk`` under a fixed
+    seed, and matches the freshly built noisy plan bit-for-bit."""
+    rng = np.random.default_rng(seed)
+    hidden, output = _random_folded_stack(rng, 24, 10, 8, 2)
+    bits = rng.integers(0, 2, (5, 24)).astype(np.uint8)
+    path = tmp_path_factory.mktemp("plans") / "noisy.npz"
+    save_plan(plan_from_folded(hidden, output, "reference"), path)
+    artifact = load_plan(path)
+
+    config = AcceleratorConfig(seed=7)      # default noisy device model
+    loaded = load_compiled(artifact, backend=RRAMBackend(config))
+    unchunked = loaded.scores_trials(bits, trials, seed=seed)
+    chunked = loaded.scores_trials(bits, trials, seed=seed,
+                                   trial_chunk=trial_chunk)
+    assert np.array_equal(unchunked, chunked)
+
+    fresh = plan_from_folded(hidden, output, RRAMBackend(config))
+    assert np.array_equal(fresh.scores_trials(bits, trials, seed=seed),
+                          unchunked)
+
+
+@pytest.mark.parametrize("name", ["eeg", "ecg"])
+def test_lowered_golden_models_roundtrip_with_trials(name, tmp_path):
+    """End-to-end lowered plans (conv stages + periphery specs) keep the
+    trial axis intact after reload on the noisy RRAM backend."""
+    from repro.models import golden_classifier
+
+    model, inputs = golden_classifier(name)
+    inputs = inputs[:4]
+    config = AcceleratorConfig(seed=3)
+    fresh = compile(model, backend=RRAMBackend(config),
+                    lower_features=True)
+    path = tmp_path / f"{name}.npz"
+    save_plan(fresh, path)
+    loaded = load_compiled(path, backend=RRAMBackend(config))
+    assert np.array_equal(loaded.scores_trials(inputs, 3, seed=1),
+                          fresh.scores_trials(inputs, 3, seed=1))
+    assert np.array_equal(
+        loaded.scores_trials(inputs, 3, seed=1, trial_chunk=2),
+        fresh.scores_trials(inputs, 3, seed=1))

@@ -133,3 +133,41 @@ class TestFoldedArtefact:
             meta = json.loads(bytes(data["__repro_meta__"]).decode())
         assert meta["n_hidden"] == len(hidden)
         assert meta["layer_shapes"][0] == list(hidden[0].weight_bits.shape)
+
+
+class TestOverwriteGuard:
+    """Every save_* entry point refuses to clobber unless told to."""
+
+    def test_save_model_refuses_then_overwrites(self, small_model,
+                                                tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_model(small_model, path)
+        before = path.read_bytes()
+        with pytest.raises(FileExistsError, match="overwrite=True"):
+            save_model(small_model, path)
+        assert path.read_bytes() == before      # refused write is a no-op
+        save_model(small_model, path, overwrite=True)
+
+    def test_save_folded_refuses_then_overwrites(self, tmp_path):
+        model = ECGNet(mode=BinarizationMode.BINARY_CLASSIFIER,
+                       n_samples=300, base_filters=8,
+                       rng=np.random.default_rng(11))
+        model.eval()
+        hidden, output = fold_classifier(model)
+        path = tmp_path / "program.npz"
+        save_folded_classifier(hidden, output, path)
+        with pytest.raises(FileExistsError, match="overwrite=True"):
+            save_folded_classifier(hidden, output, path)
+        save_folded_classifier(hidden, output, path, overwrite=True)
+        loaded_hidden, _ = load_folded_classifier(path)
+        assert np.array_equal(loaded_hidden[0].weight_bits,
+                              hidden[0].weight_bits)
+
+    def test_guard_sees_through_implicit_npz_suffix(self, small_model,
+                                                    tmp_path):
+        save_model(small_model, tmp_path / "ckpt")
+        assert (tmp_path / "ckpt.npz").exists()
+        with pytest.raises(FileExistsError):
+            save_model(small_model, tmp_path / "ckpt")
+        with pytest.raises(FileExistsError):
+            save_model(small_model, tmp_path / "ckpt.npz")
