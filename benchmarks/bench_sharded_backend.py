@@ -17,15 +17,19 @@ monolithic single-controller RRAM backend, and verifies its two contracts:
   noise riding on the per-(shard, trial) child streams of
   :func:`repro.rram.mc.shard_streams`;
 * **throughput** — sharded vs monolithic word-line-scan rate at the
-  controller level (model-level latency is front-end-dominated), on both
-  the fast packed path and the noisy device path, i.e. the simulation
-  cost of chip-level fidelity (recorded, not asserted: sharding adds
-  per-chip dispatch by construction).
+  controller level (model-level latency is front-end-dominated), on the
+  stacked fast plan (default), the per-shard fast reference loop
+  (``stacked=False``) and the noisy device path.  The stacked plan is
+  the acceptance surface: smoke mode asserts its overhead stays ≤ 2.0x
+  monolithic and that all three fast variants are bit-identical; the
+  noisy per-chip loop stays recorded-not-asserted (per-chip dispatch by
+  construction, required by the RNG stream contract).
 
 Results are recorded in ``BENCH_sharded_backend.json`` at the repo root.
 
-Run:  python benchmarks/bench_sharded_backend.py [--smoke]
-(--smoke: small batch, no JSON record — the CI mode.)
+Run:  python benchmarks/bench_sharded_backend.py [--smoke] [--profile]
+(--smoke: small batch, no JSON record — the CI mode.  --profile: print
+the stacked plan's pack / kernel / reduce stage breakdown.)
 """
 
 from __future__ import annotations
@@ -56,7 +60,7 @@ def _time_popcounts(controller, x_bits, repeats: int) -> float:
     return (time.perf_counter() - t0) / repeats * 1e3
 
 
-def main(smoke: bool = False) -> None:
+def main(smoke: bool = False, profile: bool = False) -> None:
     from _util import report
     from repro.cli.main import _demo_model_and_inputs
     from repro.rram import (AcceleratorConfig, DeviceParameters,
@@ -115,20 +119,45 @@ def main(smoke: bool = False) -> None:
     ideal = AcceleratorConfig(ideal=True)
     noisy_cfg = AcceleratorConfig(device=device,
                                   sense=SenseParameters(offset_sigma=0.3))
+    controllers = {
+        "fast_stacked": ShardedController(
+            weights, config=ideal, rng=np.random.default_rng(1),
+            macro=MacroGeometry(32, 32)),
+        "fast_per_shard": ShardedController(
+            weights, config=ideal, rng=np.random.default_rng(1),
+            macro=MacroGeometry(32, 32), stacked=False),
+        "noisy": ShardedController(
+            weights, config=noisy_cfg, rng=np.random.default_rng(1),
+            fast_path=False, macro=MacroGeometry(32, 32)),
+    }
     timings = {}
-    for label, cfg, fast in (("fast", ideal, "auto"),
-                             ("noisy", noisy_cfg, False)):
+    for label, sharded in controllers.items():
+        cfg = ideal if label.startswith("fast") else noisy_cfg
+        fast = "auto" if label.startswith("fast") else False
         mono_ms = _time_popcounts(
             MemoryController(weights, cfg, np.random.default_rng(1), fast),
             x_bits, repeats)
-        shard_ms = _time_popcounts(
-            ShardedController(weights, config=cfg,
-                              rng=np.random.default_rng(1), fast_path=fast,
-                              macro=MacroGeometry(32, 32)),
-            x_bits, repeats)
+        shard_ms = _time_popcounts(sharded, x_bits, repeats)
         timings[label] = {"monolithic_ms": round(mono_ms, 3),
                           "sharded_ms": round(shard_ms, 3),
                           "overhead_x": round(shard_ms / mono_ms, 2)}
+
+    # The acceptance surface: all fast variants bit-identical on the
+    # scan layer, stacked == monolithic counts.
+    mono_counts = MemoryController(weights, ideal).popcounts(x_bits)
+    stacked_counts = controllers["fast_stacked"].popcounts(x_bits)
+    per_shard_counts = controllers["fast_per_shard"].popcounts(x_bits)
+    scan_equivalent = bool(
+        np.array_equal(stacked_counts, mono_counts)
+        and np.array_equal(stacked_counts, per_shard_counts))
+
+    stage_profile = dict(controllers["fast_stacked"].last_profile)
+    if profile:
+        total = sum(stage_profile.values()) or 1.0
+        print("stacked plan stage breakdown "
+              f"({out_f}x{in_f}, batch {len(x_bits)}):")
+        for stage, ms in stage_profile.items():
+            print(f"  {stage:<10} {ms:7.3f} ms  ({ms / total:5.1%})")
 
     geom_lines = "\n".join(
         f"  {name:<7}: bit-identical to monolithic+reference = "
@@ -146,12 +175,20 @@ def main(smoke: bool = False) -> None:
         f"{geom_lines}\n"
         f"  noisy sharded trials chunk-invariant ({trials} trials) = "
         f"{mc_invariant}\n"
+        f"  scan-layer fast paths bit-identical (stacked / per-shard / "
+        f"monolithic) = {scan_equivalent}\n"
         f"{timing_lines}\n")
     report("sharded_backend", text)
 
     assert all(equivalence.values()), equivalence
     assert mc_invariant, "sharded Monte-Carlo trials were chunk-variant"
+    assert scan_equivalent, \
+        "stacked fast plan diverged from per-shard / monolithic counts"
     if smoke:
+        overhead = timings["fast_stacked"]["overhead_x"]
+        assert overhead <= 2.0, (
+            f"stacked fast path overhead {overhead}x exceeds the 2.0x "
+            "smoke budget")
         return
 
     result = {
@@ -164,7 +201,10 @@ def main(smoke: bool = False) -> None:
         "mc_chunk_invariant": mc_invariant,
         "scan_layer": f"{out_f}x{in_f}",
         "scan_batch": int(len(x_bits)),
+        "scan_equivalent": scan_equivalent,
         "scan_timings": timings,
+        "stacked_stage_profile_ms": {k: round(v, 3)
+                                     for k, v in stage_profile.items()},
         "cores": len(os.sched_getaffinity(0)),
     }
     JSON_PATH.write_text(json.dumps(result, indent=2) + "\n")
@@ -174,4 +214,8 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="small batch, no JSON record")
-    main(parser.parse_args().smoke)
+    parser.add_argument("--profile", action="store_true",
+                        help="print the stacked plan's pack/kernel/reduce "
+                             "stage breakdown")
+    args = parser.parse_args()
+    main(args.smoke, profile=args.profile)

@@ -411,7 +411,10 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
         lines.append(f"{plan.backend.name:<12} {agreement:>9.1%} "
                      f"{elapsed:>10.2f}")
         if plan.placements:
-            reports.append(plan.floorplan().macro_report())
+            # The summary's placement line names the fast-path kind, so
+            # the deploy table shows which read path actually ran.
+            placed = plan.summary().splitlines()[-1].strip()
+            reports.append(placed + "\n" + plan.floorplan().macro_report())
     lines += ["", "agreement is relative to the first backend; one "
                   "artifact, every substrate —\nthe deployment contract "
                   "of the saved plan."]

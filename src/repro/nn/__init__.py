@@ -21,10 +21,12 @@ from repro.nn.quant import (quant_scale, fake_quantize, QuantLinear,
                             QuantConv1d, QuantConv2d, ActivationQuantizer,
                             IntegerDense, deploy_dense_int)
 from repro.nn.bitops import (pack_bits, unpack_bits, pad_correction,
-                             packed_xnor_popcount, PackedBinaryDense,
+                             packed_xnor_popcount,
+                             packed_xnor_popcount_stacked,
+                             packed_column_slice, PackedBinaryDense,
                              PackedOutputDense, PackedBinaryConv1d,
                              PackedBinaryConv2d, pack_feature_map,
-                             unpack_feature_map)
+                             unpack_feature_map, WORD_BITS)
 from repro.nn.binary import (
     BinaryLinear, BinaryConv1d, BinaryConv2d, BinaryDepthwiseConv2d,
     clip_latent_weights,
@@ -52,6 +54,7 @@ __all__ = [
     "quant_scale", "fake_quantize", "QuantLinear", "QuantConv1d",
     "QuantConv2d", "ActivationQuantizer", "IntegerDense", "deploy_dense_int",
     "pack_bits", "unpack_bits", "pad_correction", "packed_xnor_popcount",
+    "packed_xnor_popcount_stacked", "packed_column_slice", "WORD_BITS",
     "PackedBinaryDense", "PackedOutputDense",
     "PackedBinaryConv1d", "PackedBinaryConv2d",
     "pack_feature_map", "unpack_feature_map",

@@ -31,23 +31,27 @@ bit-exactness tests and realistic hardware for fault studies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.nn.binary import (FoldedBinaryDense, FoldedOutputDense,
                              threshold_bits, to_bits)
-from repro.nn.bitops import pack_bits, packed_xnor_popcount
+from repro.nn.bitops import (WORD_BITS, pack_bits, packed_column_slice,
+                             packed_xnor_popcount,
+                             packed_xnor_popcount_stacked)
 from repro.rram.array import RRAMArray
 from repro.rram.device import DeviceParameters
 from repro.rram.floorplan import LayerPlacement, MacroGeometry
-from repro.rram.mc import READ_CHUNK_ELEMS, shard_streams
+from repro.rram.mc import READ_CHUNK_ELEMS, shard_streams, trial_chunks
 from repro.rram.sense import SenseParameters
 from repro.tensor import Tensor, no_grad
 
 __all__ = ["AcceleratorConfig", "MemoryController", "ShardedController",
-           "InMemoryDenseLayer", "InMemoryOutputLayer", "InMemoryClassifier",
-           "fold_classifier", "deploy_classifier", "classifier_input_bits"]
+           "StackedShardPlan", "InMemoryDenseLayer", "InMemoryOutputLayer",
+           "InMemoryClassifier", "fold_classifier", "deploy_classifier",
+           "classifier_input_bits"]
 
 
 @dataclass
@@ -371,6 +375,89 @@ class MemoryController:
         return counts[:, :, :self.out_features]
 
 
+@dataclass(frozen=True)
+class StackedShardPlan:
+    """Program-time fast plan for a sharded layer: one batched kernel.
+
+    Built once at :class:`ShardedController` construction (fast path
+    only).  Every shard's padded weight slice is re-packed **word-aligned
+    to the shared activation grid**: the grid is the layer's full-width
+    packed activation row (``n_words`` uint64 words), and shard ``s``'s
+    slice lands at bit ``col_start`` of that grid — exactly where the
+    once-packed activation batch already holds its fan-in bits
+    (:attr:`~repro.rram.floorplan.MacroShard.word_start` /
+    :attr:`~repro.rram.floorplan.MacroShard.bit_offset`).
+
+    On that grid the shards of one fan-out stripe (one grid row — same
+    output neurons, adjacent fan-in slices) occupy **disjoint** bit
+    positions, so the stripe reduction fuses into the plan itself: OR-ing
+    the stripe's aligned weight words gives one ``(macro_rows, n_words)``
+    block whose XNOR disagreements against the shared activation words
+    equal the *sum* of the stripe's per-shard disagreements.  The
+    per-batch stripe sum (``np.add.reduceat`` over partial popcounts)
+    thereby becomes a program-time bit-OR, and ``popcounts`` collapses
+    to: pack the batch once, one
+    :func:`~repro.nn.bitops.packed_xnor_popcount_stacked` launch over
+    the ``(grid_rows, macro_rows, n_words)`` tensor, and a transpose/
+    reshape that concatenates fan-out stripes.  ``widths`` holds each
+    stripe's true fan-in — the pad-correction vector turning raw
+    disagreements into exact agreements (zero pad and out-of-slice bits
+    never disagree: both operands keep them zero).
+
+    The per-shard word ranges (``word_start`` / ``word_stop`` /
+    ``bit_offset``) are kept for introspection and tests; the noisy path
+    never uses this plan — per-chip sense noise must ride the
+    per-(shard, trial) RNG stream contract, which requires genuinely
+    per-shard scans (see :func:`repro.rram.mc.shard_streams`).
+    """
+
+    grid_rows: int
+    grid_cols: int
+    macro_rows: int
+    out_features: int
+    in_features: int
+    n_words: int                      # shared activation-grid width
+    words: np.ndarray = field(repr=False)   # (grid_rows, macro_rows, n_words)
+    widths: np.ndarray = field(repr=False)  # (grid_rows,) true fan-in
+    word_start: np.ndarray = field(repr=False)  # (n_shards,) shard ranges
+    word_stop: np.ndarray = field(repr=False)
+    bit_offset: np.ndarray = field(repr=False)
+
+    @classmethod
+    def build(cls, weight_bits: np.ndarray,
+              placement: LayerPlacement) -> "StackedShardPlan":
+        """Pre-pack the placement's shard map for batched execution.
+
+        Placing the real weight rows on the padded ``(grid_rows *
+        macro_rows, in_features)`` canvas and packing row-wise *is* the
+        aligned-and-fused tensor: each shard's slice lands at its grid
+        word range, interior zeros are the disjoint-mask OR identity,
+        and tail-shard row padding stays all-zero (those word lines are
+        sliced off after the scan, like the monolithic controller's
+        padded rows).
+        """
+        shards = placement.shards()
+        grid_rows, grid_cols = placement.tile_grid
+        macro_rows = placement.macro.rows
+        out_features, in_features = weight_bits.shape
+        padded = np.zeros((grid_rows * macro_rows, in_features),
+                          dtype=np.uint8)
+        padded[:out_features] = weight_bits
+        words = pack_bits(padded).reshape(grid_rows, macro_rows,
+                                          placement.activation_words)
+        # Every stripe spans the full fan-in once its shards are fused.
+        widths = np.full(grid_rows, in_features, dtype=np.int64)
+        return cls(
+            grid_rows=grid_rows, grid_cols=grid_cols,
+            macro_rows=macro_rows, out_features=out_features,
+            in_features=in_features,
+            n_words=placement.activation_words,
+            words=words, widths=widths,
+            word_start=np.array([s.word_start for s in shards]),
+            word_stop=np.array([s.word_stop for s in shards]),
+            bit_offset=np.array([s.bit_offset for s in shards]))
+
+
 class ShardedController:
     """One folded layer split across a grid of simulated macro *chips*.
 
@@ -403,6 +490,17 @@ class ShardedController:
     per-trial, per-shard independent sense noise, chunk-invariant and
     bit-identical between trial-batched and serial per-trial execution.
 
+    Noise-free configurations additionally compile a
+    :class:`StackedShardPlan` at construction (``stacked="auto"``, the
+    default): deterministic partial popcounts decompose exactly over the
+    shard map, so the per-chip Python loop — slice, re-pack, tiny kernel,
+    scattered ``+=`` per shard — collapses to one full-width activation
+    pack, one batched stacked kernel and one stripe concatenation,
+    bit-identical to the per-shard loop and to the monolithic controller.
+    ``stacked=False`` keeps the genuine per-shard fast loop as the
+    reference for equivalence tests; the noisy path always scans shard by
+    shard (the RNG stream contract requires per-chip draws).
+
     The same read API as :class:`MemoryController` (``popcounts`` /
     ``popcounts_trials`` / meters), so the in-memory layer classes accept
     either via their ``controller`` parameter.
@@ -416,7 +514,8 @@ class ShardedController:
                  rng: np.random.Generator | None = None,
                  fast_path: bool | str = "auto",
                  macro: MacroGeometry | None = None,
-                 name: str = "layer"):
+                 name: str = "layer",
+                 stacked: bool | str = "auto"):
         config = (config or AcceleratorConfig()).resolved()
         self.config = config
         self.rng = rng or np.random.default_rng(config.seed)
@@ -450,11 +549,34 @@ class ShardedController:
                 shard_config, program_streams[s.index], fast_path)
             for s in self.shard_map]
         self.fast_path = self.shards[0].fast_path
+        if stacked not in (True, False, "auto"):
+            raise ValueError("stacked must be True, False or 'auto'")
+        if stacked is True and not self.fast_path:
+            raise ValueError(
+                "stacked=True requires the fast path: noisy reads must "
+                "scan shard by shard to honour the per-(shard, trial) "
+                "RNG stream contract; use stacked='auto' to dispatch")
+        self.plan = StackedShardPlan.build(weight_bits, placement) \
+            if self.fast_path and stacked is not False else None
+        self.stacked = self.plan is not None
+        #: Stage breakdown (pack / kernel / reduce, in ms) of the most
+        #: recent stacked scan — populated by every stacked ``popcounts``
+        #: call, ``None`` before the first one (and on other paths).
+        self.last_profile: dict[str, float] | None = None
 
     # -- geometry / meters ----------------------------------------------
     @property
     def n_shards(self) -> int:
         return len(self.shards)
+
+    @property
+    def fast_path_kind(self) -> str:
+        """Which read path scans execute on: ``"stacked"`` (one batched
+        kernel), ``"per-shard"`` (fast per-chip loop, the ``stacked=
+        False`` reference) or ``"noisy"`` (device simulation)."""
+        if not self.fast_path:
+            return "noisy"
+        return "stacked" if self.stacked else "per-shard"
 
     @property
     def n_macros(self) -> int:
@@ -483,25 +605,72 @@ class ShardedController:
             shard.reprogram()
 
     # -- reads -----------------------------------------------------------
+    def _meter_fast(self, n: int, trials: int) -> None:
+        """Account ``trials`` deterministic scans of an ``n``-row batch
+        on every chip's meters — arithmetically, without re-scanning.
+        Identical to what ``trials`` per-shard loop passes would record
+        (each chip senses its full macro per scan regardless of path)."""
+        for shard in self.shards:
+            shard._count_read_ops(n, trials)
+
+    def _fast_counts(self, x_bits: np.ndarray) -> np.ndarray:
+        """Deterministic reduced counts for a 2-D batch (no metering).
+
+        Stacked plan: pack the batch once at full width, one batched
+        stacked kernel over the fan-out stripes, concatenate.  Reference
+        (``stacked=False``): genuine per-shard loop, with the activation
+        batch still packed once and each shard's fan-in slice carved out
+        in the word domain (:func:`~repro.nn.bitops.packed_column_slice`)
+        instead of re-running ``numpy.packbits`` on misaligned offsets.
+        """
+        n = x_bits.shape[0]
+        plan = self.plan
+        if plan is not None:
+            t0 = time.perf_counter()
+            x_words = pack_bits(x_bits)
+            t1 = time.perf_counter()
+            counts = packed_xnor_popcount_stacked(
+                x_words, plan.words, plan.widths)   # (stripes, N, rows)
+            t2 = time.perf_counter()
+            reduced = np.ascontiguousarray(
+                counts.transpose(1, 0, 2)).reshape(
+                    n, plan.grid_rows * plan.macro_rows)[
+                        :, :self.out_features]
+            t3 = time.perf_counter()
+            self.last_profile = {"pack_ms": (t1 - t0) * 1e3,
+                                 "kernel_ms": (t2 - t1) * 1e3,
+                                 "reduce_ms": (t3 - t2) * 1e3}
+            return reduced
+        x_words = pack_bits(x_bits)
+        counts = np.zeros((n, self.out_features), dtype=np.int64)
+        for spec, shard in zip(self.shard_map, self.shards):
+            counts[:, spec.row_start:spec.row_stop] += packed_xnor_popcount(
+                packed_column_slice(x_words, spec.col_start, spec.col_stop),
+                shard.weight_words, spec.cols)
+        return counts
+
     def popcounts(self, x_bits: np.ndarray,
                   rng: np.random.Generator | None = None,
                   sense: SenseParameters | None = None) -> np.ndarray:
         """Shard-and-reduce XNOR-popcount of a batch: ``(N, in)`` bits in,
         ``(N, out_features)`` reduced counts out.
 
-        Each shard scans its fan-in slice with its own spawned child of
-        ``rng`` (the controller's root generator by default); partial
-        popcounts are summed per fan-out stripe.  On the fast path no
-        noise is drawn and the reduction is exact.
+        On the fast path no noise is drawn and the reduction is exact —
+        one batched stacked-plan kernel (or the ``stacked=False``
+        per-shard reference loop).  On the noisy path each shard scans
+        its fan-in slice with its own spawned child of ``rng`` (the
+        controller's root generator by default) and partial popcounts are
+        summed per fan-out stripe.
         """
         x_bits = np.asarray(x_bits, dtype=np.uint8)
         if x_bits.ndim != 2 or x_bits.shape[1] != self.in_features:
             raise ValueError(
                 f"input shape {x_bits.shape} != (N, {self.in_features})")
         if self.fast_path:
-            streams = [None] * self.n_shards
-        else:
-            streams = (rng or self.rng).spawn(self.n_shards)
+            MemoryController._check_sense_override(sense)
+            self._meter_fast(x_bits.shape[0], trials=1)
+            return self._fast_counts(x_bits)
+        streams = (rng or self.rng).spawn(self.n_shards)
         counts = np.zeros((x_bits.shape[0], self.out_features),
                           dtype=np.int64)
         for spec, shard, stream in zip(self.shard_map, self.shards,
@@ -521,19 +690,36 @@ class ShardedController:
         is bit-identical to ``[popcounts(x[t], rng=rngs[t]) for t in
         range(T)]`` for any ``trial_chunk`` — the serial path spawns the
         same children from its single trial stream.
+
+        Fast-path trials are deterministic and never consume the
+        streams: shared activations are scanned **once** and broadcast
+        over the trial axis; per-trial activation stacks run the stacked
+        plan per trial chunk (each chunk packed and scanned flat).  The
+        ``T`` scans every chip would perform are accounted on the meters
+        arithmetically — no redundant re-scans.
         """
         x_bits = np.asarray(x_bits, dtype=np.uint8)
         n_trials = len(rngs)
         shared = _validate_trial_input(x_bits, n_trials, self.in_features)
-        if self.fast_path:
-            # Deterministic reads never consume the trial streams, so the
-            # (unused) stream list is passed through unspawned — but the
-            # scan still goes shard by shard so every chip meters all
-            # n_trials scans, exactly like the noisy path.
-            streams = [rngs] * self.n_shards
-        else:
-            streams = shard_streams(rngs, self.n_shards)
         n = x_bits.shape[0] if shared else x_bits.shape[1]
+        if self.fast_path:
+            MemoryController._check_sense_override(sense)
+            self._meter_fast(n, trials=n_trials)
+            if shared:
+                counts = self._fast_counts(x_bits)
+                return np.broadcast_to(
+                    counts[None], (n_trials,) + counts.shape).copy()
+            counts = np.empty((n_trials, n, self.out_features),
+                              dtype=np.int64)
+            per_trial = n * max(1, self.n_shards * self.macro.rows)
+            for t0, t1 in trial_chunks(n_trials, per_trial,
+                                       self.read_chunk_elems, trial_chunk):
+                flat = x_bits[t0:t1].reshape((t1 - t0) * n,
+                                             self.in_features)
+                counts[t0:t1] = self._fast_counts(flat).reshape(
+                    t1 - t0, n, self.out_features)
+            return counts
+        streams = shard_streams(rngs, self.n_shards)
         counts = np.zeros((n_trials, n, self.out_features), dtype=np.int64)
         for spec, shard, shard_rngs in zip(self.shard_map, self.shards,
                                            streams):
@@ -549,7 +735,7 @@ class ShardedController:
         return (f"ShardedController({self.out_features}x{self.in_features} "
                 f"on {rows}x{cols} macros of "
                 f"{self.macro.rows}x{self.macro.cols}, "
-                f"fast_path={self.fast_path})")
+                f"fast_path={self.fast_path}, stacked={self.stacked})")
 
 
 class InMemoryDenseLayer:

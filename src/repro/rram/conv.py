@@ -137,6 +137,12 @@ class InMemoryConv1dLayer:
     Weight-stationary mapping: kernels live in the arrays; the input data
     controller scans receptive fields (one XNOR-read burst per field) and
     the shared popcount/threshold logic emits the output channel bits.
+
+    An injected ``controller`` (e.g. a sharded
+    :class:`~repro.rram.accelerator.ShardedController`) replaces the
+    monolithic array; the im2col patch batches flow through its
+    ``popcounts``/``popcounts_trials`` unchanged, so a stacked-shard fast
+    plan built at controller construction applies to conv scans too.
     """
 
     def __init__(self, folded: FoldedBinaryConv1d,

@@ -197,6 +197,12 @@ class InMemoryConv2dLayer:
     fields stream through the XNOR sense amplifiers.  Depthwise layers use
     the software popcount path per channel (their single-row arrays make
     tiling trivial and device effects negligible at K_h*K_w fan-in).
+
+    An injected ``controller`` (e.g. a sharded
+    :class:`~repro.rram.accelerator.ShardedController`) replaces the
+    monolithic array; im2col patch batches flow through its
+    ``popcounts``/``popcounts_trials`` unchanged, so a stacked-shard fast
+    plan built at controller construction applies to conv scans too.
     """
 
     def __init__(self, folded: FoldedBinaryConv2d,

@@ -189,6 +189,15 @@ class ShardedRRAMBackend(Backend):
     as a :class:`~repro.rram.floorplan.ChipFloorplan`, so a compiled plan
     reports per-macro utilization, area and programming/scan energy from
     the existing floorplan cost model.
+
+    ``stacked`` controls the fast-path read plan per prepared layer:
+    ``"auto"`` (default) builds the program-time
+    :class:`~repro.rram.accelerator.StackedShardPlan` whenever the layer
+    runs noise-free, collapsing the per-shard dispatch loop into one
+    batched kernel; ``False`` keeps the per-shard fast loop (the
+    reference path for equivalence tests).  Reloaded plan artifacts
+    (:func:`repro.io.load_compiled`) rebind through the same
+    ``prepare_*`` hooks, so they pick up the stacked plan too.
     """
 
     name = "sharded"
@@ -197,13 +206,15 @@ class ShardedRRAMBackend(Backend):
                  macro: MacroGeometry | None = None,
                  rng: np.random.Generator | None = None,
                  fast_path: bool | str = "auto",
-                 energy: EnergyModel | None = None):
+                 energy: EnergyModel | None = None,
+                 stacked: bool | str = "auto"):
         self.config = config or AcceleratorConfig()
         self.macro = macro or MacroGeometry(self.config.tile_rows,
                                             self.config.tile_cols)
         self.rng = rng or np.random.default_rng(self.config.seed)
         self.fast_path = fast_path
         self.energy = energy or EnergyModel()
+        self.stacked = stacked
         self.placements: list[LayerPlacement] = []
 
     def begin_plan(self) -> None:
@@ -215,7 +226,8 @@ class ShardedRRAMBackend(Backend):
         placement = LayerPlacement(name, weight_bits.shape[0],
                                    weight_bits.shape[1], self.macro)
         controller = ShardedController(weight_bits, placement, self.config,
-                                       self.rng, self.fast_path)
+                                       self.rng, self.fast_path,
+                                       stacked=self.stacked)
         self.placements.append(placement)
         return controller
 
@@ -246,7 +258,8 @@ class ShardedRRAMBackend(Backend):
     def __repr__(self) -> str:
         return (f"ShardedRRAMBackend(macro={self.macro.rows}x"
                 f"{self.macro.cols}, layers={len(self.placements)}, "
-                f"fast_path={self.fast_path!r})")
+                f"fast_path={self.fast_path!r}, "
+                f"stacked={self.stacked!r})")
 
 
 _BACKENDS: dict[str, Callable[[], Backend]] = {

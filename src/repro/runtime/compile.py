@@ -182,10 +182,19 @@ class CompiledModel:
         placements = self.placements
         if placements:
             macros = sum(p.n_macros for p in placements)
+            kinds = {getattr(getattr(op.executor, "controller", None),
+                             "fast_path_kind", None)
+                     for op in self.layer_ops}
+            kinds.discard(None)
+            labels = {"stacked": "stacked fast path",
+                      "per-shard": "per-shard fast path",
+                      "noisy": "noisy per-shard path"}
+            via = ", ".join(labels.get(k, k) for k in sorted(kinds))
             lines.append(f"    placed on {macros} macros "
                          f"({placements[0].macro.rows}x"
                          f"{placements[0].macro.cols}) across "
-                         f"{len(placements)} layers")
+                         f"{len(placements)} layers"
+                         + (f" via {via}" if via else ""))
         return "\n".join(lines)
 
     @property

@@ -201,6 +201,122 @@ class TestNoisyTrials:
         assert all(t._margins is None for t in sharded.shards)
 
 
+class TestStackedPlan:
+    """The program-time stacked-shard fast plan: one batched kernel,
+    bit-identical to the per-shard reference loop and the monolithic
+    controller, with meters accounted arithmetically."""
+
+    def _pair(self, weights, geometry):
+        """(stacked, per-shard reference) controllers on one geometry."""
+        config = AcceleratorConfig(ideal=True)
+        stacked = ShardedController(weights, config=config,
+                                    macro=MacroGeometry(*geometry))
+        reference = ShardedController(weights, config=config,
+                                      macro=MacroGeometry(*geometry),
+                                      stacked=False)
+        return stacked, reference
+
+    @pytest.mark.parametrize("geometry", [(32, 32), (7, 13), (8, 24),
+                                          (64, 256), (37, 131)])
+    def test_stacked_equals_reference_and_monolithic(self, weights, x_bits,
+                                                     geometry):
+        stacked, reference = self._pair(weights, geometry)
+        assert stacked.stacked and not reference.stacked
+        mono = MemoryController(weights, AcceleratorConfig(ideal=True))
+        counts = stacked.popcounts(x_bits)
+        assert np.array_equal(counts, reference.popcounts(x_bits))
+        assert np.array_equal(counts, mono.popcounts(x_bits))
+
+    def test_one_shard_placement_uses_the_plan(self, weights, x_bits):
+        stacked, reference = self._pair(weights, (64, 256))
+        assert stacked.n_shards == 1 and stacked.stacked
+        assert np.array_equal(stacked.popcounts(x_bits),
+                              reference.popcounts(x_bits))
+
+    def test_empty_batch(self, weights):
+        stacked, reference = self._pair(weights, (8, 16))
+        empty = np.zeros((0, 131), dtype=np.uint8)
+        assert stacked.popcounts(empty).shape == (0, 37)
+        assert reference.popcounts(empty).shape == (0, 37)
+
+    @pytest.mark.parametrize("trial_chunk", [1, 2, 3, None])
+    def test_trials_shared_activations(self, weights, x_bits, trial_chunk):
+        stacked, reference = self._pair(weights, (7, 13))
+        a = stacked.popcounts_trials(x_bits, trial_streams(7, 5),
+                                     trial_chunk=trial_chunk)
+        b = reference.popcounts_trials(x_bits, trial_streams(7, 5),
+                                       trial_chunk=trial_chunk)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a[0], stacked.popcounts(x_bits))
+
+    @pytest.mark.parametrize("trial_chunk", [1, 2, 3, None])
+    def test_trials_per_trial_activations(self, weights, rng, trial_chunk):
+        stacked, reference = self._pair(weights, (7, 13))
+        x = rng.integers(0, 2, (5, 9, 131)).astype(np.uint8)
+        a = stacked.popcounts_trials(x, trial_streams(7, 5),
+                                     trial_chunk=trial_chunk)
+        b = reference.popcounts_trials(x, trial_streams(7, 5),
+                                       trial_chunk=trial_chunk)
+        assert np.array_equal(a, b)
+        serial = np.stack([stacked.popcounts(x[t]) for t in range(5)])
+        assert np.array_equal(a, serial)
+
+    def test_meters_match_reference_exactly(self, weights, x_bits, rng):
+        stacked, reference = self._pair(weights, (8, 16))
+        for ctrl in (stacked, reference):
+            ctrl.popcounts(x_bits)
+            ctrl.popcounts_trials(x_bits, trial_streams(7, 4))
+            ctrl.popcounts_trials(
+                rng.integers(0, 2, (3, 9, 131)).astype(np.uint8),
+                trial_streams(7, 3), trial_chunk=2)
+        assert stacked.sense_ops == reference.sense_ops
+        assert stacked.popcount_bit_ops == reference.popcount_bit_ops
+
+    def test_stacked_true_requires_fast_path(self, weights):
+        config = AcceleratorConfig(
+            device=DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                                    broadening=0.0, hrs_drift=0.0,
+                                    device_mismatch=1.0),
+            sense=SenseParameters(offset_sigma=0.5))
+        with pytest.raises(ValueError, match="stacked=True"):
+            ShardedController(weights, config=config, fast_path=False,
+                              stacked=True)
+        # auto quietly falls back to the per-shard noisy loop.
+        noisy = ShardedController(weights, config=config, fast_path=False)
+        assert not noisy.stacked and noisy.plan is None
+        assert noisy.fast_path_kind == "noisy"
+
+    def test_invalid_stacked_value_raises(self, weights):
+        with pytest.raises(ValueError, match="stacked"):
+            ShardedController(weights, stacked="yes")
+
+    def test_repr_and_kind_report_the_plan(self, weights):
+        stacked, reference = self._pair(weights, (8, 16))
+        assert "stacked=True" in repr(stacked)
+        assert "stacked=False" in repr(reference)
+        assert stacked.fast_path_kind == "stacked"
+        assert reference.fast_path_kind == "per-shard"
+
+    def test_profile_populated_by_stacked_scan(self, weights, x_bits):
+        stacked, reference = self._pair(weights, (8, 16))
+        assert stacked.last_profile is None
+        stacked.popcounts(x_bits)
+        assert set(stacked.last_profile) == \
+            {"pack_ms", "kernel_ms", "reduce_ms"}
+        assert all(v >= 0.0 for v in stacked.last_profile.values())
+        reference.popcounts(x_bits)
+        assert reference.last_profile is None
+
+    def test_fast_path_refuses_noisy_sense_override(self, weights, x_bits):
+        stacked, _ = self._pair(weights, (8, 16))
+        with pytest.raises(ValueError, match="fast_path"):
+            stacked.popcounts(x_bits,
+                              sense=SenseParameters(offset_sigma=0.4))
+        with pytest.raises(ValueError, match="fast_path"):
+            stacked.popcounts_trials(x_bits, trial_streams(7, 2),
+                                     sense=SenseParameters(offset_sigma=0.4))
+
+
 class TestShardStreams:
     def test_shape_and_independence(self):
         streams = shard_streams(trial_streams(0, 3), 4)

@@ -236,6 +236,29 @@ class TestBeginPlanIsolation:
         assert len(second.placements) == len(first.placements)
         assert np.array_equal(second.scores(inputs), first.scores(inputs))
 
+    def test_loaded_plans_hit_the_stacked_fast_path(self, tmp_path):
+        """Regression: artifacts rebind through ``prepare_*``, so a
+        reloaded noise-free sharded plan must build stacked plans — not
+        silently fall back to the per-shard dispatch loop."""
+        eeg_model, inputs = golden_classifier("eeg")
+        path = save_plan(compile(eeg_model, backend="reference",
+                                 lower_features=True),
+                         tmp_path / "eeg.npz")
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                     macro=MacroGeometry(7, 13))
+        loaded = load_compiled(path, backend=backend)
+        controllers = [op.executor.controller for op in loaded.layer_ops]
+        assert controllers and all(c.stacked for c in controllers)
+        assert all(c.fast_path_kind == "stacked" for c in controllers)
+        assert "stacked fast path" in loaded.summary()
+        reference = load_compiled(
+            path, backend=ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                             macro=MacroGeometry(7, 13),
+                                             stacked=False))
+        assert "per-shard fast path" in reference.summary()
+        assert np.array_equal(loaded.scores(inputs),
+                              reference.scores(inputs))
+
 
 def _raw(path):
     """Read an artifact's raw arrays + meta for tamper tests."""
