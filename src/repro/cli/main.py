@@ -88,16 +88,38 @@ def build_parser() -> argparse.ArgumentParser:
     deploy_cmd.add_argument("--seed", type=int, default=0,
                             help="seed for the synthetic evaluation "
                                  "inputs (default 0)")
+    deploy_cmd.add_argument("--ecc", default="none",
+                            choices=["none", "secded", "rate-half"],
+                            help="protect the rram backend's weight "
+                                 "store with this Hamming code "
+                                 "(default none)")
+    deploy_cmd.add_argument("--years", type=float, default=0.0,
+                            help="age the programmed weights by this "
+                                 "many years of storage before "
+                                 "evaluating (default 0 = fresh)")
+    deploy_cmd.add_argument("--temp", type=float, default=37.0,
+                            help="storage temperature in deg C for "
+                                 "--years (default 37, body "
+                                 "temperature)")
+    deploy_cmd.add_argument("--kill-macro", type=int, action="append",
+                            default=None, metavar="INDEX",
+                            help="mark this chip-global macro index dead "
+                                 "on the sharded backend (repeatable); "
+                                 "its shards remap onto spares")
+    deploy_cmd.add_argument("--spares", default="auto",
+                            help="spare macros per layer for dead-macro "
+                                 "remapping: 'auto' or an int "
+                                 "(default auto)")
+    from repro.experiments.workloads import SWEEP_WORKLOADS
     sweep_cmd = sub.add_parser(
         "sweep",
         help="run a persisted, resumable parameter sweep (optionally on "
              "a process pool)")
     sweep_cmd.add_argument("workload",
-                           choices=["ber", "robustness", "sharded"],
-                           help="ber: Monte-Carlo Fig. 4 error rates; "
-                                "robustness: agreement vs sense-offset "
-                                "sigma; sharded: agreement vs macro "
-                                "geometry on the multi-chip backend")
+                           choices=sorted(SWEEP_WORKLOADS),
+                           help="; ".join(
+                               f"{name}: {SWEEP_WORKLOADS[name].description}"
+                               for name in sorted(SWEEP_WORKLOADS)))
     sweep_cmd.add_argument("--jobs", type=int, default=1,
                            help="worker processes (1 = serial)")
     sweep_cmd.add_argument("--trials", type=int, default=1,
@@ -341,21 +363,38 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
 
 def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
                 macro_spec: str = "32x32", batch: int = 32,
-                seed: int = 0) -> str:
+                seed: int = 0, ecc: str = "none", years: float = 0.0,
+                temp: float = 37.0, kill_macros: list[int] | None = None,
+                spares: str = "auto") -> str:
     """Load a plan artifact — no model, no training stack — rebind it to
     each requested backend and cross-check predictions on synthetic
-    inputs of the artifact's recorded geometry."""
+    inputs of the artifact's recorded geometry.
+
+    The reliability flags deploy the *same artifact* onto a degraded
+    substrate: ``--years/--temp`` age the programmed weights through the
+    retention model, ``--ecc`` puts the rram backend's store behind a
+    Hamming code, and ``--kill-macro`` marks macros dead on the sharded
+    backend (remapped onto spares instead of failing)."""
     import pathlib
     import time
 
     import numpy as np
 
     from repro.io import load_plan, load_compiled
-    from repro.rram import AcceleratorConfig
+    from repro.rram import AcceleratorConfig, FaultMap, LifetimeConfig
     from repro.runtime import (PlanSerializationError, RRAMBackend,
                                ShardedRRAMBackend, available_backends)
 
     macro = _parse_macro(macro_spec)
+    lifetime = LifetimeConfig.years(years, temp) if years > 0 else None
+    fault_map = FaultMap(dead_macros=tuple(kill_macros)) \
+        if kill_macros else None
+    if spares != "auto":
+        try:
+            spares = int(spares)
+        except ValueError:
+            raise SystemExit(
+                f"--spares must be 'auto' or an int, got {spares!r}")
     if not pathlib.Path(artifact_path).exists():
         raise SystemExit(f"no artifact at {artifact_path!r}; write one "
                          "with 'compile --save' first")
@@ -392,10 +431,19 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
     reports = []
     for spec in specs:
         if spec == "ideal-rram":
-            backend = RRAMBackend(AcceleratorConfig(ideal=True))
+            backend = RRAMBackend(AcceleratorConfig(ideal=True),
+                                  ecc=None if ecc == "none" else ecc,
+                                  lifetime=lifetime)
+        elif spec == "rram" and (ecc != "none" or lifetime is not None):
+            # The registered name builds a bare backend; reliability flags
+            # need a configured instance.
+            backend = RRAMBackend(ecc=None if ecc == "none" else ecc,
+                                  lifetime=lifetime)
         elif spec == "sharded":
             backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
-                                         macro=macro)
+                                         macro=macro, lifetime=lifetime,
+                                         fault_map=fault_map,
+                                         spares=spares)
         else:
             backend = spec
         try:
@@ -410,11 +458,20 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
         agreement = float((predicted == baseline).mean())
         lines.append(f"{plan.backend.name:<12} {agreement:>9.1%} "
                      f"{elapsed:>10.2f}")
+        ecc_lines = [line.strip()
+                     for line in plan.summary().splitlines()
+                     if line.strip().startswith("ECC:")]
         if plan.placements:
-            # The summary's placement line names the fast-path kind, so
-            # the deploy table shows which read path actually ran.
-            placed = plan.summary().splitlines()[-1].strip()
-            reports.append(placed + "\n" + plan.floorplan().macro_report())
+            # The summary's placement line names the fast-path kind (and
+            # any dead-macro remaps), so the deploy table shows which
+            # read path actually ran and how degraded the substrate is.
+            placed = [line.strip()
+                      for line in plan.summary().splitlines()
+                      if "placed on" in line]
+            reports.append("\n".join(placed + ecc_lines) + "\n"
+                           + plan.floorplan().macro_report())
+        elif ecc_lines:
+            reports.append("\n".join(ecc_lines))
     lines += ["", "agreement is relative to the first backend; one "
                   "artifact, every substrate —\nthe deployment contract "
                   "of the saved plan."]
@@ -431,27 +488,14 @@ def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
     points are trial-batched)."""
     import pathlib
 
-    import numpy as np
-
     from repro.experiments import RateProgress, Sweep, grid, run_parallel
-    from repro.experiments import workloads
+    from repro.experiments.workloads import SWEEP_WORKLOADS
 
-    if workload == "ber":
-        fn = workloads.ber_point
-        points = grid(cycles=[int(c) for c in np.geomspace(1e8, 7e8, 8)],
-                      mode=("1T1R", "2T2R"), n_cells=(4096,), seed=(0,),
-                      trials=(int(trials),))
-        x_axis, metric, split = "cycles", "ber", "mode"
-    elif workload == "sharded":
-        fn = workloads.sharded_robustness_point
-        points = grid(macro_cols=(8, 16, 32, 64), macro_rows=(8,),
-                      sigma=(1.5,), seed=(0, 1), trials=(int(trials),))
-        x_axis, metric, split = "macro_cols", "agreement", "seed"
-    else:
-        fn = workloads.rram_inference_point
-        points = grid(sigma=[round(s, 3) for s in np.linspace(0.0, 2.5, 8)],
-                      seed=(0, 1), trials=(int(trials),))
-        x_axis, metric, split = "sigma", "agreement", "seed"
+    spec = SWEEP_WORKLOADS[workload]
+    fn = spec.fn
+    points = grid(**spec.axes(int(trials)))
+    x_axis, metric, split = spec.x_axis, spec.metric, spec.split
+    has_trials = bool(points) and "trials" in points[0]
     if trial_chunk is not None:
         # A pure-memory knob: it never changes results, so it stays out
         # of the point params (and therefore out of the resume identity).
@@ -475,10 +519,13 @@ def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
             throughput += f" ({progress.trial_rate:.1f} trials/sec)"
         lines.append(f"{throughput} at jobs={jobs}")
     for value in sorted({p[split] for p in points}, key=str):
-        # Filter on the trial count too, so records from other trial
-        # budgets (or pre-trial-axis files) never mix into the series.
-        xs, ys = sweep.series(x_axis, metric,
-                              where={split: value, "trials": int(trials)})
+        # Filter on the trial count too (when the workload has a trial
+        # axis), so records from other trial budgets (or pre-trial-axis
+        # files) never mix into the series.
+        where = {split: value}
+        if has_trials:
+            where["trials"] = int(trials)
+        xs, ys = sweep.series(x_axis, metric, where=where)
         series = ", ".join(f"{x:g}:{y:.4g}" for x, y in zip(xs, ys))
         lines.append(f"  {split}={value}: {metric} by {x_axis}: {series}")
     if cache_stats:
@@ -534,7 +581,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                                args.overwrite))
         elif args.command == "deploy":
             print(_cmd_deploy(args.artifact, args.backend, args.macros,
-                              args.batch, args.seed))
+                              args.batch, args.seed, args.ecc,
+                              args.years, args.temp, args.kill_macro,
+                              args.spares))
         elif args.command == "sweep":
             print(_cmd_sweep(args.workload, args.jobs, args.out,
                              args.trials, args.trial_chunk,

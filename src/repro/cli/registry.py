@@ -268,6 +268,22 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                      "repro.rram.mc", "repro.runtime"),
             bench="benchmarks/bench_sharded_backend.py"),
         ExperimentInfo(
+            id="XTRA18",
+            artefact="reliability claim — lifetime faults, spares, ECC",
+            description=(
+                "Lifetime fault injection through the MC engine: "
+                "retention aging (Arrhenius bake), split-stable stuck-at "
+                "fault maps, dead-macro remap onto spare chips "
+                "(bit-identical degraded execution), and the executable "
+                "SECDED weight store — agreement-vs-years curves showing "
+                "ECC extends the usable lifetime of a deployed "
+                "classifier (records BENCH_reliability.json)."),
+            kind="script",
+            modules=("repro.rram.faults", "repro.rram.reliability",
+                     "repro.rram.ecc", "repro.rram.accelerator",
+                     "repro.runtime"),
+            bench="benchmarks/bench_reliability.py"),
+        ExperimentInfo(
             id="XTRA8",
             artefact="§I reference point — 8-bit quantization",
             description=(

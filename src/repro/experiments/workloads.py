@@ -18,11 +18,14 @@ a cold, serial evaluation.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 __all__ = ["ber_point", "rram_inference_point", "sharded_robustness_point",
-           "latency_point"]
+           "lifetime_point", "yield_point", "latency_point",
+           "SweepWorkload", "SWEEP_WORKLOADS"]
 
 
 def _cell_geometry(n_cells: int) -> tuple[int, int]:
@@ -196,6 +199,104 @@ def sharded_robustness_point(macro_cols: int, macro_rows: int = 8,
             "utilization": float(hw.controller.placement.utilization)}
 
 
+def lifetime_point(years: float, temp_c: float = 125.0, ecc: str = "none",
+                   seed: int = 0, n_inputs: int = 32,
+                   in_features: int = 256, out_features: int = 32,
+                   trials: int = 1, trial_chunk: int | None = None
+                   ) -> dict[str, float]:
+    """Agreement of an *aged* noisy RRAM dense layer against the folded
+    reference — one point of the accuracy-vs-storage-years curve, with or
+    without SECDED ECC on the weight store.
+
+    Unlike the zeroed-variability robustness workloads, this point keeps
+    the *realistic* device statistics (aging flips nothing on an ideal
+    device: the margins are tens of sigma wide).  The layer is programmed
+    once, drifted by ``years`` of storage at ``temp_c`` through the
+    Arrhenius-mapped :class:`~repro.rram.reliability.RetentionModel`
+    (program-time transform, so trial streams stay untouched), and then
+    read ``trials`` times trial-batched.  ``ecc="secded"`` stores the
+    weights behind the (72, 64) code instead
+    (:class:`~repro.rram.ecc.EccMemoryController`) — the comparison that
+    quantifies how much usable lifetime ECC buys at its 1.125x
+    redundancy.
+    """
+    from repro.experiments.executor import cached_plan
+    from repro.rram import trial_streams
+
+    def _build():
+        from repro import nn
+        from repro.nn.binary import fold_batchnorm_sign
+        from repro.rram import (AcceleratorConfig, EccMemoryController,
+                                InMemoryDenseLayer, LifetimeConfig,
+                                MemoryController)
+        from repro.runtime.backends import resolve_ecc
+
+        rng = np.random.default_rng(seed)
+        layer = nn.BinaryLinear(in_features, out_features, rng=rng)
+        bn = nn.BatchNorm1d(out_features)
+        bn.set_buffer("running_mean", rng.standard_normal(out_features))
+        bn.set_buffer("running_var", rng.uniform(0.5, 2.0, out_features))
+        bn.eval()
+        folded = fold_batchnorm_sign(layer, bn)
+        config = AcceleratorConfig()      # realistic device + sense
+        lifetime = LifetimeConfig.years(float(years), float(temp_c))
+        code = resolve_ecc(ecc)
+        if code is not None:
+            controller = EccMemoryController(
+                folded.weight_bits, config, rng, code=code,
+                lifetime=lifetime)
+        else:
+            controller = MemoryController(
+                folded.weight_bits, config, rng, lifetime=lifetime)
+        hw = InMemoryDenseLayer(folded, controller=controller)
+        x = rng.integers(0, 2, (n_inputs, in_features)).astype(np.uint8)
+        return hw, x, folded.forward_bits(x), lifetime
+
+    hw, x, reference, lifetime = cached_plan(
+        ("lifetime_point", float(years), float(temp_c), str(ecc), seed,
+         n_inputs, in_features, out_features), _build)
+    out = hw.forward_bits_trials(x, trial_streams(seed, trials),
+                                 trial_chunk=trial_chunk)
+    per_trial = (out == reference[None]).mean(axis=(1, 2))
+    return {"agreement": float(per_trial.mean()),
+            "agreement_std": float(per_trial.std()),
+            "bake_hours": float(lifetime.bake_hours()),
+            "redundancy": float(getattr(hw.controller, "redundancy", 1.0))}
+
+
+def yield_point(traffic_msps: float, mode: str = "2T2R",
+                cycles: float = 1e8, seed: int = 0, n_chips: int = 500,
+                die_sigma: float = 0.10, ber_limit: float = 1e-3,
+                per_chip_msps: float = 1.0) -> dict[str, float]:
+    """Fleet capacity at one traffic level from a die-population yield
+    study: how many chips must be provisioned to serve ``traffic_msps``
+    mega-scans/sec when only the yielding fraction of dies (analytic BER
+    within ``ber_limit``) can be deployed.
+
+    Wraps :class:`~repro.rram.reliability.YieldAnalysis` — per-die median
+    resistances drawn log-normally with ``die_sigma``, BER evaluated
+    closed-form per die — and reports the worst-chip BER of the sampled
+    population alongside the provisioning count
+    ``ceil(traffic / (per_chip_throughput * yield))``.
+    """
+    import math
+
+    from repro.rram import DeviceParameters, YieldAnalysis
+
+    result = YieldAnalysis(DeviceParameters(), die_sigma=float(die_sigma),
+                           n_chips=int(n_chips), ber_limit=float(ber_limit),
+                           seed=int(seed)).run(float(cycles), mode)
+    fraction = result.yield_fraction
+    if fraction > 0:
+        chips = math.ceil(float(traffic_msps)
+                          / (float(per_chip_msps) * fraction))
+    else:
+        chips = float("inf")
+    return {"yield_fraction": float(fraction),
+            "worst_chip_ber": float(result.worst_chip_ber),
+            "chips_needed": float(chips)}
+
+
 def latency_point(index: int, seed: int = 0, blocking_ms: float = 0.0,
                   spin_elems: int = 50_000, fail_flag: str = "",
                   fail_at: int = -1) -> dict[str, float]:
@@ -223,3 +324,72 @@ def latency_point(index: int, seed: int = 0, blocking_ms: float = 0.0,
     values = rng.standard_normal(int(spin_elems))
     return {"checksum": float(np.sort(values)[: 100].sum()),
             "index": float(index)}
+
+
+# ---------------------------------------------------------------------------
+# Sweep workload registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepWorkload:
+    """One CLI-sweepable workload: the point function plus the default
+    grid and how to report it.
+
+    ``axes(trials)`` returns the keyword grid for
+    :func:`repro.experiments.sweep.grid`; workloads without a
+    Monte-Carlo trial axis simply omit ``trials`` from it (the CLI
+    filters its series on the trial count only when present).  New
+    workloads register here — the ``sweep`` sub-command derives its
+    choices and help text from this table, so a registration is the
+    whole integration.
+    """
+
+    name: str
+    fn: Callable[..., dict]
+    axes: Callable[[int], dict]
+    x_axis: str
+    metric: str
+    split: str
+    description: str
+
+
+SWEEP_WORKLOADS: dict[str, SweepWorkload] = {w.name: w for w in [
+    SweepWorkload(
+        name="ber", fn=ber_point,
+        axes=lambda trials: dict(
+            cycles=[int(c) for c in np.geomspace(1e8, 7e8, 8)],
+            mode=("1T1R", "2T2R"), n_cells=(4096,), seed=(0,),
+            trials=(trials,)),
+        x_axis="cycles", metric="ber", split="mode",
+        description="Monte-Carlo Fig. 4 error rates vs endurance"),
+    SweepWorkload(
+        name="robustness", fn=rram_inference_point,
+        axes=lambda trials: dict(
+            sigma=[round(s, 3) for s in np.linspace(0.0, 2.5, 8)],
+            seed=(0, 1), trials=(trials,)),
+        x_axis="sigma", metric="agreement", split="seed",
+        description="agreement vs sense-offset sigma"),
+    SweepWorkload(
+        name="sharded", fn=sharded_robustness_point,
+        axes=lambda trials: dict(
+            macro_cols=(8, 16, 32, 64), macro_rows=(8,), sigma=(1.5,),
+            seed=(0, 1), trials=(trials,)),
+        x_axis="macro_cols", metric="agreement", split="seed",
+        description="agreement vs macro geometry on the multi-chip "
+                    "backend"),
+    SweepWorkload(
+        name="lifetime", fn=lifetime_point,
+        axes=lambda trials: dict(
+            years=(0.0, 1.0, 3.0, 10.0, 30.0), temp_c=(125.0,),
+            ecc=("none", "secded"), seed=(0,), trials=(trials,)),
+        x_axis="years", metric="agreement", split="ecc",
+        description="accuracy vs storage years at temperature, with and "
+                    "without SECDED ECC"),
+    SweepWorkload(
+        name="yield", fn=yield_point,
+        axes=lambda trials: dict(
+            traffic_msps=(1.0, 4.0, 16.0, 64.0), mode=("1T1R", "2T2R"),
+            seed=(0,)),
+        x_axis="traffic_msps", metric="chips_needed", split="mode",
+        description="fleet capacity: chips needed per traffic level at "
+                    "the die-population yield"),
+]}

@@ -13,7 +13,11 @@ Implements the paper's hardware contribution end to end:
 * endurance/BER measurement and fault injection (:mod:`~repro.rram.errors`);
 * the trial-batched Monte-Carlo engine with deterministic per-trial RNG
   streams (:mod:`~repro.rram.mc`);
-* the Hamming-ECC digital alternative (:mod:`~repro.rram.ecc`);
+* the Hamming-ECC digital alternative, including an executable
+  ECC-protected weight store (:mod:`~repro.rram.ecc`);
+* lifetime fault injection: stuck-at maps and dead-macro degradation
+  (:mod:`~repro.rram.faults`), retention aging and yield
+  (:mod:`~repro.rram.reliability`);
 * energy/area accounting (:mod:`~repro.rram.energy`).
 """
 
@@ -30,15 +34,17 @@ from repro.rram.accelerator import (AcceleratorConfig, MemoryController,
                                     deploy_classifier, classifier_input_bits)
 from repro.rram.errors import (EnduranceExperiment, EnduranceResult,
                                inject_bit_errors, corrupt_folded)
-from repro.rram.ecc import HammingCode, simulate_protected_storage
+from repro.rram.ecc import (EccMemoryController, HammingCode,
+                            simulate_protected_storage)
+from repro.rram.faults import FaultMap
 from repro.rram.energy import EnergyModel, InferenceCost
 from repro.rram.conv import (FoldedBinaryConv1d, fold_conv1d_batchnorm_sign,
                              InMemoryConv1dLayer, max_pool_bits_1d)
 from repro.rram.programming import (ProgramVerifyConfig, VerifyStatistics,
                                     program_row_verified,
                                     program_array_verified)
-from repro.rram.reliability import (RetentionModel, retention_ber_1t1r,
-                                    retention_ber_2t2r,
+from repro.rram.reliability import (LifetimeConfig, RetentionModel,
+                                    retention_ber_1t1r, retention_ber_2t2r,
                                     arrhenius_acceleration, equivalent_hours,
                                     YieldAnalysis, YieldResult)
 from repro.rram.analog import (AnalogConfig, AnalogCrossbar, AnalogLinear,
@@ -49,8 +55,8 @@ from repro.rram.floorplan import (MacroGeometry, MacroShard, LayerPlacement,
 from repro.rram.conv2d import (FoldedBinaryConv2d, fold_conv2d_batchnorm_sign,
                                fold_depthwise2d_batchnorm_sign,
                                InMemoryConv2dLayer, max_pool_bits_2d)
-from repro.rram.mc import (read_bit_errors, shard_streams, trial_chunks,
-                           trial_streams)
+from repro.rram.mc import (read_bit_errors, shard_streams, site_stream,
+                           trial_chunks, trial_streams)
 
 __all__ = [
     "DeviceParameters", "ResistiveState", "RRAMDevice",
@@ -63,13 +69,15 @@ __all__ = [
     "fold_classifier", "deploy_classifier", "classifier_input_bits",
     "EnduranceExperiment", "EnduranceResult", "inject_bit_errors",
     "corrupt_folded",
-    "HammingCode", "simulate_protected_storage",
+    "HammingCode", "EccMemoryController", "simulate_protected_storage",
+    "FaultMap",
     "EnergyModel", "InferenceCost",
     "FoldedBinaryConv1d", "fold_conv1d_batchnorm_sign",
     "InMemoryConv1dLayer", "max_pool_bits_1d",
     "ProgramVerifyConfig", "VerifyStatistics", "program_row_verified",
     "program_array_verified",
-    "RetentionModel", "retention_ber_1t1r", "retention_ber_2t2r",
+    "LifetimeConfig", "RetentionModel",
+    "retention_ber_1t1r", "retention_ber_2t2r",
     "arrhenius_acceleration", "equivalent_hours",
     "YieldAnalysis", "YieldResult",
     "AnalogConfig", "AnalogCrossbar", "AnalogLinear", "PeripheryModel",
@@ -78,5 +86,6 @@ __all__ = [
     "FoldedBinaryConv2d", "fold_conv2d_batchnorm_sign",
     "fold_depthwise2d_batchnorm_sign", "InMemoryConv2dLayer",
     "max_pool_bits_2d",
-    "read_bit_errors", "shard_streams", "trial_chunks", "trial_streams",
+    "read_bit_errors", "shard_streams", "site_stream", "trial_chunks",
+    "trial_streams",
 ]

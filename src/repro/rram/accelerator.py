@@ -43,8 +43,10 @@ from repro.nn.bitops import (WORD_BITS, pack_bits, packed_column_slice,
                              packed_xnor_popcount_stacked)
 from repro.rram.array import RRAMArray
 from repro.rram.device import DeviceParameters
+from repro.rram.faults import FaultMap
 from repro.rram.floorplan import LayerPlacement, MacroGeometry
 from repro.rram.mc import READ_CHUNK_ELEMS, shard_streams, trial_chunks
+from repro.rram.reliability import LifetimeConfig
 from repro.rram.sense import SenseParameters
 from repro.tensor import Tensor, no_grad
 
@@ -144,7 +146,10 @@ class MemoryController:
     def __init__(self, weight_bits: np.ndarray,
                  config: AcceleratorConfig | None = None,
                  rng: np.random.Generator | None = None,
-                 fast_path: bool | str = "auto"):
+                 fast_path: bool | str = "auto",
+                 lifetime: LifetimeConfig | None = None,
+                 fault_map: FaultMap | None = None,
+                 fault_key: int | tuple[int, ...] = ()):
         config = (config or AcceleratorConfig()).resolved()
         self.config = config
         self.rng = rng or np.random.default_rng(config.seed)
@@ -161,28 +166,62 @@ class MemoryController:
         self.popcount_bit_ops = 0
         self._extra_sense_ops = 0
 
+        # Lifetime and fault state: inactive configurations normalize to
+        # None so the constructor (and every read) is byte-identical to
+        # the pre-fault-layer behaviour — no extra draws, no extra state.
+        if lifetime is not None and not lifetime.active:
+            lifetime = None
+        self.lifetime = lifetime
+        if fault_map is not None and not fault_map.has_cell_faults:
+            fault_map = None
+        self.fault_map = fault_map
+        self.fault_key = (int(fault_key),) if isinstance(fault_key, int) \
+            else tuple(int(k) for k in fault_key)
+
         if fast_path not in (True, False, "auto"):
             raise ValueError("fast_path must be True, False or 'auto'")
-        deterministic = _noise_free(config)
+        deterministic = _noise_free(config) and lifetime is None
         if fast_path is True and not deterministic:
             raise ValueError(
                 "fast_path=True requires a noise-free configuration "
-                "(zero device sigma, zero HRS drift, zero sense offset); "
-                "use fast_path='auto' to dispatch on the config")
+                "(zero device sigma, zero HRS drift, zero sense offset, "
+                "no retention aging); use fast_path='auto' to dispatch")
         self.fast_path = deterministic if fast_path == "auto" \
             else bool(fast_path)
+
+        # Stuck-at faults are keyed, not streamed: drawing them consumes
+        # the map's own site stream, never the program generator.
+        stuck_one = stuck_zero = None
+        if fault_map is not None:
+            stuck_one, stuck_zero = fault_map.cell_masks(
+                weight_bits.shape, self.fault_key)
+        self.n_stuck_cells = 0 if stuck_one is None \
+            else int(stuck_one.sum() + stuck_zero.sum())
 
         self.tiles: list[list[RRAMArray]] = []
         self._margins: np.ndarray | None = None
         if self.fast_path:
             # Deterministic reads: the stored word is all that matters, so
             # pack it once for the uint64 kernels and skip device state.
-            self.weight_words = pack_bits(weight_bits)
+            # Stuck cells read their stuck value, so they fold into the
+            # effective bits here (faults are hard, hence deterministic).
+            effective = weight_bits
+            if stuck_one is not None:
+                effective = np.array(weight_bits, copy=True)
+                effective[stuck_one] = 1
+                effective[stuck_zero] = 0
+            self.weight_words = pack_bits(effective)
             return
         self.weight_words = None
         padded = np.zeros((self.grid_rows * tr, self.grid_cols * tc),
                           dtype=np.uint8)
         padded[:self.out_features, :self.in_features] = weight_bits
+        pad_one = pad_zero = None
+        if stuck_one is not None:
+            pad_one = np.zeros(padded.shape, dtype=bool)
+            pad_zero = np.zeros(padded.shape, dtype=bool)
+            pad_one[:self.out_features, :self.in_features] = stuck_one
+            pad_zero[:self.out_features, :self.in_features] = stuck_zero
         for i in range(self.grid_rows):
             row_tiles = []
             for j in range(self.grid_cols):
@@ -190,8 +229,21 @@ class MemoryController:
                                  sense=config.sense, rng=self.rng)
                 tile.program(padded[i * tr:(i + 1) * tr,
                                     j * tc:(j + 1) * tc])
+                if pad_one is not None:
+                    tile.inject_stuck(
+                        pad_one[i * tr:(i + 1) * tr, j * tc:(j + 1) * tc],
+                        pad_zero[i * tr:(i + 1) * tr, j * tc:(j + 1) * tc])
                 row_tiles.append(tile)
             self.tiles.append(row_tiles)
+        if lifetime is not None:
+            # Aging is a *program-time* transformation of device state:
+            # drift draws come from the root generator (tiles in row-major
+            # order, after all programming), so read-time trial streams
+            # stay untouched and batched == serial is preserved verbatim.
+            bake = lifetime.bake_hours()
+            for row_tiles in self.tiles:
+                for tile in row_tiles:
+                    tile.age(bake, lifetime.retention, self.rng)
 
     @property
     def n_tiles(self) -> int:
@@ -219,7 +271,12 @@ class MemoryController:
                 tile.wear(cycles)
 
     def reprogram(self) -> None:
-        """Re-program stored weights (refresh); re-draws all resistances."""
+        """Re-program stored weights (refresh); re-draws all resistances.
+
+        A refresh writes fresh filaments, so retention aging restarts
+        from zero; stuck-at defects persist (they are not healed by
+        programming).
+        """
         for row in self.tiles:
             for tile in row:
                 tile.program(tile.weight_bits)
@@ -515,7 +572,11 @@ class ShardedController:
                  fast_path: bool | str = "auto",
                  macro: MacroGeometry | None = None,
                  name: str = "layer",
-                 stacked: bool | str = "auto"):
+                 stacked: bool | str = "auto",
+                 lifetime: LifetimeConfig | None = None,
+                 fault_map: FaultMap | None = None,
+                 fault_key: int | tuple[int, ...] = (),
+                 spares: int | str = "auto"):
         config = (config or AcceleratorConfig()).resolved()
         self.config = config
         self.rng = rng or np.random.default_rng(config.seed)
@@ -537,16 +598,63 @@ class ShardedController:
         self.placement = placement
         self.macro = placement.macro
         self.shard_map = placement.shards()
+        self.lifetime = lifetime if lifetime is not None \
+            and lifetime.active else None
+        self.fault_map = fault_map
+        fault_key = (int(fault_key),) if isinstance(fault_key, int) \
+            else tuple(int(k) for k in fault_key)
+        self.fault_key = fault_key
+
+        # Dead macros -> spare remap.  A dead shard's weights are
+        # programmed onto a provisioned spare chip instead: the spare is
+        # a healthy macro (no cell faults), holding exactly the slice the
+        # dead chip would have, so the reduction is unchanged and the
+        # layer *completes* instead of raising.
+        dead = () if fault_map is None else \
+            fault_map.dead_local(len(self.shard_map))
+        if fault_map is not None and any(
+                m >= len(self.shard_map) for m in fault_map.dead_macros):
+            raise ValueError(
+                f"dead macro indices {fault_map.dead_macros} exceed the "
+                f"{len(self.shard_map)}-shard map of layer "
+                f"{placement.name!r}; rebase a chip-global map with "
+                "FaultMap.rebased() first")
+        if spares == "auto":
+            provisioned = max(len(dead),
+                              -(-len(self.shard_map) // 20)) if dead else 0
+        elif isinstance(spares, int) and spares >= 0:
+            provisioned = spares
+        else:
+            raise ValueError(f"spares must be 'auto' or an int >= 0, "
+                             f"got {spares!r}")
+        if len(dead) > provisioned:
+            raise RuntimeError(
+                f"layer {placement.name!r}: {len(dead)} dead macro(s) "
+                f"{tuple(dead)} but only {provisioned} spare(s) "
+                "provisioned; increase spares= (or use spares='auto')")
+        self.remapped_shards = list(dead)
+        self.spare_macros = provisioned
+        placement.spare_macros = provisioned
+        placement.remapped = tuple(dead)
+
         # Every chip is a full macro: tail shards pad to the fixed
         # geometry, exactly like the floorplan provisions them.
         shard_config = replace(config, tile_rows=self.macro.rows,
                                tile_cols=self.macro.cols)
         program_streams = self.rng.spawn(len(self.shard_map))
+        dead_set = set(dead)
+        cell_faults = fault_map if fault_map is not None \
+            and fault_map.has_cell_faults else None
         self.shards = [
             MemoryController(
                 weight_bits[s.row_start:s.row_stop,
                             s.col_start:s.col_stop],
-                shard_config, program_streams[s.index], fast_path)
+                shard_config, program_streams[s.index], fast_path,
+                lifetime=lifetime,
+                # A remapped shard lives on a spare: a healthy chip
+                # (the dead chip's cell faults died with it).
+                fault_map=None if s.index in dead_set else cell_faults,
+                fault_key=fault_key + (s.index,))
             for s in self.shard_map]
         self.fast_path = self.shards[0].fast_path
         if stacked not in (True, False, "auto"):
@@ -556,9 +664,27 @@ class ShardedController:
                 "stacked=True requires the fast path: noisy reads must "
                 "scan shard by shard to honour the per-(shard, trial) "
                 "RNG stream contract; use stacked='auto' to dispatch")
-        self.plan = StackedShardPlan.build(weight_bits, placement) \
-            if self.fast_path and stacked is not False else None
+        self.plan = None
+        if self.fast_path and stacked is not False:
+            # The stacked plan fuses *effective* stored bits (stuck-at
+            # overrides applied per healthy shard); remapped shards are
+            # zeroed out of the fused canvas and corrected per scan with
+            # the per-shard kernel — the only shards that fall back.
+            plan_bits = weight_bits
+            if cell_faults is not None or dead_set:
+                plan_bits = np.array(weight_bits, copy=True)
+                for s in self.shard_map:
+                    block = plan_bits[s.row_start:s.row_stop,
+                                      s.col_start:s.col_stop]
+                    if s.index in dead_set:
+                        block[:] = 0
+                    elif cell_faults is not None:
+                        block[:] = cell_faults.apply_bits(
+                            block, fault_key + (s.index,))
+            self.plan = StackedShardPlan.build(plan_bits, placement)
         self.stacked = self.plan is not None
+        self._remapped_specs = [(self.shard_map[i], self.shards[i])
+                                for i in self.remapped_shards]
         #: Stage breakdown (pack / kernel / reduce, in ms) of the most
         #: recent stacked scan — populated by every stacked ``popcounts``
         #: call, ``None`` before the first one (and on other paths).
@@ -581,6 +707,11 @@ class ShardedController:
     @property
     def n_macros(self) -> int:
         return len(self.shards)
+
+    @property
+    def degraded(self) -> bool:
+        """True when dead macros forced shards onto spares."""
+        return bool(self.remapped_shards)
 
     @property
     def n_devices(self) -> int:
@@ -640,6 +771,19 @@ class ShardedController:
             self.last_profile = {"pack_ms": (t1 - t0) * 1e3,
                                  "kernel_ms": (t2 - t1) * 1e3,
                                  "reduce_ms": (t3 - t2) * 1e3}
+            for spec, shard in self._remapped_specs:
+                # The fused canvas stores zeros where the dead shard
+                # lived, so the stacked kernel credited one agreement
+                # per *zero* activation bit in the slice: ``cols -
+                # ones(xs)``.  Replace that with the spare chip's true
+                # per-shard count.
+                xs = packed_column_slice(x_words, spec.col_start,
+                                         spec.col_stop)
+                ones = np.bitwise_count(xs).sum(axis=1, dtype=np.int64)
+                agree = packed_xnor_popcount(xs, shard.weight_words,
+                                             spec.cols)
+                reduced[:, spec.row_start:spec.row_stop] += \
+                    agree - (spec.cols - ones)[:, None]
             return reduced
         x_words = pack_bits(x_bits)
         counts = np.zeros((n, self.out_features), dtype=np.int64)
@@ -732,10 +876,13 @@ class ShardedController:
 
     def __repr__(self) -> str:
         rows, cols = self.placement.tile_grid
+        degraded = f", remapped={tuple(self.remapped_shards)}" \
+            if self.degraded else ""
         return (f"ShardedController({self.out_features}x{self.in_features} "
                 f"on {rows}x{cols} macros of "
                 f"{self.macro.rows}x{self.macro.cols}, "
-                f"fast_path={self.fast_path}, stacked={self.stacked})")
+                f"fast_path={self.fast_path}, stacked={self.stacked}"
+                f"{degraded})")
 
 
 class InMemoryDenseLayer:

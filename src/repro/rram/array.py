@@ -22,6 +22,13 @@ from repro.rram.sense import SenseParameters, XnorPCSA
 
 __all__ = ["RRAMArray"]
 
+# Resistance overrides for hard stuck-at defects: a metallic short and a
+# broken filament.  The resulting ln-margins (~±27.6) are beyond any
+# realistic sense offset or retention drift, so a stuck cell's sensed
+# value never varies.
+_STUCK_LRS_OHMS = 1.0
+_STUCK_HRS_OHMS = 1e12
+
 
 class RRAMArray:
     """A rows x cols array of binary synapses with on-chip sensing.
@@ -59,6 +66,9 @@ class RRAMArray:
         self.program_ops = 0
         self._programmed = np.zeros(shape, dtype=bool)
         self._margin_cache: np.ndarray | None = None
+        self._stuck_one: np.ndarray | None = None
+        self._stuck_zero: np.ndarray | None = None
+        self.aged_hours = 0.0
 
     # ------------------------------------------------------------------
     # Decoders
@@ -111,10 +121,79 @@ class RRAMArray:
         else:
             self.r_bl[row, cols] = self.params.sample_resistance(
                 bits == 1, cyc, self.rng)
+        if self._stuck_one is not None:
+            self._apply_stuck()
 
     def wear(self, cycles: int) -> None:
         """Age every device by ``cycles`` additional program cycles."""
         self.cycles += int(cycles)
+
+    def inject_stuck(self, stuck_one: np.ndarray,
+                     stuck_zero: np.ndarray) -> None:
+        """Pin cells to hard stuck-at defects (program-time injection).
+
+        ``stuck_one`` cells always sense 1, ``stuck_zero`` cells always
+        sense 0, whatever is programmed — modelled as extreme resistance
+        overrides that survive reprogramming and aging (the masks are
+        persistent: every later :meth:`program_row` / :meth:`age` call
+        re-applies them, because a defective filament does not heal).
+        """
+        shape = (self.n_rows, self.n_cols)
+        stuck_one = np.asarray(stuck_one, dtype=bool)
+        stuck_zero = np.asarray(stuck_zero, dtype=bool)
+        if stuck_one.shape != shape or stuck_zero.shape != shape:
+            raise ValueError(
+                f"stuck masks must be {shape}, got {stuck_one.shape} "
+                f"and {stuck_zero.shape}")
+        if (stuck_one & stuck_zero).any():
+            raise ValueError("a cell cannot be stuck at both values")
+        self._stuck_one = stuck_one
+        self._stuck_zero = stuck_zero
+        self._apply_stuck()
+
+    @property
+    def n_stuck_cells(self) -> int:
+        if self._stuck_one is None:
+            return 0
+        return int(self._stuck_one.sum() + self._stuck_zero.sum())
+
+    def _apply_stuck(self) -> None:
+        """Overwrite resistances at the persistent stuck sites."""
+        one, zero = self._stuck_one, self._stuck_zero
+        self.r_bl[one] = _STUCK_LRS_OHMS
+        self.r_bl[zero] = _STUCK_HRS_OHMS
+        if self.mode == "2T2R":
+            self.r_blb[one] = _STUCK_HRS_OHMS
+            self.r_blb[zero] = _STUCK_LRS_OHMS
+        self._margin_cache = None
+
+    def age(self, hours: float, retention, rng=None) -> None:
+        """Relax every programmed resistance by ``hours`` of storage.
+
+        ``retention`` is a :class:`~repro.rram.reliability.RetentionModel`
+        (bake-calibrated; convert field time with
+        :meth:`~repro.rram.reliability.LifetimeConfig.bake_hours` first).
+        Drift draws come from ``rng`` (the array's own generator by
+        default) in BL-then-BLb order — the *program-time* stream, never
+        a read stream, so trial-batched reads of an aged array keep the
+        batched == serial contract untouched.  Stuck cells stay stuck.
+        """
+        hours = float(hours)
+        if hours < 0:
+            raise ValueError(f"hours must be >= 0, got {hours}")
+        if hours == 0:
+            return
+        self._check_programmed(None, None)
+        rng = rng or self.rng
+        is_lrs_bl = self.weight_bits == 1
+        self.r_bl = retention.apply(self.r_bl, is_lrs_bl, hours, rng)
+        if self.mode == "2T2R":
+            self.r_blb = retention.apply(self.r_blb, ~is_lrs_bl, hours,
+                                         rng)
+        self.aged_hours += hours
+        self._margin_cache = None
+        if self._stuck_one is not None:
+            self._apply_stuck()
 
     def _sense_margin(self) -> np.ndarray:
         """Differential log-resistance margin of every 2T2R cell.

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["HammingCode", "simulate_protected_storage"]
+from repro.rram.mc import READ_CHUNK_ELEMS
+
+__all__ = ["HammingCode", "EccMemoryController",
+           "simulate_protected_storage"]
 
 
 class HammingCode:
@@ -76,6 +79,12 @@ class HammingCode:
         """Stored bits per data bit (2T2R has redundancy exactly 2.0)."""
         return self.n / self.k
 
+    @property
+    def data_indices(self) -> list[int]:
+        """Codeword indices (0..n-1) holding the ``k`` data bits, in data
+        order — the systematic view of the shortened layout."""
+        return [self._pos_to_index[int(p)] for p in self._data_positions]
+
     @staticmethod
     def secded_72_64() -> "HammingCode":
         """The (72, 64) extended Hamming code of server memories."""
@@ -98,8 +107,7 @@ class HammingCode:
         lead = data.shape[:-1]
         hamming_len = self.k + self.r
         code = np.zeros(lead + (hamming_len,), dtype=np.uint8)
-        data_idx = [self._pos_to_index[int(p)] for p in self._data_positions]
-        code[..., data_idx] = data
+        code[..., self.data_indices] = data
         for i, covered in enumerate(self._coverage):
             parity_index = self._pos_to_index[1 << i]
             mask = covered.copy()
@@ -148,8 +156,251 @@ class HammingCode:
             if index is not None:
                 flat_body[w, index] ^= 1
         body = flat_body.reshape(body.shape)
-        data_idx = [self._pos_to_index[int(p)] for p in self._data_positions]
-        return body[..., data_idx], double_error
+        return body[..., self.data_indices], double_error
+
+
+class EccMemoryController:
+    """A weight store that keeps the folded weights behind SECDED ECC.
+
+    The digital alternative the paper argues against, made executable so
+    the lifetime studies can compare it against bare 2T2R quantitatively:
+    each output neuron's fan-in bits are chopped into ``code.k``-bit words,
+    encoded to ``code.n`` stored bits, and programmed onto one RRAM array
+    of ``out_features x stored_cols`` devices.  Reads fetch the stored
+    words through the decoder into a digital buffer *once per scan* — the
+    von Neumann pattern ECC forces — and the XNOR-popcount then runs
+    digitally over the corrected weights.
+
+    The API mirrors :class:`~repro.rram.accelerator.MemoryController`
+    (``popcounts`` / ``popcounts_trials`` / meters), so the runtime layers
+    accept either interchangeably; the per-trial stream contract holds
+    because trial ``t``'s single weight fetch draws only from ``rngs[t]``.
+
+    Noise-free configurations with no retention aging take a fast path:
+    stuck-at faults are applied, the store is decoded once at program
+    time, and scans run the packed digital kernels on the corrected bits.
+    """
+
+    read_chunk_elems = READ_CHUNK_ELEMS
+
+    def __init__(self, weight_bits: np.ndarray,
+                 config=None,
+                 rng: np.random.Generator | None = None,
+                 code: HammingCode | None = None,
+                 fast_path: bool | str = "auto",
+                 lifetime=None,
+                 fault_map=None,
+                 fault_key: int | tuple[int, ...] = ()):
+        from repro.rram.accelerator import AcceleratorConfig, _noise_free
+        config = (config or AcceleratorConfig()).resolved()
+        self.config = config
+        self.rng = rng or np.random.default_rng(config.seed)
+        self.code = code or HammingCode.secded_72_64()
+        weight_bits = np.asarray(weight_bits, dtype=np.uint8)
+        if weight_bits.ndim != 2:
+            raise ValueError(
+                f"weight bits must be 2-D, got {weight_bits.shape}")
+        self.out_features, self.in_features = weight_bits.shape
+        self.n_code_words = -(-self.in_features // self.code.k)
+        #: Stored bit-line columns per output row (data + parity).
+        self.stored_cols = self.n_code_words * self.code.n
+
+        if lifetime is not None and not lifetime.active:
+            lifetime = None
+        self.lifetime = lifetime
+        if fault_map is not None and not fault_map.has_cell_faults:
+            fault_map = None
+        self.fault_map = fault_map
+        self.fault_key = (int(fault_key),) if isinstance(fault_key, int) \
+            else tuple(int(k) for k in fault_key)
+
+        if fast_path not in (True, False, "auto"):
+            raise ValueError("fast_path must be True, False or 'auto'")
+        deterministic = _noise_free(config) and lifetime is None
+        if fast_path is True and not deterministic:
+            raise ValueError(
+                "fast_path=True requires a noise-free configuration "
+                "(zero device sigma, zero HRS drift, zero sense offset, "
+                "no retention aging); use fast_path='auto' to dispatch")
+        self.fast_path = deterministic if fast_path == "auto" \
+            else bool(fast_path)
+
+        # ECC decode meters (per stored word of ``code.n`` bits).
+        self.ecc_words_decoded = 0
+        self.ecc_words_corrected = 0
+        self.ecc_double_errors = 0
+        self.popcount_bit_ops = 0
+        self._extra_sense_ops = 0
+
+        # Encode: pad each fan-in row to a whole number of data words.
+        padded = np.zeros((self.out_features, self.n_code_words * self.code.k),
+                          dtype=np.uint8)
+        padded[:, :self.in_features] = weight_bits
+        stored = self.code.encode(
+            padded.reshape(self.out_features, self.n_code_words, self.code.k)
+        ).reshape(self.out_features, self.stored_cols)
+
+        # Stuck-at faults land on the *stored* grid — parity devices are
+        # as mortal as data devices, which is the point of measuring ECC
+        # under the same defect population as the bare store.
+        stuck_one = stuck_zero = None
+        if fault_map is not None:
+            stuck_one, stuck_zero = fault_map.cell_masks(
+                (self.out_features, self.stored_cols), self.fault_key)
+        self.n_stuck_cells = 0 if stuck_one is None \
+            else int(stuck_one.sum() + stuck_zero.sum())
+
+        self.array = None
+        self.weight_words = None
+        if self.fast_path:
+            if stuck_one is not None:
+                stored = np.array(stored, copy=True)
+                stored[stuck_one] = 1
+                stored[stuck_zero] = 0
+            from repro.nn.bitops import pack_bits
+            self.weight_words = pack_bits(self._decode_stored(stored))
+            self._extra_sense_ops += stored.size   # one program-time fetch
+            return
+        from repro.rram.array import RRAMArray
+        self.array = RRAMArray(self.out_features, self.stored_cols,
+                               params=config.device, sense=config.sense,
+                               rng=self.rng)
+        self.array.program(stored)
+        if stuck_one is not None:
+            self.array.inject_stuck(stuck_one, stuck_zero)
+        if lifetime is not None:
+            self.array.age(lifetime.bake_hours(), lifetime.retention,
+                           self.rng)
+
+    # -- geometry / meters ----------------------------------------------
+    @property
+    def redundancy(self) -> float:
+        """Stored devices per weight bit (the ECC overhead the occupancy
+        reports meter; bare 2T2R is 1.0 on this scale — both store two
+        devices per *stored* bit)."""
+        return self.stored_cols / self.in_features
+
+    @property
+    def n_devices(self) -> int:
+        return 2 * self.out_features * self.stored_cols
+
+    @property
+    def sense_ops(self) -> int:
+        ops = self._extra_sense_ops
+        if self.array is not None:
+            ops += self.array.sense_ops
+        return ops
+
+    @property
+    def ecc_bits_decoded(self) -> int:
+        """Stored bits pushed through the decoder (energy metering hook:
+        multiply by ``EnergyModel.ecc_decode_fj_per_bit``)."""
+        return self.ecc_words_decoded * self.code.n
+
+    def wear(self, cycles: int) -> None:
+        if self.array is not None:
+            self.array.wear(cycles)
+
+    def reprogram(self) -> None:
+        """Refresh the stored codewords (re-draws all resistances; aging
+        restarts, stuck defects persist)."""
+        if self.array is not None:
+            self.array.program(self.array.weight_bits)
+
+    # -- decode ----------------------------------------------------------
+    def _decode_stored(self, stored_bits: np.ndarray) -> np.ndarray:
+        """Decode one full fetch of the stored grid; meters every word."""
+        words = stored_bits.reshape(self.out_features, self.n_code_words,
+                                    self.code.n)
+        decoded, double = self.code.decode(words)
+        raw = words[..., self.code.data_indices]
+        self.ecc_words_decoded += self.out_features * self.n_code_words
+        self.ecc_words_corrected += int(
+            ((decoded != raw).any(axis=-1) & ~double).sum())
+        self.ecc_double_errors += int(double.sum())
+        return np.ascontiguousarray(
+            decoded.reshape(self.out_features, -1)[:, :self.in_features])
+
+    def _fetch_weights(self, rng: np.random.Generator,
+                       sense) -> np.ndarray:
+        """One noisy fetch-and-decode of the whole store (per scan)."""
+        margins = self.array._read_margin()
+        offsets = (sense or self.config.sense).offset(rng, margins.shape)
+        self.array.amplifiers.sense_count += margins.size
+        return self._decode_stored((margins + offsets > 0).astype(np.uint8))
+
+    # -- reads -----------------------------------------------------------
+    def popcounts(self, x_bits: np.ndarray,
+                  rng: np.random.Generator | None = None,
+                  sense=None) -> np.ndarray:
+        """XNOR-popcount against the ECC-protected store.
+
+        One weight fetch through the decoder per scan, then a digital
+        packed-kernel popcount over the corrected bits — the whole batch
+        reuses the single fetched buffer (that is ECC's trade: correction
+        power for the in-memory locality the paper's 2T2R design keeps).
+        """
+        from repro.nn.bitops import pack_bits, packed_xnor_popcount
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        if x_bits.ndim != 2 or x_bits.shape[1] != self.in_features:
+            raise ValueError(
+                f"input shape {x_bits.shape} != (N, {self.in_features})")
+        self.popcount_bit_ops += \
+            x_bits.shape[0] * self.out_features * self.in_features
+        if self.fast_path:
+            from repro.rram.accelerator import MemoryController
+            MemoryController._check_sense_override(sense)
+            return packed_xnor_popcount(pack_bits(x_bits),
+                                        self.weight_words, self.in_features)
+        weights = self._fetch_weights(rng or self.rng, sense)
+        return packed_xnor_popcount(pack_bits(x_bits), pack_bits(weights),
+                                    self.in_features)
+
+    def popcounts_trials(self, x_bits: np.ndarray, rngs,
+                         sense=None,
+                         trial_chunk: int | None = None) -> np.ndarray:
+        """Trial-batched scans: ``(T, N, out_features)`` counts.
+
+        Trial ``t`` performs exactly one weight fetch drawn from
+        ``rngs[t]`` alone, so the loop is trivially bit-identical to
+        ``[popcounts(x[t], rng=rngs[t]) for t in range(T)]`` for any
+        ``trial_chunk`` (accepted for API parity; the per-trial noise
+        tensor here is one weight fetch, already minimal).
+        """
+        from repro.rram.accelerator import (MemoryController,
+                                            _validate_trial_input)
+        from repro.nn.bitops import pack_bits, packed_xnor_popcount
+        x_bits = np.asarray(x_bits, dtype=np.uint8)
+        n_trials = len(rngs)
+        shared = _validate_trial_input(x_bits, n_trials, self.in_features)
+        n = x_bits.shape[0] if shared else x_bits.shape[1]
+        self.popcount_bit_ops += \
+            n_trials * n * self.out_features * self.in_features
+        if self.fast_path:
+            MemoryController._check_sense_override(sense)
+            if shared:
+                counts = packed_xnor_popcount(
+                    pack_bits(x_bits), self.weight_words, self.in_features)
+                return np.broadcast_to(
+                    counts[None], (n_trials,) + counts.shape).copy()
+            return np.stack([
+                packed_xnor_popcount(pack_bits(x_bits[t]),
+                                     self.weight_words, self.in_features)
+                for t in range(n_trials)])
+        counts = np.empty((n_trials, n, self.out_features), dtype=np.int64)
+        for t, rng in enumerate(rngs):
+            weights = pack_bits(self._fetch_weights(rng, sense))
+            xs = x_bits if shared else x_bits[t]
+            counts[t] = packed_xnor_popcount(pack_bits(xs), weights,
+                                             self.in_features)
+        return counts
+
+    def __repr__(self) -> str:
+        return (f"EccMemoryController({self.out_features}x"
+                f"{self.in_features} data bits in "
+                f"({self.code.n},{self.code.k}) words, "
+                f"stored_cols={self.stored_cols}, "
+                f"fast_path={self.fast_path})")
 
 
 def simulate_protected_storage(data: np.ndarray, code: HammingCode,

@@ -125,22 +125,47 @@ class EnduranceExperiment:
                                ber_bl, ber_blb, ber_2t2r, self.trials)
 
 
+def _corruption_rng(rng, key: tuple[int, ...]) -> np.random.Generator:
+    """Resolve the fault-injection stream.
+
+    A :class:`numpy.random.Generator` is used as-is (the legacy,
+    order-dependent contract).  An integer seed routes through the keyed
+    :func:`repro.rram.mc.site_stream`, so a corruption site named by
+    ``(seed, *key)`` draws the same flips in every worker process, chunk
+    layout and call order — the same split-stable contract the
+    :class:`~repro.rram.faults.FaultMap` masks follow.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    from repro.rram.mc import site_stream
+    return site_stream(rng, *key)
+
+
 def inject_bit_errors(bits: np.ndarray, ber: float,
-                      rng: np.random.Generator) -> np.ndarray:
-    """Flip each bit independently with probability ``ber``."""
+                      rng: np.random.Generator | int,
+                      key: tuple[int, ...] = ()) -> np.ndarray:
+    """Flip each bit independently with probability ``ber``.
+
+    ``rng`` is either a generator (legacy) or an integer seed; with a
+    seed, ``key`` names the draw site (e.g. a layer index) and the flips
+    are reproducible independent of call order or worker count.
+    """
     if not 0.0 <= ber <= 1.0:
         raise ValueError(f"ber must be a probability, got {ber}")
     bits = np.asarray(bits, dtype=np.uint8)
-    flips = rng.random(bits.shape) < ber
+    flips = _corruption_rng(rng, key).random(bits.shape) < ber
     return (bits ^ flips.astype(np.uint8)).astype(np.uint8)
 
 
 def corrupt_folded(layer: FoldedBinaryDense | FoldedOutputDense, ber: float,
-                   rng: np.random.Generator):
+                   rng: np.random.Generator | int,
+                   key: tuple[int, ...] = ()):
     """Return a copy of a folded layer with weight bits corrupted at
     ``ber`` — the software-level equivalent of deploying on devices whose
-    residual error rate is ``ber``."""
-    corrupted = inject_bit_errors(layer.weight_bits, ber, rng)
+    residual error rate is ``ber``.  ``rng``/``key`` follow the
+    :func:`inject_bit_errors` contract (pass a seed plus a per-layer key
+    for chunk- and worker-invariant corruption)."""
+    corrupted = inject_bit_errors(layer.weight_bits, ber, rng, key)
     if isinstance(layer, FoldedBinaryDense):
         return FoldedBinaryDense(corrupted, layer.theta.copy(),
                                  layer.gamma_sign.copy(),

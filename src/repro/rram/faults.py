@@ -1,0 +1,139 @@
+"""Stuck-at fault maps for programmed RRAM state.
+
+Real RRAM macros ship with hard defects the read-noise model cannot
+express: forming failures leave cells stuck in LRS or HRS regardless of
+what is programmed, opens in a word-line driver kill a whole row, and
+infant-mortality or assembly faults kill entire macro chips.  A
+:class:`FaultMap` describes such a defect population statistically —
+per-cell stuck-at rates, a per-row kill rate, and an explicit list of
+dead macros — and materializes it deterministically per physical
+location.
+
+Fault draws ride the keyed split-stable stream contract of
+:func:`repro.rram.mc.site_stream`: the map's own ``seed`` plus a caller
+``key`` (layer index, shard index) fully determine every mask, so fault
+placement is invariant to chunking, worker count and call order — and it
+never consumes a controller's program or read streams, which keeps the
+*empty* map bit-identical to no map at all.
+
+Semantics are defined at the *cell* (synapse) level, matching the 2T2R
+pair as one unit: a stuck-at-LRS cell always senses 1, a stuck-at-HRS
+cell always senses 0, and a dead row senses 0 on every cell.  On the
+physical read path these become extreme resistance overrides (margins of
+tens of ln-units that no realistic sense offset or retention drift can
+flip); on the deterministic fast path they are applied directly to the
+effective weight bits before packing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rram.mc import site_stream
+
+__all__ = ["FaultMap"]
+
+#: Keyed stream namespace for fault draws, so a fault site can never
+#: collide with the order-based spawn tree of the same seed.
+_FAULT_SITE = 0x5AFE
+
+
+@dataclass(frozen=True)
+class FaultMap:
+    """A statistical defect population plus an explicit dead-macro list.
+
+    ``stuck_lrs`` / ``stuck_hrs`` are independent per-cell probabilities
+    (their sum must stay <= 1); ``dead_rows`` is a per-word-line kill
+    probability; ``dead_macros`` names macro indices (in a sharded
+    layer's row-major shard order) that are entirely non-functional —
+    the :class:`~repro.rram.accelerator.ShardedController` remaps those
+    onto spare macros.  ``seed`` keys every statistical draw.
+    """
+
+    stuck_lrs: float = 0.0
+    stuck_hrs: float = 0.0
+    dead_rows: float = 0.0
+    dead_macros: tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("stuck_lrs", "stuck_hrs", "dead_rows"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        if self.stuck_lrs + self.stuck_hrs > 1.0:
+            raise ValueError(
+                f"stuck_lrs + stuck_hrs must be <= 1, got "
+                f"{self.stuck_lrs + self.stuck_hrs}")
+        dead = tuple(sorted({int(m) for m in self.dead_macros}))
+        if dead and dead[0] < 0:
+            raise ValueError(f"dead macro indices must be >= 0, got {dead}")
+        object.__setattr__(self, "dead_macros", dead)
+
+    @property
+    def empty(self) -> bool:
+        """True when the map injects nothing anywhere."""
+        return not (self.has_cell_faults or self.dead_macros)
+
+    @property
+    def has_cell_faults(self) -> bool:
+        """True when per-cell or per-row faults can occur (the statistical
+        part; dead macros are handled structurally by remapping)."""
+        return self.stuck_lrs > 0 or self.stuck_hrs > 0 \
+            or self.dead_rows > 0
+
+    def cell_masks(self, shape: tuple[int, int],
+                   key: tuple[int, ...] = ()) -> tuple[np.ndarray,
+                                                       np.ndarray]:
+        """Materialize ``(stuck_one, stuck_zero)`` boolean masks.
+
+        ``shape`` is the logical ``(rows, cols)`` cell grid; ``key``
+        identifies the physical location (e.g. ``(layer, shard)``) so
+        distinct chips draw independent faults while the same chip
+        always draws the same ones.  One uniform field decides the
+        per-cell state (disjoint by construction); a second per-row
+        draw overlays dead rows, which sense 0 everywhere.
+        """
+        rows, cols = (int(shape[0]), int(shape[1]))
+        rng = site_stream(self.seed, _FAULT_SITE, *key)
+        u = rng.random((rows, cols))
+        stuck_one = u < self.stuck_lrs
+        stuck_zero = (u >= self.stuck_lrs) \
+            & (u < self.stuck_lrs + self.stuck_hrs)
+        if self.dead_rows > 0:
+            dead = rng.random(rows) < self.dead_rows
+            stuck_zero |= dead[:, None]
+            stuck_one &= ~dead[:, None]
+        return stuck_one, stuck_zero
+
+    def apply_bits(self, bits: np.ndarray,
+                   key: tuple[int, ...] = ()) -> np.ndarray:
+        """Effective stored bits after stuck-at faults (fast-path view).
+
+        Deterministic reads sense exactly the stuck values, so the fault
+        model reduces to overriding the programmed bits; returns a copy
+        (the input is never mutated) or the input itself when the map
+        has no cell faults.
+        """
+        if not self.has_cell_faults:
+            return bits
+        stuck_one, stuck_zero = self.cell_masks(bits.shape, key)
+        bits = np.array(bits, dtype=np.uint8, copy=True)
+        bits[stuck_one] = 1
+        bits[stuck_zero] = 0
+        return bits
+
+    def dead_local(self, n_macros: int, base: int = 0) -> tuple[int, ...]:
+        """Dead macro indices falling inside ``[base, base + n_macros)``,
+        rebased to local shard indices — how a multi-layer backend
+        assigns its global dead list to per-layer shard maps."""
+        return tuple(m - base for m in self.dead_macros
+                     if base <= m < base + int(n_macros))
+
+    def rebased(self, n_macros: int, base: int = 0) -> "FaultMap":
+        """A copy whose ``dead_macros`` are the local indices of
+        :meth:`dead_local` — the per-layer view of a global map."""
+        from dataclasses import replace
+        return replace(self, dead_macros=self.dead_local(n_macros, base))

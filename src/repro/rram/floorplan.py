@@ -125,6 +125,11 @@ class LayerPlacement:
     out_features: int
     in_features: int
     macro: MacroGeometry
+    #: Spare macros provisioned for this layer (fault tolerance); set by
+    #: the sharded controller when a fault map is in play.
+    spare_macros: int = 0
+    #: Shard indices that were remapped onto spares (dead macros).
+    remapped: tuple[int, ...] = ()
     tile_grid: tuple[int, int] = field(init=False)
 
     def __post_init__(self):
@@ -231,6 +236,16 @@ class ChipFloorplan:
         provisioned = sum(p.synapses_provisioned for p in self.placements)
         return used / provisioned
 
+    @property
+    def spare_macros(self) -> int:
+        """Spare macros provisioned across all layers."""
+        return sum(p.spare_macros for p in self.placements)
+
+    @property
+    def remapped_macros(self) -> int:
+        """Dead macros remapped onto spares across all layers."""
+        return sum(len(p.remapped) for p in self.placements)
+
     def area_um2(self) -> dict[str, float]:
         """Area by component, from the shared technology constants.
 
@@ -283,13 +298,25 @@ class ChipFloorplan:
                          f"{min(fills):.1%}",
                          f"{sum(fills) / len(fills):.1%}",
                          f"{scan_pj:.2f}"))
-        return render_table(
+        table = render_table(
             "Per-macro shard map "
             f"({self.placements[0].macro.rows}x"
             f"{self.placements[0].macro.cols} macros)",
             ["Layer", "Macros", "Tails", "Min fill", "Mean fill",
              "Scan pJ/macro"],
             rows)
+        if self.spare_macros or self.remapped_macros:
+            degraded = []
+            for p in self.placements:
+                if p.spare_macros or p.remapped:
+                    dead = ",".join(str(m) for m in p.remapped) or "-"
+                    degraded.append(
+                        f"  {p.name}: {len(p.remapped)} dead "
+                        f"(shards {dead}) remapped / "
+                        f"{p.spare_macros} spare(s) provisioned")
+            table += "\nSpare macros (degraded placements):\n" \
+                + "\n".join(degraded)
+        return table
 
     def report(self) -> str:
         from repro.experiments.tables import render_table
@@ -312,6 +339,10 @@ class ChipFloorplan:
                  f"{area['controller'] / 1e6:.3f})",
                  f"Programming: {prog['device_writes']:,.0f} writes, "
                  f"{prog['energy_pj'] / 1e6:.2f} uJ one-time"]
+        if self.spare_macros or self.remapped_macros:
+            lines.append(
+                f"Spares: {self.remapped_macros} dead macro(s) remapped, "
+                f"{self.spare_macros} spare(s) provisioned")
         return "\n".join(lines)
 
 

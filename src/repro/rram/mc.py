@@ -37,7 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["READ_CHUNK_ELEMS", "trial_streams", "trial_chunks",
-           "shard_streams", "read_bit_errors"]
+           "shard_streams", "site_stream", "read_bit_errors"]
 
 #: Shared element budget for stacked noise tensors: every chunked scan
 #: (array reads, controller scans, endurance windows) bounds its offset
@@ -88,6 +88,32 @@ def shard_streams(rngs, n_shards: int) -> list[list[np.random.Generator]]:
     children = [rng.spawn(n_shards) for rng in rngs]
     return [[children[t][s] for t in range(len(rngs))]
             for s in range(n_shards)]
+
+
+def site_stream(seed, *key: int) -> np.random.Generator:
+    """One independent generator for a *named* draw site.
+
+    The keyed complement of the order-based :func:`trial_streams` /
+    :func:`shard_streams` spawning: ``SeedSequence(seed, spawn_key=key)``
+    derives the child stream directly from the ``(seed, key)`` pair, so
+    the same site always reads the same noise no matter when — or in
+    which worker process — it is materialized.  ``site_stream(s, i)`` is
+    by construction the ``i``-th child of ``SeedSequence(s).spawn(...)``,
+    so keyed and order-based derivations of the same tree coincide.
+
+    Use this for draws that must be reproducible across chunking, worker
+    counts and call order without threading generator objects through
+    the call graph: fault-map sampling, weight corruption, per-(layer,
+    shard) fault sites.  Keys are small non-negative integers.
+    """
+    key = tuple(int(k) for k in key)
+    if any(k < 0 for k in key):
+        raise ValueError(f"site keys must be non-negative, got {key}")
+    seed_seq = seed if isinstance(seed, np.random.SeedSequence) \
+        else np.random.SeedSequence(seed)
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed_seq.entropy,
+                               spawn_key=seed_seq.spawn_key + key))
 
 
 def trial_chunks(n_trials: int, per_trial_elems: int,

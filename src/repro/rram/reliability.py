@@ -19,14 +19,15 @@ cover and a deployed medical device cares about:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.stats import norm
 
 from repro.rram.device import DeviceParameters
 
-__all__ = ["RetentionModel", "retention_ber_1t1r", "retention_ber_2t2r",
+__all__ = ["RetentionModel", "LifetimeConfig",
+           "retention_ber_1t1r", "retention_ber_2t2r",
            "arrhenius_acceleration", "equivalent_hours",
            "YieldAnalysis", "YieldResult"]
 
@@ -116,6 +117,45 @@ class RetentionModel:
         noise = rng.normal(0.0, self.extra_sigma(hours),
                            size=resistances.shape)
         return np.exp(np.log(resistances) + shift + noise)
+
+
+@dataclass(frozen=True)
+class LifetimeConfig:
+    """A deployment point in storage time and temperature.
+
+    ``hours`` of field storage at ``temp_c`` are mapped through the
+    Arrhenius law onto the bake-equivalent hours the
+    :class:`RetentionModel` constants are calibrated to, and the
+    resulting drift is applied to programmed device state at program
+    time (see :meth:`repro.rram.array.RRAMArray.age`).  ``hours=0`` is
+    the fresh chip — inactive, guaranteed to change nothing.
+    """
+
+    hours: float = 0.0
+    temp_c: float = 37.0
+    retention: RetentionModel = field(default_factory=RetentionModel)
+    reference_temp_c: float = 125.0
+    activation_energy_ev: float = 1.1
+
+    def __post_init__(self):
+        if self.hours < 0:
+            raise ValueError(f"hours must be >= 0, got {self.hours}")
+
+    @classmethod
+    def years(cls, years: float, temp_c: float = 37.0,
+              **kwargs) -> "LifetimeConfig":
+        """``years`` of field storage at ``temp_c`` (8760 h per year)."""
+        return cls(hours=float(years) * 8760.0, temp_c=temp_c, **kwargs)
+
+    @property
+    def active(self) -> bool:
+        return self.hours > 0
+
+    def bake_hours(self) -> float:
+        """Bake-equivalent hours to feed the retention model."""
+        return float(equivalent_hours(self.hours, self.temp_c,
+                                      self.reference_temp_c,
+                                      self.activation_energy_ev))
 
 
 def retention_ber_1t1r(params: DeviceParameters, retention: RetentionModel,

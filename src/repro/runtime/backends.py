@@ -21,16 +21,42 @@ from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
 from repro.nn.bitops import (PackedBinaryConv1d, PackedBinaryConv2d,
                              PackedBinaryDense, PackedOutputDense)
 from repro.rram.accelerator import (AcceleratorConfig, InMemoryDenseLayer,
-                                    InMemoryOutputLayer, ShardedController)
+                                    InMemoryOutputLayer, MemoryController,
+                                    ShardedController)
 from repro.rram.conv import FoldedBinaryConv1d, InMemoryConv1dLayer
 from repro.rram.conv2d import FoldedBinaryConv2d, InMemoryConv2dLayer
+from repro.rram.ecc import EccMemoryController, HammingCode
 from repro.rram.energy import EnergyModel
+from repro.rram.faults import FaultMap
 from repro.rram.floorplan import ChipFloorplan, LayerPlacement, MacroGeometry
+from repro.rram.reliability import LifetimeConfig
 
 __all__ = ["Backend", "ReferenceBackend", "PackedBackend", "RRAMBackend",
            "ShardedRRAMBackend", "register_backend", "resolve_backend",
-           "available_backends"]
+           "available_backends", "resolve_ecc"]
 
+
+def resolve_ecc(spec) -> HammingCode | None:
+    """Accept an ECC spec: ``None``, a code name or a built code.
+
+    Names: ``"secded"`` — the (72, 64) extended Hamming code of server
+    memories; ``"rate-half"`` — the (8, 4) code matching 2T2R's 2x
+    redundancy.
+    """
+    if spec is None or isinstance(spec, HammingCode):
+        return spec
+    if isinstance(spec, str):
+        name = spec.lower().replace("_", "-")
+        if name in ("none", ""):
+            return None
+        if name == "secded":
+            return HammingCode.secded_72_64()
+        if name == "rate-half":
+            return HammingCode.rate_half()
+        raise ValueError(
+            f"unknown ECC code {spec!r}; known: secded, rate-half, none")
+    raise TypeError(f"ecc must be None, a name or a HammingCode, "
+                    f"got {type(spec)}")
 
 class Backend:
     """Protocol for inference substrates.
@@ -142,30 +168,70 @@ class RRAMBackend(Backend):
 
     def __init__(self, config: AcceleratorConfig | None = None,
                  rng: np.random.Generator | None = None,
-                 fast_path: bool | str = "auto"):
+                 fast_path: bool | str = "auto",
+                 ecc=None,
+                 lifetime: LifetimeConfig | None = None,
+                 fault_map: FaultMap | None = None):
         self.config = config or AcceleratorConfig()
         self.rng = rng or np.random.default_rng(self.config.seed)
         self.fast_path = fast_path
+        self.ecc = resolve_ecc(ecc)
+        self.lifetime = lifetime
+        self.fault_map = fault_map
+        self._layer_index = 0
+
+    def begin_plan(self) -> None:
+        self._layer_index = 0
+
+    def _controller(self, folded):
+        """Build the layer's controller when the reliability layer is in
+        play; ``None`` keeps the layers' own legacy construction (byte-
+        identical plans with no ECC, no lifetime, no faults)."""
+        if self.ecc is None and self.lifetime is None \
+                and self.fault_map is None:
+            return None
+        key = (self._layer_index,)
+        self._layer_index += 1
+        if self.ecc is not None:
+            return EccMemoryController(
+                folded.weight_bits, self.config, self.rng, code=self.ecc,
+                fast_path=self.fast_path, lifetime=self.lifetime,
+                fault_map=self.fault_map, fault_key=key)
+        return MemoryController(
+            folded.weight_bits, self.config, self.rng, self.fast_path,
+            lifetime=self.lifetime, fault_map=self.fault_map,
+            fault_key=key)
 
     def prepare_dense(self, folded: FoldedBinaryDense):
         return InMemoryDenseLayer(folded, self.config, self.rng,
-                                  self.fast_path)
+                                  self.fast_path,
+                                  controller=self._controller(folded))
 
     def prepare_output(self, folded: FoldedOutputDense):
         return InMemoryOutputLayer(folded, self.config, self.rng,
-                                   self.fast_path)
+                                   self.fast_path,
+                                   controller=self._controller(folded))
 
     def prepare_conv1d(self, folded: FoldedBinaryConv1d):
         return InMemoryConv1dLayer(folded, self.config, self.rng,
-                                   self.fast_path)
+                                   self.fast_path,
+                                   controller=self._controller(folded))
 
     def prepare_conv2d(self, folded: FoldedBinaryConv2d):
         return InMemoryConv2dLayer(folded, self.config, self.rng,
-                                   self.fast_path)
+                                   self.fast_path,
+                                   controller=self._controller(folded))
 
     def __repr__(self) -> str:
+        extras = ""
+        if self.ecc is not None:
+            extras += f", ecc=({self.ecc.n},{self.ecc.k})"
+        if self.lifetime is not None and self.lifetime.active:
+            extras += f", lifetime={self.lifetime.hours:g}h"
+        if self.fault_map is not None and not self.fault_map.empty:
+            extras += ", faults"
         return (f"RRAMBackend(config={self.config!r}, "
-                f"fast_path={self.fast_path!r})")
+                f"fast_path={self.fast_path!r}{extras})")
 
 
 class ShardedRRAMBackend(Backend):
@@ -207,7 +273,10 @@ class ShardedRRAMBackend(Backend):
                  rng: np.random.Generator | None = None,
                  fast_path: bool | str = "auto",
                  energy: EnergyModel | None = None,
-                 stacked: bool | str = "auto"):
+                 stacked: bool | str = "auto",
+                 lifetime: LifetimeConfig | None = None,
+                 fault_map: FaultMap | None = None,
+                 spares: int | str = "auto"):
         self.config = config or AcceleratorConfig()
         self.macro = macro or MacroGeometry(self.config.tile_rows,
                                             self.config.tile_cols)
@@ -215,19 +284,37 @@ class ShardedRRAMBackend(Backend):
         self.fast_path = fast_path
         self.energy = energy or EnergyModel()
         self.stacked = stacked
+        self.lifetime = lifetime
+        self.fault_map = fault_map
+        self.spares = spares
         self.placements: list[LayerPlacement] = []
+        self._macro_offset = 0
 
     def begin_plan(self) -> None:
         self.placements = []
+        self._macro_offset = 0
 
     def _controller(self, kind: str, weight_bits) -> ShardedController:
         count = sum(1 for p in self.placements if p.name.startswith(kind))
         name = f"{kind}{count + 1}"
         placement = LayerPlacement(name, weight_bits.shape[0],
                                    weight_bits.shape[1], self.macro)
+        layer_index = len(self.placements)
+        # The fault map's dead-macro indices are chip-global: rebase them
+        # onto this layer's shard map (macros are assigned to layers in
+        # plan order, matching the floorplan's macro count walk).
+        local_map = self.fault_map
+        if local_map is not None:
+            local_map = local_map.rebased(placement.n_macros,
+                                          self._macro_offset)
+        self._macro_offset += placement.n_macros
         controller = ShardedController(weight_bits, placement, self.config,
                                        self.rng, self.fast_path,
-                                       stacked=self.stacked)
+                                       stacked=self.stacked,
+                                       lifetime=self.lifetime,
+                                       fault_map=local_map,
+                                       fault_key=(layer_index,),
+                                       spares=self.spares)
         self.placements.append(placement)
         return controller
 
@@ -256,10 +343,15 @@ class ShardedRRAMBackend(Backend):
         return ChipFloorplan(list(self.placements), self.energy)
 
     def __repr__(self) -> str:
+        extras = ""
+        if self.lifetime is not None and self.lifetime.active:
+            extras += f", lifetime={self.lifetime.hours:g}h"
+        if self.fault_map is not None and not self.fault_map.empty:
+            extras += ", faults"
         return (f"ShardedRRAMBackend(macro={self.macro.rows}x"
                 f"{self.macro.cols}, layers={len(self.placements)}, "
                 f"fast_path={self.fast_path!r}, "
-                f"stacked={self.stacked!r})")
+                f"stacked={self.stacked!r}{extras})")
 
 
 _BACKENDS: dict[str, Callable[[], Backend]] = {

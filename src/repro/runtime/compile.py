@@ -190,11 +190,25 @@ class CompiledModel:
                       "per-shard": "per-shard fast path",
                       "noisy": "noisy per-shard path"}
             via = ", ".join(labels.get(k, k) for k in sorted(kinds))
+            remapped = sum(len(p.remapped) for p in placements)
+            spares = sum(p.spare_macros for p in placements)
+            degraded = ""
+            if remapped or spares:
+                degraded = (f"; {remapped} dead macro(s) remapped onto "
+                            f"spares ({spares} provisioned)")
             lines.append(f"    placed on {macros} macros "
                          f"({placements[0].macro.rows}x"
                          f"{placements[0].macro.cols}) across "
                          f"{len(placements)} layers"
-                         + (f" via {via}" if via else ""))
+                         + (f" via {via}" if via else "") + degraded)
+        codes = {getattr(getattr(op.executor, "controller", None),
+                         "code", None) for op in self.layer_ops}
+        codes.discard(None)
+        if codes:
+            code = next(iter(codes))
+            kind = "SECDED" if code.extended else "SEC"
+            lines.append(f"    ECC: ({code.n},{code.k}) {kind}, "
+                         f"{code.redundancy:.2f}x stored-bit redundancy")
         return "\n".join(lines)
 
     @property

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -205,6 +207,85 @@ class TestCommands:
                      "--out", str(out)]) == 0
         text = capsys.readouterr().out
         assert "(0 computed" in text and "plan cache:" in text
+
+
+class TestSweepRegistry:
+    """Sweep workloads come from the SWEEP_WORKLOADS registry, not an
+    if/elif chain; the parser and summaries follow the registry."""
+
+    def test_registry_covers_reliability_workloads(self):
+        from repro.experiments.workloads import SWEEP_WORKLOADS
+        assert {"ber", "robustness", "sharded", "lifetime",
+                "yield"} <= set(SWEEP_WORKLOADS)
+        for spec in SWEEP_WORKLOADS.values():
+            assert spec.description
+            assert callable(spec.fn)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "banana"])
+
+    def test_sweep_lifetime_resumable_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "lifetime.jsonl"
+        assert main(["sweep", "lifetime", "--trials", "1",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "agreement by years" in text
+        assert "ecc=secded" in text
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        assert all("agreement" in r["metrics"] for r in records)
+        # Resume: nothing recomputed.
+        assert main(["sweep", "lifetime", "--trials", "1",
+                     "--out", str(out)]) == 0
+        assert "(0 computed" in capsys.readouterr().out
+
+    def test_sweep_yield_runs(self, tmp_path, capsys):
+        out = tmp_path / "yield.jsonl"
+        assert main(["sweep", "yield", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "chips_needed by traffic_msps" in text
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        assert all("yield_fraction" in r["metrics"] for r in records)
+
+
+class TestDeployReliabilityFlags:
+    @pytest.fixture
+    def artifact(self, tmp_path, capsys):
+        path = tmp_path / "eeg_plan.npz"
+        assert main(["compile", "eeg", "--mode", "full_binary",
+                     "--backend", "reference",
+                     "--save", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_kill_macro_degrades_but_agrees(self, artifact, capsys):
+        assert main(["deploy", str(artifact), "--backend", "sharded",
+                     "--macros", "8x24", "--kill-macro", "1",
+                     "--kill-macro", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "100.0%" in text
+        assert "2 dead macro(s) remapped onto spares" in text
+        assert "Spare macros (degraded placements)" in text
+
+    def test_ecc_reported(self, artifact, capsys):
+        assert main(["deploy", str(artifact), "--backend", "rram",
+                     "--ecc", "secded"]) == 0
+        text = capsys.readouterr().out
+        assert "ECC: (72,64) SECDED" in text
+
+    def test_too_many_dead_for_spares_exits_cleanly(self, artifact):
+        with pytest.raises((SystemExit, RuntimeError)):
+            main(["deploy", str(artifact), "--backend", "sharded",
+                  "--macros", "8x24", "--kill-macro", "0",
+                  "--kill-macro", "1", "--kill-macro", "2",
+                  "--spares", "1"])
+
+    def test_bad_spares_value_exits(self, artifact):
+        with pytest.raises(SystemExit, match="spares"):
+            main(["deploy", str(artifact), "--backend", "sharded",
+                  "--spares", "many"])
 
 
 class TestAnalyticRunners:

@@ -1,0 +1,168 @@
+"""Graceful degradation on the sharded backend: dead macros are remapped
+onto provisioned spare chips instead of failing the deployment.
+
+Contracts under test:
+
+* a killed macro's shard re-programs onto a healthy spare, so results
+  stay *bit-identical* to the monolithic controller on every read path
+  (stacked fast, per-shard fast, physical);
+* the stacked fast path keeps its one batched kernel and corrects only
+  the remapped slices;
+* spare provisioning is explicit: more dead macros than spares raises,
+  chip-global maps must be rebased before reaching a layer;
+* degradation is visible: placements, floorplan reports and repr all
+  name the remapped shards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rram import (AcceleratorConfig, FaultMap, MacroGeometry,
+                        MemoryController, ShardedController, trial_streams)
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.integers(0, 2, (37, 131)).astype(np.uint8)
+
+
+@pytest.fixture
+def x_bits(rng):
+    return rng.integers(0, 2, (9, 131)).astype(np.uint8)
+
+
+def _dead_map(*macros: int) -> FaultMap:
+    return FaultMap(dead_macros=tuple(macros))
+
+
+class TestRemapEquivalence:
+    @pytest.mark.parametrize("stacked", ["auto", False])
+    def test_killed_macro_matches_monolithic(self, weights, x_bits,
+                                             stacked):
+        config = AcceleratorConfig(ideal=True)
+        mono = MemoryController(weights, config)
+        sharded = ShardedController(weights, config=config,
+                                    macro=MacroGeometry(8, 24),
+                                    fault_map=_dead_map(1, 5),
+                                    stacked=stacked)
+        assert sharded.degraded
+        assert tuple(sharded.remapped_shards) == (1, 5)
+        assert np.array_equal(sharded.popcounts(x_bits),
+                              mono.popcounts(x_bits))
+
+    def test_stacked_fast_path_survives_degradation(self, weights,
+                                                    x_bits):
+        config = AcceleratorConfig(ideal=True)
+        sharded = ShardedController(weights, config=config,
+                                    macro=MacroGeometry(8, 24),
+                                    fault_map=_dead_map(0),
+                                    stacked=True)
+        healthy = ShardedController(weights, config=config,
+                                    macro=MacroGeometry(8, 24),
+                                    stacked=True)
+        assert np.array_equal(sharded.popcounts(x_bits),
+                              healthy.popcounts(x_bits))
+        # Both ran the one batched stacked kernel, not a per-shard loop.
+        assert "kernel_ms" in sharded.last_profile
+        assert "kernel_ms" in healthy.last_profile
+
+    def test_physical_path_remap(self, weights, x_bits):
+        config = AcceleratorConfig(ideal=True)
+        mono = MemoryController(weights, config, fast_path=False)
+        sharded = ShardedController(weights, config=config,
+                                    macro=MacroGeometry(8, 24),
+                                    fault_map=_dead_map(2),
+                                    fast_path=False)
+        assert np.array_equal(
+            sharded.popcounts(x_bits, rng=np.random.default_rng(0)),
+            mono.popcounts(x_bits, rng=np.random.default_rng(1)))
+
+    def test_noisy_trials_batched_equals_serial_degraded(self, weights,
+                                                         x_bits):
+        config = AcceleratorConfig()
+        make = lambda: ShardedController(
+            weights, config=config, rng=np.random.default_rng(3),
+            macro=MacroGeometry(8, 24),
+            fault_map=FaultMap(stuck_lrs=0.01, dead_macros=(1,), seed=5))
+        batched = make().popcounts_trials(x_bits, trial_streams(9, 3))
+        serial = np.stack([make().popcounts(x_bits, rng=r)
+                           for r in trial_streams(9, 3)])
+        assert np.array_equal(batched, serial)
+
+    def test_dead_plus_stuck_faults_consistent(self, weights, x_bits):
+        """Cell faults apply to healthy shards; the remapped shard's
+        spare chip is fault-free. Stacked and per-shard paths agree."""
+        config = AcceleratorConfig(ideal=True)
+        fm = FaultMap(stuck_lrs=0.02, dead_macros=(3,), seed=8)
+        stacked = ShardedController(weights, config=config,
+                                    macro=MacroGeometry(8, 24),
+                                    fault_map=fm, stacked=True)
+        per_shard = ShardedController(weights, config=config,
+                                      macro=MacroGeometry(8, 24),
+                                      fault_map=fm, stacked=False)
+        assert np.array_equal(stacked.popcounts(x_bits),
+                              per_shard.popcounts(x_bits))
+
+
+class TestProvisioning:
+    def test_auto_spares_cover_dead(self, weights):
+        sharded = ShardedController(weights,
+                                    config=AcceleratorConfig(ideal=True),
+                                    macro=MacroGeometry(8, 24),
+                                    fault_map=_dead_map(0, 1, 2))
+        assert sharded.placement.spare_macros >= 3
+
+    def test_insufficient_spares_raises(self, weights):
+        with pytest.raises(RuntimeError, match="spare"):
+            ShardedController(weights,
+                              config=AcceleratorConfig(ideal=True),
+                              macro=MacroGeometry(8, 24),
+                              fault_map=_dead_map(0, 1), spares=1)
+
+    def test_zero_spares_healthy_map_ok(self, weights, x_bits):
+        sharded = ShardedController(weights,
+                                    config=AcceleratorConfig(ideal=True),
+                                    macro=MacroGeometry(8, 24), spares=0)
+        assert not sharded.degraded
+        mono = MemoryController(weights, AcceleratorConfig(ideal=True))
+        assert np.array_equal(sharded.popcounts(x_bits),
+                              mono.popcounts(x_bits))
+
+    def test_chip_global_map_must_be_rebased(self, weights):
+        with pytest.raises(ValueError, match="rebased"):
+            ShardedController(weights,
+                              config=AcceleratorConfig(ideal=True),
+                              macro=MacroGeometry(8, 24),
+                              fault_map=_dead_map(10_000))
+
+    def test_empty_map_identical_to_no_map(self, weights, x_bits):
+        config = AcceleratorConfig()
+        a = ShardedController(weights, config=config,
+                              rng=np.random.default_rng(2),
+                              macro=MacroGeometry(8, 24))
+        b = ShardedController(weights, config=config,
+                              rng=np.random.default_rng(2),
+                              macro=MacroGeometry(8, 24),
+                              fault_map=FaultMap())
+        assert not b.degraded
+        ra = a.popcounts(x_bits, rng=np.random.default_rng(0))
+        rb = b.popcounts(x_bits, rng=np.random.default_rng(0))
+        assert np.array_equal(ra, rb)
+
+
+class TestDegradedReporting:
+    def test_placement_records_remaps(self, weights):
+        sharded = ShardedController(weights,
+                                    config=AcceleratorConfig(ideal=True),
+                                    macro=MacroGeometry(8, 24),
+                                    fault_map=_dead_map(1, 5))
+        p = sharded.placement
+        assert p.remapped == (1, 5)
+        assert p.spare_macros >= 2
+
+    def test_repr_names_remapped(self, weights):
+        sharded = ShardedController(weights,
+                                    config=AcceleratorConfig(ideal=True),
+                                    macro=MacroGeometry(8, 24),
+                                    fault_map=_dead_map(4))
+        assert "remapped=(4,)" in repr(sharded)

@@ -1,0 +1,142 @@
+"""Reliability wiring through the unified runtime backends.
+
+The entry points deployments use: ``RRAMBackend(ecc=..., lifetime=...,
+fault_map=...)`` and ``ShardedRRAMBackend(lifetime=..., fault_map=...,
+spares=...)``. Contracts:
+
+* with every reliability knob off the backends build byte-identical
+  plans to before the feature existed (layers own their controllers);
+* ``resolve_ecc`` maps the CLI spellings onto codes and rejects junk;
+* a chip-global FaultMap is rebased layer by layer as the sharded
+  backend walks the plan, so killing any global macro index degrades
+  exactly one layer — and the degraded plan still scores bit-identically
+  to the monolithic backend;
+* compiled summaries surface the ECC mode and degraded placements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli.main import _demo_model_and_inputs
+from repro.rram import (AcceleratorConfig, FaultMap, HammingCode,
+                        LifetimeConfig, MacroGeometry)
+from repro.runtime import RRAMBackend, ShardedRRAMBackend, compile
+from repro.runtime.backends import resolve_ecc
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return _demo_model_and_inputs("eeg", "full_binary")
+
+
+class TestResolveEcc:
+    def test_spellings(self):
+        assert resolve_ecc(None) is None
+        assert resolve_ecc("none") is None
+        assert resolve_ecc("") is None
+        code = resolve_ecc("secded")
+        assert (code.n, code.k) == (72, 64)
+        assert resolve_ecc("rate-half").redundancy == pytest.approx(2.0)
+        assert resolve_ecc("rate_half").redundancy == pytest.approx(2.0)
+        custom = HammingCode(r=4)
+        assert resolve_ecc(custom) is custom
+
+    def test_rejects_junk(self):
+        with pytest.raises(ValueError):
+            resolve_ecc("hamming-banana")
+        with pytest.raises(TypeError):
+            resolve_ecc(42)
+
+
+class TestLegacyIdentity:
+    def test_all_knobs_off_matches_plain_backend(self, demo):
+        model, inputs = demo
+        plain = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True)))
+        wired = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True), ecc=None, lifetime=None,
+            fault_map=None))
+        assert np.array_equal(plain.scores(inputs), wired.scores(inputs))
+
+    def test_sharded_empty_map_matches_monolithic(self, demo):
+        model, inputs = demo
+        mono = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True)))
+        sharded = compile(model, backend=ShardedRRAMBackend(
+            AcceleratorConfig(ideal=True), macro=MacroGeometry(8, 24),
+            fault_map=FaultMap(), spares=0))
+        assert np.array_equal(mono.scores(inputs), sharded.scores(inputs))
+
+
+class TestEccBackend:
+    def test_ecc_plan_matches_bare_when_healthy(self, demo):
+        model, inputs = demo
+        bare = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True)))
+        ecc = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True), ecc="secded"))
+        assert np.array_equal(bare.scores(inputs), ecc.scores(inputs))
+
+    def test_summary_names_ecc(self, demo):
+        model, _ = demo
+        plan = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True), ecc="secded"))
+        text = plan.summary()
+        assert "ECC: (72,64) SECDED" in text
+
+    def test_per_layer_fault_keys_differ(self, demo):
+        """Two layers with the same geometry must not share a stuck
+        pattern: the backend keys each controller by plan position."""
+        model, inputs = demo
+        fm = FaultMap(stuck_lrs=0.01, seed=3)
+        backend = RRAMBackend(AcceleratorConfig(ideal=True), fault_map=fm)
+        plan = compile(model, backend=backend)
+        controllers = [op.executor.controller for op in plan.layer_ops]
+        keys = [c.fault_key for c in controllers]
+        assert len(set(keys)) == len(keys)
+
+
+class TestShardedDegradation:
+    def test_killed_global_macro_remaps_and_matches(self, demo):
+        model, inputs = demo
+        mono = compile(model, backend=RRAMBackend(
+            AcceleratorConfig(ideal=True)))
+        backend = ShardedRRAMBackend(
+            AcceleratorConfig(ideal=True), macro=MacroGeometry(8, 24),
+            fault_map=FaultMap(dead_macros=(0, 9)))
+        degraded = compile(model, backend=backend)
+        assert np.array_equal(mono.scores(inputs),
+                              degraded.scores(inputs))
+        remapped = [p.remapped for p in degraded.placements if p.remapped]
+        assert sum(len(r) for r in remapped) == 2
+
+    def test_global_indices_land_on_the_right_layer(self, demo):
+        """Global macro 0 lives in the first placement; a global index
+        past the first layer's macros degrades a later placement."""
+        model, inputs = demo
+        probe = compile(model, backend=ShardedRRAMBackend(
+            AcceleratorConfig(ideal=True), macro=MacroGeometry(8, 24)))
+        first_layer_macros = probe.placements[0].n_macros
+        backend = ShardedRRAMBackend(
+            AcceleratorConfig(ideal=True), macro=MacroGeometry(8, 24),
+            fault_map=FaultMap(dead_macros=(first_layer_macros,)))
+        degraded = compile(model, backend=backend)
+        assert degraded.placements[0].remapped == ()
+        assert degraded.placements[1].remapped == (0,)
+
+    def test_summary_and_macro_report_show_degradation(self, demo):
+        model, _ = demo
+        plan = compile(model, backend=ShardedRRAMBackend(
+            AcceleratorConfig(ideal=True), macro=MacroGeometry(8, 24),
+            fault_map=FaultMap(dead_macros=(1,))))
+        assert "dead macro(s) remapped" in plan.summary()
+        report = plan.floorplan().macro_report()
+        assert "Spare macros (degraded placements)" in report
+
+    def test_insufficient_spares_surface_at_compile(self, demo):
+        model, _ = demo
+        backend = ShardedRRAMBackend(
+            AcceleratorConfig(ideal=True), macro=MacroGeometry(8, 24),
+            fault_map=FaultMap(dead_macros=(0, 1, 2)), spares=1)
+        with pytest.raises(RuntimeError, match="spare"):
+            compile(model, backend=backend)
