@@ -110,6 +110,50 @@ def build_parser() -> argparse.ArgumentParser:
                             help="spare macros per layer for dead-macro "
                                  "remapping: 'auto' or an int "
                                  "(default auto)")
+    deploy_cmd.add_argument("--repeat", type=int, default=3,
+                            help="timed prediction repeats per backend; "
+                                 "the table reports the median (p50) "
+                                 "instead of a single-shot time "
+                                 "(default 3)")
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the always-on inference daemon: load a plan artifact "
+             "once and serve concurrent requests over HTTP with "
+             "micro-batching onto the packed fast path")
+    serve_cmd.add_argument("artifact",
+                           help="self-contained plan artifact written by "
+                                "'compile --save' (the daemon loads it "
+                                "once; no model needed)")
+    serve_cmd.add_argument("--backend", default="packed",
+                           help="execution backend (default packed; "
+                                "rram/sharded run their noise-free fast "
+                                "paths — noisy configs are not servable)")
+    serve_cmd.add_argument("--macros", default="32x32",
+                           help="macro geometry ROWSxCOLS for the "
+                                "sharded backend (default 32x32)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8373,
+                           help="TCP port (default 8373; 0 picks a free "
+                                "one and prints it)")
+    serve_cmd.add_argument("--max-batch", type=int, default=256,
+                           help="rows per coalesced dispatch; a fuller "
+                                "queue flushes early (default 256)")
+    serve_cmd.add_argument("--batch-window", type=float, default=200.0,
+                           help="micro-batch window in microseconds: how "
+                                "long the oldest request may wait for "
+                                "co-travellers before a flush (default "
+                                "200; 0 = flush immediately)")
+    serve_cmd.add_argument("--max-queue", type=int, default=1024,
+                           help="admission queue depth in rows; requests "
+                                "past it are rejected with HTTP 429 "
+                                "(default 1024)")
+    serve_cmd.add_argument("--pad", action="store_true",
+                           help="zero-pad every flush to exactly "
+                                "--max-batch rows (fixed dispatch shape)")
+    serve_cmd.add_argument("--request-timeout", type=float, default=30.0,
+                           help="seconds a connection waits for its "
+                                "response before 504 (default 30)")
     from repro.experiments.workloads import SWEEP_WORKLOADS
     sweep_cmd = sub.add_parser(
         "sweep",
@@ -365,7 +409,7 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
                 macro_spec: str = "32x32", batch: int = 32,
                 seed: int = 0, ecc: str = "none", years: float = 0.0,
                 temp: float = 37.0, kill_macros: list[int] | None = None,
-                spares: str = "auto") -> str:
+                spares: str = "auto", repeat: int = 3) -> str:
     """Load a plan artifact — no model, no training stack — rebind it to
     each requested backend and cross-check predictions on synthetic
     inputs of the artifact's recorded geometry.
@@ -450,9 +494,20 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
             plan = load_compiled(artifact, backend=backend)
         except PlanSerializationError as error:
             raise SystemExit(str(error))
-        t0 = time.perf_counter()
-        predicted = plan.predict(inputs)
-        elapsed = (time.perf_counter() - t0) * 1e3
+        # Timed repeats feed the shared latency helper: the table shows
+        # the median, not a single (warmup-polluted) shot.  The first
+        # repeat's prediction is the agreement sample, matching the old
+        # single-shot behaviour on stochastic substrates.
+        from repro.metrics import latency_summary
+        predicted = None
+        samples_ms = []
+        for _ in range(max(1, int(repeat))):
+            t0 = time.perf_counter()
+            result = plan.predict(inputs)
+            samples_ms.append((time.perf_counter() - t0) * 1e3)
+            if predicted is None:
+                predicted = result
+        elapsed = latency_summary(samples_ms).p50
         if baseline is None:
             baseline = predicted
         agreement = float((predicted == baseline).mean())
@@ -475,9 +530,91 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
     lines += ["", "agreement is relative to the first backend; one "
                   "artifact, every substrate —\nthe deployment contract "
                   "of the saved plan."]
+    if repeat > 1:
+        lines.append(f"ms/batch is the p50 of {repeat} timed repeats "
+                     "(repro.metrics.latency_summary).")
     for report in reports:
         lines += ["", report]
     return "\n".join(lines)
+
+
+def _cmd_serve(artifact_path: str, backend_spec: str = "packed",
+               macro_spec: str = "32x32", host: str = "127.0.0.1",
+               port: int = 8373, max_batch: int = 256,
+               batch_window_us: float = 200.0, max_queue: int = 1024,
+               pad: bool = False, request_timeout: float = 30.0) -> int:
+    """Run the always-on daemon until SIGTERM/SIGINT, then drain.
+
+    Loads the artifact exactly once, binds it to one backend, and serves
+    concurrent HTTP requests through the admission queue + micro-batcher
+    onto the noise-free fast-path kernels.  Shutdown is graceful: the
+    transport closes, every admitted request is served (drain, don't
+    drop), and the per-model stats print as the exit report.
+    """
+    import pathlib
+    import signal
+    import threading
+
+    from repro.io import load_compiled, load_plan
+    from repro.rram import AcceleratorConfig
+    from repro.runtime import (PlanSerializationError, RRAMBackend,
+                               ShardedRRAMBackend, available_backends)
+    from repro.serve import HttpFront, PlanServer
+
+    macro = _parse_macro(macro_spec)
+    if not pathlib.Path(artifact_path).exists():
+        raise SystemExit(f"no artifact at {artifact_path!r}; write one "
+                         "with 'compile --save' first")
+    artifact = load_plan(artifact_path)
+    if not artifact.self_contained:
+        raise SystemExit(
+            f"{artifact_path} is not self-contained; the daemon has no "
+            "model to host a front-end — re-save from a lowered plan "
+            "('compile <model> --mode full_binary --save ...')")
+    if artifact.input_shape is None:
+        raise SystemExit(f"{artifact_path} records no input geometry; "
+                         "cannot validate request shapes")
+    if backend_spec == "ideal-rram":
+        backend = RRAMBackend(AcceleratorConfig(ideal=True))
+    elif backend_spec == "sharded":
+        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                     macro=macro)
+    elif backend_spec in available_backends():
+        backend = backend_spec
+    else:
+        raise SystemExit(
+            f"unknown backend {backend_spec!r}; registered: "
+            f"{', '.join(available_backends())}")
+    try:
+        plan = load_compiled(artifact, backend=backend)
+    except PlanSerializationError as error:
+        raise SystemExit(str(error))
+    try:
+        server = PlanServer(plan, max_batch=max_batch,
+                            window=batch_window_us * 1e-6,
+                            max_queue=max_queue, pad=pad,
+                            input_shape=artifact.input_shape,
+                            model=pathlib.Path(artifact_path).stem)
+    except ValueError as error:        # noisy plan, bad knobs
+        raise SystemExit(str(error))
+    front = HttpFront(server, host=host, port=port,
+                      request_timeout=request_timeout)
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    front.start()
+    print(plan.summary())
+    print(f"\nserving {artifact_path} on {front.url} "
+          f"(backend {plan.backend.name}, max-batch {max_batch}, "
+          f"window {batch_window_us:g} us, queue {max_queue} rows)")
+    print("POST /v1/predict | GET /v1/stats | GET /healthz — "
+          "SIGTERM drains and exits", flush=True)
+    stop.wait()
+    print("\nshutting down: draining admitted requests ...", flush=True)
+    front.shutdown(drain=True)
+    print(server.stats.render(), flush=True)
+    return 0
 
 
 def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
@@ -583,7 +720,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(_cmd_deploy(args.artifact, args.backend, args.macros,
                               args.batch, args.seed, args.ecc,
                               args.years, args.temp, args.kill_macro,
-                              args.spares))
+                              args.spares, args.repeat))
+        elif args.command == "serve":
+            return _cmd_serve(args.artifact, args.backend, args.macros,
+                              args.host, args.port, args.max_batch,
+                              args.batch_window, args.max_queue,
+                              args.pad, args.request_timeout)
         elif args.command == "sweep":
             print(_cmd_sweep(args.workload, args.jobs, args.out,
                              args.trials, args.trial_chunk,

@@ -284,6 +284,23 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                      "repro.runtime"),
             bench="benchmarks/bench_reliability.py"),
         ExperimentInfo(
+            id="XTRA19",
+            artefact="serving claim — micro-batched inference daemon",
+            description=(
+                "The always-on daemon (``repro serve``) keeps one "
+                "compiled plan resident and coalesces concurrent "
+                "requests into batched dispatches on the noise-free "
+                "packed kernels: bounded admission queue with "
+                "backpressure, window/fill micro-batcher, single "
+                "executor, per-request demux — bit-identical to solo "
+                "predict, with a saturated-throughput-vs-batch-window "
+                "curve (records BENCH_serve.json)."),
+            kind="script",
+            modules=("repro.serve.batcher", "repro.serve.server",
+                     "repro.serve.stats", "repro.serve.client",
+                     "repro.metrics"),
+            bench="benchmarks/bench_serve.py"),
+        ExperimentInfo(
             id="XTRA8",
             artefact="§I reference point — 8-bit quantization",
             description=(

@@ -21,7 +21,9 @@ from repro.metrics.classification import (
     top_k_accuracy,
 )
 from repro.metrics.ranking import roc_auc, roc_curve
-from repro.metrics.report import ClassificationReport, classification_report
+from repro.metrics.report import (ClassificationReport, LatencySummary,
+                                  classification_report, latency_summary,
+                                  percentiles)
 
 __all__ = [
     "accuracy",
@@ -34,4 +36,7 @@ __all__ = [
     "roc_auc",
     "ClassificationReport",
     "classification_report",
+    "LatencySummary",
+    "latency_summary",
+    "percentiles",
 ]

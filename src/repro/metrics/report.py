@@ -1,4 +1,10 @@
-"""One-call diagnostic report combining the individual metrics."""
+"""One-call diagnostic report combining the individual metrics.
+
+Also home of the shared latency statistics: every timing surface in the
+repository (the serving daemon's per-model stats, ``repro deploy``'s
+backend table, the load-generator benchmark) reports tail percentiles
+through :func:`latency_summary` instead of rolling its own mean — tail
+latency, not the average, is what a service promises."""
 
 from __future__ import annotations
 
@@ -12,7 +18,54 @@ from repro.metrics.classification import (accuracy, balanced_accuracy,
                                           sensitivity_specificity)
 from repro.metrics.ranking import roc_auc
 
-__all__ = ["ClassificationReport", "classification_report"]
+__all__ = ["ClassificationReport", "classification_report",
+           "LatencySummary", "latency_summary", "percentiles"]
+
+
+def percentiles(samples, qs=(50.0, 95.0, 99.0)) -> dict[float, float]:
+    """Percentiles of a sample buffer as ``{q: value}``.
+
+    ``samples`` is any non-empty 1-D collection of numbers (a latency
+    ring buffer, a list of per-call timings); values keep the caller's
+    unit.  Linear interpolation between order statistics (numpy's
+    default), so small buffers degrade gracefully instead of snapping to
+    whole samples.
+    """
+    data = np.asarray(list(samples), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("percentiles of an empty sample buffer")
+    values = np.percentile(data, list(qs))
+    return {float(q): float(v) for q, v in zip(qs, values)}
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Count, mean and tail percentiles of one latency sample buffer.
+
+    Unit-agnostic: the fields carry whatever unit the samples did.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    def render(self, unit: str = "ms") -> str:
+        return (f"n={self.count} mean={self.mean:.3f}{unit} "
+                f"p50={self.p50:.3f}{unit} p95={self.p95:.3f}{unit} "
+                f"p99={self.p99:.3f}{unit}")
+
+
+def latency_summary(samples) -> LatencySummary:
+    """Summarize a latency sample buffer (see :func:`percentiles`)."""
+    data = np.asarray(list(samples), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("latency summary of an empty sample buffer")
+    tails = percentiles(data)
+    return LatencySummary(count=int(data.size), mean=float(data.mean()),
+                          p50=tails[50.0], p95=tails[95.0],
+                          p99=tails[99.0])
 
 
 @dataclass

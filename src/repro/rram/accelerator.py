@@ -31,6 +31,7 @@ bit-exactness tests and realistic hardware for fault studies.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 
@@ -139,6 +140,17 @@ class MemoryController:
       every tile in a single vectorized pass (no per-tile Python loop).
       The batch axis is chunked so the offset tensor never exceeds
       ``read_chunk_elems`` elements.
+
+    Thread reentrancy: **fast-path** reads are safe from any number of
+    threads — the scan touches only the immutable packed ``weight_words``
+    and the op meters take ``_meter_lock``, so concurrent ``popcounts``
+    are bit-identical to serial calls and the counters stay exact (the
+    serving daemon relies on this; pinned by
+    ``tests/rram/test_thread_reentrancy.py``).  The **noisy** path is
+    single-caller by contract: each scan consumes the controller's
+    ``self.rng`` stream, so concurrent noisy reads would interleave
+    draws nondeterministically — callers that need noisy concurrency
+    pass explicit per-trial ``rng`` streams (the MC engine) or serialize.
     """
 
     read_chunk_elems = READ_CHUNK_ELEMS   # offset-tensor budget per scan
@@ -165,6 +177,10 @@ class MemoryController:
                             for j in range(self.grid_cols)]
         self.popcount_bit_ops = 0
         self._extra_sense_ops = 0
+        # Meter updates are the ONLY state a fast-path read mutates, so
+        # this lock is what makes concurrent fast-path scans fully
+        # reentrant (scores were already pure; the counters would race).
+        self._meter_lock = threading.Lock()
 
         # Lifetime and fault state: inactive configurations normalize to
         # None so the constructor (and every read) is byte-identical to
@@ -288,8 +304,15 @@ class MemoryController:
         Assembled lazily from the tile grid and cached until the next
         reprogram (margins are fixed by the programmed resistances; only
         per-read offsets vary).  Padded columns are dropped here, which is
-        what masks them out of every popcount.
+        what masks them out of every popcount.  The meter lock guards the
+        lazy build so a concurrent first read never sees a half-filled
+        cache (the noisy *scan* itself is still single-caller: it
+        consumes ``self.rng``, see :meth:`popcounts`).
         """
+        with self._meter_lock:
+            return self._stacked_margins_locked()
+
+    def _stacked_margins_locked(self) -> np.ndarray:
         if self._margins is None:
             tr, tc = self.config.tile_rows, self.config.tile_cols
             full = np.empty((self.grid_rows * tr, self.grid_cols * tc))
@@ -360,12 +383,32 @@ class MemoryController:
 
     def _count_read_ops(self, n: int, trials: int) -> int:
         """Update the popcount/sense-op meters for ``trials`` scans of an
-        ``n``-row batch; returns the padded output-row count."""
+        ``n``-row batch; returns the padded output-row count.
+
+        Locked: ``+=`` on a Python int is read-modify-write, so two
+        threads scanning one fast-path controller concurrently (the
+        serving daemon's transport thread racing its executor) would
+        otherwise drop counts.  The scan itself needs no lock — the fast
+        path reads only immutable packed words."""
         tr, tc = self.config.tile_rows, self.config.tile_cols
         out_p = self.grid_rows * tr
-        self.popcount_bit_ops += trials * n * out_p * self.in_features
-        self._extra_sense_ops += trials * n * out_p * self.grid_cols * tc
+        with self._meter_lock:
+            self.popcount_bit_ops += trials * n * out_p * self.in_features
+            self._extra_sense_ops += trials * n * out_p \
+                * self.grid_cols * tc
         return out_p
+
+    def __getstate__(self):
+        """Process-pool workers rebuild controllers rather than shipping
+        them, but keep pickling possible: drop the (unpicklable) meter
+        lock and restore a fresh one on load."""
+        state = self.__dict__.copy()
+        del state["_meter_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._meter_lock = threading.Lock()
 
     def popcounts_trials(self, x_bits: np.ndarray, rngs,
                          sense: SenseParameters | None = None,
@@ -768,6 +811,8 @@ class ShardedController:
                     n, plan.grid_rows * plan.macro_rows)[
                         :, :self.out_features]
             t3 = time.perf_counter()
+            # Unsynchronized by choice: a stale profile under concurrent
+            # scans is harmless (diagnostics, not accounting).
             self.last_profile = {"pack_ms": (t1 - t0) * 1e3,
                                  "kernel_ms": (t2 - t1) * 1e3,
                                  "reduce_ms": (t3 - t2) * 1e3}

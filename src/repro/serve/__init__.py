@@ -1,0 +1,38 @@
+"""Always-on inference serving: compiled plans behind a micro-batching
+daemon.
+
+The offline entry points (``repro deploy``, the examples) pay artifact
+load + kernel dispatch per call; this package keeps one
+:class:`~repro.runtime.CompiledModel` resident and coalesces concurrent
+requests into batched dispatches onto the noise-free packed/stacked
+kernels — the throughput lever the hot-path benchmarks point at (a
+256-batch scan costs barely more than a 1-batch scan).
+
+Layers: :mod:`repro.serve.batcher` (pure admission + coalescing policy),
+:mod:`repro.serve.server` (execution core + HTTP transport + lifecycle),
+:mod:`repro.serve.stats` (per-model counters with shared latency
+percentiles), :mod:`repro.serve.client` (keep-alive client + concurrent
+load generator).  ``python -m repro serve <artifact.npz>`` is the CLI
+front door.
+"""
+
+from repro.serve.batcher import BatchSlice, Flush, MicroBatcher
+from repro.serve.client import ServeClient, ServeHTTPError, fire
+from repro.serve.server import (HttpFront, PlanServer, QueueFull,
+                                ServeRequest, ServerClosed)
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "BatchSlice",
+    "Flush",
+    "MicroBatcher",
+    "PlanServer",
+    "HttpFront",
+    "ServeRequest",
+    "QueueFull",
+    "ServerClosed",
+    "ServeStats",
+    "ServeClient",
+    "ServeHTTPError",
+    "fire",
+]

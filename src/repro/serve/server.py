@@ -1,0 +1,395 @@
+"""The always-on inference daemon: transport, lifecycle, execution.
+
+Dataflow (one model, one process)::
+
+    client request (rows of raw model input)
+        -> admission queue        bounded; full -> reject (HTTP 429)
+        -> micro-batcher          coalesce FIFO rows, flush on window
+                                  timeout or max-batch fill
+        -> executor thread        ONE thread drives CompiledModel.scores
+                                  on the noise-free packed/stacked kernels
+        -> demultiplexer          slice per-request score rows back out,
+                                  bit-identical to predicting each
+                                  request alone
+        -> response               scores + argmax labels (+ latency)
+
+Threading model: transport threads (one per in-flight HTTP connection)
+only touch the batcher under the server's condition variable and then
+block on their request handle; the single executor thread is the only
+caller of the compiled plan.  The noise-free fast-path kernels are
+reentrant (see ``tests/rram/test_thread_reentrancy.py``), so even this
+single-executor rule is a throughput choice — one saturated batched
+kernel beats competing partial ones — not a correctness requirement.
+Noisy (Monte-Carlo) plans draw from controller-owned RNG streams and are
+*not* servable: the constructor refuses plans whose controllers are off
+the fast path.
+
+Lifecycle: ``close(drain=True)`` (the SIGTERM path) stops admissions
+(HTTP 503), lets the executor flush every admitted request — drain,
+don't drop — then joins it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.stats import ServeStats
+
+__all__ = ["PlanServer", "HttpFront", "ServeRequest", "QueueFull",
+           "ServerClosed"]
+
+
+class QueueFull(RuntimeError):
+    """Admission queue at capacity (HTTP 429 — retryable), or a request
+    larger than the whole queue (``permanent`` — HTTP 413)."""
+
+    def __init__(self, message: str, permanent: bool = False):
+        super().__init__(message)
+        self.permanent = permanent
+
+
+class ServerClosed(RuntimeError):
+    """The daemon is draining or stopped (HTTP 503)."""
+
+
+class ServeRequest:
+    """A submitted request's handle: wait on it, then read the scores."""
+
+    def __init__(self, request_id: int, rows: int, submitted_at: float):
+        self.id = request_id
+        self.rows = rows
+        self.submitted_at = submitted_at
+        self.scores: np.ndarray | None = None
+        self.error: Exception | None = None
+        self.latency: float | None = None     # set at completion (seconds)
+        self._event = threading.Event()
+        self._remaining = rows
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the response is demuxed (True) or ``timeout``
+        elapses (False)."""
+        return self._event.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Per-row argmax labels (requires a completed request)."""
+        if self.scores is None:
+            raise RuntimeError("request not completed (or it failed)")
+        return self.scores.argmax(axis=1)
+
+    # -- executor side ---------------------------------------------------
+    def _deliver(self, offset: int, part: np.ndarray, now: float) -> None:
+        if self.scores is None:
+            if offset == 0 and len(part) == self.rows:
+                self.scores = part          # whole request in one flush
+            else:
+                self.scores = np.empty((self.rows,) + part.shape[1:],
+                                       dtype=part.dtype)
+                self.scores[offset:offset + len(part)] = part
+        else:
+            self.scores[offset:offset + len(part)] = part
+        self._remaining -= len(part)
+        if self._remaining == 0:
+            self.latency = now - self.submitted_at
+            self._event.set()
+
+    def _fail(self, error: Exception) -> None:
+        self.error = error
+        self._event.set()
+
+
+class PlanServer:
+    """Micro-batching execution core around one compiled plan.
+
+    Transport-agnostic: :meth:`submit` + :class:`ServeRequest` are the
+    whole client API; :class:`HttpFront` (or a test, or the load
+    generator) layers a wire protocol on top.  ``input_shape`` is the
+    per-sample geometry contract (defaults to the plan's recorded one
+    when available); ``dtype`` canonicalizes request arrays at admission
+    so coalescing requests never changes a single bit relative to
+    predicting the same canonical array alone.
+    """
+
+    def __init__(self, plan, *, max_batch: int = 256,
+                 window: float = 200e-6, max_queue: int = 1024,
+                 pad: bool = False, input_shape=None, dtype=None,
+                 model: str = "model", stats: ServeStats | None = None):
+        self.plan = plan
+        _require_deterministic(plan)
+        self.input_shape = tuple(int(s) for s in input_shape) \
+            if input_shape is not None else None
+        if dtype is None:
+            front = plan.ops[0]
+            spec = getattr(front, "spec", None) or {}
+            dtype = np.uint8 if spec.get("op") == "bits" else np.float64
+        self.dtype = np.dtype(dtype)
+        self.stats = stats or ServeStats(model=model)
+        self._batcher = MicroBatcher(max_batch=max_batch, window=window,
+                                     max_queue=max_queue, pad=pad)
+        self._cond = threading.Condition()
+        self._handles: dict[int, ServeRequest] = {}
+        self._next_id = 0
+        self._draining = False
+        self._stopped = False
+        self._executor = threading.Thread(target=self._executor_loop,
+                                          name="repro-serve-executor",
+                                          daemon=True)
+        self._executor.start()
+
+    # -- client API ------------------------------------------------------
+    def submit(self, inputs) -> ServeRequest:
+        """Admit one request: ``(rows,) + input_shape`` (or one bare
+        sample, auto-wrapped).  Returns its handle; raises
+        :class:`QueueFull` under backpressure and :class:`ServerClosed`
+        once draining."""
+        inputs = np.ascontiguousarray(inputs, dtype=self.dtype)
+        if self.input_shape is not None and \
+                inputs.shape == self.input_shape:
+            inputs = inputs[None]
+        if self.input_shape is not None and \
+                inputs.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"request shape {inputs.shape} != (rows, "
+                f"{', '.join(map(str, self.input_shape))})")
+        if inputs.ndim < 2:
+            raise ValueError(
+                f"request must be (rows,) + sample shape, "
+                f"got {inputs.shape}")
+        now = time.monotonic()
+        with self._cond:
+            if self._draining:
+                raise ServerClosed("server is draining; not accepting "
+                                   "new requests")
+            if len(inputs) > self._batcher.max_queue:
+                self.stats.record_reject()
+                raise QueueFull(
+                    f"request of {len(inputs)} rows exceeds the whole "
+                    f"admission queue ({self._batcher.max_queue} rows)",
+                    permanent=True)
+            handle = ServeRequest(self._next_id, len(inputs), now)
+            if not self._batcher.submit(handle.id, inputs, now):
+                self.stats.record_reject()
+                raise QueueFull(
+                    f"admission queue full "
+                    f"({self._batcher.depth}/{self._batcher.max_queue} "
+                    "rows queued); retry")
+            self._next_id += 1
+            self._handles[handle.id] = handle
+            self.stats.record_admit(self._batcher.depth)
+            self._cond.notify()
+        return handle
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return self._batcher.depth
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self, drain: bool = True, timeout: float | None = None):
+        """Stop the daemon.  ``drain=True`` (the SIGTERM contract) serves
+        every admitted request before the executor exits; ``drain=False``
+        fails queued requests with :class:`ServerClosed`."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._draining = True
+            if not drain:
+                for flush in self._batcher.drain(time.monotonic()):
+                    for s in flush.slices:
+                        if s.final:
+                            handle = self._handles.pop(s.request_id)
+                            handle._fail(ServerClosed("server stopped"))
+            self._cond.notify_all()
+        self._executor.join(timeout)
+        self._stopped = True
+
+    # -- executor --------------------------------------------------------
+    def _executor_loop(self):
+        while True:
+            with self._cond:
+                while True:
+                    if self._draining:
+                        if self._batcher.n_waiting == 0:
+                            return
+                        break                    # drain: flush regardless
+                    now = time.monotonic()
+                    if self._batcher.ready(now):
+                        break
+                    deadline = self._batcher.next_deadline()
+                    self._cond.wait(
+                        None if deadline is None
+                        else max(0.0, deadline - now))
+                flush = self._batcher.flush(time.monotonic())
+                depth = self._batcher.depth
+            if flush is not None:
+                self._execute(flush, depth)
+
+    def _execute(self, flush, depth: int) -> None:
+        try:
+            scores = self.plan.scores(flush.inputs)[:flush.rows]
+        except Exception as error:     # deliver the failure, keep serving
+            with self._cond:
+                for s in flush.slices:
+                    handle = self._handles.pop(s.request_id, None) \
+                        if s.final else self._handles.get(s.request_id)
+                    if handle is not None:
+                        handle._fail(error)
+            return
+        now = time.monotonic()
+        self.stats.record_batch(flush.rows, depth)
+        with self._cond:
+            handles = [(s, self._handles.pop(s.request_id)
+                        if s.final else self._handles[s.request_id])
+                       for s in flush.slices]
+        for s, handle in handles:
+            handle._deliver(s.offset, scores[s.row_start:s.row_stop], now)
+            if s.final:
+                self.stats.record_complete(handle.latency)
+
+
+def _require_deterministic(plan) -> None:
+    """Serving demuxes one batched evaluation into per-request answers;
+    that is only bit-identical to solo evaluation when every substrate op
+    is deterministic (the noise-free fast path).  Noisy plans draw from
+    controller-owned RNG streams whose consumption order depends on
+    batch composition — refuse them loudly."""
+    for op in getattr(plan, "layer_ops", []):
+        controller = getattr(op.executor, "controller", None)
+        if controller is not None and not controller.fast_path:
+            raise ValueError(
+                "cannot serve a noisy plan: controller "
+                f"{controller!r} is off the deterministic fast path "
+                "(serving requires noise-free configs so batched == "
+                "per-request bit-identically)")
+
+
+class HttpFront:
+    """A minimal stdlib HTTP/1.1 front over a :class:`PlanServer`.
+
+    Endpoints::
+
+        POST /v1/predict   {"inputs": [[...], ...]} ->
+                           {"scores": [[...]], "labels": [...],
+                            "latency_ms": ...}
+        GET  /v1/stats     counters + latency percentiles (JSON)
+        GET  /healthz      {"status": "ok" | "draining"}
+
+    Backpressure surfaces as 429 (retryable) / 413 (request larger than
+    the queue); a draining daemon answers 503.  One thread per in-flight
+    connection (stdlib ``ThreadingHTTPServer``); all of them funnel into
+    the single executor through the admission queue.
+    """
+
+    def __init__(self, server: PlanServer, host: str = "127.0.0.1",
+                 port: int = 0, request_timeout: float = 30.0):
+        self.server = server
+        self.request_timeout = float(request_timeout)
+        front = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Responses are written as several small sends (status,
+            # headers, body); with Nagle on, those interact with delayed
+            # ACKs into ~40 ms stalls per request on loopback.
+            disable_nagle_algorithm = True
+
+            def log_message(self, *args):   # quiet: stats, not access logs
+                pass
+
+            def _reply(self, code: int, payload: dict) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(code)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                if self.path == "/healthz":
+                    draining = front.server.draining
+                    self._reply(503 if draining else 200,
+                                {"status": "draining" if draining
+                                 else "ok"})
+                elif self.path == "/v1/stats":
+                    self._reply(200, front.server.stats.snapshot())
+                else:
+                    self._reply(404, {"error": f"no route {self.path}"})
+
+            def do_POST(self):
+                if self.path != "/v1/predict":
+                    self._reply(404, {"error": f"no route {self.path}"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    payload = json.loads(self.rfile.read(length))
+                    inputs = payload["inputs"]
+                except (ValueError, KeyError) as error:
+                    self._reply(400, {"error": f"bad request: {error}"})
+                    return
+                try:
+                    handle = front.server.submit(inputs)
+                except QueueFull as error:
+                    self._reply(413 if error.permanent else 429,
+                                {"error": str(error)})
+                    return
+                except ServerClosed as error:
+                    self._reply(503, {"error": str(error)})
+                    return
+                except ValueError as error:
+                    self._reply(400, {"error": str(error)})
+                    return
+                if not handle.wait(front.request_timeout):
+                    self._reply(504, {"error": "timed out waiting for "
+                                               "the executor"})
+                    return
+                if handle.error is not None:
+                    self._reply(500, {"error": str(handle.error)})
+                    return
+                self._reply(200, {
+                    "scores": handle.scores.tolist(),
+                    "labels": handle.labels.tolist(),
+                    "latency_ms": handle.latency * 1e3,
+                })
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HttpFront":
+        """Serve in a background thread (returns immediately)."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the transport, then drain (or drop) the execution core."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.server.close(drain=drain)

@@ -1,0 +1,112 @@
+"""Per-model serving counters: what the daemon promises, measured.
+
+One :class:`ServeStats` instance per served model.  Counters are updated
+from both the transport threads (admissions, rejections) and the executor
+thread (batches, completions), so every update holds the instance lock;
+latencies go into a bounded ring buffer and the tail percentiles come
+from the shared :func:`repro.metrics.latency_summary` helper — the same
+math ``repro deploy`` and the load-generator benchmark report.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.metrics import latency_summary
+
+__all__ = ["ServeStats"]
+
+
+class ServeStats:
+    """Thread-safe request/batch/latency counters for one served model."""
+
+    def __init__(self, model: str = "model", sample_buffer: int = 2048):
+        if sample_buffer < 1:
+            raise ValueError(
+                f"sample_buffer must be >= 1, got {sample_buffer}")
+        self.model = model
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=int(sample_buffer))
+        self._requests = 0          # admitted
+        self._rejected = 0          # bounced off the full queue
+        self._completed = 0         # responses demuxed
+        self._rows = 0              # samples executed (real rows only)
+        self._batches = 0           # executor dispatches
+        self._queue_depth = 0       # rows waiting right now (gauge)
+
+    # -- updates (each from exactly one call site) -----------------------
+    def record_admit(self, queue_depth: int) -> None:
+        with self._lock:
+            self._requests += 1
+            self._queue_depth = queue_depth
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(self, rows: int, queue_depth: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._rows += rows
+            self._queue_depth = queue_depth
+
+    def record_complete(self, latency_s: float) -> None:
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency_s)
+
+    # -- reads -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready point-in-time view of every counter.
+
+        ``mean_fill`` is rows per executor dispatch — the micro-batching
+        win in one number; latencies are reported in milliseconds from
+        the ring buffer (zeros when nothing completed yet).
+        """
+        with self._lock:
+            samples = list(self._latencies)
+            stats = {
+                "model": self.model,
+                "requests": self._requests,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "rows": self._rows,
+                "batches": self._batches,
+                "queue_depth": self._queue_depth,
+                "mean_fill": (self._rows / self._batches)
+                if self._batches else 0.0,
+            }
+        if samples:
+            tail = latency_summary([s * 1e3 for s in samples])
+            stats.update(latency_ms={"mean": tail.mean, "p50": tail.p50,
+                                     "p95": tail.p95, "p99": tail.p99},
+                         latency_samples=tail.count)
+        else:
+            stats.update(latency_ms={"mean": 0.0, "p50": 0.0, "p95": 0.0,
+                                     "p99": 0.0},
+                         latency_samples=0)
+        return stats
+
+    def render(self) -> str:
+        """One human-readable block (the daemon's shutdown report)."""
+        s = self.snapshot()
+        lat = s["latency_ms"]
+        header = f"serve stats [{s['model']}]"
+        return "\n".join([
+            header, "-" * len(header),
+            f"requests   {s['requests']:>10d}   "
+            f"rejected {s['rejected']:>8d}   completed {s['completed']:>8d}",
+            f"batches    {s['batches']:>10d}   "
+            f"mean fill {s['mean_fill']:>7.1f}   "
+            f"queue depth {s['queue_depth']:>6d}",
+            f"latency    p50 {lat['p50']:8.3f} ms   "
+            f"p95 {lat['p95']:8.3f} ms   p99 {lat['p99']:8.3f} ms   "
+            f"(n={s['latency_samples']})",
+        ])
+
+    def __repr__(self) -> str:
+        s = self.snapshot()
+        return (f"ServeStats(model={self.model!r}, "
+                f"requests={s['requests']}, batches={s['batches']}, "
+                f"mean_fill={s['mean_fill']:.1f})")

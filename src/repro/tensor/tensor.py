@@ -15,30 +15,41 @@ finite-difference gradients in ``tests/tensor``.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is PER-THREAD state: compiled plans run their front-ends
+# under no_grad() and may be evaluated from several threads at once (the
+# serving executor vs. a transport thread, or concurrent fast-path
+# callers).  With a process-global flag, interleaved enter/exit between
+# threads can restore the wrong previous value and leave grad disabled
+# for everyone — including a training loop elsewhere.
+_GRAD_MODE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (inference mode).
+
+    Thread-safe: each thread toggles only its own grad mode, so
+    concurrent inference never disturbs a training thread.
+    """
+    previous = is_grad_enabled()
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradient information."""
-    return _GRAD_ENABLED
+    """Return whether operations on this thread record gradient
+    information."""
+    return getattr(_GRAD_MODE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -87,7 +98,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data: np.ndarray = _as_array(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -114,7 +125,8 @@ class Tensor:
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         """Create a graph node from an op result (internal)."""
         parents = tuple(parents)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() \
+            and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=False)
         out.requires_grad = requires
         if requires:

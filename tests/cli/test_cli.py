@@ -367,3 +367,107 @@ class TestMainEntry:
             main(["--version"])
         assert excinfo.value.code == 0
         assert "repro" in capsys.readouterr().out
+
+
+class TestDeployRepeat:
+    def test_repeat_timing_footer(self, tmp_path, capsys):
+        artifact = tmp_path / "eeg_plan.npz"
+        assert main(["compile", "eeg", "--mode", "full_binary",
+                     "--backend", "reference",
+                     "--save", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["deploy", str(artifact), "--backend", "packed",
+                     "--repeat", "5"]) == 0
+        text = capsys.readouterr().out
+        assert "p50 of 5 timed repeats" in text
+
+    def test_single_repeat_omits_footer(self, tmp_path, capsys):
+        artifact = tmp_path / "eeg_plan.npz"
+        assert main(["compile", "eeg", "--mode", "full_binary",
+                     "--backend", "reference",
+                     "--save", str(artifact)]) == 0
+        capsys.readouterr()
+        assert main(["deploy", str(artifact), "--backend", "packed",
+                     "--repeat", "1"]) == 0
+        assert "timed repeats" not in capsys.readouterr().out
+
+
+class TestServeCommand:
+    """The daemon CLI: guard rails in-process, the happy path as a real
+    subprocess (signal handlers need the main thread)."""
+
+    FIXTURE = __import__("pathlib").Path(__file__).parents[1] \
+        / "fixtures" / "plans" / "eeg_full_binary.npz"
+
+    def test_registry_entry(self):
+        assert "XTRA19" in EXPERIMENTS
+        assert EXPERIMENTS["XTRA19"].bench == "benchmarks/bench_serve.py"
+
+    def test_missing_artifact_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="compile --save"):
+            main(["serve", str(tmp_path / "nope.npz")])
+
+    def test_unknown_backend_exits(self):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["serve", str(self.FIXTURE), "--backend", "banana"])
+
+    def test_non_self_contained_artifact_exits(self, tmp_path, capsys):
+        artifact = tmp_path / "classifier_only.npz"
+        assert main(["compile", "ecg", "--backend", "reference",
+                     "--save", str(artifact)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="self-contained"):
+            main(["serve", str(artifact)])
+
+    def test_daemon_boot_serve_sigterm_drain(self, tmp_path):
+        """Boot the real daemon, serve one request over the wire,
+        SIGTERM it, and require a clean drain (exit 0 + stats report)."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        import numpy as np
+
+        root = self.FIXTURE.parents[3]
+        env = dict(os.environ, PYTHONPATH=str(root / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(self.FIXTURE),
+             "--port", "0", "--batch-window", "100"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(root))
+        try:
+            url = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                found = re.search(r"serving .* on (http://\S+)", line)
+                if found:
+                    url = found.group(1)
+                    break
+            assert url, "daemon never announced its URL"
+
+            from repro.io import load_compiled, load_plan
+            from repro.serve import ServeClient
+
+            artifact = load_plan(self.FIXTURE)
+            plan = load_compiled(artifact, backend="packed")
+            request = np.random.default_rng(0).integers(
+                0, 2, (1,) + artifact.input_shape).astype(np.uint8)
+            client = ServeClient(url, timeout=30.0, retries=50)
+            response = client.predict(request)
+            assert np.array_equal(response["scores"],
+                                  plan.scores(request))
+            assert client.health()["status"] == "ok"
+            client.close()
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30.0)
+            assert proc.returncode == 0
+            assert "serve stats" in out and "draining" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

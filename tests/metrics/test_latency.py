@@ -1,0 +1,69 @@
+"""Shared latency helpers: percentiles and the tail summary.
+
+One implementation serves three consumers — ``repro deploy`` timing,
+the serve daemon's stats endpoint, and the load-generator benchmark —
+so the math is pinned here once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import LatencySummary, latency_summary, percentiles
+
+
+class TestPercentiles:
+    def test_default_tail_quantiles(self):
+        result = percentiles(range(1, 101))
+        assert set(result) == {50.0, 95.0, 99.0}
+        assert result[50.0] == pytest.approx(50.5)
+
+    def test_matches_numpy(self):
+        samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        result = percentiles(samples, qs=(25.0, 75.0))
+        assert result[25.0] == pytest.approx(np.percentile(samples, 25))
+        assert result[75.0] == pytest.approx(np.percentile(samples, 75))
+
+    def test_single_sample_degenerates_gracefully(self):
+        result = percentiles([7.5])
+        assert all(v == pytest.approx(7.5) for v in result.values())
+
+    def test_monotone_in_q(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(size=200)
+        result = percentiles(samples, qs=(50.0, 90.0, 99.0))
+        assert result[50.0] <= result[90.0] <= result[99.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentiles([])
+
+    def test_accepts_any_iterable(self):
+        assert percentiles(iter([1.0, 2.0, 3.0]))[50.0] \
+            == pytest.approx(2.0)
+
+
+class TestLatencySummary:
+    def test_fields(self):
+        summary = latency_summary(range(1, 101))
+        assert isinstance(summary, LatencySummary)
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p50 <= summary.p95 <= summary.p99
+
+    def test_constant_samples(self):
+        summary = latency_summary([4.0] * 10)
+        assert summary.mean == summary.p50 == summary.p99 == 4.0
+
+    def test_render_carries_unit(self):
+        text = latency_summary([1.0, 2.0, 3.0]).render(unit="us")
+        assert "us" in text and "p99" in text and "n=3" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            latency_summary([])
+
+    def test_frozen(self):
+        summary = latency_summary([1.0])
+        with pytest.raises(AttributeError):
+            summary.mean = 0.0

@@ -1,0 +1,262 @@
+"""The serving daemon's execution core and HTTP front.
+
+Deterministic scheduling tricks keep these thread-exercising tests
+flake-free: a very long window plus ``max_batch`` fill forces exact
+coalescing; a long window with no fill keeps requests queued until a
+drain; ``window=0`` serves each submission immediately.
+"""
+
+import pathlib
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (HttpFront, PlanServer, QueueFull, ServeClient,
+                         ServeHTTPError, ServerClosed, fire)
+
+FIXTURES = pathlib.Path(__file__).parents[1] / "fixtures" / "plans"
+LONG = 1e9                       # a window that never expires in-test
+
+
+class _SumPlan:
+    """Deterministic toy plan: scores = (row_sum, -row_sum) per row.
+
+    Demuxable by construction — each output row depends only on its
+    input row — so any batching must reproduce solo evaluation exactly.
+    """
+
+    def scores(self, inputs):
+        rows = np.asarray(inputs, dtype=np.float64)
+        totals = rows.reshape(len(rows), -1).sum(axis=1)
+        return np.stack([totals, -totals], axis=1)
+
+
+class _ExplodingPlan:
+    def scores(self, inputs):
+        raise RuntimeError("kernel exploded")
+
+
+def _server(**kwargs) -> PlanServer:
+    kwargs.setdefault("dtype", np.float64)
+    kwargs.setdefault("input_shape", (3,))
+    return PlanServer(_SumPlan(), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def eeg_plan():
+    from repro.io import load_compiled, load_plan
+    artifact = load_plan(FIXTURES / "eeg_full_binary.npz")
+    return artifact, load_compiled(artifact, backend="packed")
+
+
+class TestSubmitAndDemux:
+    def test_single_request_bit_identical_to_solo(self):
+        server = _server(window=0.0)
+        request = np.arange(6, dtype=np.float64).reshape(2, 3)
+        handle = server.submit(request)
+        assert handle.wait(10.0)
+        assert np.array_equal(handle.scores, _SumPlan().scores(request))
+        assert np.array_equal(handle.labels,
+                              handle.scores.argmax(axis=1))
+        assert handle.latency is not None and handle.latency >= 0.0
+        server.close()
+
+    def test_bare_sample_is_wrapped_to_one_row(self):
+        server = _server(window=0.0)
+        handle = server.submit(np.ones(3))
+        assert handle.wait(10.0)
+        assert handle.scores.shape == (1, 2)
+        server.close()
+
+    def test_coalesced_batch_demuxes_per_request(self):
+        # Fill-triggered: 8 single-row requests, window never expires,
+        # so the executor flushes exactly one 8-row batch.
+        server = _server(max_batch=8, window=LONG)
+        requests = [np.full((1, 3), float(i)) for i in range(8)]
+        handles = [server.submit(r) for r in requests]
+        for request, handle in zip(requests, handles):
+            assert handle.wait(10.0)
+            assert np.array_equal(handle.scores,
+                                  _SumPlan().scores(request))
+        assert server.stats.snapshot()["batches"] == 1
+        assert server.stats.snapshot()["mean_fill"] == pytest.approx(8.0)
+        server.close()
+
+    def test_request_split_across_flushes_reassembles(self):
+        server = _server(max_batch=4, window=0.0, max_queue=64)
+        request = np.arange(30, dtype=np.float64).reshape(10, 3)
+        handle = server.submit(request)
+        assert handle.wait(10.0)
+        assert np.array_equal(handle.scores, _SumPlan().scores(request))
+        server.close()
+
+    def test_shape_mismatch_raises(self):
+        server = _server(window=0.0)
+        with pytest.raises(ValueError, match="request shape"):
+            server.submit(np.ones((2, 5)))
+        server.close()
+
+    def test_executor_failure_delivered_not_fatal(self):
+        server = PlanServer(_ExplodingPlan(), window=0.0,
+                            dtype=np.float64, input_shape=(3,))
+        handle = server.submit(np.ones((1, 3)))
+        assert handle.wait(10.0)
+        assert isinstance(handle.error, RuntimeError)
+        with pytest.raises(RuntimeError, match="not completed"):
+            handle.labels
+        # The executor survives a failed flush and keeps serving.
+        follow_up = server.submit(np.ones((1, 3)))
+        assert follow_up.wait(10.0) and follow_up.error is not None
+        server.close()
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_newest_with_retryable_error(self):
+        server = _server(max_batch=64, window=LONG, max_queue=4)
+        handles = [server.submit(np.ones((1, 3))) for _ in range(4)]
+        with pytest.raises(QueueFull) as info:
+            server.submit(np.ones((1, 3)))
+        assert not info.value.permanent
+        assert server.stats.snapshot()["rejected"] == 1
+        server.close(drain=True)               # queued 4 still served
+        assert all(h.done and h.error is None for h in handles)
+
+    def test_oversized_request_is_permanent(self):
+        server = _server(max_batch=64, window=LONG, max_queue=4)
+        with pytest.raises(QueueFull) as info:
+            server.submit(np.ones((5, 3)))
+        assert info.value.permanent
+        server.close()
+
+
+class TestLifecycle:
+    def test_drain_serves_everything_queued(self):
+        server = _server(max_batch=256, window=LONG)
+        requests = [np.full((2, 3), float(i)) for i in range(5)]
+        handles = [server.submit(r) for r in requests]
+        server.close(drain=True)
+        for request, handle in zip(requests, handles):
+            assert handle.done and handle.error is None
+            assert np.array_equal(handle.scores,
+                                  _SumPlan().scores(request))
+
+    def test_drop_fails_queued_requests(self):
+        server = _server(max_batch=256, window=LONG)
+        handle = server.submit(np.ones((1, 3)))
+        server.close(drain=False)
+        assert handle.done
+        assert isinstance(handle.error, ServerClosed)
+
+    def test_draining_server_refuses_new_requests(self):
+        server = _server(window=0.0)
+        server.close(drain=True)
+        assert server.draining
+        with pytest.raises(ServerClosed):
+            server.submit(np.ones((1, 3)))
+
+    def test_close_is_idempotent(self):
+        server = _server(window=0.0)
+        server.close()
+        server.close()
+
+
+class TestNoisyPlanRefused:
+    def test_off_fast_path_controller_rejected(self, eeg_plan):
+        from repro.io import load_compiled
+        from repro.rram import AcceleratorConfig
+        from repro.runtime import RRAMBackend
+
+        artifact, _ = eeg_plan
+        # Default config = real device variability = off the fast path.
+        noisy = load_compiled(artifact,
+                              backend=RRAMBackend(AcceleratorConfig()))
+        with pytest.raises(ValueError, match="noisy plan"):
+            PlanServer(noisy)
+
+
+class TestFixturePlan:
+    def test_served_scores_bit_identical_to_offline(self, eeg_plan):
+        artifact, plan = eeg_plan
+        rng = np.random.default_rng(0)
+        requests = [rng.integers(0, 2, (1,) + artifact.input_shape)
+                    .astype(np.uint8) for _ in range(24)]
+        server = PlanServer(plan, max_batch=8, window=200e-6,
+                            input_shape=artifact.input_shape)
+        handles = [server.submit(r) for r in requests]
+        for request, handle in zip(requests, handles):
+            assert handle.wait(30.0)
+            assert np.array_equal(handle.scores, plan.scores(request))
+        server.close()
+
+    def test_dtype_defaults_follow_front_op(self, eeg_plan):
+        # Float front (the eeg fixture's conv2d front) -> float64;
+        # a raw bits front -> uint8, so admission canonicalization
+        # matches what offline predict would have seen.
+        from types import SimpleNamespace
+
+        _, plan = eeg_plan
+        server = PlanServer(plan)
+        assert server.dtype == np.dtype(np.float64)
+        server.close()
+
+        bits_plan = _SumPlan()
+        bits_plan.ops = [SimpleNamespace(spec={"op": "bits"})]
+        server = PlanServer(bits_plan, input_shape=(3,))
+        assert server.dtype == np.dtype(np.uint8)
+        server.close()
+
+
+class TestHttpFront:
+    def test_end_to_end_over_sockets(self, eeg_plan):
+        artifact, plan = eeg_plan
+        server = PlanServer(plan, max_batch=16, window=100e-6,
+                            input_shape=artifact.input_shape)
+        front = HttpFront(server, port=0).start()
+        try:
+            rng = np.random.default_rng(1)
+            requests = [rng.integers(0, 2, (1,) + artifact.input_shape)
+                        .astype(np.uint8) for _ in range(10)]
+            responses = fire(front.url, requests, threads=4)
+            for request, response in zip(requests, responses):
+                expected = plan.scores(request)
+                assert np.array_equal(response["scores"], expected)
+                assert np.array_equal(response["labels"],
+                                      expected.argmax(axis=1))
+            client = ServeClient(front.url)
+            assert client.health()["status"] == "ok"
+            stats = client.stats()
+            assert stats["completed"] >= 10 and stats["rejected"] == 0
+            client.close()
+        finally:
+            front.shutdown(drain=True)
+
+    def test_error_statuses(self):
+        server = _server(window=0.0)
+        front = HttpFront(server, port=0).start()
+        try:
+            client = ServeClient(front.url)
+            with pytest.raises(ServeHTTPError) as info:
+                client.predict(np.ones((2, 5)))          # bad shape
+            assert info.value.status == 400
+            with pytest.raises(ServeHTTPError) as info:
+                client._request("GET", "/nope")
+            assert info.value.status == 404
+            with pytest.raises(ServeHTTPError) as info:
+                client._request("POST", "/v1/predict", {"not_inputs": 1})
+            assert info.value.status == 400
+            client.close()
+        finally:
+            front.shutdown(drain=True)
+
+    def test_healthz_reports_draining_as_503(self):
+        server = _server(window=0.0)
+        front = HttpFront(server, port=0).start()
+        try:
+            server.close(drain=True)                     # now draining
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(front.url + "/healthz")
+            assert info.value.code == 503
+        finally:
+            front.shutdown(drain=True)

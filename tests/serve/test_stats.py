@@ -1,0 +1,89 @@
+"""Serving counters: snapshot math, JSON-readiness, shared percentiles."""
+
+import json
+import threading
+
+import pytest
+
+from repro.metrics import percentiles
+from repro.serve import ServeStats
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        s = ServeStats(model="eeg").snapshot()
+        assert s["requests"] == s["rejected"] == s["completed"] == 0
+        assert s["batches"] == s["rows"] == 0
+        assert s["mean_fill"] == 0.0
+        assert s["latency_ms"]["p99"] == 0.0 and s["latency_samples"] == 0
+
+    def test_mean_fill_is_rows_per_dispatch(self):
+        stats = ServeStats()
+        stats.record_batch(rows=256, queue_depth=10)
+        stats.record_batch(rows=64, queue_depth=0)
+        assert stats.snapshot()["mean_fill"] == pytest.approx(160.0)
+
+    def test_admit_reject_and_queue_gauge(self):
+        stats = ServeStats()
+        stats.record_admit(queue_depth=3)
+        stats.record_admit(queue_depth=7)
+        stats.record_reject()
+        s = stats.snapshot()
+        assert (s["requests"], s["rejected"], s["queue_depth"]) == (2, 1, 7)
+
+    def test_latency_percentiles_match_shared_helper(self):
+        stats = ServeStats()
+        samples_s = [i * 1e-3 for i in range(1, 101)]     # 1..100 ms
+        for s in samples_s:
+            stats.record_complete(s)
+        expected = percentiles([s * 1e3 for s in samples_s])
+        snap = stats.snapshot()["latency_ms"]
+        assert snap["p50"] == pytest.approx(expected[50.0])
+        assert snap["p95"] == pytest.approx(expected[95.0])
+        assert snap["p99"] == pytest.approx(expected[99.0])
+
+    def test_sample_buffer_is_bounded(self):
+        stats = ServeStats(sample_buffer=4)
+        for latency in (1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0):
+            stats.record_complete(latency)
+        snap = stats.snapshot()
+        assert snap["latency_samples"] == 4
+        assert snap["latency_ms"]["p50"] == pytest.approx(9000.0)
+
+    def test_bad_buffer_size_raises(self):
+        with pytest.raises(ValueError, match="sample_buffer"):
+            ServeStats(sample_buffer=0)
+
+
+class TestSnapshotSurface:
+    def test_snapshot_is_json_serializable(self):
+        stats = ServeStats(model="ecg")
+        stats.record_admit(1)
+        stats.record_batch(rows=8, queue_depth=0)
+        stats.record_complete(2e-3)
+        round_tripped = json.loads(json.dumps(stats.snapshot()))
+        assert round_tripped["model"] == "ecg"
+        assert round_tripped["completed"] == 1
+
+    def test_render_mentions_model_and_tails(self):
+        stats = ServeStats(model="eeg-fixture")
+        stats.record_complete(5e-3)
+        text = stats.render()
+        assert "eeg-fixture" in text
+        assert "p99" in text and "mean fill" in text
+
+    def test_concurrent_updates_do_not_lose_counts(self):
+        stats = ServeStats()
+
+        def admit_many():
+            for _ in range(500):
+                stats.record_admit(queue_depth=1)
+                stats.record_complete(1e-3)
+
+        threads = [threading.Thread(target=admit_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = stats.snapshot()
+        assert snap["requests"] == 2000 and snap["completed"] == 2000
