@@ -41,9 +41,12 @@ def build_parser() -> argparse.ArgumentParser:
         "compile",
         help="compile a paper model through the unified runtime and "
              "cross-check every backend")
-    compile_cmd.add_argument("model", choices=["eeg", "ecg", "mobilenet"],
-                             help="which architecture to compile "
-                                  "(reduced geometry, random weights)")
+    compile_cmd.add_argument("model", nargs="+",
+                             choices=["eeg", "ecg", "mobilenet"],
+                             help="which architecture(s) to compile "
+                                  "(reduced geometry, random weights); "
+                                  "several names build a multi-model "
+                                  "bundle with --save-bundle")
     compile_cmd.add_argument("--backend", default="all",
                              help="backend name, or 'all' (default) for "
                                   "reference/packed/ideal-rram/sharded")
@@ -64,9 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write the compiled plan as a "
                                   "deployment artifact (.npz) that "
                                   "'deploy' reloads without the model")
+    compile_cmd.add_argument("--save-bundle", default=None, metavar="PATH",
+                             help="write ALL compiled models as one "
+                                  "multi-tenant bundle artifact (.npz) "
+                                  "that 'serve' hosts behind a single "
+                                  "daemon and 'deploy' packs onto one "
+                                  "macro pool")
     compile_cmd.add_argument("--overwrite", action="store_true",
-                             help="allow --save to replace an existing "
-                                  "artifact file")
+                             help="allow --save/--save-bundle to replace "
+                                  "an existing artifact file")
     deploy_cmd = sub.add_parser(
         "deploy",
         help="load a saved plan artifact (no model needed) and run "
@@ -122,8 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
              "micro-batching onto the packed fast path")
     serve_cmd.add_argument("artifact",
                            help="self-contained plan artifact written by "
-                                "'compile --save' (the daemon loads it "
+                                "'compile --save', or a multi-model "
+                                "bundle from 'compile --save-bundle' "
+                                "(auto-detected; the daemon loads it "
                                 "once; no model needed)")
+    serve_cmd.add_argument("--bundle", action="store_true",
+                           help="require the artifact to be a "
+                                "multi-model bundle (bundles are "
+                                "auto-detected either way; this makes "
+                                "scripts fail loudly on the wrong file)")
     serve_cmd.add_argument("--backend", default="packed",
                            help="execution backend (default packed; "
                                 "rram/sharded run their noise-free fast "
@@ -323,18 +339,20 @@ def _evaluate_backend_point(model_name: str, mode_name: str, spec: str,
     return _evaluate_backend(model, inputs, spec, macro_spec)
 
 
-def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
-                 jobs: int = 1, macro_spec: str = "32x32",
-                 save: str | None = None, overwrite: bool = False) -> str:
-    """Build a reduced paper model, compile it for each requested backend,
-    and report plan structure, prediction agreement, and latency.
+def _cmd_compile(model_names: list[str], backend_spec: str,
+                 mode_name: str, jobs: int = 1, macro_spec: str = "32x32",
+                 save: str | None = None, overwrite: bool = False,
+                 save_bundle: str | None = None) -> str:
+    """Build reduced paper model(s), compile each for every requested
+    backend, and report plan structure, prediction agreement, and latency.
 
     With ``--jobs N`` the backends are compiled and evaluated in worker
     processes (each rebuilds the deterministic demo model); with 1 they
     run in-process, serially.  The ``sharded`` backend additionally
     reports its per-macro shard map (fill and scan energy).  ``--save``
-    additionally writes the plan as a deployment artifact the ``deploy``
-    command reloads without the model.
+    additionally writes one plan as a deployment artifact the ``deploy``
+    command reloads without the model; ``--save-bundle`` writes every
+    named model into one multi-tenant bundle for ``serve`` / ``deploy``.
     """
     from repro.experiments import map_parallel
     from repro.runtime import available_backends
@@ -348,60 +366,91 @@ def _cmd_compile(model_name: str, backend_spec: str, mode_name: str,
         raise SystemExit(
             f"unknown backend {backend_spec!r}; registered: "
             f"{', '.join(available_backends())} (or 'all')")
+    if len(set(model_names)) != len(model_names):
+        raise SystemExit(f"duplicate model names: {model_names}")
+    if save is not None and len(model_names) > 1:
+        raise SystemExit("--save writes a single-plan artifact; use "
+                         "--save-bundle for several models")
 
-    model = inputs = None
-    if jobs <= 1:
-        # In-process: build and calibrate the demo model exactly once.
-        model, inputs = _demo_model_and_inputs(model_name, mode_name)
-        results = [_evaluate_backend(model, inputs, spec, macro_spec)
-                   for spec in specs]
-    else:
-        results = map_parallel(
-            _evaluate_backend_point,
-            [{"model_name": model_name, "mode_name": mode_name,
-              "spec": spec, "macro_spec": macro_spec} for spec in specs],
-            jobs=jobs)
+    lines: list[str] = []
+    models: dict[str, object] = {}
+    for model_name in model_names:
+        model = inputs = None
+        if jobs <= 1:
+            # In-process: build and calibrate each demo model once.
+            model, inputs = _demo_model_and_inputs(model_name, mode_name)
+            results = [_evaluate_backend(model, inputs, spec, macro_spec)
+                       for spec in specs]
+        else:
+            results = map_parallel(
+                _evaluate_backend_point,
+                [{"model_name": model_name, "mode_name": mode_name,
+                  "spec": spec, "macro_spec": macro_spec}
+                 for spec in specs],
+                jobs=jobs)
+        models[model_name] = model      # None when evaluated in workers
 
-    saved_lines: list[str] = []
-    if save is not None:
-        from repro.io import save_plan
+        if lines:
+            lines.append("")
+        lines += [results[0]["summary"], ""]
+        lines.append(f"{'backend':<12} {'agreement':>10} {'ms/batch':>10}")
+        baseline = results[0]["predicted"]
+        for result in results:
+            agreement = float((result["predicted"] == baseline).mean())
+            lines.append(f"{result['backend']:<12} "
+                         f"{agreement:>9.1%} "
+                         f"{result['ms']:>10.2f}")
+        lines.append("")
+        lines.append("agreement is relative to the first backend; the "
+                     "Eq. 3 contract is 100% for\nreference/packed, "
+                     "ideal RRAM and the sharded multi-macro backend.")
+        for result in results:
+            if "macro_report" in result:
+                lines += ["", result["macro_report"]]
+
+    if save is not None or save_bundle is not None:
         from repro.runtime import compile as compile_model
 
-        if model is None:
-            model, inputs = _demo_model_and_inputs(model_name, mode_name)
-        plan = compile_model(model, backend="reference")
+        plans = {}
+        for model_name in model_names:
+            model = models[model_name]
+            if model is None:
+                model, _ = _demo_model_and_inputs(model_name, mode_name)
+            plans[model_name] = compile_model(model, backend="reference")
+    if save is not None:
+        from repro.io import load_plan, save_plan
+
         try:
-            path = save_plan(plan, save, overwrite=overwrite,
+            path = save_plan(next(iter(plans.values())), save,
+                             overwrite=overwrite,
                              allow_external_front_end=True)
         except FileExistsError as error:
             raise SystemExit(f"{error} (or pass --overwrite)")
-        from repro.io import load_plan
         artifact = load_plan(path)
         status = "self-contained" if artifact.self_contained else \
             "front-end stays off-artifact (compile --mode full_binary " \
             "for a self-contained one)"
-        saved_lines = ["", f"plan artifact -> {path} "
-                           f"({path.stat().st_size / 1024:.0f} KB, "
-                           f"{status})",
-                       "reload it with: python -m repro deploy "
-                       f"{path}"]
+        lines += ["", f"plan artifact -> {path} "
+                      f"({path.stat().st_size / 1024:.0f} KB, "
+                      f"{status})",
+                  "reload it with: python -m repro deploy "
+                  f"{path}"]
+    if save_bundle is not None:
+        from repro.io import load_bundle
+        from repro.io import save_bundle as save_bundle_fn
 
-    lines = [results[0]["summary"], ""]
-    lines.append(f"{'backend':<12} {'agreement':>10} {'ms/batch':>10}")
-    baseline = results[0]["predicted"]
-    for result in results:
-        agreement = float((result["predicted"] == baseline).mean())
-        lines.append(f"{result['backend']:<12} "
-                     f"{agreement:>9.1%} "
-                     f"{result['ms']:>10.2f}")
-    lines.append("")
-    lines.append("agreement is relative to the first backend; the Eq. 3 "
-                 "contract is 100% for\nreference/packed, ideal RRAM and "
-                 "the sharded multi-macro backend.")
-    for result in results:
-        if "macro_report" in result:
-            lines += ["", result["macro_report"]]
-    lines += saved_lines
+        try:
+            path = save_bundle_fn(plans, save_bundle, overwrite=overwrite,
+                                  allow_external_front_end=True)
+        except FileExistsError as error:
+            raise SystemExit(f"{error} (or pass --overwrite)")
+        bundle = load_bundle(path)
+        lines += ["", f"bundle artifact -> {path} "
+                      f"({path.stat().st_size / 1024:.0f} KB, "
+                      f"{len(bundle)} model(s): "
+                      f"{', '.join(bundle.names)})",
+                  "serve all of them behind one daemon with: "
+                  f"python -m repro serve {path}"]
     return "\n".join(lines)
 
 
@@ -442,6 +491,12 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
     if not pathlib.Path(artifact_path).exists():
         raise SystemExit(f"no artifact at {artifact_path!r}; write one "
                          "with 'compile --save' first")
+    from repro.io import load_bundle
+    bundle = load_bundle(artifact_path)
+    if len(bundle) > 1:
+        return _cmd_deploy_bundle(bundle, backend_spec, macro, batch,
+                                  seed, ecc, lifetime, fault_map, spares,
+                                  repeat)
     artifact = load_plan(artifact_path)
     if not artifact.self_contained:
         raise SystemExit(
@@ -538,24 +593,128 @@ def _cmd_deploy(artifact_path: str, backend_spec: str = "all",
     return "\n".join(lines)
 
 
+def _cmd_deploy_bundle(bundle, backend_spec, macro, batch: int,
+                       seed: int, ecc: str, lifetime, fault_map, spares,
+                       repeat: int) -> str:
+    """Deploy every model of a bundle: per-model cross-backend agreement
+    (each tenant on its own chips), then the co-resident packing — all
+    tenants' shards first-fit-decreasing onto ONE macro pool — with the
+    tenant-aware macro report and the before/after utilization the
+    multi-tenant chip exists for."""
+    import time
+
+    import numpy as np
+
+    from repro.io import load_compiled
+    from repro.metrics import latency_summary
+    from repro.rram import AcceleratorConfig, ChipFloorplan, ChipPlacer
+    from repro.runtime import (PlanSerializationError, RRAMBackend,
+                               ShardedRRAMBackend, available_backends)
+
+    if backend_spec == "all":
+        specs = ["reference", "packed", "ideal-rram", "sharded"]
+    elif backend_spec in available_backends():
+        specs = [backend_spec]
+    else:
+        raise SystemExit(
+            f"unknown backend {backend_spec!r}; registered: "
+            f"{', '.join(available_backends())} (or 'all')")
+
+    lines = [bundle.describe(), "",
+             f"synthetic inputs: {batch} rows per model (seed {seed})", "",
+             f"{'model':<10} {'backend':<12} {'agreement':>10} "
+             f"{'ms/batch':>10}"]
+    placements_by_tenant: dict[str, list] = {}
+    for name in bundle.names:
+        artifact = bundle[name]
+        if not artifact.self_contained:
+            raise SystemExit(
+                f"bundle model {name!r} is not self-contained (its "
+                "front-end stays with the model); re-save from lowered "
+                "plans ('compile ... --mode full_binary --save-bundle')")
+        shape = artifact.input_shape
+        if shape is None:
+            raise SystemExit(f"bundle model {name!r} records no input "
+                             "geometry; cannot generate evaluation "
+                             "inputs")
+        rng = np.random.default_rng(seed)
+        if artifact.ops[0]["op"] == "bits":
+            inputs = rng.integers(0, 2, size=(batch,) + shape) \
+                .astype(np.uint8)
+        else:
+            inputs = rng.standard_normal((batch,) + shape)
+        baseline = None
+        for spec in specs:
+            if spec == "ideal-rram":
+                backend = RRAMBackend(AcceleratorConfig(ideal=True),
+                                      ecc=None if ecc == "none" else ecc,
+                                      lifetime=lifetime)
+            elif spec == "rram" and (ecc != "none"
+                                     or lifetime is not None):
+                backend = RRAMBackend(ecc=None if ecc == "none" else ecc,
+                                      lifetime=lifetime)
+            elif spec == "sharded":
+                backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                             macro=macro,
+                                             lifetime=lifetime,
+                                             fault_map=fault_map,
+                                             spares=spares, tenant=name)
+            else:
+                backend = spec
+            try:
+                plan = load_compiled(artifact, backend=backend)
+            except PlanSerializationError as error:
+                raise SystemExit(str(error))
+            predicted = None
+            samples_ms = []
+            for _ in range(max(1, int(repeat))):
+                t0 = time.perf_counter()
+                result = plan.predict(inputs)
+                samples_ms.append((time.perf_counter() - t0) * 1e3)
+                if predicted is None:
+                    predicted = result
+            if baseline is None:
+                baseline = predicted
+            agreement = float((predicted == baseline).mean())
+            lines.append(f"{name:<10} {plan.backend.name:<12} "
+                         f"{agreement:>9.1%} "
+                         f"{latency_summary(samples_ms).p50:>10.2f}")
+            if spec == "sharded" and plan.placements:
+                placements_by_tenant[name] = plan.placements
+    lines += ["", "agreement is relative to each model's first backend; "
+                  "one bundle, every substrate."]
+    if placements_by_tenant:
+        placer = ChipPlacer(macro, spares=spares)
+        placement = placer.place(placements_by_tenant)
+        all_placements = [p for group in placements_by_tenant.values()
+                          for p in group]
+        lines += ["", "co-resident placement (all tenants on one macro "
+                      "pool):", "", placement.report(),
+                  "", ChipFloorplan(all_placements).macro_report()]
+    return "\n".join(lines)
+
+
 def _cmd_serve(artifact_path: str, backend_spec: str = "packed",
                macro_spec: str = "32x32", host: str = "127.0.0.1",
                port: int = 8373, max_batch: int = 256,
                batch_window_us: float = 200.0, max_queue: int = 1024,
-               pad: bool = False, request_timeout: float = 30.0) -> int:
+               pad: bool = False, request_timeout: float = 30.0,
+               require_bundle: bool = False) -> int:
     """Run the always-on daemon until SIGTERM/SIGINT, then drain.
 
     Loads the artifact exactly once, binds it to one backend, and serves
     concurrent HTTP requests through the admission queue + micro-batcher
-    onto the noise-free fast-path kernels.  Shutdown is graceful: the
-    transport closes, every admitted request is served (drain, don't
-    drop), and the per-model stats print as the exit report.
+    onto the noise-free fast-path kernels.  A multi-model bundle
+    (``compile --save-bundle``) hosts every model behind the same daemon
+    with per-model routing.  Shutdown is graceful: the transport closes,
+    every admitted request is served (drain, don't drop), and the
+    per-model stats print as the exit report.
     """
     import pathlib
     import signal
     import threading
 
-    from repro.io import load_compiled, load_plan
+    from repro.io import load_bundle, load_compiled
     from repro.rram import AcceleratorConfig
     from repro.runtime import (PlanSerializationError, RRAMBackend,
                                ShardedRRAMBackend, available_backends)
@@ -565,36 +724,51 @@ def _cmd_serve(artifact_path: str, backend_spec: str = "packed",
     if not pathlib.Path(artifact_path).exists():
         raise SystemExit(f"no artifact at {artifact_path!r}; write one "
                          "with 'compile --save' first")
-    artifact = load_plan(artifact_path)
-    if not artifact.self_contained:
+    bundle = load_bundle(artifact_path)
+    if require_bundle and len(bundle) < 2:
         raise SystemExit(
-            f"{artifact_path} is not self-contained; the daemon has no "
-            "model to host a front-end — re-save from a lowered plan "
-            "('compile <model> --mode full_binary --save ...')")
-    if artifact.input_shape is None:
-        raise SystemExit(f"{artifact_path} records no input geometry; "
-                         "cannot validate request shapes")
-    if backend_spec == "ideal-rram":
-        backend = RRAMBackend(AcceleratorConfig(ideal=True))
-    elif backend_spec == "sharded":
-        backend = ShardedRRAMBackend(AcceleratorConfig(ideal=True),
-                                     macro=macro)
-    elif backend_spec in available_backends():
-        backend = backend_spec
-    else:
+            f"{artifact_path} holds a single plan but --bundle was "
+            "given; write a multi-model bundle with 'compile eeg ecg "
+            "--mode full_binary --save-bundle ...'")
+    if backend_spec not in ("ideal-rram", "sharded") and \
+            backend_spec not in available_backends():
         raise SystemExit(
             f"unknown backend {backend_spec!r}; registered: "
             f"{', '.join(available_backends())}")
+
+    def _make_backend(tenant: str):
+        # Fresh instance per tenant: the stateful backends reset their
+        # placements on begin_plan, so co-resident plans can't share one.
+        if backend_spec == "ideal-rram":
+            return RRAMBackend(AcceleratorConfig(ideal=True))
+        if backend_spec == "sharded":
+            return ShardedRRAMBackend(AcceleratorConfig(ideal=True),
+                                      macro=macro, tenant=tenant)
+        return backend_spec
+
+    plans: dict[str, object] = {}
+    shapes: dict[str, tuple] = {}
+    for name in bundle.names:
+        artifact = bundle[name]
+        if not artifact.self_contained:
+            raise SystemExit(
+                f"{artifact_path}[{name}] is not self-contained; the "
+                "daemon has no model to host a front-end — re-save from "
+                "a lowered plan ('compile <model> --mode full_binary ...')")
+        if artifact.input_shape is None:
+            raise SystemExit(f"{artifact_path}[{name}] records no input "
+                             "geometry; cannot validate request shapes")
+        try:
+            plans[name] = load_compiled(artifact,
+                                        backend=_make_backend(name))
+        except PlanSerializationError as error:
+            raise SystemExit(str(error))
+        shapes[name] = artifact.input_shape
     try:
-        plan = load_compiled(artifact, backend=backend)
-    except PlanSerializationError as error:
-        raise SystemExit(str(error))
-    try:
-        server = PlanServer(plan, max_batch=max_batch,
+        server = PlanServer(plans, max_batch=max_batch,
                             window=batch_window_us * 1e-6,
                             max_queue=max_queue, pad=pad,
-                            input_shape=artifact.input_shape,
-                            model=pathlib.Path(artifact_path).stem)
+                            input_shape=shapes)
     except ValueError as error:        # noisy plan, bad knobs
         raise SystemExit(str(error))
     front = HttpFront(server, host=host, port=port,
@@ -604,16 +778,21 @@ def _cmd_serve(artifact_path: str, backend_spec: str = "packed",
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda *_: stop.set())
     front.start()
-    print(plan.summary())
-    print(f"\nserving {artifact_path} on {front.url} "
-          f"(backend {plan.backend.name}, max-batch {max_batch}, "
+    for name, plan in plans.items():
+        if len(plans) > 1:
+            print(f"[{name}]")
+        print(plan.summary())
+    backend_names = sorted({p.backend.name for p in plans.values()})
+    print(f"\nserving {artifact_path} "
+          f"({', '.join(server.models())}) on {front.url} "
+          f"(backend {', '.join(backend_names)}, max-batch {max_batch}, "
           f"window {batch_window_us:g} us, queue {max_queue} rows)")
-    print("POST /v1/predict | GET /v1/stats | GET /healthz — "
-          "SIGTERM drains and exits", flush=True)
+    print("POST /v1/predict | GET /v1/models | GET /v1/stats | "
+          "GET /healthz — SIGTERM drains and exits", flush=True)
     stop.wait()
     print("\nshutting down: draining admitted requests ...", flush=True)
     front.shutdown(drain=True)
-    print(server.stats.render(), flush=True)
+    print(server.render_stats(), flush=True)
     return 0
 
 
@@ -715,7 +894,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "compile":
             print(_cmd_compile(args.model, args.backend, args.mode,
                                args.jobs, args.macros, args.save,
-                               args.overwrite))
+                               args.overwrite, args.save_bundle))
         elif args.command == "deploy":
             print(_cmd_deploy(args.artifact, args.backend, args.macros,
                               args.batch, args.seed, args.ecc,
@@ -725,7 +904,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args.artifact, args.backend, args.macros,
                               args.host, args.port, args.max_batch,
                               args.batch_window, args.max_queue,
-                              args.pad, args.request_timeout)
+                              args.pad, args.request_timeout,
+                              args.bundle)
         elif args.command == "sweep":
             print(_cmd_sweep(args.workload, args.jobs, args.out,
                              args.trials, args.trial_chunk,

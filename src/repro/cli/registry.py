@@ -301,6 +301,24 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                      "repro.metrics"),
             bench="benchmarks/bench_serve.py"),
         ExperimentInfo(
+            id="XTRA20",
+            artefact="multi-tenant claim — co-resident model bundles",
+            description=(
+                "Several models resident on one simulated chip and one "
+                "daemon: pickle-free bundle artifacts, ChipPlacer "
+                "first-fit-decreasing co-resident placement with a "
+                "pooled spare reserve, MultiTenantController "
+                "interleaved word-line scans (one batched kernel "
+                "dispatch across tenants, bit-identical to solo), and "
+                "a tenant-routing serve front — aggregate req/s vs "
+                "sequential solo daemons on the same core budget "
+                "(records BENCH_multitenant.json)."),
+            kind="script",
+            modules=("repro.io.plans", "repro.rram.floorplan",
+                     "repro.rram.accelerator", "repro.serve.server",
+                     "repro.serve.stats"),
+            bench="benchmarks/bench_multitenant.py"),
+        ExperimentInfo(
             id="XTRA8",
             artefact="§I reference point — 8-bit quantization",
             description=(

@@ -15,6 +15,10 @@ pickle, safe to load from untrusted sources):
   Loading needs no live model and rebinds to any registered backend —
   ``load_compiled(path, backend="sharded")`` programs simulated chips
   from the file;
+* :func:`save_bundle` / :func:`load_bundle` / :func:`load_compiled_bundle`
+  — the **multi-tenant bundle**: N named plans in one file, the unit a
+  multi-model chip (and the serving daemon) deploys; single-plan files
+  load transparently as one-tenant bundles and vice versa;
 * :func:`save_folded_classifier` / :func:`load_folded_classifier` — the
   legacy classifier-only programming artefact, superseded by plan
   artifacts; :func:`convert_folded_artifact` (and ``load_plan`` itself)
@@ -27,8 +31,12 @@ Every ``save_*`` refuses to overwrite an existing file unless
 from repro.io.checkpoints import load_model, save_model
 from repro.io.folded import (convert_folded_artifact, load_folded_classifier,
                              save_folded_classifier)
-from repro.io.plans import PlanArtifact, load_compiled, load_plan, save_plan
+from repro.io.plans import (BundleArtifact, PlanArtifact, load_bundle,
+                            load_compiled, load_compiled_bundle, load_plan,
+                            save_bundle, save_plan)
 
 __all__ = ["save_model", "load_model", "save_folded_classifier",
            "load_folded_classifier", "convert_folded_artifact",
-           "PlanArtifact", "save_plan", "load_plan", "load_compiled"]
+           "PlanArtifact", "save_plan", "load_plan", "load_compiled",
+           "BundleArtifact", "save_bundle", "load_bundle",
+           "load_compiled_bundle"]

@@ -28,7 +28,7 @@ from repro.rram.sense import (SenseParameters, PrechargeSenseAmplifier,
 from repro.rram.cell import OneT1RCell, TwoT2RCell
 from repro.rram.array import RRAMArray
 from repro.rram.accelerator import (AcceleratorConfig, MemoryController,
-                                    ShardedController,
+                                    ShardedController, MultiTenantController,
                                     InMemoryDenseLayer, InMemoryOutputLayer,
                                     InMemoryClassifier, fold_classifier,
                                     deploy_classifier, classifier_input_bits)
@@ -50,7 +50,8 @@ from repro.rram.reliability import (LifetimeConfig, RetentionModel,
 from repro.rram.analog import (AnalogConfig, AnalogCrossbar, AnalogLinear,
                                PeripheryModel)
 from repro.rram.floorplan import (MacroGeometry, MacroShard, LayerPlacement,
-                                  ChipFloorplan, plan_classifier,
+                                  ChipFloorplan, ChipPlacer, ChipPlacement,
+                                  ShardAssignment, plan_classifier,
                                   plan_model)
 from repro.rram.conv2d import (FoldedBinaryConv2d, fold_conv2d_batchnorm_sign,
                                fold_depthwise2d_batchnorm_sign,
@@ -65,6 +66,7 @@ __all__ = [
     "OneT1RCell", "TwoT2RCell",
     "RRAMArray",
     "AcceleratorConfig", "MemoryController", "ShardedController",
+    "MultiTenantController",
     "InMemoryDenseLayer", "InMemoryOutputLayer", "InMemoryClassifier",
     "fold_classifier", "deploy_classifier", "classifier_input_bits",
     "EnduranceExperiment", "EnduranceResult", "inject_bit_errors",
@@ -82,6 +84,7 @@ __all__ = [
     "YieldAnalysis", "YieldResult",
     "AnalogConfig", "AnalogCrossbar", "AnalogLinear", "PeripheryModel",
     "MacroGeometry", "MacroShard", "LayerPlacement", "ChipFloorplan",
+    "ChipPlacer", "ChipPlacement", "ShardAssignment",
     "plan_classifier", "plan_model",
     "FoldedBinaryConv2d", "fold_conv2d_batchnorm_sign",
     "fold_depthwise2d_batchnorm_sign", "InMemoryConv2dLayer",

@@ -930,6 +930,189 @@ class ShardedController:
                 f"{degraded})")
 
 
+class MultiTenantController:
+    """Interleaved word-line scans of several tenants resident on one
+    macro pool: one batched kernel dispatch covers every tenant's
+    stripes.
+
+    Takes one :class:`ShardedController` per tenant (one co-scanned
+    layer each — a "macro group" of the pool) and fuses their stacked
+    plans onto a shared activation word grid: tenant stripe blocks are
+    concatenated along the stripe axis (each tenant owns a contiguous
+    stripe range — its stripe mask), activation batches are packed per
+    tenant, zero-padded to the shared grid width and concatenated along
+    the batch axis, and **one**
+    :func:`~repro.nn.bitops.packed_xnor_popcount_stacked` launch scans
+    everything.  Per-model partial-popcount reduction then slices each
+    tenant's ``(stripes, rows)`` block back out.
+
+    Bit-identity with solo execution is structural, not approximate:
+    the kernel computes ``width - disagreements`` per stripe with each
+    tenant's true fan-in as the width, and every word beyond a tenant's
+    own grid is zero in *both* operands (the ``pack_bits`` zero-pad
+    invariant), so padding to the shared width never creates a
+    disagreement.  Cross products (tenant A's rows against tenant B's
+    stripes) are computed by the fused launch but discarded by the
+    reduction — they model the word lines a real shared chip senses
+    while another tenant's rows are resident.  Dead-macro spare remaps
+    (PR 7) are corrected per tenant on its own unpadded words, exactly
+    like the solo stacked path.
+
+    Requires every tenant on the noise-free stacked fast path: noisy
+    scans must honour the per-(shard, trial) RNG stream contract and
+    cannot fuse across tenants.
+    """
+
+    def __init__(self, controllers):
+        if not controllers:
+            raise ValueError("need at least one tenant controller")
+        self.controllers: dict[str, ShardedController] = dict(controllers)
+        first = next(iter(self.controllers.values()))
+        for name, controller in self.controllers.items():
+            if controller.plan is None:
+                raise ValueError(
+                    f"tenant {name!r} is not on the stacked fast path "
+                    f"({controller.fast_path_kind}); interleaved scans "
+                    "fuse stacked plans only")
+            if controller.macro != first.macro:
+                raise ValueError(
+                    f"tenant {name!r} uses {controller.macro.rows}x"
+                    f"{controller.macro.cols} macros, expected "
+                    f"{first.macro.rows}x{first.macro.cols} — tenants "
+                    "share one chip geometry")
+        self.macro = first.macro
+        macro_rows = self.macro.rows
+        self.n_words = max(c.plan.n_words for c in self.controllers.values())
+
+        # Per-tenant stripe blocks padded to the shared grid width, plus
+        # the fused tensor for full-pool scans.  Tenant order fixes the
+        # stripe ranges (the per-tenant stripe masks).
+        self._padded: dict[str, np.ndarray] = {}
+        self.stripe_ranges: dict[str, tuple[int, int]] = {}
+        widths = []
+        cursor = 0
+        for name, controller in self.controllers.items():
+            plan = controller.plan
+            block = np.zeros((plan.grid_rows, macro_rows, self.n_words),
+                             dtype=np.uint64)
+            block[:, :, :plan.n_words] = plan.words
+            self._padded[name] = block
+            self.stripe_ranges[name] = (cursor, cursor + plan.grid_rows)
+            cursor += plan.grid_rows
+            widths.append(plan.widths)
+        self.words = np.concatenate(
+            [self._padded[name] for name in self.controllers])
+        self.widths = np.concatenate(widths)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self.controllers)
+
+    @property
+    def n_stripes(self) -> int:
+        return int(self.words.shape[0])
+
+    def popcounts(self, batches) -> dict:
+        """One interleaved scan: ``{tenant: (N_t, in_t) bits}`` in,
+        ``{tenant: (N_t, out_t) reduced counts}`` out, each tenant's
+        counts bit-identical to its solo ``ShardedController.popcounts``.
+
+        Tenants absent from ``batches`` (or with empty batches) are
+        skipped — their word lines simply are not selected this scan.
+        """
+        unknown = [name for name in batches if name not in self.controllers]
+        if unknown:
+            raise ValueError(
+                f"unknown tenant(s) {unknown}; resident: "
+                f"{', '.join(self.controllers)}")
+        active = []
+        for name in self.controllers:
+            if name not in batches:
+                continue
+            controller = self.controllers[name]
+            x_bits = np.asarray(batches[name], dtype=np.uint8)
+            if x_bits.ndim != 2 or \
+                    x_bits.shape[1] != controller.in_features:
+                raise ValueError(
+                    f"tenant {name!r}: input shape {x_bits.shape} != "
+                    f"(N, {controller.in_features})")
+            if x_bits.shape[0]:
+                active.append((name, controller, x_bits))
+        if not active:
+            return {name: np.zeros(
+                (0, self.controllers[name].out_features), dtype=np.int64)
+                for name in batches}
+
+        # Pack per tenant at its own width, pad to the shared grid, and
+        # stack the rows of every tenant into one activation batch.
+        packed, padded_rows, row_ranges = {}, [], {}
+        cursor = 0
+        for name, controller, x_bits in active:
+            x_words = pack_bits(x_bits)
+            packed[name] = x_words
+            pad = np.zeros((x_words.shape[0], self.n_words),
+                           dtype=np.uint64)
+            pad[:, :x_words.shape[1]] = x_words
+            padded_rows.append(pad)
+            row_ranges[name] = (cursor, cursor + x_words.shape[0])
+            cursor += x_words.shape[0]
+        x_all = padded_rows[0] if len(padded_rows) == 1 \
+            else np.concatenate(padded_rows)
+        if len(active) == len(self.controllers):
+            words, widths = self.words, self.widths
+            stripe_ranges = self.stripe_ranges
+        else:
+            words = np.concatenate(
+                [self._padded[name] for name, _, _ in active])
+            widths = np.concatenate(
+                [self.controllers[name].plan.widths
+                 for name, _, _ in active])
+            stripe_ranges, stripe_cursor = {}, 0
+            for name, controller, _ in active:
+                stripe_ranges[name] = (
+                    stripe_cursor,
+                    stripe_cursor + controller.plan.grid_rows)
+                stripe_cursor += controller.plan.grid_rows
+
+        counts = packed_xnor_popcount_stacked(x_all, words, widths)
+
+        results: dict[str, np.ndarray] = {}
+        for name, controller, x_bits in active:
+            s0, s1 = stripe_ranges[name]
+            r0, r1 = row_ranges[name]
+            plan = controller.plan
+            n = r1 - r0
+            reduced = np.ascontiguousarray(
+                counts[s0:s1, r0:r1].transpose(1, 0, 2)).reshape(
+                    n, plan.grid_rows * plan.macro_rows)[
+                        :, :controller.out_features]
+            x_words = packed[name]
+            for spec, shard in controller._remapped_specs:
+                xs = packed_column_slice(x_words, spec.col_start,
+                                         spec.col_stop)
+                ones = np.bitwise_count(xs).sum(axis=1, dtype=np.int64)
+                agree = packed_xnor_popcount(xs, shard.weight_words,
+                                             spec.cols)
+                reduced[:, spec.row_start:spec.row_stop] += \
+                    agree - (spec.cols - ones)[:, None]
+            controller._meter_fast(n, trials=1)
+            results[name] = reduced
+        for name in batches:
+            if name not in results:
+                results[name] = np.zeros(
+                    (0, self.controllers[name].out_features),
+                    dtype=np.int64)
+        return results
+
+    def __repr__(self) -> str:
+        tenants = ", ".join(
+            f"{name}:{c.out_features}x{c.in_features}"
+            for name, c in self.controllers.items())
+        return (f"MultiTenantController({tenants} on "
+                f"{self.macro.rows}x{self.macro.cols} macros, "
+                f"{self.n_stripes} fused stripes)")
+
+
 class InMemoryDenseLayer:
     """A hidden binary dense layer executed on RRAM tiles.
 

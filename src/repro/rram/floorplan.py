@@ -19,6 +19,14 @@ carrying the exact row/column slice of the weight matrix that macro holds
 (:class:`repro.rram.accelerator.ShardedController`) programs one simulated
 chip per shard from this map, which is what ties the floorplan's placement
 math to actual execution instead of report-only accounting.
+
+Several models can be **co-resident**: :class:`ChipPlacer` packs every
+tenant's shards onto one shared macro pool (first-fit decreasing over
+shard word-line counts, so partial tail shards of different tenants share
+a physical macro) with a pooled spare reserve, and reports the
+macro-count and utilization win over per-model chips.  Word-line sharing
+is sound because a scan senses one word line at a time — rows of
+different tenants on the same macro never interact electrically.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.nn.bitops import WORD_BITS
 from repro.rram.energy import EnergyModel
 
 __all__ = ["MacroGeometry", "MacroShard", "LayerPlacement", "ChipFloorplan",
+           "ChipPlacer", "ChipPlacement", "ShardAssignment",
            "plan_classifier", "plan_model"]
 
 
@@ -130,6 +139,9 @@ class LayerPlacement:
     spare_macros: int = 0
     #: Shard indices that were remapped onto spares (dead macros).
     remapped: tuple[int, ...] = ()
+    #: Owning model when the layer is part of a multi-tenant deployment
+    #: (``None`` for single-model floorplans — reports omit the column).
+    tenant: str | None = None
     tile_grid: tuple[int, int] = field(init=False)
 
     def __post_init__(self):
@@ -284,8 +296,12 @@ class ChipFloorplan:
         shard map, and the energy of one full word-line scan of a single
         macro (every synapse sensed through the XNOR PCSA plus its share
         of the popcount tree) from the shared technology constants.
+
+        Multi-tenant floorplans (any placement with a ``tenant``) add a
+        per-row ``Model`` column and a per-tenant occupancy footer.
         """
         from repro.experiments.tables import render_table
+        tenancy = any(p.tenant is not None for p in self.placements)
         rows = []
         for p in self.placements:
             shards = p.shards()
@@ -294,17 +310,26 @@ class ChipFloorplan:
             scan_pj = p.macro.synapses * (
                 self.energy.xnor_pcsa_sense_fj
                 + self.energy.popcount_fj_per_bit) / 1e3
-            rows.append((p.name, str(p.n_macros), str(tails),
-                         f"{min(fills):.1%}",
-                         f"{sum(fills) / len(fills):.1%}",
-                         f"{scan_pj:.2f}"))
+            row = (p.name, str(p.n_macros), str(tails),
+                   f"{min(fills):.1%}",
+                   f"{sum(fills) / len(fills):.1%}",
+                   f"{scan_pj:.2f}")
+            if tenancy:
+                row = (p.tenant or "-",) + row
+            rows.append(row)
+        headers = ["Layer", "Macros", "Tails", "Min fill", "Mean fill",
+                   "Scan pJ/macro"]
+        if tenancy:
+            headers = ["Model"] + headers
         table = render_table(
             "Per-macro shard map "
             f"({self.placements[0].macro.rows}x"
             f"{self.placements[0].macro.cols} macros)",
-            ["Layer", "Macros", "Tails", "Min fill", "Mean fill",
-             "Scan pJ/macro"],
+            headers,
             rows)
+        if tenancy:
+            table += "\nPer-tenant occupancy:\n" + "\n".join(
+                self._tenant_occupancy_lines())
         if self.spare_macros or self.remapped_macros:
             degraded = []
             for p in self.placements:
@@ -317,6 +342,23 @@ class ChipFloorplan:
             table += "\nSpare macros (degraded placements):\n" \
                 + "\n".join(degraded)
         return table
+
+    def _tenant_occupancy_lines(self) -> list[str]:
+        """Per-tenant fill/utilization summary (macro_report footer)."""
+        tenants: dict[str, list[LayerPlacement]] = {}
+        for p in self.placements:
+            tenants.setdefault(p.tenant or "-", []).append(p)
+        total = sum(p.synapses_provisioned for p in self.placements)
+        lines = []
+        for tenant, group in tenants.items():
+            used = sum(p.synapses_used for p in group)
+            provisioned = sum(p.synapses_provisioned for p in group)
+            macros = sum(p.n_macros for p in group)
+            lines.append(
+                f"  {tenant}: {macros} macro(s), fill "
+                f"{used / provisioned:.1%}, "
+                f"{provisioned / total:.1%} of provisioned synapses")
+        return lines
 
     def report(self) -> str:
         from repro.experiments.tables import render_table
@@ -344,6 +386,214 @@ class ChipFloorplan:
                 f"Spares: {self.remapped_macros} dead macro(s) remapped, "
                 f"{self.spare_macros} spare(s) provisioned")
         return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Co-resident (multi-tenant) placement onto one macro pool.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """One tenant shard's physical home on the shared pool: which macro
+    holds it and at which word-line offset."""
+
+    tenant: str
+    layer: str
+    shard: MacroShard
+    pool_macro: int
+    row_offset: int
+
+    @property
+    def rows(self) -> int:
+        return self.shard.rows
+
+
+@dataclass
+class ChipPlacement:
+    """The result of co-resident placement: every tenant shard assigned
+    to a (pool macro, word-line offset) slot, plus a pooled spare
+    reserve."""
+
+    macro: MacroGeometry
+    assignments: list[ShardAssignment]
+    spare_macros: int = 0
+    #: Macro count each tenant would provision deployed alone (its own
+    #: chip, its own spares) — the "before" of the packing win.
+    solo_macros: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_macros(self) -> int:
+        """Pool macros actually holding word lines (spares excluded)."""
+        if not self.assignments:
+            return 0
+        return max(a.pool_macro for a in self.assignments) + 1
+
+    @property
+    def n_macros_provisioned(self) -> int:
+        return self.n_macros + self.spare_macros
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for a in self.assignments:
+            seen.setdefault(a.tenant)
+        return tuple(seen)
+
+    @property
+    def synapses_used(self) -> int:
+        return sum(a.shard.synapses_used for a in self.assignments)
+
+    @property
+    def utilization(self) -> float:
+        """Real weights over every provisioned synapse of the pool
+        (spare macros included — they are silicon too)."""
+        provisioned = self.n_macros_provisioned * self.macro.synapses
+        return self.synapses_used / provisioned if provisioned else 0.0
+
+    @property
+    def solo_macros_total(self) -> int:
+        return sum(self.solo_macros.values())
+
+    def tenant_occupancy(self) -> dict[str, dict]:
+        """Per-tenant pool occupancy: macros touched, word lines held,
+        synapses used, and fill of the touched macros."""
+        occupancy: dict[str, dict] = {}
+        for a in self.assignments:
+            entry = occupancy.setdefault(
+                a.tenant, {"macros": set(), "word_lines": 0,
+                           "synapses_used": 0, "shards": 0})
+            entry["macros"].add(a.pool_macro)
+            entry["word_lines"] += a.rows
+            entry["synapses_used"] += a.shard.synapses_used
+            entry["shards"] += 1
+        for entry in occupancy.values():
+            entry["macros"] = len(entry["macros"])
+        return occupancy
+
+    def shared_macros(self) -> int:
+        """Pool macros holding word lines of more than one tenant — the
+        tail shards the packing actually merged."""
+        owners: dict[int, set[str]] = {}
+        for a in self.assignments:
+            owners.setdefault(a.pool_macro, set()).add(a.tenant)
+        return sum(1 for tenants in owners.values() if len(tenants) > 1)
+
+    def report(self) -> str:
+        """Co-resident pool summary with the before/after macro math."""
+        from repro.experiments.tables import render_table
+        occupancy = self.tenant_occupancy()
+        rows = []
+        for tenant, entry in occupancy.items():
+            capacity = entry["macros"] * self.macro.synapses
+            rows.append((tenant, str(entry["shards"]),
+                         str(entry["macros"]),
+                         str(entry["word_lines"]),
+                         f"{entry['synapses_used'] / capacity:.1%}",
+                         str(self.solo_macros.get(tenant, "-"))))
+        table = render_table(
+            f"Co-resident pool ({self.macro.rows}x{self.macro.cols} "
+            "macros)",
+            ["Model", "Shards", "Macros", "Word lines", "Fill",
+             "Solo macros"],
+            rows)
+        before = self.solo_macros_total
+        after = self.n_macros_provisioned
+        lines = [table,
+                 f"Pool: {self.n_macros} macro(s) + {self.spare_macros} "
+                 f"pooled spare(s) = {after} provisioned "
+                 f"({self.shared_macros()} shared by several tenants); "
+                 f"solo chips need {before}",
+                 f"Utilization: {self.utilization:.1%} co-resident"]
+        if before:
+            lines[-1] += (f" vs {self.synapses_used / (before * self.macro.synapses):.1%} "
+                          "across solo chips"
+                          f" ({before - after:+d} macro(s) saved)"
+                          .replace("+-", "-"))
+        return "\n".join(lines)
+
+
+class ChipPlacer:
+    """Pack several tenants' layer placements onto one macro pool.
+
+    First-fit decreasing over shard word-line counts: shards are sorted
+    by the word lines they need (largest first, deterministic
+    tenant/layer/shard tie-break) and each drops into the first pool
+    macro with enough free word lines.  Full-height shards fill whole
+    macros exactly as they would solo; the win comes from partial tail
+    shards of *different* layers and tenants sharing one macro.
+
+    ``spares`` reserves whole macros at the end of the pool for the
+    PR 7 dead-macro remap; ``"auto"`` pools the per-tenant spare
+    demand (the maximum any one tenant provisioned for itself) instead
+    of summing it — co-residency shares the reserve.  ``capacity``
+    bounds the pool (raises when the tenants do not fit).
+    """
+
+    def __init__(self, macro: MacroGeometry | None = None, *,
+                 capacity: int | None = None, spares="auto"):
+        self.macro = macro or MacroGeometry()
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.spares = spares
+
+    def place(self, tenants) -> ChipPlacement:
+        """``tenants`` maps model name -> its :class:`LayerPlacement`
+        list (e.g. ``backend.placements`` after a sharded compile)."""
+        items: list[tuple[str, LayerPlacement, MacroShard]] = []
+        for tenant, placements in tenants.items():
+            for placement in placements:
+                if placement.macro != self.macro:
+                    raise ValueError(
+                        f"tenant {tenant!r} layer {placement.name!r} was "
+                        f"placed on {placement.macro.rows}x"
+                        f"{placement.macro.cols} macros; the pool is "
+                        f"{self.macro.rows}x{self.macro.cols} — tenants "
+                        "must share the chip geometry")
+                for shard in placement.shards():
+                    items.append((tenant, placement, shard))
+        if not items:
+            raise ValueError("nothing to place: no tenants with layers")
+
+        # First-fit decreasing on word lines; the tie-break keeps the
+        # assignment deterministic for identical inputs.
+        order = {name: i for i, name in enumerate(tenants)}
+        items.sort(key=lambda item: (-item[2].rows, order[item[0]],
+                                     item[1].name, item[2].index))
+        free_rows: list[int] = []
+        assignments: list[ShardAssignment] = []
+        for tenant, placement, shard in items:
+            for index, free in enumerate(free_rows):
+                if free >= shard.rows:
+                    break
+            else:
+                index = len(free_rows)
+                free_rows.append(self.macro.rows)
+            assignments.append(ShardAssignment(
+                tenant=tenant, layer=placement.name, shard=shard,
+                pool_macro=index,
+                row_offset=self.macro.rows - free_rows[index]))
+            free_rows[index] -= shard.rows
+
+        if self.spares == "auto":
+            spare_macros = max(
+                (sum(p.spare_macros for p in placements)
+                 for placements in tenants.values()), default=0)
+        else:
+            spare_macros = int(self.spares)
+            if spare_macros < 0:
+                raise ValueError(f"spares must be >= 0, got {self.spares}")
+        if self.capacity is not None and \
+                len(free_rows) + spare_macros > self.capacity:
+            raise ValueError(
+                f"tenants need {len(free_rows)} macro(s) + "
+                f"{spare_macros} spare(s) but the pool capacity is "
+                f"{self.capacity}")
+        solo = {tenant: sum(p.n_macros + p.spare_macros
+                            for p in placements)
+                for tenant, placements in tenants.items()}
+        return ChipPlacement(macro=self.macro, assignments=assignments,
+                             spare_macros=spare_macros, solo_macros=solo)
 
 
 def plan_classifier(layer_shapes: list[tuple[int, int]],

@@ -276,7 +276,8 @@ class ShardedRRAMBackend(Backend):
                  stacked: bool | str = "auto",
                  lifetime: LifetimeConfig | None = None,
                  fault_map: FaultMap | None = None,
-                 spares: int | str = "auto"):
+                 spares: int | str = "auto",
+                 tenant: str | None = None):
         self.config = config or AcceleratorConfig()
         self.macro = macro or MacroGeometry(self.config.tile_rows,
                                             self.config.tile_cols)
@@ -287,6 +288,10 @@ class ShardedRRAMBackend(Backend):
         self.lifetime = lifetime
         self.fault_map = fault_map
         self.spares = spares
+        #: Model name stamped on every placement this backend prepares —
+        #: multi-tenant deploys label each tenant's layers so merged
+        #: floorplans report per-tenant occupancy.
+        self.tenant = tenant
         self.placements: list[LayerPlacement] = []
         self._macro_offset = 0
 
@@ -298,7 +303,8 @@ class ShardedRRAMBackend(Backend):
         count = sum(1 for p in self.placements if p.name.startswith(kind))
         name = f"{kind}{count + 1}"
         placement = LayerPlacement(name, weight_bits.shape[0],
-                                   weight_bits.shape[1], self.macro)
+                                   weight_bits.shape[1], self.macro,
+                                   tenant=self.tenant)
         layer_index = len(self.placements)
         # The fault map's dead-macro indices are chip-global: rebase them
         # onto this layer's shard map (macros are assigned to layers in

@@ -196,11 +196,16 @@ class CompiledModel:
             if remapped or spares:
                 degraded = (f"; {remapped} dead macro(s) remapped onto "
                             f"spares ({spares} provisioned)")
+            tenants = sorted({p.tenant for p in placements
+                              if p.tenant is not None})
+            tenant_tag = f" [model {', '.join(tenants)}]" if tenants \
+                else ""
             lines.append(f"    placed on {macros} macros "
                          f"({placements[0].macro.rows}x"
                          f"{placements[0].macro.cols}) across "
                          f"{len(placements)} layers"
-                         + (f" via {via}" if via else "") + degraded)
+                         + (f" via {via}" if via else "") + degraded
+                         + tenant_tag)
         codes = {getattr(getattr(op.executor, "controller", None),
                          "code", None) for op in self.layer_ops}
         codes.discard(None)

@@ -2,11 +2,14 @@
 daemon.
 
 The offline entry points (``repro deploy``, the examples) pay artifact
-load + kernel dispatch per call; this package keeps one
-:class:`~repro.runtime.CompiledModel` resident and coalesces concurrent
-requests into batched dispatches onto the noise-free packed/stacked
-kernels — the throughput lever the hot-path benchmarks point at (a
-256-batch scan costs barely more than a 1-batch scan).
+load + kernel dispatch per call; this package keeps one or more
+:class:`~repro.runtime.CompiledModel` instances resident and coalesces
+concurrent requests into batched dispatches onto the noise-free
+packed/stacked kernels — the throughput lever the hot-path benchmarks
+point at (a 256-batch scan costs barely more than a 1-batch scan).
+Multi-model bundles serve behind one daemon with per-model routing
+(``model=`` / ``POST /v1/predict {"model": ...}``), per-model stats and
+cross-tenant flush coalescing in the single executor.
 
 Layers: :mod:`repro.serve.batcher` (pure admission + coalescing policy),
 :mod:`repro.serve.server` (execution core + HTTP transport + lifecycle),
@@ -19,8 +22,8 @@ front door.
 from repro.serve.batcher import BatchSlice, Flush, MicroBatcher
 from repro.serve.client import ServeClient, ServeHTTPError, fire
 from repro.serve.server import (HttpFront, PlanServer, QueueFull,
-                                ServeRequest, ServerClosed)
-from repro.serve.stats import ServeStats
+                                ServeRequest, ServerClosed, UnknownModel)
+from repro.serve.stats import ServeStats, render_tenant_table
 
 __all__ = [
     "BatchSlice",
@@ -31,7 +34,9 @@ __all__ = [
     "ServeRequest",
     "QueueFull",
     "ServerClosed",
+    "UnknownModel",
     "ServeStats",
+    "render_tenant_table",
     "ServeClient",
     "ServeHTTPError",
     "fire",

@@ -66,11 +66,16 @@ class ServeClient:
                                  data.get("error", "unknown error"))
         return data
 
-    def predict(self, inputs: np.ndarray) -> dict:
+    def predict(self, inputs: np.ndarray,
+                model: str | None = None) -> dict:
         """POST one request; retries queue-full (429) with backoff when
-        ``retries > 0``.  Returns ``{"scores": ndarray, "labels":
-        ndarray, "latency_ms": float}``."""
+        ``retries > 0``.  ``model`` routes to one tenant of a
+        multi-model daemon (optional when a single model is served).
+        Returns ``{"scores": ndarray, "labels": ndarray,
+        "model": str | None, "latency_ms": float}``."""
         payload = {"inputs": np.asarray(inputs).tolist()}
+        if model is not None:
+            payload["model"] = str(model)
         for attempt in range(self.retries + 1):
             try:
                 data = self._request("POST", "/v1/predict", payload)
@@ -81,7 +86,12 @@ class ServeClient:
                 time.sleep(self.backoff * (attempt + 1))
         return {"scores": np.asarray(data["scores"], dtype=np.float64),
                 "labels": np.asarray(data["labels"], dtype=np.int64),
+                "model": data.get("model"),
                 "latency_ms": float(data["latency_ms"])}
+
+    def models(self) -> list[dict]:
+        """The daemon's served models and their contracts."""
+        return self._request("GET", "/v1/models")["models"]
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
@@ -93,11 +103,13 @@ class ServeClient:
         self._conn.close()
 
 
-def fire(url: str, requests: list[np.ndarray], threads: int = 8,
+def fire(url: str, requests: list, threads: int = 8,
          retries: int = 200, timeout: float = 30.0) -> list[dict]:
     """Fire ``requests`` at a daemon from ``threads`` concurrent
     closed-loop clients; returns one response dict per request, in
-    request order.  Worker failures re-raise in the caller."""
+    request order.  Each request is either a bare input array or a
+    ``(model_name, array)`` pair for a multi-model daemon (a mixed
+    burst).  Worker failures re-raise in the caller."""
     results: list = [None] * len(requests)
     errors: list[Exception] = []
     cursor = iter(range(len(requests)))
@@ -111,7 +123,12 @@ def fire(url: str, requests: list[np.ndarray], threads: int = 8,
                     index = next(cursor, None)
                 if index is None:
                     return
-                results[index] = client.predict(requests[index])
+                request = requests[index]
+                if isinstance(request, tuple):
+                    model, inputs = request
+                    results[index] = client.predict(inputs, model=model)
+                else:
+                    results[index] = client.predict(request)
         except Exception as error:      # surface on the caller's thread
             with lock:
                 errors.append(error)
@@ -155,6 +172,10 @@ def main(argv=None) -> int:
     parser.add_argument("--artifact", required=True,
                         help="the plan artifact the daemon is serving "
                              "(for input geometry + offline reference)")
+    parser.add_argument("--model", default=None,
+                        help="tenant name when the daemon serves a "
+                             "multi-model bundle (also selects the "
+                             "plan inside a bundle artifact)")
     parser.add_argument("--requests", type=int, default=64)
     parser.add_argument("--threads", type=int, default=8)
     parser.add_argument("--rows", type=int, default=1,
@@ -168,11 +189,13 @@ def main(argv=None) -> int:
 
     from repro.io import load_compiled, load_plan
 
-    artifact = load_plan(args.artifact)
+    artifact = load_plan(args.artifact, model=args.model)
     requests = _synthetic_requests(artifact, args.requests, args.seed,
                                    args.rows)
+    tagged = [(args.model, r) for r in requests] \
+        if args.model is not None else requests
     t0 = time.perf_counter()
-    responses = fire(args.url, requests, threads=args.threads)
+    responses = fire(args.url, tagged, threads=args.threads)
     elapsed = time.perf_counter() - t0
 
     backend = args.backend

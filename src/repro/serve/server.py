@@ -1,22 +1,28 @@
 """The always-on inference daemon: transport, lifecycle, execution.
 
-Dataflow (one model, one process)::
+Dataflow (one process, one or more co-resident models)::
 
-    client request (rows of raw model input)
-        -> admission queue        bounded; full -> reject (HTTP 429)
-        -> micro-batcher          coalesce FIFO rows, flush on window
-                                  timeout or max-batch fill
-        -> executor thread        ONE thread drives CompiledModel.scores
-                                  on the noise-free packed/stacked kernels
-        -> demultiplexer          slice per-request score rows back out,
-                                  bit-identical to predicting each
-                                  request alone
-        -> response               scores + argmax labels (+ latency)
+    client request (rows of raw model input, optionally model-tagged)
+        -> tenant router           ``model=`` names the lane; unknown
+                                   model -> reject (HTTP 400)
+        -> admission queue         bounded per model; full -> reject
+                                   (HTTP 429)
+        -> micro-batcher           coalesce FIFO rows per model, flush
+                                   on window timeout or max-batch fill
+        -> executor thread         ONE thread drives CompiledModel.scores
+                                   on the noise-free packed/stacked
+                                   kernels; one wake cycle carries the
+                                   flushes of EVERY ready model
+                                   back-to-back (cross-tenant coalescing)
+        -> demultiplexer           slice per-request score rows back out,
+                                   bit-identical to predicting each
+                                   request alone
+        -> response                scores + argmax labels (+ latency)
 
 Threading model: transport threads (one per in-flight HTTP connection)
-only touch the batcher under the server's condition variable and then
+only touch the batchers under the server's condition variable and then
 block on their request handle; the single executor thread is the only
-caller of the compiled plan.  The noise-free fast-path kernels are
+caller of any compiled plan.  The noise-free fast-path kernels are
 reentrant (see ``tests/rram/test_thread_reentrancy.py``), so even this
 single-executor rule is a throughput choice — one saturated batched
 kernel beats competing partial ones — not a correctness requirement.
@@ -24,9 +30,17 @@ Noisy (Monte-Carlo) plans draw from controller-owned RNG streams and are
 *not* servable: the constructor refuses plans whose controllers are off
 the fast path.
 
+Multi-tenancy: pass a ``{name: plan}`` mapping (e.g. from
+:func:`repro.io.load_compiled_bundle`) and each model gets its own
+admission queue, batcher, geometry contract and
+:class:`~repro.serve.stats.ServeStats`, while the executor and the HTTP
+front stay shared.  Requests route by ``model=`` on :meth:`submit` (or
+``"model"`` in the ``POST /v1/predict`` body); with a single model the
+tag is optional and everything behaves exactly as before.
+
 Lifecycle: ``close(drain=True)`` (the SIGTERM path) stops admissions
-(HTTP 503), lets the executor flush every admitted request — drain,
-don't drop — then joins it.
+(HTTP 503), lets the executor flush every admitted request of every
+model — drain, don't drop — then joins it.
 """
 
 from __future__ import annotations
@@ -34,15 +48,16 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections.abc import Mapping
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro.serve.batcher import MicroBatcher
-from repro.serve.stats import ServeStats
+from repro.serve.stats import ServeStats, render_tenant_table
 
 __all__ = ["PlanServer", "HttpFront", "ServeRequest", "QueueFull",
-           "ServerClosed"]
+           "ServerClosed", "UnknownModel"]
 
 
 class QueueFull(RuntimeError):
@@ -58,13 +73,33 @@ class ServerClosed(RuntimeError):
     """The daemon is draining or stopped (HTTP 503)."""
 
 
+class UnknownModel(ValueError):
+    """The request named a model this daemon does not serve — or named
+    none while several are resident (HTTP 400, a client error: retrying
+    the same request can never succeed)."""
+
+    def __init__(self, model, available):
+        self.model = model
+        self.available = sorted(str(name) for name in available)
+        served = ", ".join(self.available)
+        if model is None:
+            message = ("request must name a model: this daemon serves "
+                       f"[{served}]")
+        else:
+            message = (f"unknown model {model!r}: this daemon serves "
+                       f"[{served}]")
+        super().__init__(message)
+
+
 class ServeRequest:
     """A submitted request's handle: wait on it, then read the scores."""
 
-    def __init__(self, request_id: int, rows: int, submitted_at: float):
+    def __init__(self, request_id: int, rows: int, submitted_at: float,
+                 model: str = "model"):
         self.id = request_id
         self.rows = rows
         self.submitted_at = submitted_at
+        self.model = model
         self.scores: np.ndarray | None = None
         self.error: Exception | None = None
         self.latency: float | None = None     # set at completion (seconds)
@@ -108,8 +143,31 @@ class ServeRequest:
         self._event.set()
 
 
+class _Tenant:
+    """One served model's private lane: plan, batcher, geometry, stats."""
+
+    __slots__ = ("name", "plan", "batcher", "input_shape", "dtype", "stats")
+
+    def __init__(self, name, plan, batcher, input_shape, dtype, stats):
+        self.name = name
+        self.plan = plan
+        self.batcher = batcher
+        self.input_shape = input_shape
+        self.dtype = dtype
+        self.stats = stats
+
+
+def _per_model(value, name: str, default=None):
+    """Resolve a possibly per-model setting: mappings are keyed by model
+    name (missing names fall back to ``default``), anything else applies
+    to every model."""
+    if isinstance(value, Mapping):
+        return value.get(name, default)
+    return value if value is not None else default
+
+
 class PlanServer:
-    """Micro-batching execution core around one compiled plan.
+    """Micro-batching execution core around one or more compiled plans.
 
     Transport-agnostic: :meth:`submit` + :class:`ServeRequest` are the
     whole client API; :class:`HttpFront` (or a test, or the load
@@ -118,24 +176,64 @@ class PlanServer:
     when available); ``dtype`` canonicalizes request arrays at admission
     so coalescing requests never changes a single bit relative to
     predicting the same canonical array alone.
+
+    ``plan`` may be a single compiled plan (served as ``model``) or a
+    ``{name: plan}`` mapping for a multi-tenant daemon.  In the mapping
+    case ``max_batch``, ``window``, ``max_queue``, ``input_shape`` and
+    ``dtype`` may each be either one value for every model or a mapping
+    keyed by model name.  Per-model :class:`ServeStats` always exist;
+    ``self.stats`` is the sole model's stats for a single-model server
+    (unchanged from the single-plan days) and a separate aggregate
+    instance when several models are resident.
     """
 
-    def __init__(self, plan, *, max_batch: int = 256,
-                 window: float = 200e-6, max_queue: int = 1024,
-                 pad: bool = False, input_shape=None, dtype=None,
-                 model: str = "model", stats: ServeStats | None = None):
-        self.plan = plan
-        _require_deterministic(plan)
-        self.input_shape = tuple(int(s) for s in input_shape) \
-            if input_shape is not None else None
-        if dtype is None:
-            front = plan.ops[0]
-            spec = getattr(front, "spec", None) or {}
-            dtype = np.uint8 if spec.get("op") == "bits" else np.float64
-        self.dtype = np.dtype(dtype)
-        self.stats = stats or ServeStats(model=model)
-        self._batcher = MicroBatcher(max_batch=max_batch, window=window,
-                                     max_queue=max_queue, pad=pad)
+    def __init__(self, plan, *, max_batch=256, window=200e-6,
+                 max_queue=1024, pad: bool = False, input_shape=None,
+                 dtype=None, model: str = "model",
+                 stats: ServeStats | None = None):
+        if isinstance(plan, Mapping):
+            if not plan:
+                raise ValueError("no models to serve (empty mapping)")
+            plans = {str(name): tenant_plan
+                     for name, tenant_plan in plan.items()}
+        else:
+            plans = {str(model): plan}
+        multi = len(plans) > 1
+        self._tenants: dict[str, _Tenant] = {}
+        for name, tenant_plan in plans.items():
+            _require_deterministic(tenant_plan)
+            shape = _per_model(input_shape, name)
+            if shape is not None:
+                shape = tuple(int(s) for s in shape)
+            tenant_dtype = _per_model(dtype, name)
+            if tenant_dtype is None:
+                front = tenant_plan.ops[0]
+                spec = getattr(front, "spec", None) or {}
+                tenant_dtype = np.uint8 if spec.get("op") == "bits" \
+                    else np.float64
+            batcher = MicroBatcher(
+                max_batch=int(_per_model(max_batch, name, 256)),
+                window=float(_per_model(window, name, 200e-6)),
+                max_queue=int(_per_model(max_queue, name, 1024)),
+                pad=pad)
+            tenant_stats = ServeStats(model=name) if multi \
+                else (stats or ServeStats(model=name))
+            self._tenants[name] = _Tenant(name, tenant_plan, batcher,
+                                          shape, np.dtype(tenant_dtype),
+                                          tenant_stats)
+        if multi:
+            self.stats = stats or ServeStats(model="aggregate")
+            self.plan = None
+            self.input_shape = None
+            self.dtype = None
+            self._batcher = None
+        else:
+            sole = next(iter(self._tenants.values()))
+            self.stats = sole.stats
+            self.plan = sole.plan          # single-model conveniences
+            self.input_shape = sole.input_shape
+            self.dtype = sole.dtype
+            self._batcher = sole.batcher
         self._cond = threading.Condition()
         self._handles: dict[int, ServeRequest] = {}
         self._next_id = 0
@@ -146,21 +244,60 @@ class PlanServer:
                                           daemon=True)
         self._executor.start()
 
+    # -- tenant routing ----------------------------------------------------
+    def models(self) -> list[str]:
+        """Served model names, in registration order."""
+        return list(self._tenants)
+
+    def describe_models(self) -> list[dict]:
+        """One JSON-ready record per served model (``GET /v1/models``)."""
+        return [{
+            "name": t.name,
+            "input_shape": list(t.input_shape)
+            if t.input_shape is not None else None,
+            "dtype": t.dtype.name,
+            "max_batch": t.batcher.max_batch,
+            "window_us": t.batcher.window * 1e6,
+            "max_queue": t.batcher.max_queue,
+        } for t in self._tenants.values()]
+
+    def _resolve(self, model) -> _Tenant:
+        if model is None:
+            if len(self._tenants) == 1:
+                return next(iter(self._tenants.values()))
+            raise UnknownModel(None, self._tenants)
+        tenant = self._tenants.get(str(model))
+        if tenant is None:
+            raise UnknownModel(model, self._tenants)
+        return tenant
+
+    def _stat(self, tenant: _Tenant, method: str, *args) -> None:
+        """Record on the tenant's counters and (when distinct) on the
+        aggregate — single-model servers alias the two, so nothing is
+        ever double-counted."""
+        getattr(tenant.stats, method)(*args)
+        if tenant.stats is not self.stats:
+            getattr(self.stats, method)(*args)
+
     # -- client API ------------------------------------------------------
-    def submit(self, inputs) -> ServeRequest:
+    def submit(self, inputs, model: str | None = None) -> ServeRequest:
         """Admit one request: ``(rows,) + input_shape`` (or one bare
-        sample, auto-wrapped).  Returns its handle; raises
+        sample, auto-wrapped).  ``model`` routes to the named tenant
+        (optional when a single model is served).  Returns the request's
+        handle; raises :class:`UnknownModel` for a bad route,
         :class:`QueueFull` under backpressure and :class:`ServerClosed`
         once draining."""
-        inputs = np.ascontiguousarray(inputs, dtype=self.dtype)
-        if self.input_shape is not None and \
-                inputs.shape == self.input_shape:
+        tenant = self._resolve(model)
+        inputs = np.ascontiguousarray(inputs, dtype=tenant.dtype)
+        if tenant.input_shape is not None and \
+                inputs.shape == tenant.input_shape:
             inputs = inputs[None]
-        if self.input_shape is not None and \
-                inputs.shape[1:] != self.input_shape:
+        if tenant.input_shape is not None and \
+                inputs.shape[1:] != tenant.input_shape:
             raise ValueError(
                 f"request shape {inputs.shape} != (rows, "
-                f"{', '.join(map(str, self.input_shape))})")
+                f"{', '.join(map(str, tenant.input_shape))}) "
+                f"for model {tenant.name!r}")
         if inputs.ndim < 2:
             raise ValueError(
                 f"request must be (rows,) + sample shape, "
@@ -170,77 +307,111 @@ class PlanServer:
             if self._draining:
                 raise ServerClosed("server is draining; not accepting "
                                    "new requests")
-            if len(inputs) > self._batcher.max_queue:
-                self.stats.record_reject()
+            if len(inputs) > tenant.batcher.max_queue:
+                self._stat(tenant, "record_reject")
                 raise QueueFull(
                     f"request of {len(inputs)} rows exceeds the whole "
-                    f"admission queue ({self._batcher.max_queue} rows)",
+                    f"admission queue ({tenant.batcher.max_queue} rows)",
                     permanent=True)
-            handle = ServeRequest(self._next_id, len(inputs), now)
-            if not self._batcher.submit(handle.id, inputs, now):
-                self.stats.record_reject()
+            handle = ServeRequest(self._next_id, len(inputs), now,
+                                  model=tenant.name)
+            if not tenant.batcher.submit(handle.id, inputs, now):
+                self._stat(tenant, "record_reject")
                 raise QueueFull(
                     f"admission queue full "
-                    f"({self._batcher.depth}/{self._batcher.max_queue} "
+                    f"({tenant.batcher.depth}/{tenant.batcher.max_queue} "
                     "rows queued); retry")
             self._next_id += 1
             self._handles[handle.id] = handle
-            self.stats.record_admit(self._batcher.depth)
+            self._stat(tenant, "record_admit", tenant.batcher.depth)
             self._cond.notify()
         return handle
 
     @property
     def queue_depth(self) -> int:
         with self._cond:
-            return self._batcher.depth
+            return sum(t.batcher.depth for t in self._tenants.values())
 
     @property
     def draining(self) -> bool:
         return self._draining
 
+    # -- stats -----------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Aggregate counters plus a ``"models"`` section with every
+        tenant's own snapshot (``GET /v1/stats``)."""
+        snapshot = self.stats.snapshot()
+        snapshot["models"] = {name: t.stats.snapshot()
+                              for name, t in self._tenants.items()}
+        return snapshot
+
+    def render_stats(self) -> str:
+        """The daemon's shutdown report: the aggregate block, plus a
+        per-model exit table when several models are resident."""
+        if len(self._tenants) == 1:
+            return self.stats.render()
+        table = render_tenant_table(
+            [t.stats.snapshot() for t in self._tenants.values()])
+        return "\n".join([self.stats.render(), "", table])
+
     # -- lifecycle -------------------------------------------------------
     def close(self, drain: bool = True, timeout: float | None = None):
         """Stop the daemon.  ``drain=True`` (the SIGTERM contract) serves
-        every admitted request before the executor exits; ``drain=False``
-        fails queued requests with :class:`ServerClosed`."""
+        every admitted request of every model before the executor exits;
+        ``drain=False`` fails queued requests with :class:`ServerClosed`."""
         with self._cond:
             if self._stopped:
                 return
             self._draining = True
             if not drain:
-                for flush in self._batcher.drain(time.monotonic()):
-                    for s in flush.slices:
-                        if s.final:
-                            handle = self._handles.pop(s.request_id)
-                            handle._fail(ServerClosed("server stopped"))
+                now = time.monotonic()
+                for tenant in self._tenants.values():
+                    for flush in tenant.batcher.drain(now):
+                        for s in flush.slices:
+                            if s.final:
+                                handle = self._handles.pop(s.request_id)
+                                handle._fail(ServerClosed("server stopped"))
             self._cond.notify_all()
         self._executor.join(timeout)
         self._stopped = True
 
     # -- executor --------------------------------------------------------
     def _executor_loop(self):
+        tenants = list(self._tenants.values())
         while True:
+            flushes = []
             with self._cond:
                 while True:
                     if self._draining:
-                        if self._batcher.n_waiting == 0:
+                        if all(t.batcher.n_waiting == 0 for t in tenants):
                             return
                         break                    # drain: flush regardless
                     now = time.monotonic()
-                    if self._batcher.ready(now):
+                    if any(t.batcher.ready(now) for t in tenants):
                         break
-                    deadline = self._batcher.next_deadline()
+                    deadlines = [d for d in (t.batcher.next_deadline()
+                                             for t in tenants)
+                                 if d is not None]
                     self._cond.wait(
-                        None if deadline is None
-                        else max(0.0, deadline - now))
-                flush = self._batcher.flush(time.monotonic())
-                depth = self._batcher.depth
-            if flush is not None:
-                self._execute(flush, depth)
+                        None if not deadlines
+                        else max(0.0, min(deadlines) - now))
+                # Cross-tenant coalescing: one wake cycle collects the
+                # flush of EVERY ready model, so back-to-back dispatches
+                # share the wake/lock overhead instead of paying it per
+                # tenant.
+                now = time.monotonic()
+                for tenant in tenants:
+                    if self._draining or tenant.batcher.ready(now):
+                        flush = tenant.batcher.flush(now)
+                        if flush is not None:
+                            flushes.append((tenant, flush,
+                                            tenant.batcher.depth))
+            for tenant, flush, depth in flushes:
+                self._execute(tenant, flush, depth)
 
-    def _execute(self, flush, depth: int) -> None:
+    def _execute(self, tenant: _Tenant, flush, depth: int) -> None:
         try:
-            scores = self.plan.scores(flush.inputs)[:flush.rows]
+            scores = tenant.plan.scores(flush.inputs)[:flush.rows]
         except Exception as error:     # deliver the failure, keep serving
             with self._cond:
                 for s in flush.slices:
@@ -250,7 +421,7 @@ class PlanServer:
                         handle._fail(error)
             return
         now = time.monotonic()
-        self.stats.record_batch(flush.rows, depth)
+        self._stat(tenant, "record_batch", flush.rows, depth)
         with self._cond:
             handles = [(s, self._handles.pop(s.request_id)
                         if s.final else self._handles[s.request_id])
@@ -258,7 +429,7 @@ class PlanServer:
         for s, handle in handles:
             handle._deliver(s.offset, scores[s.row_start:s.row_stop], now)
             if s.final:
-                self.stats.record_complete(handle.latency)
+                self._stat(tenant, "record_complete", handle.latency)
 
 
 def _require_deterministic(plan) -> None:
@@ -282,17 +453,26 @@ class HttpFront:
 
     Endpoints::
 
-        POST /v1/predict   {"inputs": [[...], ...]} ->
+        POST /v1/predict   {"inputs": [[...], ...], "model": "eeg"?} ->
                            {"scores": [[...]], "labels": [...],
-                            "latency_ms": ...}
-        GET  /v1/stats     counters + latency percentiles (JSON)
+                            "model": ..., "latency_ms": ...}
+        GET  /v1/models    the served models and their contracts (JSON)
+        GET  /v1/stats     aggregate + per-model counters and latency
+                           percentiles (JSON)
         GET  /healthz      {"status": "ok" | "draining"}
 
-    Backpressure surfaces as 429 (retryable) / 413 (request larger than
-    the queue); a draining daemon answers 503.  One thread per in-flight
-    connection (stdlib ``ThreadingHTTPServer``); all of them funnel into
-    the single executor through the admission queue.
+    ``"model"`` in the predict body is required only when several models
+    are resident; an unknown (or missing-but-required) name is a 400
+    client error whose body lists the served models.  Backpressure
+    surfaces as 429 (retryable) / 413 (request larger than the queue); a
+    draining daemon answers 503; unknown paths get a structured 404 that
+    lists the routes.  One thread per in-flight connection (stdlib
+    ``ThreadingHTTPServer``); all of them funnel into the single
+    executor through the per-model admission queues.
     """
+
+    ROUTES = ("GET /healthz", "GET /v1/models", "GET /v1/stats",
+              "POST /v1/predict")
 
     def __init__(self, server: PlanServer, host: str = "127.0.0.1",
                  port: int = 0, request_timeout: float = 30.0):
@@ -318,30 +498,44 @@ class HttpFront:
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _not_found(self) -> None:
+                self._reply(404, {"error": "no such route",
+                                  "path": self.path,
+                                  "routes": list(HttpFront.ROUTES)})
+
             def do_GET(self):
                 if self.path == "/healthz":
                     draining = front.server.draining
                     self._reply(503 if draining else 200,
                                 {"status": "draining" if draining
                                  else "ok"})
+                elif self.path == "/v1/models":
+                    self._reply(200, {
+                        "models": front.server.describe_models()})
                 elif self.path == "/v1/stats":
-                    self._reply(200, front.server.stats.snapshot())
+                    self._reply(200, front.server.stats_snapshot())
                 else:
-                    self._reply(404, {"error": f"no route {self.path}"})
+                    self._not_found()
 
             def do_POST(self):
                 if self.path != "/v1/predict":
-                    self._reply(404, {"error": f"no route {self.path}"})
+                    self._not_found()
                     return
                 try:
                     length = int(self.headers.get("Content-Length", 0))
                     payload = json.loads(self.rfile.read(length))
                     inputs = payload["inputs"]
-                except (ValueError, KeyError) as error:
+                    model = payload.get("model")
+                except (ValueError, KeyError, TypeError) as error:
                     self._reply(400, {"error": f"bad request: {error}"})
                     return
                 try:
-                    handle = front.server.submit(inputs)
+                    handle = front.server.submit(inputs, model=model)
+                except UnknownModel as error:
+                    self._reply(400, {"error": str(error),
+                                      "model": error.model,
+                                      "available": error.available})
+                    return
                 except QueueFull as error:
                     self._reply(413 if error.permanent else 429,
                                 {"error": str(error)})
@@ -362,6 +556,7 @@ class HttpFront:
                 self._reply(200, {
                     "scores": handle.scores.tolist(),
                     "labels": handle.labels.tolist(),
+                    "model": handle.model,
                     "latency_ms": handle.latency * 1e3,
                 })
 

@@ -15,7 +15,28 @@ from collections import deque
 
 from repro.metrics import latency_summary
 
-__all__ = ["ServeStats"]
+__all__ = ["ServeStats", "render_tenant_table"]
+
+
+def render_tenant_table(snapshots) -> str:
+    """One row per served model — the multi-tenant daemon's exit table.
+
+    ``snapshots`` is a list of :meth:`ServeStats.snapshot` dicts; the
+    latency columns come from the same ring-buffer percentiles the
+    per-model ``GET /v1/stats`` payload reports.
+    """
+    header = (f"{'model':<12s} {'requests':>9s} {'rejected':>9s} "
+              f"{'completed':>10s} {'batches':>8s} {'fill':>7s} "
+              f"{'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s}")
+    lines = ["per-model serve stats", "-" * len(header), header]
+    for s in snapshots:
+        lat = s["latency_ms"]
+        lines.append(
+            f"{s['model']:<12s} {s['requests']:>9d} {s['rejected']:>9d} "
+            f"{s['completed']:>10d} {s['batches']:>8d} "
+            f"{s['mean_fill']:>7.1f} {lat['p50']:>9.3f} "
+            f"{lat['p95']:>9.3f} {lat['p99']:>9.3f}")
+    return "\n".join(lines)
 
 
 class ServeStats:

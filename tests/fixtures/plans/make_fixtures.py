@@ -19,16 +19,22 @@ HERE = pathlib.Path(__file__).parent
 
 
 def main() -> None:
-    from repro.io import save_plan
+    from repro.io import save_bundle, save_plan
     from repro.models import GOLDEN_NAMES, golden_classifier
     from repro.runtime import compile
 
+    plans = {}
     for name in GOLDEN_NAMES:
         model, _ = golden_classifier(name)
         plan = compile(model, backend="reference", lower_features=True)
+        plans[name] = plan
         path = save_plan(plan, HERE / f"{name}_full_binary.npz",
                          overwrite=True)
         print(f"wrote {path} ({path.stat().st_size} bytes)")
+    # The same plans again as one multi-tenant bundle: the golden fixture
+    # of the bundle format and the co-residency/serving tests.
+    path = save_bundle(plans, HERE / "eeg_ecg_bundle.npz", overwrite=True)
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
 
 
 if __name__ == "__main__":

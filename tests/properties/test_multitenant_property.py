@@ -1,0 +1,141 @@
+"""Property contracts of interleaved multi-tenant scans.
+
+The claim under test: fusing several tenants' stacked shard plans into
+one :func:`packed_xnor_popcount_stacked` dispatch (per-tenant stripe
+masks + per-model partial-popcount reduction) is **bit-identical** to
+running each tenant's :class:`ShardedController` alone — for any layer
+geometry, any macro grid, any subset of active tenants, empty batches
+included, and with dead macros remapped onto spares (PR 7).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rram import (AcceleratorConfig, FaultMap, MacroGeometry,
+                        MultiTenantController, ShardedController)
+
+GEOMETRIES = [(7, 13), (8, 24), (32, 32)]
+
+
+def _tenant_pool(rng, n_tenants, macro, fault_maps=None):
+    """Random co-resident tenants on a shared macro geometry."""
+    config = AcceleratorConfig(ideal=True)
+    controllers, batches = {}, {}
+    for t in range(n_tenants):
+        rows = int(rng.integers(2, 40))
+        cols = int(rng.integers(3, 140))
+        weights = rng.integers(0, 2, (rows, cols)).astype(np.uint8)
+        name = f"tenant{t}"
+        fault_map = (fault_maps or {}).get(name)
+        controllers[name] = ShardedController(
+            weights, config=config,
+            rng=np.random.default_rng(1000 + t), macro=macro, name=name,
+            fault_map=fault_map, spares="auto")
+        n = int(rng.integers(0, 7))
+        batches[name] = rng.integers(0, 2, (n, cols)).astype(np.uint8)
+    return controllers, batches
+
+
+def _assert_fused_equals_solo(controllers, batches):
+    fused = MultiTenantController(controllers).popcounts(batches)
+    for name, bits in batches.items():
+        controller = controllers[name]
+        if len(bits):
+            assert np.array_equal(fused[name],
+                                  controller.popcounts(bits)), name
+        else:
+            assert fused[name].shape == (0, controller.out_features)
+
+
+class TestInterleavedEqualsSolo:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(1, 4),
+           st.sampled_from(GEOMETRIES))
+    def test_any_geometry_any_tenant_count(self, seed, n_tenants,
+                                           geometry):
+        rng = np.random.default_rng(seed)
+        controllers, batches = _tenant_pool(rng, n_tenants,
+                                            MacroGeometry(*geometry))
+        _assert_fused_equals_solo(controllers, batches)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2 ** 31))
+    def test_subset_of_tenants_active(self, seed):
+        """Word lines of idle tenants simply are not selected: scanning
+        a subset must match each active tenant's solo scan."""
+        rng = np.random.default_rng(seed)
+        controllers, batches = _tenant_pool(rng, 3, MacroGeometry(8, 24))
+        active = {name: bits for i, (name, bits) in
+                  enumerate(batches.items()) if i != 1}
+        mt = MultiTenantController(controllers)
+        fused = mt.popcounts(active)
+        assert set(fused) == set(active)
+        for name, bits in active.items():
+            if len(bits):
+                assert np.array_equal(fused[name],
+                                      controllers[name].popcounts(bits))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.sampled_from(GEOMETRIES))
+    def test_dead_macro_remap_stays_bit_identical(self, seed, geometry):
+        """A degraded tenant (dead macro remapped onto a spare) fused
+        with a healthy one: both still match their solo scans."""
+        rng = np.random.default_rng(seed)
+        controllers, batches = _tenant_pool(
+            rng, 2, MacroGeometry(*geometry),
+            fault_maps={"tenant0": FaultMap(dead_macros=(0,))})
+        assert controllers["tenant0"].placement.remapped
+        _assert_fused_equals_solo(controllers, batches)
+
+
+class TestMultiTenantEdges:
+    @pytest.fixture
+    def pool(self, rng):
+        return _tenant_pool(rng, 2, MacroGeometry(8, 24))
+
+    def test_unknown_tenant_raises(self, pool, rng):
+        controllers, _ = pool
+        mt = MultiTenantController(controllers)
+        with pytest.raises(ValueError, match="unknown tenant"):
+            mt.popcounts({"ghost": np.zeros((1, 8), dtype=np.uint8)})
+
+    def test_all_batches_empty(self, pool):
+        controllers, batches = pool
+        mt = MultiTenantController(controllers)
+        empty = {name: bits[:0] for name, bits in batches.items()}
+        fused = mt.popcounts(empty)
+        for name, controller in controllers.items():
+            assert fused[name].shape == (0, controller.out_features)
+
+    def test_mismatched_macro_geometry_rejected(self, rng):
+        config = AcceleratorConfig(ideal=True)
+        a = ShardedController(
+            rng.integers(0, 2, (8, 40)).astype(np.uint8), config=config,
+            rng=np.random.default_rng(1), macro=MacroGeometry(8, 24))
+        b = ShardedController(
+            rng.integers(0, 2, (8, 40)).astype(np.uint8), config=config,
+            rng=np.random.default_rng(2), macro=MacroGeometry(32, 32))
+        with pytest.raises(ValueError, match="share one chip geometry"):
+            MultiTenantController({"a": a, "b": b})
+
+    def test_wrong_input_width_rejected(self, pool):
+        controllers, _ = pool
+        mt = MultiTenantController(controllers)
+        name = next(iter(controllers))
+        bad = np.zeros((2, controllers[name].in_features + 1),
+                       dtype=np.uint8)
+        with pytest.raises(ValueError, match="input shape"):
+            mt.popcounts({name: bad})
+
+    def test_stripe_ranges_partition_the_pool(self, pool):
+        controllers, _ = pool
+        mt = MultiTenantController(controllers)
+        cursor = 0
+        for name in controllers:
+            start, stop = mt.stripe_ranges[name]
+            assert start == cursor
+            assert stop - start == controllers[name].plan.grid_rows
+            cursor = stop
+        assert cursor == mt.n_stripes

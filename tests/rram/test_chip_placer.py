@@ -1,0 +1,154 @@
+"""Co-resident placement contracts (ChipPlacer / ChipPlacement).
+
+First-fit-decreasing packing of several tenants' layer placements onto
+one macro pool must be physically valid (no word-line overlap, every
+shard inside its macro), never worse than solo chips, deterministic,
+spares-aware (pooled reserve = max per-tenant demand), and bounded by
+``capacity``.
+"""
+
+import pytest
+
+from repro.rram import (ChipFloorplan, ChipPlacement, ChipPlacer,
+                        LayerPlacement, MacroGeometry)
+
+MACRO = MacroGeometry(32, 32)
+
+
+def _tenants(macro=MACRO, spares=(0, 0)):
+    """Two small tenants with tail shards that can share macros."""
+    eeg = [LayerPlacement("fc1", 50, 64, macro, spare_macros=spares[0],
+                          tenant="eeg"),
+           LayerPlacement("fc2", 5, 50, macro, tenant="eeg")]
+    ecg = [LayerPlacement("fc1", 40, 180, macro, spare_macros=spares[1],
+                          tenant="ecg"),
+           LayerPlacement("fc2", 10, 40, macro, tenant="ecg")]
+    return {"eeg": eeg, "ecg": ecg}
+
+
+class TestPacking:
+    def test_word_lines_fit_and_never_overlap(self):
+        placement = ChipPlacer(MACRO).place(_tenants())
+        spans: dict[int, list[tuple[int, int]]] = {}
+        for a in placement.assignments:
+            start, stop = a.row_offset, a.row_offset + a.rows
+            assert 0 <= start < stop <= MACRO.rows
+            spans.setdefault(a.pool_macro, []).append((start, stop))
+        for intervals in spans.values():
+            intervals.sort()
+            for (_, stop), (start, _) in zip(intervals, intervals[1:]):
+                assert stop <= start, "word-line ranges overlap"
+
+    def test_every_shard_is_placed_exactly_once(self):
+        tenants = _tenants()
+        placement = ChipPlacer(MACRO).place(tenants)
+        expected = sum(len(p.shards()) for group in tenants.values()
+                       for p in group)
+        assert len(placement.assignments) == expected
+        keys = {(a.tenant, a.layer, a.shard.index)
+                for a in placement.assignments}
+        assert len(keys) == expected
+
+    def test_never_worse_than_solo_chips(self):
+        placement = ChipPlacer(MACRO).place(_tenants())
+        assert placement.n_macros_provisioned <= \
+            placement.solo_macros_total
+        # These tenants have mergeable tail shards: strictly better.
+        assert placement.shared_macros() >= 1
+        solo_synapses = placement.solo_macros_total * MACRO.synapses
+        assert placement.utilization >= \
+            placement.synapses_used / solo_synapses
+
+    def test_deterministic(self):
+        a = ChipPlacer(MACRO).place(_tenants())
+        b = ChipPlacer(MACRO).place(_tenants())
+        assert a.assignments == b.assignments
+        assert a.report() == b.report()
+
+    def test_mixed_geometry_tenant_rejected(self):
+        tenants = _tenants()
+        tenants["odd"] = [LayerPlacement("fc1", 8, 8,
+                                         MacroGeometry(8, 24),
+                                         tenant="odd")]
+        with pytest.raises(ValueError, match="share the chip geometry"):
+            ChipPlacer(MACRO).place(tenants)
+
+    def test_nothing_to_place_rejected(self):
+        with pytest.raises(ValueError, match="nothing to place"):
+            ChipPlacer(MACRO).place({})
+
+
+class TestSparesAndCapacity:
+    def test_auto_spares_pool_the_max_tenant_demand(self):
+        placement = ChipPlacer(MACRO).place(_tenants(spares=(2, 1)))
+        assert placement.spare_macros == 2  # max, not 2 + 1
+        # Solo totals still count each tenant's own reserve.
+        assert placement.solo_macros["eeg"] == \
+            sum(p.n_macros + p.spare_macros
+                for p in _tenants(spares=(2, 1))["eeg"])
+
+    def test_int_spares_pass_through(self):
+        placement = ChipPlacer(MACRO, spares=3).place(_tenants())
+        assert placement.spare_macros == 3
+        assert placement.n_macros_provisioned == placement.n_macros + 3
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(ValueError, match="spares"):
+            ChipPlacer(MACRO, spares=-1).place(_tenants())
+
+    def test_capacity_exceeded_raises(self):
+        need = ChipPlacer(MACRO).place(_tenants()).n_macros
+        with pytest.raises(ValueError, match="capacity"):
+            ChipPlacer(MACRO, capacity=need - 1).place(_tenants())
+        fits = ChipPlacer(MACRO, capacity=need).place(_tenants())
+        assert fits.n_macros == need
+
+    def test_capacity_counts_the_spare_reserve(self):
+        need = ChipPlacer(MACRO).place(_tenants()).n_macros
+        with pytest.raises(ValueError, match="capacity"):
+            ChipPlacer(MACRO, capacity=need,
+                       spares=1).place(_tenants())
+
+
+class TestReporting:
+    def test_tenant_occupancy_accounts_every_shard(self):
+        tenants = _tenants()
+        placement = ChipPlacer(MACRO).place(tenants)
+        occupancy = placement.tenant_occupancy()
+        assert set(occupancy) == {"eeg", "ecg"}
+        for name, group in tenants.items():
+            entry = occupancy[name]
+            assert entry["shards"] == sum(len(p.shards()) for p in group)
+            assert entry["word_lines"] == \
+                sum(s.rows for p in group for s in p.shards())
+            assert entry["synapses_used"] == \
+                sum(p.synapses_used for p in group)
+
+    def test_report_shows_the_before_after_macro_math(self):
+        placement = ChipPlacer(MACRO).place(_tenants())
+        report = placement.report()
+        assert "Co-resident pool" in report
+        assert "Utilization" in report
+        assert "solo chips need" in report
+        assert str(placement.solo_macros_total) in report
+
+    def test_macro_report_gains_model_column_for_tenants(self):
+        tenants = _tenants()
+        flat = [p for group in tenants.values() for p in group]
+        report = ChipFloorplan(flat).macro_report()
+        assert "Model" in report
+        assert "Per-tenant occupancy:" in report
+        assert "eeg" in report and "ecg" in report
+
+    def test_macro_report_unchanged_without_tenants(self):
+        plain = [LayerPlacement("fc1", 50, 64, MACRO),
+                 LayerPlacement("fc2", 5, 50, MACRO)]
+        report = ChipFloorplan(plain).macro_report()
+        assert "Model" not in report
+        assert "Per-tenant occupancy:" not in report
+
+    def test_empty_placement_properties(self):
+        placement = ChipPlacement(macro=MACRO, assignments=[])
+        assert placement.n_macros == 0
+        assert placement.utilization == 0.0
+        assert placement.tenants == ()

@@ -1,0 +1,243 @@
+"""Bundle artifact contracts (repro.io.plans save_bundle/load_bundle).
+
+A bundle is N named plans in one pickle-free npz — the unit a
+multi-tenant chip (and the serving daemon) deploys.  The contracts:
+each tenant's payload is byte-identical to its solo ``save_plan``
+serialization, bundles reload bit-identically on every registered
+backend, single-plan files load transparently as one-tenant bundles
+(and vice versa), and the committed golden bundle fixture matches a
+fresh save array-for-array.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (BundleArtifact, load_bundle, load_compiled,
+                      load_compiled_bundle, load_plan, save_bundle,
+                      save_plan)
+from repro.nn.binary import FoldedBinaryDense, FoldedOutputDense
+from repro.rram import AcceleratorConfig, MacroGeometry
+from repro.runtime import (RRAMBackend, ShardedRRAMBackend, compile,
+                           plan_from_folded)
+
+FIXTURES = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "plans"
+
+
+def _random_folded_stack(rng, n_in, n_hidden, n_out, n_classes):
+    def dense(rows, cols):
+        return FoldedBinaryDense(
+            weight_bits=rng.integers(0, 2, (rows, cols)).astype(np.uint8),
+            theta=rng.integers(-cols, cols + 1, rows).astype(np.float64),
+            gamma_sign=rng.choice([-1.0, 0.0, 1.0], rows),
+            beta_sign=rng.choice([-1.0, 1.0], rows))
+    hidden = [dense(n_hidden, n_in), dense(n_out, n_hidden)]
+    output = FoldedOutputDense(
+        weight_bits=rng.integers(0, 2,
+                                 (n_classes, n_out)).astype(np.uint8),
+        scale=rng.normal(1.0, 0.3, n_classes),
+        offset=rng.normal(0.0, 0.5, n_classes))
+    return hidden, output
+
+
+@pytest.fixture
+def two_tenants(rng):
+    plans, inputs = {}, {}
+    for name, (n_in, n_hidden, n_out, n_classes) in (
+            ("alpha", (67, 12, 8, 2)), ("beta", (131, 20, 10, 3))):
+        hidden, output = _random_folded_stack(rng, n_in, n_hidden, n_out,
+                                              n_classes)
+        plans[name] = plan_from_folded(hidden, output, "reference")
+        inputs[name] = rng.integers(0, 2, (7, n_in)).astype(np.uint8)
+    return plans, inputs
+
+
+class TestBundleFormat:
+    def test_roundtrip_names_and_meta(self, two_tenants, tmp_path):
+        plans, _ = two_tenants
+        path = save_bundle(plans, tmp_path / "b.npz")
+        bundle = load_bundle(path)
+        assert isinstance(bundle, BundleArtifact)
+        assert bundle.names == ("alpha", "beta")
+        assert len(bundle) == 2
+        assert "alpha" in bundle and "nope" not in bundle
+        assert "2 model" in bundle.describe() or \
+            "alpha" in bundle.describe()
+
+    def test_tenant_payload_byte_identical_to_solo_save(self, two_tenants,
+                                                        tmp_path):
+        """The bundle namespaces each tenant's exact solo serialization;
+        extracting a tenant loses nothing."""
+        plans, _ = two_tenants
+        bundle_path = save_bundle(plans, tmp_path / "b.npz")
+        solo_path = save_plan(plans["alpha"], tmp_path / "alpha.npz")
+        with np.load(bundle_path) as bundled, np.load(solo_path) as solo:
+            solo_keys = [k for k in solo.files
+                         if k != "__repro_meta__"]
+            prefixed = {k for k in bundled.files
+                        if k.startswith("model0.")}
+            assert prefixed == {f"model0.{k}" for k in solo_keys}
+            for key in solo_keys:
+                assert np.array_equal(bundled[f"model0.{key}"], solo[key])
+
+    def test_overwrite_protection(self, two_tenants, tmp_path):
+        plans, _ = two_tenants
+        path = save_bundle(plans, tmp_path / "b.npz")
+        with pytest.raises(FileExistsError):
+            save_bundle(plans, path)
+        save_bundle(plans, path, overwrite=True)
+
+    def test_empty_bundle_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_bundle({}, tmp_path / "empty.npz")
+
+    def test_bad_names_rejected(self, two_tenants, tmp_path):
+        plans, _ = two_tenants
+        with pytest.raises(ValueError):
+            save_bundle({"": plans["alpha"]}, tmp_path / "b.npz")
+
+
+class TestBundleLoading:
+    def test_loads_bit_identically_on_all_backends(self, two_tenants,
+                                                   tmp_path):
+        plans, inputs = two_tenants
+        path = save_bundle(plans, tmp_path / "b.npz")
+        for backend in ("reference", "packed",
+                        lambda: RRAMBackend(AcceleratorConfig(ideal=True)),
+                        lambda: ShardedRRAMBackend(
+                            AcceleratorConfig(ideal=True),
+                            macro=MacroGeometry(7, 13))):
+            loaded = load_compiled_bundle(path, backend=backend)
+            assert set(loaded) == set(plans)
+            for name in plans:
+                assert np.array_equal(loaded[name].scores(inputs[name]),
+                                      plans[name].scores(inputs[name]))
+
+    def test_sharded_tenants_get_separate_placements(self, two_tenants,
+                                                     tmp_path):
+        """Each tenant binds its own backend instance: placements must
+        not be clobbered by the last compile (begin_plan resets them)."""
+        plans, _ = two_tenants
+        path = save_bundle(plans, tmp_path / "b.npz")
+        loaded = load_compiled_bundle(
+            path, backend=lambda: ShardedRRAMBackend(
+                AcceleratorConfig(ideal=True), macro=MacroGeometry(8, 24)))
+        for name in plans:
+            assert loaded[name].placements, name
+        assert loaded["alpha"].placements[0].in_features == 67
+        assert loaded["beta"].placements[0].in_features == 131
+
+    def test_load_plan_selects_model(self, two_tenants, tmp_path):
+        plans, inputs = two_tenants
+        path = save_bundle(plans, tmp_path / "b.npz")
+        artifact = load_plan(path, model="beta")
+        loaded = load_compiled(artifact, backend="packed")
+        assert np.array_equal(loaded.scores(inputs["beta"]),
+                              plans["beta"].scores(inputs["beta"]))
+
+    def test_load_plan_without_model_is_ambiguous(self, two_tenants,
+                                                  tmp_path):
+        plans, _ = two_tenants
+        path = save_bundle(plans, tmp_path / "b.npz")
+        with pytest.raises(ValueError, match="alpha"):
+            load_plan(path)
+
+    def test_unknown_model_lists_names(self, two_tenants, tmp_path):
+        plans, _ = two_tenants
+        path = save_bundle(plans, tmp_path / "b.npz")
+        with pytest.raises(ValueError, match="beta"):
+            load_plan(path, model="gamma")
+
+
+class TestSinglePlanTransparency:
+    def test_single_plan_file_loads_as_one_tenant_bundle(self, rng,
+                                                         tmp_path):
+        hidden, output = _random_folded_stack(rng, 40, 10, 6, 2)
+        plan = plan_from_folded(hidden, output, "reference")
+        path = save_plan(plan, tmp_path / "solo_model.npz")
+        bundle = load_bundle(path)
+        assert bundle.names == ("solo_model",)
+        bits = rng.integers(0, 2, (5, 40)).astype(np.uint8)
+        loaded = load_compiled(bundle.plan(), backend="packed")
+        assert np.array_equal(loaded.scores(bits), plan.scores(bits))
+
+    def test_one_tenant_bundle_loads_as_plain_plan(self, rng, tmp_path):
+        hidden, output = _random_folded_stack(rng, 40, 10, 6, 2)
+        plan = plan_from_folded(hidden, output, "reference")
+        path = save_bundle({"only": plan}, tmp_path / "one.npz")
+        artifact = load_plan(path)       # model tag optional: one tenant
+        bits = rng.integers(0, 2, (5, 40)).astype(np.uint8)
+        loaded = load_compiled(artifact, backend="packed")
+        assert np.array_equal(loaded.scores(bits), plan.scores(bits))
+
+
+class TestGoldenBundleFixture:
+    def test_committed_bundle_matches_fresh_save(self, tmp_path):
+        """The committed fixture is byte-stable: regenerating from the
+        golden models reproduces every array exactly."""
+        from repro.models import GOLDEN_NAMES, golden_classifier
+
+        plans = {}
+        for name in GOLDEN_NAMES:
+            model, _ = golden_classifier(name)
+            plans[name] = compile(model, backend="reference",
+                                  lower_features=True)
+        fresh_path = save_bundle(plans, tmp_path / "fresh.npz")
+        with np.load(FIXTURES / "eeg_ecg_bundle.npz") as committed, \
+                np.load(fresh_path) as fresh:
+            assert set(committed.files) == set(fresh.files)
+            for key in committed.files:
+                if key == "__repro_meta__":
+                    continue
+                assert np.array_equal(committed[key], fresh[key]), key
+
+    def test_committed_bundle_tenants_match_solo_fixtures(self):
+        """Bundle tenants == the committed single-plan fixtures,
+        bit-for-bit, on every backend."""
+        bundle = load_bundle(FIXTURES / "eeg_ecg_bundle.npz")
+        assert bundle.names == ("eeg", "ecg")
+        rng = np.random.default_rng(0)
+        for name in bundle.names:
+            solo = load_plan(FIXTURES / f"{name}_full_binary.npz")
+            x = rng.standard_normal((4,) + solo.input_shape)
+            for backend in ("reference", "packed"):
+                a = load_compiled(bundle[name], backend=backend)
+                b = load_compiled(solo, backend=backend)
+                assert np.array_equal(a.scores(x), b.scores(x))
+
+
+class TestBundleProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(1, 4))
+    def test_random_tenant_counts_and_geometries_roundtrip(
+            self, tmp_path_factory, seed, n_tenants):
+        """Any tenant count, any layer geometry: the bundle reloads each
+        tenant bit-identically (packed + sharded with a tail-forcing
+        7x13 macro)."""
+        rng = np.random.default_rng(seed)
+        plans, inputs = {}, {}
+        for t in range(n_tenants):
+            n_in = int(rng.integers(3, 120))
+            n_hidden = int(rng.integers(2, 30))
+            n_out = int(rng.integers(2, 20))
+            n_classes = int(rng.integers(2, 5))
+            hidden, output = _random_folded_stack(rng, n_in, n_hidden,
+                                                  n_out, n_classes)
+            name = f"tenant{t}"
+            plans[name] = plan_from_folded(hidden, output, "reference")
+            inputs[name] = rng.integers(0, 2, (4, n_in)).astype(np.uint8)
+        path = tmp_path_factory.mktemp("bundles") / "random.npz"
+        save_bundle(plans, path)
+        bundle = load_bundle(path)
+        assert bundle.names == tuple(plans)
+        for backend in ("packed",
+                        lambda: ShardedRRAMBackend(
+                            AcceleratorConfig(ideal=True),
+                            macro=MacroGeometry(7, 13))):
+            loaded = load_compiled_bundle(path, backend=backend)
+            for name in plans:
+                assert np.array_equal(loaded[name].scores(inputs[name]),
+                                      plans[name].scores(inputs[name]))

@@ -1,0 +1,279 @@
+"""Multi-model serving: tenant routing, cross-tenant coalescing, and
+the per-model observability surface.
+
+The contracts: a bundle-backed daemon demuxes by model name with
+bit-identical results per tenant, one executor wake can carry several
+tenants' flushes, unknown models are client errors (400) listing what
+is resident, and stats split per model while the aggregate keeps the
+old single-model shape.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (HttpFront, PlanServer, ServeClient,
+                         ServeHTTPError, UnknownModel, fire,
+                         render_tenant_table)
+
+LONG = 1e9
+
+
+class _SumPlan:
+    def scores(self, inputs):
+        rows = np.asarray(inputs, dtype=np.float64)
+        totals = rows.reshape(len(rows), -1).sum(axis=1)
+        return np.stack([totals, -totals], axis=1)
+
+
+class _MaxPlan:
+    """Different arity and input width from _SumPlan on purpose."""
+
+    def scores(self, inputs):
+        rows = np.asarray(inputs, dtype=np.float64)
+        peak = rows.reshape(len(rows), -1).max(axis=1)
+        return np.stack([peak, -peak, peak * 0.5], axis=1)
+
+
+def _server(**kwargs) -> PlanServer:
+    kwargs.setdefault("dtype", np.float64)
+    kwargs.setdefault("input_shape", {"sum": (3,), "max": (5,)})
+    kwargs.setdefault("window", 0.0)
+    return PlanServer({"sum": _SumPlan(), "max": _MaxPlan()}, **kwargs)
+
+
+class TestTenantRouting:
+    def test_routes_by_model_bit_identically(self):
+        server = _server()
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        b = np.arange(10, dtype=np.float64).reshape(2, 5)
+        ha = server.submit(a, model="sum")
+        hb = server.submit(b, model="max")
+        assert ha.wait(10.0) and hb.wait(10.0)
+        assert np.array_equal(ha.scores, _SumPlan().scores(a))
+        assert np.array_equal(hb.scores, _MaxPlan().scores(b))
+        assert ha.model == "sum" and hb.model == "max"
+        server.close()
+
+    def test_model_required_when_several_resident(self):
+        server = _server()
+        with pytest.raises(UnknownModel, match="must name a model"):
+            server.submit(np.ones((1, 3)))
+        server.close()
+
+    def test_unknown_model_lists_residents(self):
+        server = _server()
+        with pytest.raises(UnknownModel) as info:
+            server.submit(np.ones((1, 3)), model="ghost")
+        assert info.value.available == ["max", "sum"]
+        server.close()
+
+    def test_model_optional_for_single_tenant_mapping(self):
+        server = PlanServer({"only": _SumPlan()}, window=0.0,
+                            dtype=np.float64, input_shape=(3,))
+        handle = server.submit(np.ones((1, 3)))       # no model tag
+        assert handle.wait(10.0)
+        assert handle.model == "only"
+        assert server.models() == ["only"]
+        # Single-tenant aliases: aggregate stats ARE the tenant stats.
+        assert server.stats.snapshot()["completed"] == 1
+        server.close()
+
+    def test_shape_validated_per_model(self):
+        server = _server()
+        with pytest.raises(ValueError, match="'max'"):
+            server.submit(np.ones((1, 3)), model="max")
+        server.close()
+
+    def test_describe_models(self):
+        server = _server(max_batch={"sum": 8, "max": 4})
+        described = {d["name"]: d for d in server.describe_models()}
+        assert set(described) == {"sum", "max"}
+        assert described["sum"]["input_shape"] == [3]
+        assert described["sum"]["max_batch"] == 8
+        assert described["max"]["max_batch"] == 4
+        server.close()
+
+
+class TestCrossTenantCoalescing:
+    def test_one_wake_flushes_every_ready_tenant(self):
+        # Both tenants fill exactly at max_batch with a never-expiring
+        # window: the executor's single wake must flush both queues
+        # back-to-back (one batch each), not just the one that woke it.
+        server = _server(max_batch={"sum": 4, "max": 4}, window=LONG)
+        handles = []
+        for i in range(3):
+            handles.append(server.submit(np.full((1, 3), float(i)),
+                                         model="sum"))
+            handles.append(server.submit(np.full((1, 5), float(i)),
+                                         model="max"))
+        # The 4th submission to each side triggers the fill flush.
+        handles.append(server.submit(np.ones((1, 3)), model="sum"))
+        handles.append(server.submit(np.ones((1, 5)), model="max"))
+        for handle in handles:
+            assert handle.wait(10.0)
+        snapshot = server.stats_snapshot()
+        assert snapshot["models"]["sum"]["batches"] == 1
+        assert snapshot["models"]["max"]["batches"] == 1
+        assert snapshot["batches"] == 2          # aggregate saw both
+        assert snapshot["models"]["sum"]["mean_fill"] == \
+            pytest.approx(4.0)
+        server.close()
+
+    def test_concurrent_mixed_burst_bit_identical(self):
+        import threading
+        server = _server(max_batch=16, window=200e-6)
+        rng = np.random.default_rng(7)
+        jobs = []
+        for i in range(30):
+            if i % 2:
+                jobs.append(("sum", rng.standard_normal((2, 3))))
+            else:
+                jobs.append(("max", rng.standard_normal((2, 5))))
+        results = [None] * len(jobs)
+
+        def worker(start):
+            for i in range(start, len(jobs), 4):
+                model, rows = jobs[i]
+                results[i] = server.submit(rows, model=model)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        solo = {"sum": _SumPlan(), "max": _MaxPlan()}
+        for (model, rows), handle in zip(jobs, results):
+            assert handle.wait(10.0)
+            assert np.array_equal(handle.scores,
+                                  solo[model].scores(rows))
+        server.close()
+
+    def test_drain_serves_every_tenant(self):
+        server = _server(window=LONG)     # nothing flushes until close
+        a = server.submit(np.ones((2, 3)), model="sum")
+        b = server.submit(np.ones((2, 5)), model="max")
+        server.close(drain=True)
+        assert a.wait(10.0) and b.wait(10.0)
+        assert np.array_equal(a.scores, _SumPlan().scores(np.ones((2, 3))))
+        assert np.array_equal(b.scores, _MaxPlan().scores(np.ones((2, 5))))
+
+    def test_drop_fails_every_tenant(self):
+        server = _server(window=LONG)
+        a = server.submit(np.ones((1, 3)), model="sum")
+        b = server.submit(np.ones((1, 5)), model="max")
+        server.close(drain=False)
+        assert a.wait(10.0) and b.wait(10.0)
+        assert a.error is not None and b.error is not None
+
+
+class TestPerModelStats:
+    def test_snapshot_splits_per_model_and_aggregates(self):
+        server = _server()
+        for _ in range(3):
+            server.submit(np.ones((1, 3)), model="sum").wait(10.0)
+        server.submit(np.ones((1, 5)), model="max").wait(10.0)
+        snapshot = server.stats_snapshot()
+        assert snapshot["models"]["sum"]["completed"] == 3
+        assert snapshot["models"]["max"]["completed"] == 1
+        assert snapshot["completed"] == 4
+        assert snapshot["models"]["sum"]["latency_ms"]["p50"] >= 0.0
+        assert snapshot["models"]["sum"]["latency_samples"] == 3
+        server.close()
+
+    def test_render_tenant_table(self):
+        server = _server()
+        server.submit(np.ones((1, 3)), model="sum").wait(10.0)
+        table = render_tenant_table(
+            list(server.stats_snapshot()["models"].values()))
+        assert "per-model serve stats" in table
+        assert "sum" in table and "max" in table
+        rendered = server.render_stats()
+        assert "per-model serve stats" in rendered
+        server.close()
+
+    def test_rejections_attributed_to_the_model(self):
+        server = _server(window=LONG, max_queue={"sum": 1, "max": 64})
+        server.submit(np.ones((1, 3)), model="sum")
+        from repro.serve import QueueFull
+        with pytest.raises(QueueFull):
+            server.submit(np.ones((1, 3)), model="sum")
+        snapshot = server.stats_snapshot()
+        assert snapshot["models"]["sum"]["rejected"] == 1
+        assert snapshot["models"]["max"]["rejected"] == 0
+        assert snapshot["rejected"] == 1
+        server.close(drain=False)
+
+
+class TestMultiModelHttp:
+    @pytest.fixture
+    def front(self):
+        server = _server(max_batch=16, window=100e-6)
+        front = HttpFront(server, port=0).start()
+        yield front
+        front.shutdown(drain=True)
+
+    def test_predict_routes_and_tags_the_model(self, front):
+        client = ServeClient(front.url)
+        response = client.predict(np.ones((1, 5)), model="max")
+        assert response["model"] == "max"
+        assert np.array_equal(response["scores"],
+                              _MaxPlan().scores(np.ones((1, 5))))
+        client.close()
+
+    def test_mixed_fire_with_tagged_requests(self, front):
+        rng = np.random.default_rng(3)
+        requests = [("sum", rng.standard_normal((1, 3))) if i % 2
+                    else ("max", rng.standard_normal((1, 5)))
+                    for i in range(8)]
+        responses = fire(front.url, requests, threads=3)
+        solo = {"sum": _SumPlan(), "max": _MaxPlan()}
+        for (model, rows), response in zip(requests, responses):
+            assert response["model"] == model
+            assert np.array_equal(response["scores"],
+                                  solo[model].scores(rows))
+
+    def test_get_models_endpoint(self, front):
+        client = ServeClient(front.url)
+        models = client.models()
+        assert {m["name"] for m in models} == {"sum", "max"}
+        client.close()
+
+    def test_unknown_model_is_400_with_residents(self, front):
+        request = urllib.request.Request(
+            front.url + "/v1/predict", method="POST",
+            data=json.dumps({"model": "ghost",
+                             "inputs": [[1.0, 2.0, 3.0]]}).encode(),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+        body = json.loads(info.value.read())
+        assert body["model"] == "ghost"
+        assert body["available"] == ["max", "sum"]
+
+    def test_missing_model_is_400_not_500(self, front):
+        with pytest.raises(ServeHTTPError) as info:
+            ServeClient(front.url).predict(np.ones((1, 3)))
+        assert info.value.status == 400
+
+    def test_structured_404_lists_routes(self, front):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(front.url + "/v1/nope")
+        assert info.value.code == 404
+        body = json.loads(info.value.read())
+        assert body["error"] == "no such route"
+        assert "POST /v1/predict" in body["routes"]
+        assert "GET /v1/models" in body["routes"]
+
+    def test_stats_endpoint_has_models_section(self, front):
+        client = ServeClient(front.url)
+        client.predict(np.ones((1, 3)), model="sum")
+        stats = client.stats()
+        assert stats["models"]["sum"]["completed"] == 1
+        assert stats["completed"] == 1
+        client.close()
