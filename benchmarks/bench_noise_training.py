@@ -1,0 +1,188 @@
+"""Noise-aware training claim — hardware-in-the-loop beats clean training.
+
+The PR 10 acceptance surface: the train → compile → deploy loop closed
+in-repo, with the RRAM read-noise surrogate (:mod:`repro.nn.noise`)
+armed during training.  The harness trains the demo recipes three ways —
+seeded (no gradient steps), clean, and noise-aware — deploys each onto a
+zeroed-variability simulated chip, and measures validation accuracy
+across the Fig. 4 sense-offset sigma grid:
+
+* **training works** — recipe-trained validation accuracy is strictly
+  above the seeded baseline for both EEG and ECG;
+* **noise-aware training is worth it** — at the two highest sigma
+  points, noise-trained weights hold accuracy at or above clean-trained
+  weights (the paper's §III robustness argument, on weights trained
+  in-repo rather than seeded);
+* **the loop is closed** — a noise-trained FULL_BINARY model compiles to
+  a self-contained plan artifact that reloads bit-identically on every
+  registered backend (reference / packed / rram / sharded).
+
+Results are recorded in ``BENCH_noise_training.json`` at the repo root.
+
+Run:  python benchmarks/bench_noise_training.py [--smoke]
+(--smoke: few-epoch pipeline + artifact round-trip contract, no JSON
+record — the CI mode.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+JSON_PATH = ROOT / "BENCH_noise_training.json"
+
+SIGMAS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5)
+HIGH_SIGMAS = SIGMAS[-2:]
+TRAIN_SIGMA = 1.5
+MODE = "binary_classifier"
+WEIGHTS = ("seeded", "clean", "noise")
+
+
+def _sigma_curves(model: str, sigmas, trials: int, epochs: int):
+    """Deployed accuracy vs sigma for each weight variant (one training
+    run per variant — the workload caches the programmed plan)."""
+    from repro.experiments.workloads import trained_robustness_point
+
+    curves: dict[str, dict[float, float]] = {}
+    val = {}
+    for weights in WEIGHTS:
+        curve = {}
+        for sigma in sigmas:
+            point = trained_robustness_point(
+                sigma, weights=weights, model=model, mode=MODE,
+                train_sigma=TRAIN_SIGMA, epochs=epochs, trials=trials)
+            curve[sigma] = point["accuracy"]
+            val[weights] = point["clean_accuracy"]
+        curves[weights] = curve
+    return curves, val
+
+
+def _artifact_round_trip(epochs: int) -> dict:
+    """Train a FULL_BINARY model with noise in the loop, save the plan,
+    reload on every registered backend and compare bit-for-bit."""
+    from repro.experiments import artifact_agreement
+    from repro.experiments.training import train_demo_model
+    from repro.io import load_plan, save_plan
+    from repro.rram import AcceleratorConfig
+    from repro.runtime import RRAMBackend, ShardedRRAMBackend, compile
+
+    demo = train_demo_model("eeg", "full_binary",
+                            noise_sigma=TRAIN_SIGMA,
+                            epochs=epochs or None)
+    plan = compile(demo.model, backend="reference", lower_features=True)
+    backends = ("reference", "packed",
+                RRAMBackend(AcceleratorConfig(ideal=True)),
+                ShardedRRAMBackend(AcceleratorConfig(ideal=True)))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_plan(plan, pathlib.Path(tmp) / "trained_eeg.npz")
+        artifact = load_plan(path)
+        predictions, agreement = artifact_agreement(
+            artifact, demo.val_inputs, backends=backends)
+    reference = predictions["reference"]
+    return {"model": "eeg",
+            "epochs_trained": len(demo.result.history),
+            "val_accuracy": float(demo.val_accuracy),
+            "self_contained": bool(artifact.self_contained),
+            "backend_agreement": {name: float(value)
+                                  for name, value in agreement.items()},
+            "all_bit_identical": bool(all(
+                np.array_equal(pred, reference)
+                for pred in predictions.values()))}
+
+
+def main(smoke: bool = False) -> None:
+    from _util import report
+
+    trials = 2 if smoke else 16
+    epochs = 3 if smoke else 0          # 0 = the recipe's own budget
+    sigmas = (0.0, SIGMAS[-1]) if smoke else SIGMAS
+    models = ("eeg",) if smoke else ("eeg", "ecg")
+
+    results = {}
+    for model in models:
+        curves, val = _sigma_curves(model, sigmas, trials, epochs)
+        results[model] = (curves, val)
+
+    artifact = _artifact_round_trip(epochs)
+
+    lines = [f"noise-aware training — mode={MODE}, "
+             f"train_sigma={TRAIN_SIGMA:g}, {trials} trials"]
+    for model, (curves, val) in results.items():
+        for weights in WEIGHTS:
+            series = ", ".join(f"{s:g}:{curves[weights][s]:.3f}"
+                               for s in sigmas)
+            lines.append(f"  {model} {weights:<6} "
+                         f"(val {val[weights]:.3f}): {series}")
+    lines.append(
+        f"  artifact: full_binary eeg trained "
+        f"{artifact['epochs_trained']} epochs, self_contained="
+        f"{artifact['self_contained']}, bit-identical on "
+        f"{'/'.join(artifact['backend_agreement'])} = "
+        f"{artifact['all_bit_identical']}")
+    report("noise_training", "PR10 — noise-aware STE training\n"
+                             "===============================\n"
+           + "\n".join(lines) + "\n")
+
+    for model, (curves, _) in results.items():
+        for weights in WEIGHTS:
+            for sigma, acc in curves[weights].items():
+                assert 0.0 <= acc <= 1.0, (model, weights, sigma, acc)
+    assert artifact["self_contained"], \
+        "lowered FULL_BINARY plan saved with an external front-end"
+    assert artifact["all_bit_identical"], (
+        "trained artifact disagrees across backends: "
+        f"{artifact['backend_agreement']}")
+    if smoke:
+        return                     # few-epoch runs carry no ordering claim
+
+    for model, (curves, val) in results.items():
+        assert val["clean"] > val["seeded"], (
+            f"{model}: training did not beat the seeded baseline "
+            f"({val['clean']:.3f} vs {val['seeded']:.3f})")
+        assert val["noise"] > val["seeded"], (
+            f"{model}: noise-aware training did not beat the seeded "
+            f"baseline ({val['noise']:.3f} vs {val['seeded']:.3f})")
+        for sigma in HIGH_SIGMAS:
+            assert curves["noise"][sigma] >= curves["clean"][sigma], (
+                f"{model}: noise-trained accuracy "
+                f"{curves['noise'][sigma]:.3f} below clean-trained "
+                f"{curves['clean'][sigma]:.3f} at sigma={sigma:g}")
+
+    record = {
+        "mode": MODE,
+        "train_sigma": TRAIN_SIGMA,
+        "trials": trials,
+        "sigmas": list(sigmas),
+        "models": {
+            model: {
+                "val_accuracy": {w: round(val[w], 5) for w in WEIGHTS},
+                "accuracy_vs_sigma": {
+                    w: {str(s): round(curves[w][s], 5) for s in sigmas}
+                    for w in WEIGHTS},
+                "high_sigma_margin": {
+                    str(s): round(curves["noise"][s] - curves["clean"][s],
+                                  5)
+                    for s in HIGH_SIGMAS},
+            }
+            for model, (curves, val) in results.items()},
+        "artifact": artifact,
+    }
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="few-epoch pipeline + artifact round-trip "
+                             "contract, no JSON record")
+    args = parser.parse_args()
+    main(args.smoke)

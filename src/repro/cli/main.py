@@ -170,6 +170,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--request-timeout", type=float, default=30.0,
                            help="seconds a connection waits for its "
                                 "response before 504 (default 30)")
+    train_cmd = sub.add_parser(
+        "train",
+        help="train a demo-geometry paper model (optionally with the "
+             "RRAM read-noise model in the loop), checkpoint it, and "
+             "compile it to a plan artifact for deploy/serve/sweep")
+    train_cmd.add_argument("model", choices=["eeg", "ecg"],
+                           help="which recipe to run (synthetic dataset "
+                                "windows at demo geometry; deterministic "
+                                "per seed)")
+    train_cmd.add_argument("--mode", default="full_binary",
+                           choices=["binary_classifier", "full_binary"],
+                           help="binarization mode (default full_binary: "
+                                "the compiled artifact is self-contained "
+                                "and 'deploy'/'serve' need no model)")
+    train_cmd.add_argument("--noise-sigma", type=float, default=0.0,
+                           help="train with the RRAM read-noise surrogate "
+                                "armed at this sense-offset sigma "
+                                "(hardware-in-the-loop; 0 = clean "
+                                "training)")
+    train_cmd.add_argument("--epochs", type=int, default=None,
+                           help="override the recipe's epoch budget")
+    train_cmd.add_argument("--seed", type=int, default=None,
+                           help="override the recipe's seed (dataset, "
+                                "split, init and shuffling all follow)")
+    train_cmd.add_argument("--checkpoint", default=None, metavar="PATH",
+                           help="write the trained state_dict as a "
+                                "checkpoint (.npz) reloadable with "
+                                "repro.io.load_model")
+    train_cmd.add_argument("--save", default=None, metavar="PATH",
+                           help="compile the trained model and write the "
+                                "plan artifact (.npz) that 'deploy' and "
+                                "'serve' reload without the model")
+    train_cmd.add_argument("--overwrite", action="store_true",
+                           help="allow --checkpoint/--save to replace "
+                                "existing files")
     from repro.experiments.workloads import SWEEP_WORKLOADS
     sweep_cmd = sub.add_parser(
         "sweep",
@@ -796,6 +831,74 @@ def _cmd_serve(artifact_path: str, backend_spec: str = "packed",
     return 0
 
 
+def _cmd_train(model_name: str, mode_name: str = "full_binary",
+               noise_sigma: float = 0.0, epochs: int | None = None,
+               seed: int | None = None, checkpoint: str | None = None,
+               save: str | None = None, overwrite: bool = False) -> str:
+    """Close the train -> compile -> deploy loop from the command line.
+
+    Runs the named training recipe (optionally with the read-noise
+    surrogate in the loop), reports the per-epoch trajectory and the
+    best validation accuracy, then optionally writes the checkpoint and
+    the compiled plan artifact — from there the trained weights flow
+    through ``deploy`` / ``serve`` / ``sweep`` unchanged.
+    """
+    from repro.experiments import train_demo_model
+
+    if noise_sigma < 0:
+        raise SystemExit(f"--noise-sigma must be non-negative, "
+                         f"got {noise_sigma}")
+    demo = train_demo_model(model_name, mode_name,
+                            noise_sigma=noise_sigma, epochs=epochs,
+                            seed=seed)
+    result = demo.result
+    flavour = f"read-noise sigma {noise_sigma:g} in the loop" \
+        if noise_sigma > 0 else "clean (no read noise)"
+    lines = [f"trained {model_name} [{mode_name}], {flavour}",
+             f"  train rows: {len(demo.train_labels)}, "
+             f"validation rows: {len(demo.val_labels)}",
+             f"  epochs run: {len(result.history)}"
+             + (f" (early stop at {result.stopped_epoch})"
+                if result.stopped_epoch else ""),
+             f"  best validation accuracy: {result.final_accuracy:.1%} "
+             "(best epoch restored)"]
+    if result.history:
+        tail = result.history[-min(5, len(result.history)):]
+        series = ", ".join(f"{int(h['epoch'])}:{h['top1']:.3f}"
+                           for h in tail)
+        lines.append(f"  val top-1 (last epochs): {series}")
+    if checkpoint is not None:
+        from repro.io import save_model
+
+        try:
+            save_model(demo.model, checkpoint, overwrite=overwrite)
+        except FileExistsError as error:
+            raise SystemExit(f"{error} (or pass --overwrite)")
+        lines.append(f"checkpoint -> {checkpoint} (reload with "
+                     "repro.io.load_model)")
+    if save is not None:
+        import pathlib
+
+        from repro.io import load_plan, save_plan
+        from repro.runtime import compile as compile_model
+
+        plan = compile_model(demo.model, backend="reference")
+        try:
+            path = save_plan(plan, save, overwrite=overwrite,
+                             allow_external_front_end=True)
+        except FileExistsError as error:
+            raise SystemExit(f"{error} (or pass --overwrite)")
+        artifact = load_plan(path)
+        status = "self-contained" if artifact.self_contained else \
+            "front-end stays off-artifact (use --mode full_binary " \
+            "for a self-contained one)"
+        lines += [f"plan artifact -> {path} "
+                  f"({pathlib.Path(path).stat().st_size / 1024:.0f} KB, "
+                  f"{status})",
+                  f"deploy it with: python -m repro deploy {path}"]
+    return "\n".join(lines)
+
+
 def _cmd_sweep(workload: str, jobs: int, out: str | None, trials: int = 1,
                trial_chunk: int | None = None,
                cache_stats: bool = False) -> str:
@@ -906,6 +1009,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                               args.batch_window, args.max_queue,
                               args.pad, args.request_timeout,
                               args.bundle)
+        elif args.command == "train":
+            print(_cmd_train(args.model, args.mode, args.noise_sigma,
+                             args.epochs, args.seed, args.checkpoint,
+                             args.save, args.overwrite))
         elif args.command == "sweep":
             print(_cmd_sweep(args.workload, args.jobs, args.out,
                              args.trials, args.trial_chunk,

@@ -319,6 +319,23 @@ EXPERIMENTS: dict[str, ExperimentInfo] = {
                      "repro.serve.stats"),
             bench="benchmarks/bench_multitenant.py"),
         ExperimentInfo(
+            id="XTRA21",
+            artefact="noise-aware training claim — hardware in the loop",
+            description=(
+                "The train -> compile -> deploy loop closed in-repo: "
+                "deterministic training recipes for the demo models, an "
+                "RRAM read-noise surrogate (per-bit sense-flip CLT "
+                "model, straight-through backward) armed on the "
+                "classifier layers during training, and the "
+                "trained_robustness sweep comparing seeded vs clean- "
+                "trained vs noise-trained weights across the Fig. 4 "
+                "sense-sigma grid on a deployed zero-variability chip "
+                "(records BENCH_noise_training.json)."),
+            kind="script",
+            modules=("repro.nn.noise", "repro.experiments.training",
+                     "repro.experiments.workloads", "repro.io.plans"),
+            bench="benchmarks/bench_noise_training.py"),
+        ExperimentInfo(
             id="XTRA8",
             artefact="§I reference point — 8-bit quantization",
             description=(

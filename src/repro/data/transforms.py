@@ -56,4 +56,12 @@ class GaussianNoiseAugment:
     def __call__(self, batch: np.ndarray) -> np.ndarray:
         if self.sigma == 0:
             return batch
-        return batch + self.rng.normal(0.0, self.sigma, size=batch.shape)
+        batch = np.asarray(batch)
+        noise = self.rng.normal(0.0, self.sigma, size=batch.shape)
+        if np.issubdtype(batch.dtype, np.floating):
+            # Sample in float64 (one draw per element, reproducible per
+            # seed regardless of input precision) but return the batch's
+            # own dtype: augmentation must never upcast float32 training
+            # data to float64.
+            noise = noise.astype(batch.dtype, copy=False)
+        return batch + noise

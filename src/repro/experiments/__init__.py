@@ -7,6 +7,10 @@ from repro.experiments.runner import (TrainConfig, TrainResult,
                                       cross_validate, evaluate_compiled,
                                       backend_agreement,
                                       artifact_agreement)
+from repro.experiments.training import (TrainingRecipe, TRAINING_RECIPES,
+                                        TrainedDemo, recipe_dataset,
+                                        build_recipe_model,
+                                        train_demo_model, seeded_baseline)
 from repro.experiments.configs import (BenchScale, current_scale, EcgTask,
                                        EegTask, image_dataset, PAPER_RESULTS)
 from repro.experiments.tables import render_table, render_series
@@ -21,6 +25,8 @@ __all__ = [
     "evaluate_accuracy", "evaluate_topk", "predict_scores",
     "evaluate_report", "cross_validate", "evaluate_compiled",
     "backend_agreement", "artifact_agreement",
+    "TrainingRecipe", "TRAINING_RECIPES", "TrainedDemo", "recipe_dataset",
+    "build_recipe_model", "train_demo_model", "seeded_baseline",
     "BenchScale", "current_scale", "EcgTask", "EegTask", "image_dataset",
     "PAPER_RESULTS",
     "render_table", "render_series",

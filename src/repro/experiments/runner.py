@@ -44,6 +44,11 @@ class TrainConfig:
     weight_decay: float = 0.0
     augment_sigma: float = 0.0       # additive-noise augmentation
     latent_clip: float = 1.0         # BNN latent-weight clip
+    read_noise_sigma: float = 0.0    # RRAM sense-offset sigma in the loop
+    # Arm only these binary layers (qualified module names); None = all.
+    # Matching the deployment matters: classifier-on-chip readout only
+    # perturbs fc layers, so training should too.
+    read_noise_layers: tuple[str, ...] | None = None
     seed: int = 0
     track_history: bool = False      # record per-epoch accuracies (Fig. 8)
     eval_topk: tuple[int, ...] = (1,)
@@ -107,7 +112,10 @@ def evaluate_topk(model: Module, inputs: np.ndarray, labels: np.ndarray,
     """
     labels = np.asarray(labels)
     scores = predict_scores(model, inputs, batch_size)
-    order = np.argsort(-scores, axis=1)
+    # Stable sort: the looped form kept the lower class index on tied
+    # scores (argsort's default introsort does not), and the docstring
+    # promises tie-identical results.
+    order = np.argsort(-scores, axis=1, kind="stable")
     hit_at = np.cumsum(order == labels[:, None], axis=1) > 0
     n = len(inputs)
     n_classes = scores.shape[1]
@@ -165,12 +173,27 @@ def train_model(model: Module, train_inputs: np.ndarray,
                 train_labels: np.ndarray, cfg: TrainConfig,
                 val_inputs: np.ndarray | None = None,
                 val_labels: np.ndarray | None = None) -> TrainResult:
-    """Train a model; optionally track per-epoch validation accuracy."""
+    """Train a model; optionally track per-epoch validation accuracy.
+
+    With ``cfg.read_noise_sigma > 0`` the RRAM read-noise surrogate is
+    armed on every binary layer (:func:`repro.nn.set_read_noise`): each
+    training forward perturbs the pre-threshold accumulations like a
+    noisy word-line scan at that sense-offset sigma, while validation
+    (eval mode) and the gradient path stay noise-free — hardware-in-the-
+    loop training on its own RNG stream, so enabling it never shifts the
+    shuffle/augmentation draws.
+    """
+    from repro.nn import set_read_noise
+
     rng = np.random.default_rng(cfg.seed)
     optimizer = _make_optimizer(model, cfg)
     loss_fn = CrossEntropyLoss()
     augment = GaussianNoiseAugment(cfg.augment_sigma, rng) \
         if cfg.augment_sigma > 0 else None
+    if cfg.read_noise_sigma > 0:
+        set_read_noise(model, cfg.read_noise_sigma,
+                       rng=np.random.default_rng((cfg.seed, 0x5EED)),
+                       layer_names=cfg.read_noise_layers)
     history: list[dict[str, float]] = []
     n = len(train_inputs)
     if cfg.early_stop_patience > 0 and val_inputs is None:

@@ -24,8 +24,8 @@ from typing import Callable
 import numpy as np
 
 __all__ = ["ber_point", "rram_inference_point", "sharded_robustness_point",
-           "lifetime_point", "yield_point", "latency_point",
-           "SweepWorkload", "SWEEP_WORKLOADS"]
+           "trained_robustness_point", "lifetime_point", "yield_point",
+           "latency_point", "SweepWorkload", "SWEEP_WORKLOADS"]
 
 
 def _cell_geometry(n_cells: int) -> tuple[int, int]:
@@ -197,6 +197,76 @@ def sharded_robustness_point(macro_cols: int, macro_rows: int = 8,
             "agreement_std": float(per_trial.std()),
             "n_macros": float(hw.controller.n_macros),
             "utilization": float(hw.controller.placement.utilization)}
+
+
+def trained_robustness_point(sigma: float, weights: str = "clean",
+                             model: str = "eeg",
+                             mode: str = "binary_classifier",
+                             train_sigma: float = 1.5,
+                             epochs: int = 0, seed: int = 0,
+                             trials: int = 1,
+                             trial_chunk: int | None = None
+                             ) -> dict[str, float]:
+    """Validation accuracy of a *deployed* demo classifier under sense
+    noise — the Fig. 4 sigma-robustness story on real weights.
+
+    ``weights`` selects what gets programmed onto the chip: ``"seeded"``
+    (the untrained control every pre-training table measured),
+    ``"clean"`` (recipe-trained, no noise in the loop) or ``"noise"``
+    (recipe-trained with the read-noise surrogate at ``train_sigma`` —
+    :mod:`repro.nn.noise`).  The variant trains once per worker (cached
+    like a programmed plan), its classifier is programmed with zeroed
+    device variability, and ``sigma`` is applied at read time as a sense
+    override — one training run and one programmed chip serve the whole
+    sigma series.  ``epochs=0`` means the recipe's own budget; ``mode``
+    is the binarization flavour (the default matches the paper's
+    classifier-on-chip deployment, which is also where the demo recipes
+    train well enough for robustness differences to clear MC noise).
+    """
+    from repro.experiments.executor import cached_plan
+    from repro.rram import SenseParameters, trial_streams
+
+    def _build():
+        from repro.experiments.training import (seeded_baseline,
+                                                train_demo_model)
+        from repro.rram import (AcceleratorConfig, DeviceParameters,
+                                classifier_input_bits, deploy_classifier)
+
+        n_epochs = None if int(epochs) <= 0 else int(epochs)
+        if weights == "seeded":
+            demo = seeded_baseline(model, mode, seed=seed)
+        elif weights == "clean":
+            demo = train_demo_model(model, mode, epochs=n_epochs, seed=seed)
+        elif weights == "noise":
+            demo = train_demo_model(model, mode,
+                                    noise_sigma=float(train_sigma),
+                                    epochs=n_epochs, seed=seed)
+        else:
+            raise ValueError(f"weights must be seeded/clean/noise, "
+                             f"got {weights!r}")
+        device = DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                                  broadening=0.0, hrs_drift=0.0,
+                                  device_mismatch=1.0)
+        config = AcceleratorConfig(
+            device=device, sense=SenseParameters(offset_sigma=0.0))
+        # fast_path=False keeps the physical margins resident: the cached
+        # programmed classifier must stay readable at every sweep sigma.
+        hw = deploy_classifier(demo.model, config,
+                               np.random.default_rng(seed),
+                               fast_path=False)
+        bits = classifier_input_bits(demo.model, demo.val_inputs)
+        return hw, bits, np.asarray(demo.val_labels), demo.val_accuracy
+
+    hw, bits, labels, clean_acc = cached_plan(
+        ("trained_robustness", str(model), str(mode), str(weights),
+         float(train_sigma), int(epochs), seed), _build)
+    predicted = hw.predict_trials(
+        bits, trial_streams(seed, trials),
+        sense=SenseParameters(offset_sigma=sigma), trial_chunk=trial_chunk)
+    per_trial = (predicted == labels[None]).mean(axis=1)
+    return {"accuracy": float(per_trial.mean()),
+            "accuracy_std": float(per_trial.std()),
+            "clean_accuracy": float(clean_acc)}
 
 
 def lifetime_point(years: float, temp_c: float = 125.0, ecc: str = "none",
@@ -376,6 +446,15 @@ SWEEP_WORKLOADS: dict[str, SweepWorkload] = {w.name: w for w in [
         x_axis="macro_cols", metric="agreement", split="seed",
         description="agreement vs macro geometry on the multi-chip "
                     "backend"),
+    SweepWorkload(
+        name="trained_robustness", fn=trained_robustness_point,
+        axes=lambda trials: dict(
+            sigma=[round(s, 3) for s in np.linspace(0.0, 2.5, 6)],
+            weights=("seeded", "clean", "noise"), model=("eeg",),
+            seed=(0,), trials=(trials,)),
+        x_axis="sigma", metric="accuracy", split="weights",
+        description="deployed validation accuracy vs sense sigma: "
+                    "seeded vs clean-trained vs noise-trained weights"),
     SweepWorkload(
         name="lifetime", fn=lifetime_point,
         axes=lambda trials: dict(

@@ -33,6 +33,8 @@ from repro.nn.binary import (
     to_bits, from_bits, xnor_popcount, dot_from_popcount, threshold_bits,
     FoldedBinaryDense, FoldedOutputDense,
     fold_batchnorm_sign, fold_batchnorm_output)
+from repro.nn.noise import (DEFAULT_LN_MARGIN, flip_probability,
+                            rram_read_noise, RramReadNoise, set_read_noise)
 
 __all__ = [
     "Module", "Parameter",
@@ -58,4 +60,6 @@ __all__ = [
     "PackedBinaryDense", "PackedOutputDense",
     "PackedBinaryConv1d", "PackedBinaryConv2d",
     "pack_feature_map", "unpack_feature_map",
+    "DEFAULT_LN_MARGIN", "flip_probability", "rram_read_noise",
+    "RramReadNoise", "set_read_noise",
 ]

@@ -25,6 +25,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.conv import conv1d_op, conv2d_op, depthwise_conv2d_op, _pair
 from repro.nn.module import Module, Parameter
+from repro.nn.noise import DEFAULT_LN_MARGIN, rram_read_noise
 from repro.nn.norm import _BatchNorm
 from repro.tensor import Tensor
 
@@ -49,7 +50,34 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # Training-time binarized layers
 # ---------------------------------------------------------------------------
-class BinaryLinear(Module):
+class _BinaryNoiseMixin:
+    """Read-noise knob shared by every binary layer.
+
+    Each layer computes a pre-threshold ±1 accumulation over ``fan_in``
+    XNOR bits — exactly what the RRAM word-line scan produces — so the
+    hardware-in-the-loop surrogate (:func:`repro.nn.noise.
+    rram_read_noise`) applies at the layer output, before the batch-norm
+    / sign the deployment folds into thresholds.  Disarmed
+    (``noise_sigma = 0``) by default; :func:`repro.nn.noise.
+    set_read_noise` arms a whole model.  Train-mode only: eval forwards
+    are untouched, so folding/compilation see the noise-free function.
+    """
+
+    def _init_read_noise(self) -> None:
+        self.noise_sigma = 0.0
+        self.noise_rng: np.random.Generator | None = None
+        self.noise_margin = DEFAULT_LN_MARGIN
+
+    def _read_noise(self, out: Tensor, fan_in: int) -> Tensor:
+        if not self.training or self.noise_sigma <= 0.0:
+            return out
+        if self.noise_rng is None:
+            self.noise_rng = np.random.default_rng()
+        return rram_read_noise(out, fan_in, self.noise_sigma,
+                               self.noise_rng, self.noise_margin)
+
+
+class BinaryLinear(_BinaryNoiseMixin, Module):
     """Fully connected layer with ±1 weights (latent-real training).
 
     No additive bias is learned: in BNNs the following batch-norm supplies
@@ -64,18 +92,20 @@ class BinaryLinear(Module):
         self.out_features = out_features
         self.weight = Parameter(init.glorot_uniform(
             (out_features, in_features), in_features, out_features, rng))
+        self._init_read_noise()
 
     def binary_weight(self) -> Tensor:
         return self.weight.sign_ste()
 
     def forward(self, x: Tensor) -> Tensor:
-        return x @ self.binary_weight().T
+        return self._read_noise(x @ self.binary_weight().T,
+                                self.in_features)
 
     def __repr__(self) -> str:
         return f"BinaryLinear(in={self.in_features}, out={self.out_features})"
 
 
-class BinaryConv1d(Module):
+class BinaryConv1d(_BinaryNoiseMixin, Module):
     """1-D convolution with ±1 weights."""
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
@@ -91,20 +121,22 @@ class BinaryConv1d(Module):
         fan_in = in_channels * kernel_size
         self.weight = Parameter(init.glorot_uniform(
             (out_channels, in_channels, kernel_size), fan_in, out_channels, rng))
+        self._init_read_noise()
 
     def binary_weight(self) -> Tensor:
         return self.weight.sign_ste()
 
     def forward(self, x: Tensor) -> Tensor:
-        return conv1d_op(x, self.binary_weight(), None, self.stride,
-                         self.padding)
+        out = conv1d_op(x, self.binary_weight(), None, self.stride,
+                        self.padding)
+        return self._read_noise(out, self.in_channels * self.kernel_size)
 
     def __repr__(self) -> str:
         return (f"BinaryConv1d({self.in_channels}->{self.out_channels}, "
                 f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
 
 
-class BinaryConv2d(Module):
+class BinaryConv2d(_BinaryNoiseMixin, Module):
     """2-D convolution with ±1 weights."""
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size,
@@ -120,20 +152,23 @@ class BinaryConv2d(Module):
         fan_in = in_channels * kh * kw
         self.weight = Parameter(init.glorot_uniform(
             (out_channels, in_channels, kh, kw), fan_in, out_channels, rng))
+        self._init_read_noise()
 
     def binary_weight(self) -> Tensor:
         return self.weight.sign_ste()
 
     def forward(self, x: Tensor) -> Tensor:
-        return conv2d_op(x, self.binary_weight(), None, self.stride,
-                         self.padding)
+        out = conv2d_op(x, self.binary_weight(), None, self.stride,
+                        self.padding)
+        kh, kw = self.kernel_size
+        return self._read_noise(out, self.in_channels * kh * kw)
 
     def __repr__(self) -> str:
         return (f"BinaryConv2d({self.in_channels}->{self.out_channels}, "
                 f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
 
 
-class BinaryDepthwiseConv2d(Module):
+class BinaryDepthwiseConv2d(_BinaryNoiseMixin, Module):
     """Depthwise 2-D convolution with ±1 weights (fully binary MobileNet)."""
 
     def __init__(self, channels: int, kernel_size, stride=1, padding=0,
@@ -147,13 +182,16 @@ class BinaryDepthwiseConv2d(Module):
         kh, kw = self.kernel_size
         self.weight = Parameter(init.glorot_uniform(
             (channels, kh, kw), kh * kw, kh * kw, rng))
+        self._init_read_noise()
 
     def binary_weight(self) -> Tensor:
         return self.weight.sign_ste()
 
     def forward(self, x: Tensor) -> Tensor:
-        return depthwise_conv2d_op(x, self.binary_weight(), None, self.stride,
-                                   self.padding)
+        out = depthwise_conv2d_op(x, self.binary_weight(), None, self.stride,
+                                  self.padding)
+        kh, kw = self.kernel_size
+        return self._read_noise(out, kh * kw)
 
     def __repr__(self) -> str:
         return (f"BinaryDepthwiseConv2d({self.channels}, "

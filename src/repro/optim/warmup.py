@@ -46,11 +46,14 @@ class WarmupLR:
             fraction = self.epoch / self.warmup_epochs
             factor = self.start_factor + (1.0 - self.start_factor) * fraction
             self.optimizer.lr = self.base_lr * factor
-        elif self.epoch == self.warmup_epochs or self.after is None:
+            return self.optimizer.lr
+        if self.after is None:
             self.optimizer.lr = self.base_lr
-            if self.after is not None:
-                # Re-anchor the inner schedule at the full rate.
-                self.after.base_lr = self.base_lr
-        if self.epoch > self.warmup_epochs and self.after is not None:
-            return self.after.step()
-        return self.optimizer.lr
+            return self.optimizer.lr
+        if self.epoch == self.warmup_epochs:
+            # Re-anchor the inner schedule at the full rate, then take its
+            # first step: the ramp ends exactly where the decay begins, so
+            # no epoch ever trains at an un-decayed base_lr (the historic
+            # boundary bug trained one full epoch at base_lr).
+            self.after.base_lr = self.base_lr
+        return self.after.step()

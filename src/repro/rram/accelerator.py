@@ -1200,25 +1200,31 @@ class InMemoryClassifier:
         return self.forward_scores(x_bits).argmax(axis=1)
 
     def forward_scores_trials(self, x_bits: np.ndarray, rngs,
+                              sense: SenseParameters | None = None,
                               trial_chunk: int | None = None) -> np.ndarray:
         """Monte-Carlo scores over a trial axis: ``(T, N, classes)``.
 
         Every layer of trial ``t`` draws from stream ``rngs[t]`` in layer
         order, so the stack equals a serial per-trial pass of the whole
-        classifier under the same child streams.
+        classifier under the same child streams.  ``sense`` overrides the
+        sense parameters of *every* layer for these reads (the
+        robustness-sweep convention: one programmed classifier, many
+        read-time sigmas).
         """
         bits = np.asarray(x_bits, dtype=np.uint8)
         for layer in self.hidden:
-            bits = layer.forward_bits_trials(bits, rngs,
+            bits = layer.forward_bits_trials(bits, rngs, sense=sense,
                                              trial_chunk=trial_chunk)
-        return self.output.forward_scores_trials(bits, rngs,
+        return self.output.forward_scores_trials(bits, rngs, sense=sense,
                                                  trial_chunk=trial_chunk)
 
     def predict_trials(self, x_bits: np.ndarray, rngs,
+                       sense: SenseParameters | None = None,
                        trial_chunk: int | None = None) -> np.ndarray:
         """Per-trial predicted labels ``(T, N)``."""
-        return self.forward_scores_trials(x_bits, rngs,
-                                          trial_chunk).argmax(axis=2)
+        return self.forward_scores_trials(x_bits, rngs, sense=sense,
+                                          trial_chunk=trial_chunk
+                                          ).argmax(axis=2)
 
     # ------------------------------------------------------------------
     @property
@@ -1263,7 +1269,8 @@ def fold_classifier(model) -> tuple[list[FoldedBinaryDense],
 
 
 def deploy_classifier(model, config: AcceleratorConfig | None = None,
-                      rng: np.random.Generator | None = None
+                      rng: np.random.Generator | None = None,
+                      fast_path: bool | str = "auto"
                       ) -> InMemoryClassifier:
     """Program a trained model's binary classifier into RRAM tiles.
 
@@ -1272,10 +1279,13 @@ def deploy_classifier(model, config: AcceleratorConfig | None = None,
     repackaged in the legacy container.  Unlike ``compile`` (which leaves
     the model in eval mode, its deployment semantics), this shim restores
     the caller's training mode — the legacy function had no side effects.
+    ``fast_path=False`` keeps the physical margins resident so the
+    programmed classifier stays readable under read-time ``sense``
+    overrides (the robustness-sweep convention).
     """
     from repro.runtime import RRAMBackend, compile as compile_model
     was_training = model.training
-    backend = RRAMBackend(config, rng)
+    backend = RRAMBackend(config, rng, fast_path=fast_path)
     plan = compile_model(model, backend=backend, lower_features=False)
     if was_training:
         model.train()

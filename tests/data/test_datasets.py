@@ -114,3 +114,25 @@ class TestTransforms:
     def test_negative_sigma_rejected(self):
         with pytest.raises(ValueError):
             GaussianNoiseAugment(-1.0)
+
+    def test_preserves_float32_dtype(self, rng):
+        """float32 batches must not be silently upcast to float64 —
+        augmented training batches used to double their memory and
+        diverge in dtype from the un-augmented eval path."""
+        aug = GaussianNoiseAugment(0.1, rng)
+        x = rng.standard_normal((8, 4)).astype(np.float32)
+        out = aug(x)
+        assert out.dtype == np.float32
+        assert not np.array_equal(out, x)
+
+    def test_preserves_float64_dtype(self, rng):
+        aug = GaussianNoiseAugment(0.1, rng)
+        out = aug(rng.standard_normal((4, 4)))
+        assert out.dtype == np.float64
+
+    def test_integer_batches_upcast_to_float(self, rng):
+        # Gaussian noise on integer windows must not truncate to int.
+        aug = GaussianNoiseAugment(0.1, rng)
+        out = aug(np.zeros((4, 4), dtype=np.int64))
+        assert np.issubdtype(out.dtype, np.floating)
+        assert out.std() > 0

@@ -58,6 +58,40 @@ class TestEarlyStopping:
         best_seen = max(rec["top1"] for rec in result.history)
         assert result.final_accuracy == pytest.approx(best_seen, abs=1e-9)
 
+    def test_restores_best_state_when_budget_exhausts(self):
+        """The best epoch's weights come back even without a patience
+        break: the epoch budget runs out, the last epoch is worse than
+        the best one, and the restore must still happen."""
+        x, y = toy_problem(300, seed=11)
+        result = train_model(
+            toy_model(seed=11), x[:200], y[:200],
+            TrainConfig(epochs=8, batch_size=16, lr=0.3,
+                        early_stop_patience=50, track_history=True,
+                        seed=12),
+            val_inputs=x[200:], val_labels=y[200:])
+        assert result.stopped_epoch is None           # budget, not patience
+        best = max(rec["top1"] for rec in result.history)
+        assert result.history[-1]["top1"] < best      # last epoch not best
+        assert result.final_accuracy == pytest.approx(best, abs=1e-9)
+
+    def test_early_stop_keys_on_smallest_k(self):
+        """With eval_topk=(2, 1) on a 2-class problem, top-2 saturates at
+        1.0 from epoch one; if the stopper keyed on it, it would flatline
+        immediately and restore epoch-1 weights.  It must key on the
+        smallest k (top-1)."""
+        x, y = toy_problem(300, seed=13)
+        result = train_model(
+            toy_model(seed=13), x[:200], y[:200],
+            TrainConfig(epochs=40, batch_size=32, lr=5e-2,
+                        early_stop_patience=3, eval_topk=(2, 1),
+                        track_history=True, seed=14),
+            val_inputs=x[200:], val_labels=y[200:])
+        assert all(rec["top2"] == 1.0 for rec in result.history)
+        best_top1 = max(rec["top1"] for rec in result.history)
+        assert result.final_accuracy == pytest.approx(best_top1, abs=1e-9)
+        # A top-2-keyed stopper would have quit at epoch patience + 1.
+        assert result.stopped_epoch is None or result.stopped_epoch > 4
+
     def test_min_delta_makes_stopping_stricter(self):
         x, y = toy_problem(300, seed=4)
 

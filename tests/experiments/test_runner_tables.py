@@ -86,6 +86,50 @@ class TestEvaluate:
         evaluate_accuracy(model, ds.inputs, ds.labels)
         assert model.training
 
+    def test_topk_ties_keep_lower_class_index(self):
+        """Tied scores rank by ascending class index (stable sort).
+
+        An unstable introsort scrambles the tied runners-up as soon as a
+        distinct max forces pivoting, silently changing every top-k
+        figure on score-degenerate models (e.g. freshly seeded BNNs).
+        """
+        class _Fixed(nn.module.Module):
+            def __init__(self, row):
+                super().__init__()
+                self.row = np.asarray(row, dtype=np.float64)
+
+            def forward(self, x):
+                from repro.tensor import Tensor
+                return Tensor(np.tile(self.row, (len(x.data), 1)))
+
+        # Class 33 wins outright, all 63 others tie at zero: the ranking
+        # must be [33, 0, 1, 2, ...], so label 1 first hits at depth 3.
+        row = np.zeros(64)
+        row[33] = 1.0
+        model = _Fixed(row)
+        inputs = np.zeros((5, 1))
+        labels = np.full(5, 1, dtype=np.int64)
+        topk = evaluate_topk(model, inputs, labels, ks=(1, 2, 3, 64))
+        assert topk[1] == 0.0
+        assert topk[2] == 0.0
+        assert topk[3] == 1.0
+        assert topk[64] == 1.0
+
+    def test_topk_all_tied_scores_rank_by_class_index(self):
+        class _Zeros(nn.module.Module):
+            def forward(self, x):
+                from repro.tensor import Tensor
+                return Tensor(np.zeros((len(x.data), 64)))
+
+        inputs = np.zeros((3, 1))
+        topk = evaluate_topk(_Zeros(), inputs,
+                             np.full(3, 63, dtype=np.int64), ks=(63, 64))
+        assert topk[63] == 0.0             # last index loses every tie
+        assert topk[64] == 1.0
+        topk = evaluate_topk(_Zeros(), inputs,
+                             np.zeros(3, dtype=np.int64), ks=(1,))
+        assert topk[1] == 1.0              # first index wins every tie
+
 
 class TestCrossValidate:
     def test_fold_count(self, rng):

@@ -1,0 +1,192 @@
+"""Training recipes, the trained-robustness workload, and `repro train`."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (TRAINING_RECIPES, TrainedDemo,
+                               build_recipe_model, recipe_dataset,
+                               seeded_baseline, train_demo_model)
+from repro.experiments.workloads import trained_robustness_point
+
+
+class TestRecipes:
+    def test_registry_covers_both_demos(self):
+        assert set(TRAINING_RECIPES) == {"eeg", "ecg"}
+
+    def test_config_defaults_and_overrides(self):
+        recipe = TRAINING_RECIPES["eeg"]
+        cfg = recipe.config()
+        assert cfg.epochs == recipe.epochs
+        assert cfg.seed == recipe.seed
+        assert cfg.read_noise_sigma == 0.0
+        cfg = recipe.config(epochs=3, seed=7, noise_sigma=1.5)
+        assert cfg.epochs == 3 and cfg.seed == 7
+        assert cfg.read_noise_sigma == 1.5
+        assert cfg.track_history
+
+    def test_noise_arms_classifier_layers_only(self):
+        # The classifier-on-chip deployment reads fc1/fc2 through noisy
+        # sense amplifiers; the conv front-end runs digitally.
+        assert TRAINING_RECIPES["eeg"].config().read_noise_layers == \
+            ("fc1", "fc2")
+
+    def test_unknown_recipe_raises(self):
+        with pytest.raises(ValueError, match="no training recipe"):
+            recipe_dataset("mnist")
+        with pytest.raises(ValueError, match="no training recipe"):
+            train_demo_model("mnist")
+
+
+class TestRecipeDataset:
+    @pytest.mark.parametrize("name", ["eeg", "ecg"])
+    def test_split_is_disjoint_and_stratified(self, name):
+        inputs, labels, train_idx, val_idx = recipe_dataset(name)
+        assert len(inputs) == 240
+        assert not set(train_idx) & set(val_idx)
+        assert len(train_idx) + len(val_idx) == 240
+        # First fold of a stratified 4-fold: both classes on both sides.
+        assert set(labels[train_idx]) == set(labels[val_idx]) == {0, 1}
+
+    def test_split_is_deterministic(self):
+        _, _, a_train, a_val = recipe_dataset("eeg")
+        _, _, b_train, b_val = recipe_dataset("eeg")
+        assert np.array_equal(a_train, b_train)
+        assert np.array_equal(a_val, b_val)
+
+    def test_seed_changes_the_data(self):
+        a, *_ = recipe_dataset("eeg")
+        b, *_ = recipe_dataset("eeg", seed=1)
+        assert not np.array_equal(a, b)
+
+
+class TestRecipeModels:
+    @pytest.mark.parametrize("name", ["eeg", "ecg"])
+    def test_model_accepts_recipe_rows(self, name):
+        from repro.tensor import Tensor, no_grad
+
+        inputs, _, train_idx, _ = recipe_dataset(name)
+        model = build_recipe_model(name, "binary_classifier",
+                                   np.random.default_rng(0))
+        if hasattr(model, "fit_input_norm"):
+            model.fit_input_norm(inputs[train_idx])
+        model.eval()
+        with no_grad():
+            out = model(Tensor(inputs[train_idx[:4]]))
+        assert out.data.shape == (4, 2)
+
+
+class TestTrainDemoModel:
+    def test_one_epoch_run_round_trips(self):
+        demo = train_demo_model("eeg", "binary_classifier", epochs=1)
+        assert isinstance(demo, TrainedDemo)
+        assert len(demo.result.history) == 1
+        assert 0.0 <= demo.val_accuracy <= 1.0
+        assert not demo.model.training          # handed back in eval mode
+        assert demo.noise_sigma == 0.0
+
+    def test_noise_sigma_changes_the_training_run(self):
+        clean = train_demo_model("eeg", "binary_classifier", epochs=1)
+        noisy = train_demo_model("eeg", "binary_classifier", epochs=1,
+                                 noise_sigma=1.5)
+        assert noisy.noise_sigma == 1.5
+        clean_w = clean.model.state_dict()
+        noisy_w = noisy.model.state_dict()
+        assert any(not np.array_equal(clean_w[k], noisy_w[k])
+                   for k in clean_w)
+        # ...but the model comes back read-clean: eval forward ignores
+        # the armed noise knob entirely.
+        a = noisy.val_accuracy
+        assert a == noisy.val_accuracy
+
+    def test_seeded_baseline_takes_no_gradient_steps(self):
+        a = seeded_baseline("eeg", "binary_classifier")
+        b = seeded_baseline("eeg", "binary_classifier")
+        assert a.result is None
+        wa, wb = a.model.state_dict(), b.model.state_dict()
+        assert sorted(wa) == sorted(wb)
+        assert all(np.array_equal(wa[k], wb[k]) for k in wa)
+        assert 0.0 <= a.val_accuracy <= 1.0
+
+
+class TestTrainedRobustnessPoint:
+    def test_seeded_point_shape_and_determinism(self):
+        a = trained_robustness_point(1.5, weights="seeded", model="eeg",
+                                     trials=2)
+        b = trained_robustness_point(1.5, weights="seeded", model="eeg",
+                                     trials=2)
+        assert set(a) == {"accuracy", "accuracy_std", "clean_accuracy"}
+        assert a == b
+        assert 0.0 <= a["accuracy"] <= 1.0
+
+    def test_zero_sigma_reads_are_noise_free(self):
+        point = trained_robustness_point(0.0, weights="seeded",
+                                         model="eeg", trials=3)
+        assert point["accuracy_std"] == 0.0
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError, match="seeded/clean/noise"):
+            trained_robustness_point(1.0, weights="finetuned",
+                                     model="eeg")
+
+    def test_trained_point_runs_with_tiny_budget(self):
+        point = trained_robustness_point(1.0, weights="clean",
+                                         model="eeg", epochs=1, trials=2)
+        assert 0.0 <= point["accuracy"] <= 1.0
+        assert 0.0 <= point["clean_accuracy"] <= 1.0
+
+    def test_mode_is_part_of_the_cache_key(self):
+        from repro.experiments.executor import plan_cache_stats
+
+        trained_robustness_point(0.5, weights="seeded", model="eeg",
+                                 mode="binary_classifier", trials=1)
+        before = plan_cache_stats()["size"]
+        trained_robustness_point(0.5, weights="seeded", model="eeg",
+                                 mode="full_binary", trials=1)
+        assert plan_cache_stats()["size"] == before + 1
+
+
+class TestTrainCommand:
+    def test_train_saves_checkpoint_and_artifact(self, tmp_path, capsys):
+        from repro.cli.main import main
+        from repro.io import load_model, load_plan
+
+        ckpt = tmp_path / "eeg.npz"
+        plan = tmp_path / "eeg_plan.npz"
+        main(["train", "eeg", "--epochs", "1",
+              "--checkpoint", str(ckpt), "--save", str(plan)])
+        text = capsys.readouterr().out
+        assert "trained eeg [full_binary], clean (no read noise)" in text
+        assert "epochs run: 1" in text
+        assert ckpt.exists() and plan.exists()
+        artifact = load_plan(plan)
+        assert artifact.self_contained       # full_binary lowers the convs
+        model = build_recipe_model("eeg", "full_binary",
+                                   np.random.default_rng(0))
+        load_model(model, ckpt)              # geometry round-trips
+
+    def test_train_with_noise_reports_the_sigma(self, capsys):
+        from repro.cli.main import main
+
+        main(["train", "eeg", "--mode", "binary_classifier",
+              "--epochs", "1", "--noise-sigma", "1.5"])
+        text = capsys.readouterr().out
+        assert "read-noise sigma 1.5 in the loop" in text
+
+    def test_train_rejects_negative_sigma(self):
+        from repro.cli.main import main
+
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["train", "eeg", "--epochs", "1",
+                  "--noise-sigma", "-2"])
+
+    def test_train_refuses_to_overwrite(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        ckpt = tmp_path / "ckpt.npz"
+        main(["train", "eeg", "--epochs", "1", "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--overwrite"):
+            main(["train", "eeg", "--epochs", "1",
+                  "--checkpoint", str(ckpt)])
+        main(["train", "eeg", "--epochs", "1", "--checkpoint", str(ckpt),
+              "--overwrite"])

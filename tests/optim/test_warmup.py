@@ -32,22 +32,47 @@ class TestWarmupLR:
         assert lr == pytest.approx(0.5)
 
     def test_delegates_to_inner_after_warmup(self):
+        # The boundary step hands straight off to the inner schedule: no
+        # epoch ever trains at the un-decayed base rate (the historic bug
+        # trained the first post-warmup epoch at full base_lr).
         opt = make_optimizer(lr=1.0)
         cosine = CosineAnnealingLR(opt, total_epochs=10)
         sched = WarmupLR(opt, warmup_epochs=3, after=cosine)
         for _ in range(3):
             sched.step()
-        assert opt.lr == pytest.approx(1.0)   # full rate at warmup end
-        lr_after = sched.step()
-        assert lr_after < 1.0                 # cosine decay has begun
+        first_decay = 0.5 * (1.0 + np.cos(np.pi * 1 / 10))
+        assert opt.lr == pytest.approx(first_decay)
+        assert sched.step() == pytest.approx(
+            0.5 * (1.0 + np.cos(np.pi * 2 / 10)))
 
     def test_inner_epochs_only_advance_after_warmup(self):
         opt = make_optimizer(lr=1.0)
         cosine = CosineAnnealingLR(opt, total_epochs=10)
         sched = WarmupLR(opt, warmup_epochs=5, after=cosine)
-        for _ in range(5):
+        for _ in range(4):
             sched.step()
-        assert cosine.epoch == 0
+        assert cosine.epoch == 0     # untouched during the ramp ...
+        sched.step()
+        assert cosine.epoch == 1     # ... first stepped at the boundary
+
+    def test_full_warmup_decay_trajectory(self):
+        # Pin the whole composed schedule, epoch by epoch: linear ramp
+        # for warmup_epochs - 1 steps, then cosine decay re-anchored at
+        # base_lr from its first value on — one continuous trajectory
+        # with no base_lr plateau at the seam.
+        opt = make_optimizer(lr=2.0)
+        cosine = CosineAnnealingLR(opt, total_epochs=4)
+        sched = WarmupLR(opt, warmup_epochs=3, after=cosine,
+                         start_factor=0.25)
+        assert opt.lr == pytest.approx(0.5)            # epoch 0 trains here
+        observed = [sched.step() for _ in range(8)]
+        ramp = [2.0 * (0.25 + 0.75 * e / 3) for e in (1, 2)]
+        decay = [2.0 * 0.5 * (1.0 + np.cos(np.pi * e / 4))
+                 for e in (1, 2, 3, 4)]
+        expected = ramp + decay + [0.0, 0.0]           # clamped past total
+        assert observed == pytest.approx(expected)
+        # Each step's return value is what the optimizer will train with.
+        assert opt.lr == pytest.approx(observed[-1])
 
     def test_invalid_args_raise(self):
         opt = make_optimizer()

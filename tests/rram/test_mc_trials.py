@@ -239,3 +239,45 @@ class TestClassifierTrials:
         labels = clf.predict_trials(x, trial_streams(1, 4))
         assert labels.shape == (4, 5)
         assert np.array_equal(labels, batched.argmax(axis=2))
+
+    def test_classifier_sense_override_passes_through(self):
+        """A ``sense=`` override on the stacked classifier reaches every
+        layer — the mechanism the trained-robustness sweep uses to read
+        one programmed chip at many sigmas."""
+        from repro.rram import DeviceParameters, SenseParameters
+
+        rng = np.random.default_rng(7)
+        hidden_folded = FoldedBinaryDense(
+            rng.integers(0, 2, (16, 30)).astype(np.uint8),
+            theta=rng.standard_normal(16),
+            gamma_sign=np.ones(16), beta_sign=np.ones(16))
+        out_folded = FoldedOutputDense(
+            rng.integers(0, 2, (4, 16)).astype(np.uint8),
+            scale=np.ones(4), offset=np.zeros(4))
+        # Zeroed variability, noiseless programmed sense: noise appears
+        # only when the read-time override injects it.
+        config = AcceleratorConfig(
+            device=DeviceParameters(sigma_lrs0=0.0, sigma_hrs0=0.0,
+                                    broadening=0.0, hrs_drift=0.0,
+                                    device_mismatch=1.0),
+            sense=SenseParameters(offset_sigma=0.0))
+        clf = InMemoryClassifier(
+            [InMemoryDenseLayer(hidden_folded, config,
+                                np.random.default_rng(8),
+                                fast_path=False)],
+            InMemoryOutputLayer(out_folded, config,
+                                np.random.default_rng(9),
+                                fast_path=False))
+        x = rng.integers(0, 2, (12, 30)).astype(np.uint8)
+        quiet = clf.forward_scores_trials(x, trial_streams(2, 3))
+        assert np.array_equal(quiet[0], quiet[1])      # deterministic
+        noisy = clf.forward_scores_trials(
+            x, trial_streams(2, 3), sense=SenseParameters(offset_sigma=5.0))
+        assert not np.array_equal(noisy, quiet)
+        serial = []
+        for r in trial_streams(2, 3):
+            bits = clf.hidden[0].forward_bits(
+                x, rng=r, sense=SenseParameters(offset_sigma=5.0))
+            serial.append(clf.output.forward_scores(
+                bits, rng=r, sense=SenseParameters(offset_sigma=5.0)))
+        assert np.array_equal(noisy, np.stack(serial))
